@@ -1,0 +1,162 @@
+// Command youtopia-bench reproduces the paper's evaluation (§6,
+// Figures 3 and 4): the NAIVE / COARSE / PRECISE cascading-abort
+// algorithms compared on synthetic workloads while the number of
+// mappings sweeps from sparse to dense. Each figure prints three
+// panels — total aborts, cascading abort requests, and the per-update
+// execution-time slowdown of PRECISE over COARSE.
+//
+// Usage:
+//
+//	youtopia-bench -figure both -preset paper -runs 3
+//
+// Presets:
+//
+//	quick     small universe, seconds (CI smoke runs)
+//	moderate  paper structure at reduced data scale, ~1 minute
+//	paper     the full §6 parameters: 100 relations, 50 constants,
+//	          100 mappings, 10000 initial tuples, 500 updates
+//
+// Individual parameters can be overridden with flags after -preset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"youtopia/internal/experiments"
+	"youtopia/internal/workload"
+)
+
+func main() {
+	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, or latency (the §5.2 user-latency extension study)")
+	preset := flag.String("preset", "moderate", "parameter preset: quick, moderate or paper")
+	runs := flag.Int("runs", 3, "runs averaged per data point (paper: 100)")
+	seed := flag.Int64("seed", 1, "master random seed")
+	sweepFlag := flag.String("sweep", "", "comma-separated mapping counts (default per preset)")
+	trackers := flag.String("trackers", "NAIVE,COARSE,PRECISE", "trackers to compare")
+	naivePoints := flag.Int("naive-points", 2, "sweep points NAIVE runs (it degenerates; 0 = all)")
+	csvPath := flag.String("csv", "", "also write all data points to this CSV file")
+	relations := flag.Int("relations", 0, "override: number of relations")
+	initial := flag.Int("initial", 0, "override: initial database seed tuples")
+	updates := flag.Int("updates", 0, "override: workload length")
+	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
+	flag.Parse()
+
+	base, sweep, err := configFor(*preset)
+	if err != nil {
+		fail(err)
+	}
+	base.Seed = *seed
+	if *relations > 0 {
+		base.Relations = *relations
+	}
+	if *initial > 0 {
+		base.InitialTuples = *initial
+	}
+	if *updates > 0 {
+		base.Updates = *updates
+	}
+	if *sweepFlag != "" {
+		sweep, err = parseSweep(*sweepFlag)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *figure == "latency" {
+		points, err := experiments.LatencyStudy(base, nil, *runs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderLatency(points))
+		return
+	}
+	opts := experiments.Options{
+		Sweep:       sweep,
+		Trackers:    strings.Split(*trackers, ","),
+		Runs:        *runs,
+		NaivePoints: *naivePoints,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	var figures []*experiments.Figure
+	if *figure == "3" || *figure == "both" {
+		fig, err := experiments.Figure3(base, opts)
+		if err != nil {
+			fail(err)
+		}
+		figures = append(figures, fig)
+	}
+	if *figure == "4" || *figure == "both" {
+		fig, err := experiments.Figure4(base, opts)
+		if err != nil {
+			fail(err)
+		}
+		figures = append(figures, fig)
+	}
+	if len(figures) == 0 {
+		fail(fmt.Errorf("unknown -figure %q (want 3, 4 or both)", *figure))
+	}
+
+	var csv strings.Builder
+	for i, fig := range figures {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Println(fig.Render())
+		if *csvPath != "" {
+			out := fig.CSV()
+			if i > 0 {
+				// Drop the duplicate header.
+				if idx := strings.IndexByte(out, '\n'); idx >= 0 {
+					out = out[idx+1:]
+				}
+			}
+			csv.WriteString(out)
+		}
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+func configFor(preset string) (workload.Config, []int, error) {
+	switch preset {
+	case "quick":
+		cfg := workload.Quick()
+		return cfg, []int{8, 16, 24}, nil
+	case "moderate":
+		cfg := workload.Default()
+		cfg.InitialTuples = 3000
+		cfg.Updates = 150
+		return cfg, experiments.DefaultSweep, nil
+	case "paper":
+		return workload.Default(), experiments.DefaultSweep, nil
+	default:
+		return workload.Config{}, nil, fmt.Errorf("unknown preset %q (want quick, moderate or paper)", preset)
+	}
+}
+
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad sweep entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "youtopia-bench:", err)
+	os.Exit(1)
+}

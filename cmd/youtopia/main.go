@@ -1,0 +1,201 @@
+// Command youtopia loads a repository definition in the textual
+// repository language, applies its update operations through the
+// cooperative chase, and reports the resulting state.
+//
+// Usage:
+//
+//	youtopia [flags] repository.ytp
+//
+// The file declares relations, mappings, initial tuples and update
+// operations (see internal/parse for the grammar). Frontier operations
+// are answered interactively on the terminal by default; with -auto
+// they are chosen uniformly at random by the paper's simulated user.
+//
+// Flags:
+//
+//	-auto uint     answer frontier operations automatically with the
+//	               given random seed (0 = interactive)
+//	-analyze       print mapping analyses (cycles, weak acyclicity)
+//	-dump          print the full repository contents at the end
+//	-skip-ops      load the repository but do not run its operations
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"youtopia"
+	"youtopia/internal/chase"
+	"youtopia/internal/parse"
+)
+
+func main() {
+	auto := flag.Uint64("auto", 0, "answer frontier operations automatically (seed)")
+	analyze := flag.Bool("analyze", false, "print mapping analyses")
+	dump := flag.Bool("dump", false, "print repository contents at the end")
+	skipOps := flag.Bool("skip-ops", false, "do not run the document's operations")
+	trace := flag.Bool("trace", false, "print each update's write provenance")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: youtopia [flags] repository.ytp")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	repo, doc, err := youtopia.OpenDocument(string(src))
+	if err != nil {
+		fail(err)
+	}
+	ops := doc.Ops
+	fmt.Printf("loaded %d relation(s), %d mapping(s), %d operation(s), %d quer(ies)\n",
+		repo.Schema().Len(), repo.Mappings().Len(), len(ops), len(doc.Queries))
+
+	if *analyze {
+		fmt.Println()
+		fmt.Print(repo.Analyze())
+	}
+	if vs := repo.Violations(); len(vs) > 0 {
+		fmt.Printf("warning: initial data violates %d mapping instance(s); ", len(vs))
+		fmt.Println("the first update's chase will not repair pre-existing violations")
+	}
+
+	var user youtopia.User
+	if *auto != 0 {
+		user = youtopia.RandomUser(*auto)
+	} else {
+		user = &terminalUser{repo: repo, in: bufio.NewReader(os.Stdin)}
+	}
+
+	if !*skipOps {
+		for i, op := range ops {
+			fmt.Printf("\n== update %d: %s\n", i+1, op)
+			stats, entries, err := repo.ApplyTraced(op, user)
+			if err != nil {
+				fail(fmt.Errorf("update %d: %w", i+1, err))
+			}
+			fmt.Printf("   done: %d step(s), %d write(s), %d frontier op(s)\n",
+				stats.Steps, stats.Writes, stats.FrontierOps)
+			if *trace {
+				for _, entry := range entries {
+					fmt.Printf("   %s\n", entry)
+				}
+			}
+		}
+	}
+
+	for _, q := range doc.Queries {
+		fmt.Printf("\n== query %s\n", q)
+		certain, err := repo.Certain(q)
+		if err != nil {
+			fail(err)
+		}
+		best, err := repo.BestEffort(q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("  certain answers:")
+		for _, row := range certain {
+			fmt.Printf("    %s\n", parse.PrintTuple(row))
+		}
+		if len(certain) == 0 {
+			fmt.Println("    (none)")
+		}
+		fmt.Println("  best-effort answers:")
+		for _, row := range best {
+			fmt.Printf("    %s\n", parse.PrintTuple(row))
+		}
+		if len(best) == 0 {
+			fmt.Println("    (none)")
+		}
+	}
+
+	if *dump {
+		fmt.Println("\n== repository contents")
+		fmt.Println(repo.Dump())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "youtopia:", err)
+	os.Exit(1)
+}
+
+// terminalUser prompts on the terminal for frontier operations,
+// showing the provenance (violated mapping and witness) the paper's
+// interface design calls for (§2.2).
+type terminalUser struct {
+	repo *youtopia.Repository
+	in   *bufio.Reader
+}
+
+// Decide implements chase.User.
+func (t *terminalUser) Decide(u *chase.Update, g *chase.FrontierGroup, opts []chase.Decision, _ string) (chase.Decision, bool) {
+	snap := t.repo.Store().Snap(u.Number)
+	fmt.Printf("\nupdate %d needs help with mapping %s\n", u.Number, g.Viol.TGD.Name)
+	fmt.Printf("  mapping: %s\n", g.Viol.TGD)
+	fmt.Println("  witness:")
+	for _, id := range g.Viol.Witness {
+		if tv, ok := snap.GetTuple(id); ok {
+			fmt.Printf("    %s\n", parse.PrintTuple(tv))
+		}
+	}
+	if g.Positive {
+		fmt.Println("  generated tuples not yet inserted (positive frontier):")
+		for i, tv := range g.Tuples {
+			fmt.Printf("    [%d] %s\n", i, parse.PrintTuple(tv))
+		}
+	} else {
+		fmt.Println("  deletion candidates (negative frontier):")
+		for _, id := range g.Candidates {
+			if tv, ok := snap.GetTuple(id); ok {
+				fmt.Printf("    #%d %s\n", id, parse.PrintTuple(tv))
+			}
+		}
+	}
+	fmt.Println("  options:")
+	for i, d := range opts {
+		fmt.Printf("    %2d) %s\n", i, t.render(u, g, d))
+	}
+	for {
+		fmt.Print("choose option: ")
+		line, err := t.in.ReadString('\n')
+		if err != nil {
+			return chase.Decision{}, false
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(line))
+		if err != nil || idx < 0 || idx >= len(opts) {
+			fmt.Printf("please enter a number between 0 and %d\n", len(opts)-1)
+			continue
+		}
+		return opts[idx], true
+	}
+}
+
+func (t *terminalUser) render(u *chase.Update, g *chase.FrontierGroup, d chase.Decision) string {
+	snap := t.repo.Store().Snap(u.Number)
+	switch d.Kind {
+	case chase.DecideExpand:
+		return fmt.Sprintf("expand %s (insert it)", parse.PrintTuple(g.Tuples[d.TupleIdx]))
+	case chase.DecideUnify:
+		target, _ := snap.GetTuple(d.Target)
+		return fmt.Sprintf("unify %s with existing %s",
+			parse.PrintTuple(g.Tuples[d.TupleIdx]), parse.PrintTuple(target))
+	case chase.DecideDelete:
+		parts := make([]string, len(d.Subset))
+		for i, id := range d.Subset {
+			tv, _ := snap.GetTuple(id)
+			parts[i] = parse.PrintTuple(tv)
+		}
+		return "delete " + strings.Join(parts, " and ")
+	default:
+		return d.String()
+	}
+}

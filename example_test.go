@@ -1,0 +1,88 @@
+package youtopia_test
+
+import (
+	"fmt"
+	"log"
+
+	"youtopia"
+)
+
+// ExampleOpen builds the heart of the paper's Figure 2 repository and
+// runs Example 1.1: inserting a tour makes the chase generate the
+// missing review with a labeled null for the unknown text.
+func ExampleOpen() {
+	repo, _, err := youtopia.Open(`
+relation A(location, name)
+relation T(attraction, company, tour_start)
+relation R(company, attraction, review)
+mapping sigma3: A(l, n), T(n, co, st) -> exists r: R(co, n, r)
+tuple A("Niagara Falls", "Niagara Falls")
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = repo.Apply(
+		youtopia.Insert(youtopia.NewTuple("T",
+			youtopia.Const("Niagara Falls"), youtopia.Const("ABC Tours"), youtopia.Const("Toronto"))),
+		youtopia.UnifyFirstUser())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range repo.Facts()["R"] {
+		fmt.Println(t.Rel, "has", t.Arity(), "attributes; company =", t.Vals[0])
+	}
+	// Output:
+	// R has 3 attributes; company = ABC Tours
+}
+
+// ExampleRepository_Certain contrasts the two query semantics of §1.2
+// on incomplete data: the unknown company x1 is excluded from certain
+// answers but surfaces under best effort.
+func ExampleRepository_Certain() {
+	repo, doc, err := youtopia.OpenDocument(`
+relation T(attraction, company, tour_start)
+tuple T("Winery", "XYZ", "Syracuse")
+tuple T("Falls", ?x1, "Toronto")
+query companies(co): T(a, co, s)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	certain, _ := repo.Certain(doc.Queries[0])
+	best, _ := repo.BestEffort(doc.Queries[0])
+	fmt.Println("certain:", len(certain), "answer(s)")
+	fmt.Println("best-effort:", len(best), "answer(s)")
+	// Output:
+	// certain: 1 answer(s)
+	// best-effort: 2 answer(s)
+}
+
+// ExampleRepository_RunConcurrent runs two concurrent updates under
+// the optimistic scheduler with the PRECISE cascading-abort algorithm.
+func ExampleRepository_RunConcurrent() {
+	repo, _, err := youtopia.Open(`
+relation V(city, convention)
+relation E(convention, attraction)
+relation T(attraction, company, tour_start)
+mapping sigma4: V(ci, x), T(n, co, ci) -> E(x, n)
+tuple T("Winery", "XYZ", "Syracuse")
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := repo.RunConcurrent([]youtopia.Op{
+		youtopia.Insert(youtopia.NewTuple("V", youtopia.Const("Syracuse"), youtopia.Const("Science Conf"))),
+		youtopia.Insert(youtopia.NewTuple("V", youtopia.Const("Syracuse"), youtopia.Const("Math Conf"))),
+	}, youtopia.SchedulerConfig{
+		Tracker: youtopia.Precise,
+		User:    youtopia.RandomUser(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("updates:", metrics.Submitted, "aborts:", metrics.Aborts)
+	fmt.Println("recommendations:", len(repo.Facts()["E"]))
+	// Output:
+	// updates: 2 aborts: 0
+	// recommendations: 2
+}

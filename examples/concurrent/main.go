@@ -1,0 +1,62 @@
+// Concurrent: a miniature of the paper's §6 evaluation. A synthetic
+// universe is generated (random relations, cyclic random mappings, an
+// initial database produced by update exchange itself), a workload of
+// concurrent updates runs under the optimistic scheduler, and the
+// three cascading-abort algorithms are compared head to head.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/simuser"
+	"youtopia/internal/workload"
+)
+
+func main() {
+	cfg := workload.Config{
+		Relations: 50, MinArity: 1, MaxArity: 6, Constants: 25,
+		Mappings: 35, MaxAtomsPerSide: 3, InitialTuples: 2000,
+		Updates: 100, InsertPct: 80, Seed: 7,
+	}
+	fmt.Println("building the synthetic universe (initial database via update exchange)...")
+	u, err := workload.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("universe: %d relations, %d mappings, %d initial facts\n",
+		u.Schema.Len(), u.Mappings.Len(), len(u.Initial))
+
+	fmt.Printf("\nworkload: %d concurrent updates (%d%% inserts), round-robin step scheduling\n",
+		cfg.Updates, cfg.InsertPct)
+	fmt.Printf("%-10s %10s %10s %14s %12s %12s\n",
+		"tracker", "aborts", "reruns", "cascading-req", "frontier-ops", "time/update")
+	for _, tr := range []cc.Tracker{cc.Naive{}, cc.Coarse{}, cc.Precise{}} {
+		st, err := u.NewStore()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ops := u.GenOps(rand.New(rand.NewSource(99)))
+		sched := cc.NewScheduler(st, u.Mappings, cc.Config{
+			Tracker: tr,
+			Policy:  cc.PolicyRoundRobinStep,
+			User:    simuser.New(123),
+		})
+		start := time.Now()
+		m, err := sched.Run(ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		per := time.Duration(0)
+		if m.Runs > 0 {
+			per = time.Since(start) / time.Duration(m.Runs)
+		}
+		fmt.Printf("%-10s %10d %10d %14d %12d %12s\n",
+			tr.Name(), m.Aborts, m.Runs, m.CascadingAbortRequests, m.FrontierOps, per)
+	}
+	fmt.Println("\nNAIVE cascades indiscriminately; COARSE tracks relation-level read")
+	fmt.Println("dependencies; PRECISE asks the database exactly which writes matter.")
+}

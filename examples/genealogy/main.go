@@ -1,0 +1,75 @@
+// Genealogy: the §2.2 cyclic mapping
+//
+//	Person(x) → ∃y Father(x, y) ∧ Person(y)
+//
+// ("every person has a father who is also a person"). Under the
+// classical chase this tgd is rejected — it is not weakly acyclic and
+// inserting one person cascades forever. Youtopia admits it: the chase
+// stops at frontier tuples, and nontermination becomes *controlled* —
+// users can always extend the ancestry, or close it off by unifying.
+//
+// This program builds the family tree interactively-in-spirit: a
+// scripted user expands three generations of ancestors and then
+// unifies, declaring the oldest known ancestor to be his own father.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"youtopia"
+)
+
+const genealogy = `
+relation Person(name)
+relation Father(child, father)
+mapping ancestry: Person(x) -> exists y: Father(x, y), Person(y)
+`
+
+func main() {
+	repo, _, err := youtopia.Open(genealogy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Mapping analysis (this tgd defeats the classical chase):")
+	fmt.Print(repo.Analyze())
+
+	// The scripted user: expand the Father and Person frontier tuples
+	// for three generations, then unify the dangling Person with the
+	// oldest ancestor already present.
+	expansions := 0
+	user := youtopia.UserFunc(func(u *youtopia.Update, g *youtopia.FrontierGroup,
+		opts []youtopia.Decision, _ string) (youtopia.Decision, bool) {
+		if expansions < 6 { // two expands per generation: Father + Person
+			for _, d := range opts {
+				if d.Kind == youtopia.DecideExpand {
+					expansions++
+					return d, true
+				}
+			}
+		}
+		for _, d := range opts {
+			if d.Kind == youtopia.DecideUnify {
+				return d, true
+			}
+		}
+		return opts[0], true
+	})
+
+	fmt.Println("\n== insert Person(John)")
+	_, err = repo.Apply(youtopia.Insert(youtopia.NewTuple("Person", youtopia.Const("John"))), user)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("the ancestry chain after three expansions and one unification:")
+	for _, t := range repo.Facts()["Father"] {
+		fmt.Println("  ", t)
+	}
+	for _, t := range repo.Facts()["Person"] {
+		fmt.Println("  ", t)
+	}
+	if len(repo.Violations()) == 0 {
+		fmt.Println("\nall mappings satisfied: the 'infinite' ancestry closed cooperatively")
+	}
+}

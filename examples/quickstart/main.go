@@ -1,0 +1,92 @@
+// Quickstart: build the paper's Figure 2 travel repository through the
+// public API, run Example 1.1 (an insert whose consequences propagate
+// through mapping σ3), and show the §2.2 frontier scenario where a
+// mapping cycle stops at a frontier tuple instead of cascading
+// forever.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"youtopia"
+)
+
+const travelRepository = `
+# Figure 2 of the paper: a small travel repository.
+relation C(city)
+relation S(code, location, city_served)
+relation A(location, name)
+relation T(attraction, company, tour_start)
+relation R(company, attraction, review)
+relation V(city, convention)
+relation E(convention, attraction)
+
+# sigma1: every city has a suggested airport.
+mapping sigma1: C(c) -> exists a, l: S(a, l, c)
+# sigma2: every airport is located in a city and serves a city.
+mapping sigma2: S(a, l, c) -> C(l), C(c)
+# sigma3: whenever a company offers tours of an attraction, it is reviewed.
+mapping sigma3: A(l, n), T(n, co, st) -> exists r: R(co, n, r)
+# sigma4: convention attendees receive day-trip recommendations.
+mapping sigma4: V(ci, x), T(n, co, ci) -> E(x, n)
+
+tuple C("Ithaca")
+tuple C("Syracuse")
+tuple S("SYR", "Syracuse", "Syracuse")
+tuple S("SYR", "Syracuse", "Ithaca")
+tuple A("Geneva", "Geneva Winery")
+tuple A("Niagara Falls", "Niagara Falls")
+tuple T("Geneva Winery", "XYZ", "Syracuse")
+tuple T("Niagara Falls", ?x1, "Toronto")
+tuple R("XYZ", "Geneva Winery", "Great!")
+tuple R(?x1, "Niagara Falls", ?x2)
+tuple V("Syracuse", "Science Conf")
+tuple E("Science Conf", "Geneva Winery")
+`
+
+func main() {
+	repo, _, err := youtopia.Open(travelRepository)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Loaded the Figure 2 repository. Mapping analysis:")
+	fmt.Print(repo.Analyze())
+
+	// Example 1.1: ABC Tours starts running tours to Niagara Falls.
+	// σ3 requires a review; the chase inserts R(ABC Tours, Niagara
+	// Falls, x) with a fresh labeled null for the unknown review.
+	fmt.Println("\n== Example 1.1: insert T(Niagara Falls, ABC Tours, Toronto)")
+	op := youtopia.Insert(youtopia.NewTuple("T",
+		youtopia.Const("Niagara Falls"), youtopia.Const("ABC Tours"), youtopia.Const("Toronto")))
+	stats, err := repo.Apply(op, youtopia.UnifyFirstUser())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chase finished: %d steps, %d writes, %d frontier requests\n",
+		stats.Steps, stats.Writes, stats.FrontierRequests)
+	for _, t := range repo.Facts()["R"] {
+		fmt.Println("  R:", t)
+	}
+
+	// §2.2: the mapping cycle σ1/σ2. Adding JFK as a suggested airport
+	// for Ithaca triggers C(NYC), then a fresh airport for NYC, then
+	// C(x') — which has more specific counterparts, so the chase stops
+	// at a frontier. The unify-first user supplies the knowledge that
+	// the airport's city is NYC itself.
+	fmt.Println("\n== §2.2: insert S(JFK, NYC, Ithaca) under the σ1/σ2 cycle")
+	op = youtopia.Insert(youtopia.NewTuple("S",
+		youtopia.Const("JFK"), youtopia.Const("NYC"), youtopia.Const("Ithaca")))
+	stats, err = repo.Apply(op, youtopia.UnifyFirstUser())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chase finished: %d steps, %d frontier requests, %d unifications\n",
+		stats.Steps, stats.FrontierRequests, stats.Unifications)
+	for _, t := range repo.Facts()["S"] {
+		fmt.Println("  S:", t)
+	}
+	if len(repo.Violations()) == 0 {
+		fmt.Println("\nall mappings satisfied — the cycle terminated cooperatively")
+	}
+}

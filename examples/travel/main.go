@@ -1,0 +1,134 @@
+// Travel: the paper's running narrative end to end — Example 2.3 (a
+// deletion repaired backward with a human choosing the deletion
+// candidate) and Example 3.1 (two concurrent updates whose naive
+// interleaving is not serializable; the optimistic scheduler detects
+// the interference and aborts the premature update).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"youtopia"
+	"youtopia/internal/cc"
+	"youtopia/internal/fixtures"
+	"youtopia/internal/storage"
+)
+
+func buildRepo() (*youtopia.Repository, error) {
+	repo, err := youtopia.New(fixtures.TravelSchema(), fixtures.TravelMappings())
+	if err != nil {
+		return nil, err
+	}
+	return repo, fixtures.TravelData(repo.Store())
+}
+
+func main() {
+	example23()
+	example31(cc.ModePrevent)
+	example31(cc.ModeFlag)
+}
+
+// example23 reproduces Example 2.3: deleting the Geneva Winery review
+// violates σ3; the backward chase cannot decide alone whether to
+// delete the attraction or the tour, so a human picks the tour.
+func example23() {
+	repo, err := buildRepo()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Example 2.3: delete R(XYZ, Geneva Winery, Great!)")
+	user := youtopia.UserFunc(func(u *youtopia.Update, g *youtopia.FrontierGroup,
+		opts []youtopia.Decision, _ string) (youtopia.Decision, bool) {
+		snap := repo.Store().Snap(u.Number)
+		fmt.Println("   negative frontier (deletion candidates):")
+		for _, id := range g.Candidates {
+			if tv, ok := snap.GetTuple(id); ok {
+				fmt.Println("     ", tv)
+			}
+		}
+		for _, id := range g.Candidates {
+			if tv, ok := snap.GetTuple(id); ok && tv.Rel == "T" {
+				fmt.Println("   the user deletes the tour")
+				return youtopia.Decision{Kind: youtopia.DecideDelete,
+					Subset: []storage.TupleID{id}}, true
+			}
+		}
+		return opts[0], true
+	})
+	op := youtopia.Delete(youtopia.NewTuple("R",
+		youtopia.Const("XYZ"), youtopia.Const("Geneva Winery"), youtopia.Const("Great!")))
+	if _, err := repo.Apply(op, user); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("   tours after the repair:")
+	for _, t := range repo.Facts()["T"] {
+		fmt.Println("     ", t)
+	}
+	fmt.Println()
+}
+
+// example31 reproduces Example 3.1 under both concurrency-control
+// modes: prevention (the interference aborts u2) and detection (the
+// interference is flagged and survives).
+func example31(mode cc.Mode) {
+	repo, err := buildRepo()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Example 3.1 in %s mode\n", mode)
+
+	// u1 deletes the review and will — after a pause — direct the
+	// system to delete the witness tour; u2 meanwhile inserts a new
+	// convention, prematurely deriving an excursion recommendation from
+	// the doomed tour.
+	ops := []youtopia.Op{
+		youtopia.Delete(youtopia.NewTuple("R",
+			youtopia.Const("XYZ"), youtopia.Const("Geneva Winery"), youtopia.Const("Great!"))),
+		youtopia.Insert(youtopia.NewTuple("V",
+			youtopia.Const("Syracuse"), youtopia.Const("Math Conf"))),
+	}
+	polls := 0
+	user := youtopia.UserFunc(func(u *youtopia.Update, g *youtopia.FrontierGroup,
+		opts []youtopia.Decision, _ string) (youtopia.Decision, bool) {
+		if polls < 3 {
+			polls++ // the human is slow; u2 runs ahead meanwhile
+			return youtopia.Decision{}, false
+		}
+		snap := repo.Store().Snap(u.Number)
+		for _, id := range g.Candidates {
+			if tv, ok := snap.GetTuple(id); ok && tv.Rel == "T" {
+				return youtopia.Decision{Kind: youtopia.DecideDelete,
+					Subset: []storage.TupleID{id}}, true
+			}
+		}
+		return opts[0], true
+	})
+	m, err := repo.RunConcurrent(ops, youtopia.SchedulerConfig{
+		Tracker: youtopia.Precise,
+		Mode:    mode,
+		User:    user,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   aborts=%d, direct conflicts=%d, flagged=%d\n",
+		m.Aborts, m.DirectAbortRequests, m.Flagged)
+	badTuple := youtopia.NewTuple("E",
+		youtopia.Const("Math Conf"), youtopia.Const("Geneva Winery"))
+	present := false
+	for _, t := range repo.Facts()["E"] {
+		if t.Equal(badTuple) {
+			present = true
+		}
+	}
+	switch {
+	case mode == cc.ModePrevent && !present:
+		fmt.Println("   the premature E(Math Conf, Geneva Winery) was prevented: u2 aborted and re-ran")
+	case mode == cc.ModeFlag && present:
+		fmt.Println("   the premature E(Math Conf, Geneva Winery) survives but was flagged for manual correction")
+	default:
+		fmt.Println("   unexpected outcome — check the scheduler")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,141 @@
+package cc_test
+
+import (
+	"testing"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/query"
+	"youtopia/internal/serial"
+	"youtopia/internal/simuser"
+	"youtopia/internal/workload"
+)
+
+// TestSerializabilityOnRandomUniverses is the strongest empirical
+// validation of Theorem 4.4: on randomly generated schemas, (cyclic)
+// mapping sets, initial databases and workloads, the concurrent
+// execution under every tracker must leave the same facts as the
+// serial execution, up to renaming of labeled nulls — and must leave
+// every mapping satisfied.
+func TestSerializabilityOnRandomUniverses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random-universe battery skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := workload.Config{
+			Relations:       10,
+			MinArity:        1,
+			MaxArity:        3,
+			Constants:       6,
+			Mappings:        8,
+			MaxAtomsPerSide: 2,
+			InitialTuples:   30,
+			Updates:         10,
+			InsertPct:       80,
+			Seed:            seed,
+		}
+		u, err := workload.Build(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ops := u.GenOpsSeeded(500 + seed)
+
+		// Serial reference.
+		stSerial, err := u.NewStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := serial.Execute(stSerial, u.Mappings, ops, simuser.New(uint64(seed))); err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		want := stSerial.Snap(1 << 30).VisibleFacts()
+
+		for _, tr := range []cc.Tracker{cc.Naive{}, cc.Coarse{}, cc.Precise{}} {
+			st, err := u.NewStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched := cc.NewScheduler(st, u.Mappings, cc.Config{
+				Tracker:            tr,
+				Policy:             cc.PolicyRoundRobinStep,
+				User:               simuser.New(uint64(seed)),
+				MaxAbortsPerUpdate: 500,
+			})
+			if _, err := sched.Run(ops); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tr.Name(), err)
+			}
+			got := st.Snap(1 << 30).VisibleFacts()
+
+			// Every mapping must hold in the final state.
+			qe := query.NewEngine(st.Snap(1 << 30))
+			if vs := qe.AllViolations(u.Mappings); len(vs) != 0 {
+				t.Fatalf("seed %d %s: %d violations survive", seed, tr.Name(), len(vs))
+			}
+			eq, err := serial.Equivalent(got, want)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tr.Name(), err)
+			}
+			if !eq {
+				t.Errorf("seed %d %s: concurrent != serial\n%s", seed, tr.Name(),
+					serial.Explain(got, want))
+			}
+		}
+	}
+}
+
+// TestLatencyToleratedBySCheduler checks the §5.2 setting of slow
+// frontier responses: with a high-latency user the scheduler keeps the
+// system live (other updates proceed past the blocked ones, per the
+// paper's design goal) and still drives the workload to a valid,
+// fully-repaired final state. No directional claim about abort counts
+// is made — aborted updates cancel their pending frontier requests, so
+// latency can shift work in either direction.
+func TestLatencyToleratedByScheduler(t *testing.T) {
+	cfg := workload.Config{
+		Relations:       12,
+		MinArity:        1,
+		MaxArity:        4,
+		Constants:       8,
+		Mappings:        14,
+		MaxAtomsPerSide: 2,
+		InitialTuples:   80,
+		Updates:         30,
+		InsertPct:       70,
+		Seed:            3,
+	}
+	u, err := workload.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(latency int) cc.Metrics {
+		st, err := u.NewStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		user := simuser.New(9)
+		user.Latency = latency
+		sched := cc.NewScheduler(st, u.Mappings, cc.Config{
+			Tracker:            cc.Coarse{},
+			User:               user,
+			MaxAbortsPerUpdate: 1000,
+		})
+		m, err := sched.Run(u.GenOpsSeeded(77))
+		if err != nil {
+			t.Fatalf("latency %d: %v", latency, err)
+		}
+		// The final state must satisfy every mapping regardless of how
+		// slowly the humans answered.
+		qe := query.NewEngine(st.Snap(1 << 30))
+		if vs := qe.AllViolations(u.Mappings); len(vs) != 0 {
+			t.Fatalf("latency %d: %d violations survive", latency, len(vs))
+		}
+		return m
+	}
+	fast := run(0)
+	slow := run(8)
+	if fast.Runs < fast.Submitted || slow.Runs < slow.Submitted {
+		t.Fatalf("incomplete runs: fast %+v slow %+v", fast, slow)
+	}
+	if slow.FrontierRequests == 0 {
+		t.Fatalf("workload never hit a frontier; pick a denser fixture: %+v", slow)
+	}
+}

@@ -1,0 +1,444 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// Txn is one update under concurrency control.
+type Txn struct {
+	// Upd is the underlying chase update; Upd.Number is the priority.
+	Upd *chase.Update
+	// Number duplicates the update's priority for convenience.
+	Number int
+
+	// deps are the lower-numbered uncommitted updates whose writes
+	// influenced this txn's read answers (§5.1).
+	deps map[int]bool
+	// committed is set once the txn terminated and every lower-numbered
+	// txn committed; committed txns can no longer abort and their
+	// stored queries are released.
+	committed bool
+	// aborts counts how many times this txn has aborted.
+	aborts int
+}
+
+// Deps returns the recorded read dependencies, for inspection.
+func (t *Txn) Deps() map[int]bool { return t.deps }
+
+// Committed reports whether the txn has committed.
+func (t *Txn) Committed() bool { return t.committed }
+
+// Aborts returns how many times the txn has aborted so far.
+func (t *Txn) Aborts() int { return t.aborts }
+
+// addDep records a read dependency on a lower-numbered uncommitted
+// update.
+func (t *Txn) addDep(writer int) {
+	if writer == 0 || writer == t.Number || writer > t.Number {
+		return
+	}
+	t.deps[writer] = true
+}
+
+// Policy selects how the scheduler interleaves updates.
+type Policy uint8
+
+const (
+	// PolicyRoundRobinStep interleaves chases at the level of
+	// individual steps — the policy of the paper's experiments (§6).
+	PolicyRoundRobinStep Policy = iota
+	// PolicyRoundRobinStratum lets an update run a whole deterministic
+	// stratum before the scheduler regains control (§4.1).
+	PolicyRoundRobinStratum
+	// PolicySerial runs updates one at a time in priority order — the
+	// serial reference execution used to validate serializability.
+	PolicySerial
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRoundRobinStep:
+		return "round-robin-step"
+	case PolicyRoundRobinStratum:
+		return "round-robin-stratum"
+	case PolicySerial:
+		return "serial"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Mode selects what happens on detected interference (§3): strict
+// prevention by aborts, or detection that flags and lets execution
+// continue for later human correction.
+type Mode uint8
+
+const (
+	// ModePrevent aborts on conflicts (the paper's main algorithm).
+	ModePrevent Mode = iota
+	// ModeFlag counts conflicts without aborting; the resulting state
+	// may be non-serializable and is flagged for manual correction.
+	ModeFlag
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeFlag {
+		return "flag"
+	}
+	return "prevent"
+}
+
+// Config parameterizes a scheduler run.
+type Config struct {
+	// Tracker computes cascading aborts; defaults to Coarse.
+	Tracker Tracker
+	// Policy defaults to PolicyRoundRobinStep.
+	Policy Policy
+	// Mode defaults to ModePrevent.
+	Mode Mode
+	// User supplies frontier operations.
+	User chase.User
+	// MaxStepsPerUpdate bounds a single attempt's chase (0 = 100000).
+	MaxStepsPerUpdate int
+	// MaxIdleRounds bounds consecutive scheduler rounds without
+	// progress before giving up on absent users (0 = 10000).
+	MaxIdleRounds int
+	// MaxAbortsPerUpdate bounds restarts of one update (0 = unlimited);
+	// exceeding it is reported as an error.
+	MaxAbortsPerUpdate int
+}
+
+// Metrics aggregates a run's outcome — the quantities of §6.
+type Metrics struct {
+	// Submitted is the number of updates in the workload.
+	Submitted int
+	// Runs is the number of update executions: Submitted + Aborts.
+	Runs int
+	// Aborts is the total number of aborts performed.
+	Aborts int
+	// DirectAbortRequests counts abort requests raised because a write
+	// directly changed a stored read query's answer.
+	DirectAbortRequests int
+	// CascadingAbortRequests counts abort requests raised purely
+	// through read dependencies — the metric of the figures' middle
+	// panels. Requests against already-marked updates are counted, as
+	// the paper notes updates are frequently marked multiple times
+	// before the scheduler consolidates.
+	CascadingAbortRequests int
+	// Flagged counts conflicts observed in ModeFlag.
+	Flagged int
+	// Steps, Writes, FrontierRequests and FrontierOps aggregate chase
+	// work across all executions.
+	Steps            int
+	Writes           int
+	FrontierRequests int
+	FrontierOps      int
+	// WallTime is the total run time.
+	WallTime time.Duration
+}
+
+// PerUpdateTime is the §6 normalization: total run time divided by the
+// number of updates that actually ran (submitted + aborted reruns).
+func (m Metrics) PerUpdateTime() time.Duration {
+	if m.Runs == 0 {
+		return 0
+	}
+	return m.WallTime / time.Duration(m.Runs)
+}
+
+// Scheduler drives a workload of updates to termination under
+// optimistic concurrency control (Algorithms 3 and 4).
+type Scheduler struct {
+	store  *storage.Store
+	engine *chase.Engine
+	cfg    Config
+	txns   []*Txn
+	m      Metrics
+}
+
+// NewScheduler builds a scheduler over a store and mapping set.
+func NewScheduler(store *storage.Store, set *tgd.Set, cfg Config) *Scheduler {
+	if cfg.Tracker == nil {
+		cfg.Tracker = Coarse{}
+	}
+	if cfg.MaxStepsPerUpdate == 0 {
+		cfg.MaxStepsPerUpdate = 100000
+	}
+	if cfg.MaxIdleRounds == 0 {
+		cfg.MaxIdleRounds = 10000
+	}
+	s := &Scheduler{store: store, cfg: cfg}
+	s.engine = chase.NewEngine(store, set)
+	s.engine.MaxStepsPerAttempt = cfg.MaxStepsPerUpdate
+	s.engine.SetReadObserver(s.onRead)
+	if h, ok := cfg.Tracker.(*Hybrid); ok && h.Attempts == nil {
+		h.Attempts = func(number int) int {
+			if t := s.txn(number); t != nil {
+				return t.Upd.Attempt
+			}
+			return 1
+		}
+	}
+	return s
+}
+
+// Txns returns the scheduler's transactions (after Run started).
+func (s *Scheduler) Txns() []*Txn { return s.txns }
+
+// Metrics returns the metrics collected so far.
+func (s *Scheduler) Metrics() Metrics { return s.m }
+
+func (s *Scheduler) txn(number int) *Txn {
+	if number < 1 || number > len(s.txns) {
+		return nil
+	}
+	return s.txns[number-1]
+}
+
+// onRead is the chase engine's read observer: it forwards each stored
+// read to the tracker for dependency computation (§5.1: dependencies
+// are determined when the read is issued). Flag mode never cascades,
+// so it skips dependency tracking entirely.
+func (s *Scheduler) onRead(u *chase.Update, q query.ReadQuery) {
+	if s.cfg.Mode == ModeFlag {
+		return
+	}
+	if t := s.txn(u.Number); t != nil {
+		s.cfg.Tracker.OnRead(s.store, t, q)
+	}
+}
+
+// Run executes the workload: ops[i] becomes update number i+1. It
+// returns the collected metrics; the error reports stalls (absent
+// users), step-limit overruns, or storage failures.
+func (s *Scheduler) Run(ops []chase.Op) (Metrics, error) {
+	start := time.Now()
+	defer func() { s.m.WallTime = time.Since(start) }()
+
+	s.txns = make([]*Txn, len(ops))
+	for i, op := range ops {
+		u := chase.NewUpdate(i+1, op)
+		s.txns[i] = &Txn{Upd: u, Number: i + 1, deps: make(map[int]bool)}
+	}
+	s.m.Submitted = len(ops)
+
+	idle := 0
+	for {
+		if s.commitReady() {
+			break
+		}
+		progressed, err := s.round()
+		if err != nil {
+			return s.m, err
+		}
+		if progressed {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= s.cfg.MaxIdleRounds {
+			return s.m, fmt.Errorf("cc: no progress after %d idle rounds (users absent?)", idle)
+		}
+	}
+	s.m.Runs = s.m.Submitted + s.m.Aborts
+	return s.m, nil
+}
+
+// commitReady advances the commit frontier — updates commit in
+// priority order once terminated (§5: a terminated update can still be
+// aborted until every lower-numbered update has terminated) — and
+// reports whether every txn has committed.
+func (s *Scheduler) commitReady() bool {
+	for _, t := range s.txns {
+		if t.committed {
+			continue
+		}
+		if t.Upd.State() != chase.StateTerminated {
+			return false
+		}
+		t.committed = true
+		s.store.Commit(t.Number)
+		s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
+		// Released stored queries can no longer cause conflicts.
+		t.Upd.Reads = nil
+	}
+	return true
+}
+
+// round performs one scheduler round: under round-robin policies every
+// txn gets one scheduling opportunity (a chase step, a whole stratum,
+// or a frontier-operation poll); under the serial policy only the
+// lowest unfinished txn runs. It reports whether any txn made
+// progress.
+func (s *Scheduler) round() (bool, error) {
+	progressed := false
+	for _, t := range s.txns {
+		if t.committed || t.Upd.State() == chase.StateTerminated {
+			continue
+		}
+		p, err := s.schedule(t)
+		if err != nil {
+			return progressed, err
+		}
+		progressed = progressed || p
+		if s.cfg.Policy == PolicySerial {
+			// Strictly one unfinished txn at a time.
+			return progressed, nil
+		}
+	}
+	return progressed, nil
+}
+
+// schedule gives one txn its opportunity.
+func (s *Scheduler) schedule(t *Txn) (bool, error) {
+	switch t.Upd.State() {
+	case chase.StateReady:
+		return true, s.runSteps(t)
+	case chase.StateAwaitingUser:
+		return s.pollUser(t)
+	default:
+		return false, nil
+	}
+}
+
+// runSteps executes one chase step (step policy) or a full
+// deterministic stratum (stratum and serial policies), then applies
+// Algorithm 4's conflict processing to the writes performed.
+func (s *Scheduler) runSteps(t *Txn) error {
+	for {
+		res, err := s.engine.Step(t.Upd)
+		if err != nil {
+			return fmt.Errorf("cc: update %d: %w", t.Number, err)
+		}
+		s.m.Steps++
+		s.m.Writes += len(res.Writes)
+		// Conflicts only ever abort higher-numbered txns than the
+		// writer, so t itself is never caught in the wave it causes.
+		if err := s.processWrites(t, res.Writes); err != nil {
+			return err
+		}
+		if s.cfg.Policy == PolicyRoundRobinStep {
+			return nil
+		}
+		if res.State != chase.StateReady {
+			return nil
+		}
+	}
+}
+
+// pollUser offers one frontier decision opportunity to a blocked txn.
+func (s *Scheduler) pollUser(t *Txn) (bool, error) {
+	if s.cfg.User == nil {
+		return false, nil
+	}
+	groups := append([]*chase.FrontierGroup(nil), t.Upd.Groups()...)
+	for _, g := range groups {
+		opts := s.engine.Options(t.Upd, g)
+		if len(opts) == 0 {
+			continue
+		}
+		ctx := s.engine.DecisionContext(t.Upd, g)
+		d, ok := s.cfg.User.Decide(t.Upd, g, opts, ctx)
+		if !ok {
+			continue
+		}
+		if err := s.engine.Apply(t.Upd, g.ID, d); err != nil {
+			return false, fmt.Errorf("cc: update %d frontier op: %w", t.Number, err)
+		}
+		s.m.FrontierOps++
+		return true, nil
+	}
+	return false, nil
+}
+
+// processWrites is the core of Algorithm 4: each write is checked
+// against the stored read queries of higher-numbered uncommitted
+// updates; direct conflicts and their dependency cascades are
+// collected, consolidated, and executed together once control is back
+// at the scheduler.
+func (s *Scheduler) processWrites(writer *Txn, writes []storage.WriteRec) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	marked := make(map[int]bool)
+	var worklist []*Txn
+
+	for _, w := range writes {
+		for _, t := range s.txns {
+			if t.Number <= w.Writer || t.committed || marked[t.Number] {
+				continue
+			}
+			for _, q := range t.Upd.Reads {
+				if q.AffectedBy(s.store, w) {
+					s.m.DirectAbortRequests++
+					if s.cfg.Mode == ModeFlag {
+						s.m.Flagged++
+					} else {
+						marked[t.Number] = true
+						worklist = append(worklist, t)
+					}
+					break
+				}
+			}
+		}
+	}
+	if s.cfg.Mode == ModeFlag {
+		return nil
+	}
+
+	// Transitive cascade closure through read dependencies.
+	active := s.txns
+	for len(worklist) > 0 {
+		a := worklist[0]
+		worklist = worklist[1:]
+		for _, t := range s.cfg.Tracker.Cascade(s.store, a, active) {
+			s.m.CascadingAbortRequests++
+			if !marked[t.Number] {
+				marked[t.Number] = true
+				worklist = append(worklist, t)
+			}
+		}
+	}
+
+	// Consolidated execution, in ascending priority order for
+	// determinism.
+	numbers := make([]int, 0, len(marked))
+	for n := range marked {
+		numbers = append(numbers, n)
+	}
+	sort.Ints(numbers)
+	for _, n := range numbers {
+		if err := s.abort(s.txn(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abort rolls an update back and requeues it with the same priority
+// number for a fresh attempt.
+func (s *Scheduler) abort(t *Txn) error {
+	if t.committed {
+		return fmt.Errorf("cc: attempt to abort committed update %d", t.Number)
+	}
+	s.m.Aborts++
+	t.aborts++
+	if s.cfg.MaxAbortsPerUpdate > 0 && t.aborts > s.cfg.MaxAbortsPerUpdate {
+		return fmt.Errorf("cc: update %d aborted %d times (limit %d)",
+			t.Number, t.aborts, s.cfg.MaxAbortsPerUpdate)
+	}
+	s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
+	s.store.Abort(t.Number)
+	t.deps = make(map[int]bool)
+	t.Upd.Reset()
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package cc implements Youtopia's optimistic concurrency control
+// (§4–§5 of the paper): the chase scheduler of Algorithm 3, the
+// optimistic conflict-detection template of Algorithm 4 built on tuple
+// versioning and stored read queries, and the three cascading-abort
+// algorithms of §5.1 — NAIVE, COARSE and PRECISE — plus the per-update
+// HYBRID policy sketched in §6.
+//
+// Updates carry priority numbers (lower number = higher priority,
+// §3); the store's multiversioning makes writes of higher-numbered
+// updates invisible to lower-numbered readers, and every write is
+// checked against the stored read queries of higher-numbered (lower
+// priority) updates. A retroactively changed answer aborts the reader;
+// read dependencies determine who cascades.
+package cc
+
+import (
+	"fmt"
+
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+)
+
+// Tracker determines read dependencies and cascade sets — the part of
+// Algorithm 4 that §5.1 varies across NAIVE, COARSE and PRECISE.
+type Tracker interface {
+	// Name identifies the tracker in reports ("NAIVE", ...).
+	Name() string
+	// OnRead is invoked when txn u performs read query q; the tracker
+	// records u's dependencies on uncommitted lower-numbered writers.
+	OnRead(st *storage.Store, u *Txn, q query.ReadQuery)
+	// Cascade returns, among active, the txns that must abort because
+	// they (transitively directly) read from the aborted txn. The
+	// scheduler computes the transitive closure; Cascade returns one
+	// level.
+	Cascade(st *storage.Store, aborted *Txn, active []*Txn) []*Txn
+}
+
+// Naive is the strawman of §5.1: when update i aborts, every active
+// update numbered above i is assumed to have read from it.
+type Naive struct{}
+
+// Name implements Tracker.
+func (Naive) Name() string { return "NAIVE" }
+
+// OnRead implements Tracker: NAIVE records nothing.
+func (Naive) OnRead(*storage.Store, *Txn, query.ReadQuery) {}
+
+// Cascade implements Tracker.
+func (Naive) Cascade(_ *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+	var out []*Txn
+	for _, t := range active {
+		if t.Number > aborted.Number && !t.committed {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Coarse is the cheaper dependency tracker of §5.1.1: for violation
+// queries it does not consult the database — any uncommitted
+// lower-numbered update that has written into one of the query's
+// relations is conservatively assumed to influence the answer.
+// Correction (and content) queries are resolved exactly against the
+// in-memory write log, which needs no database access.
+type Coarse struct{}
+
+// Name implements Tracker.
+func (Coarse) Name() string { return "COARSE" }
+
+// OnRead implements Tracker.
+func (Coarse) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
+	if q.Kind() == query.KindViolation {
+		for _, rel := range q.Relations() {
+			for _, w := range st.UncommittedWritersOf(rel) {
+				u.addDep(w)
+			}
+		}
+		return
+	}
+	for _, w := range st.UncommittedWrites() {
+		if w.Writer != u.Number && q.AffectedBy(st, w) {
+			u.addDep(w.Writer)
+		}
+	}
+}
+
+// Cascade implements Tracker: txns whose recorded dependencies include
+// the aborted update.
+func (Coarse) Cascade(_ *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+	return depCascade(aborted, active)
+}
+
+// Precise is the exact tracker of §5.1.1: for every read query it
+// determines precisely which previous writes changed the answer,
+// asking (seeded, masked) queries against the database for violation
+// queries. It detects only true read dependencies, at higher run-time
+// cost.
+type Precise struct{}
+
+// Name implements Tracker.
+func (Precise) Name() string { return "PRECISE" }
+
+// OnRead implements Tracker.
+func (Precise) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
+	for _, w := range st.UncommittedWrites() {
+		if w.Writer == u.Number {
+			continue
+		}
+		if u.deps[w.Writer] {
+			continue // already dependent; skip the expensive check
+		}
+		if q.AffectedBy(st, w) {
+			u.addDep(w.Writer)
+		}
+	}
+}
+
+// Cascade implements Tracker.
+func (Precise) Cascade(_ *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+	return depCascade(aborted, active)
+}
+
+func depCascade(aborted *Txn, active []*Txn) []*Txn {
+	var out []*Txn
+	for _, t := range active {
+		if !t.committed && t.deps[aborted.Number] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Hybrid applies PRECISE to a chosen subset of updates and COARSE to
+// the rest — the per-update mixing policy the paper suggests in §6 for
+// updates that must not abort spuriously (for example because they
+// already aborted several times). PreciseFor decides per update
+// number; a nil predicate behaves like COARSE.
+type Hybrid struct {
+	// PreciseFor selects the updates whose dependencies are computed
+	// precisely.
+	PreciseFor func(number int, attempt int) bool
+	// Attempts reports the current attempt count per update; the
+	// scheduler wires this up so predicates can escalate after aborts.
+	Attempts func(number int) int
+
+	coarse  Coarse
+	precise Precise
+}
+
+// Name implements Tracker.
+func (h *Hybrid) Name() string { return "HYBRID" }
+
+// OnRead implements Tracker.
+func (h *Hybrid) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
+	if h.usePrecise(u) {
+		h.precise.OnRead(st, u, q)
+		return
+	}
+	h.coarse.OnRead(st, u, q)
+}
+
+// Cascade implements Tracker.
+func (h *Hybrid) Cascade(st *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+	return depCascade(aborted, active)
+}
+
+func (h *Hybrid) usePrecise(u *Txn) bool {
+	if h.PreciseFor == nil {
+		return false
+	}
+	attempt := 1
+	if h.Attempts != nil {
+		attempt = h.Attempts(u.Number)
+	}
+	return h.PreciseFor(u.Number, attempt)
+}
+
+// EscalateAfter returns a Hybrid predicate that switches an update to
+// PRECISE once it has aborted at least k times (attempt > k).
+func EscalateAfter(k int) func(number, attempt int) bool {
+	return func(_, attempt int) bool { return attempt > k }
+}
+
+// TrackerByName builds a tracker from its experiment name.
+func TrackerByName(name string) (Tracker, error) {
+	switch name {
+	case "NAIVE", "naive":
+		return Naive{}, nil
+	case "COARSE", "coarse":
+		return Coarse{}, nil
+	case "PRECISE", "precise":
+		return Precise{}, nil
+	default:
+		return nil, fmt.Errorf("cc: unknown tracker %q (want NAIVE, COARSE or PRECISE)", name)
+	}
+}

@@ -1,0 +1,135 @@
+package cc_test
+
+import (
+	"testing"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/chase"
+	"youtopia/internal/model"
+	"youtopia/internal/query"
+	"youtopia/internal/simuser"
+)
+
+func TestTrackerDependencyRecording(t *testing.T) {
+	// Flag mode skips dependency tracking entirely; run in prevent mode
+	// manually instead: drive the same scenario through a scheduler in
+	// prevent mode, no conflicts arise (u1 writes before u2 reads).
+	run := func(tr cc.Tracker) map[int]bool {
+		st, set := travel(t)
+		sched := cc.NewScheduler(st, set, cc.Config{
+			Tracker: tr,
+			Policy:  cc.PolicyRoundRobinStep,
+			User:    simuser.New(4),
+		})
+		ops := []chase.Op{
+			chase.Insert(tup("T", c("Niagara Falls"), c("QQQ"), c("Syracuse"))),
+			chase.Insert(tup("V", c("Syracuse"), c("Late Conf"))),
+		}
+		if _, err := sched.Run(ops); err != nil {
+			t.Fatal(err)
+		}
+		return sched.Txns()[1].Deps()
+	}
+
+	// NAIVE records nothing (its cascade ignores dependencies).
+	if deps := run(cc.Naive{}); len(deps) != 0 {
+		t.Fatalf("NAIVE recorded deps: %v", deps)
+	}
+	// COARSE over-approximates: u2's sigma4 violation query ranges over
+	// V, T, E; u1 wrote T and R (review repair), so a dependency on u1
+	// must be recorded.
+	if deps := run(cc.Coarse{}); !deps[1] {
+		t.Fatalf("COARSE missed the dependency: %v", deps)
+	}
+	// PRECISE: u2's violation query answer genuinely depends on u1's T
+	// row (it forms the witness of the Late Conf violation).
+	if deps := run(cc.Precise{}); !deps[1] {
+		t.Fatalf("PRECISE missed the true dependency: %v", deps)
+	}
+}
+
+func TestPreciseRejectsFalseDependency(t *testing.T) {
+	// u1 writes to relations COARSE charges u2's queries against, but
+	// in a way that cannot change u2's answers: PRECISE must not record
+	// a dependency where COARSE does.
+	run := func(tr cc.Tracker) map[int]bool {
+		st, set := travel(t)
+		sched := cc.NewScheduler(st, set, cc.Config{
+			Tracker: tr,
+			Policy:  cc.PolicyRoundRobinStep,
+			User:    simuser.New(4),
+		})
+		ops := []chase.Op{
+			// u1 inserts a tour starting in Toronto — it joins no
+			// convention and is irrelevant to u2's Ithaca conference.
+			chase.Insert(tup("T", c("Niagara Falls"), c("QQQ"), c("Toronto"))),
+			chase.Insert(tup("V", c("Ithaca"), c("Gorges Conf"))),
+		}
+		if _, err := sched.Run(ops); err != nil {
+			t.Fatal(err)
+		}
+		return sched.Txns()[1].Deps()
+	}
+	coarse := run(cc.Coarse{})
+	precise := run(cc.Precise{})
+	if !coarse[1] {
+		t.Fatalf("COARSE should over-approximate here: %v", coarse)
+	}
+	if precise[1] {
+		t.Fatalf("PRECISE recorded a false dependency: %v", precise)
+	}
+}
+
+func TestHybridSwitchesAfterAborts(t *testing.T) {
+	// EscalateAfter(k) applies PRECISE once attempt > k.
+	pred := cc.EscalateAfter(2)
+	if pred(7, 1) || pred(7, 2) {
+		t.Fatal("escalated too early")
+	}
+	if !pred(7, 3) {
+		t.Fatal("did not escalate")
+	}
+	h := &cc.Hybrid{}
+	if h.Name() != "HYBRID" {
+		t.Fatal("name")
+	}
+	// Nil predicate behaves like COARSE (no panic).
+	st, set := travel(t)
+	sched := cc.NewScheduler(st, set, cc.Config{
+		Tracker: h,
+		User:    simuser.New(2),
+	})
+	if _, err := sched.Run([]chase.Op{
+		chase.Insert(tup("C", c("Boston"))),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepsNeverIncludeInvalidWriters(t *testing.T) {
+	st, set := travel(t)
+	sched := cc.NewScheduler(st, set, cc.Config{
+		Tracker: cc.Precise{},
+		User:    simuser.New(4),
+	})
+	ops := []chase.Op{
+		chase.Insert(tup("T", c("Niagara Falls"), c("QQQ"), c("Syracuse"))),
+		chase.Insert(tup("V", c("Syracuse"), c("Late Conf"))),
+		chase.Insert(tup("A", c("Letchworth"), c("Letchworth Falls"))),
+	}
+	if _, err := sched.Run(ops); err != nil {
+		t.Fatal(err)
+	}
+	for _, txn := range sched.Txns() {
+		for dep := range txn.Deps() {
+			if dep >= txn.Number || dep <= 0 {
+				t.Fatalf("txn %d has invalid dep %d", txn.Number, dep)
+			}
+		}
+		if txn.Aborts() != 0 {
+			t.Fatalf("unexpected aborts: txn %d", txn.Number)
+		}
+	}
+	_ = model.Value{}
+	_ = query.Binding{}
+}

@@ -1,0 +1,395 @@
+package chase
+
+import (
+	"fmt"
+
+	"youtopia/internal/model"
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// ReadObserver is notified of every read query an update performs, at
+// the moment it is performed. Concurrency control installs an observer
+// to compute read dependencies (§5.1) as reads happen.
+type ReadObserver func(u *Update, q query.ReadQuery)
+
+// Engine executes chase steps against a store and a mapping set. It
+// is driven from outside (package cc's scheduler, or the single-user
+// Runner below) and performs no scheduling of its own.
+type Engine struct {
+	store *storage.Store
+	tgds  *tgd.Set
+	// observer may be nil.
+	observer ReadObserver
+	// MaxStepsPerAttempt guards against runaway chases (cyclic mappings
+	// with users who always expand). Zero means no limit.
+	MaxStepsPerAttempt int
+}
+
+// NewEngine creates a chase engine.
+func NewEngine(store *storage.Store, set *tgd.Set) *Engine {
+	return &Engine{store: store, tgds: set}
+}
+
+// SetReadObserver installs the read observer.
+func (e *Engine) SetReadObserver(obs ReadObserver) { e.observer = obs }
+
+// Store returns the underlying store.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Mappings returns the mapping set.
+func (e *Engine) Mappings() *tgd.Set { return e.tgds }
+
+// record logs a read query on the update and notifies the observer.
+// Re-performing an identical intensional read is not re-logged: the
+// stored copy already guards its answer, and any write that would have
+// shifted the answer in between triggered a conflict on it.
+func (e *Engine) record(u *Update, q query.ReadQuery) {
+	if !u.addRead(q) {
+		return
+	}
+	if e.observer != nil {
+		e.observer(u, q)
+	}
+}
+
+// snap returns the update's read view.
+func (e *Engine) snap(u *Update) *storage.Snapshot { return e.store.Snap(u.Number) }
+
+// engineFor returns a query engine over the update's read view.
+func (e *Engine) engineFor(u *Update) *query.Engine {
+	return query.NewEngine(e.snap(u))
+}
+
+// StepResult reports what one chase step did.
+type StepResult struct {
+	// Writes are the storage writes the step performed.
+	Writes []storage.WriteRec
+	// State is the update's state after the step.
+	State State
+}
+
+// ErrStepLimit is returned when an update exceeds MaxStepsPerAttempt.
+var ErrStepLimit = fmt.Errorf("chase: step limit exceeded")
+
+// Step executes one chase step for the update (Algorithm 2): it
+// performs the pending write set, discovers the violations those
+// writes caused (logging the violation queries), rechecks the queue,
+// and processes pending violations until corrective writes are planned
+// for the next step or every remaining violation awaits a frontier
+// operation.
+func (e *Engine) Step(u *Update) (StepResult, error) {
+	switch u.state {
+	case StateTerminated:
+		return StepResult{State: StateTerminated}, nil
+	case StateAborted:
+		return StepResult{State: StateAborted}, fmt.Errorf("chase: stepping aborted update %d", u.Number)
+	}
+	if e.MaxStepsPerAttempt > 0 && u.Stats.Steps >= e.MaxStepsPerAttempt {
+		return StepResult{State: u.state}, ErrStepLimit
+	}
+	u.Stats.Steps++
+
+	// Phase 1: perform the pending writes.
+	writes, err := e.performWrites(u)
+	if err != nil {
+		return StepResult{Writes: writes, State: u.state}, err
+	}
+	u.Stats.Writes += len(writes)
+
+	// Phase 2: discover new violations caused by the writes.
+	for _, w := range writes {
+		e.discoverViolations(u, w)
+	}
+
+	// Phase 3: recheck the queue — remove violations just corrected.
+	e.recheckQueue(u)
+
+	// Phase 4: process pending violations until writes are planned or
+	// all pending violations turn into frontier requests.
+	for len(u.writeSet) == 0 {
+		qv := e.nextPending(u)
+		if qv == nil {
+			break
+		}
+		if err := e.planRepair(u, qv); err != nil {
+			return StepResult{Writes: writes, State: u.state}, err
+		}
+	}
+
+	// Determine the resulting state.
+	switch {
+	case len(u.writeSet) > 0:
+		u.state = StateReady
+	case len(u.queue) == 0:
+		u.state = StateTerminated
+	default:
+		u.state = StateAwaitingUser
+	}
+	return StepResult{Writes: writes, State: u.state}, nil
+}
+
+// performWrites executes the planned write set, logging the content
+// and null-occurrence reads those writes imply.
+func (e *Engine) performWrites(u *Update) ([]storage.WriteRec, error) {
+	ops := u.writeSet
+	u.writeSet = nil
+	var out []storage.WriteRec
+	for _, op := range ops {
+		trace := func(recs ...storage.WriteRec) {
+			for _, rec := range recs {
+				u.Trace = append(u.Trace, TraceEntry{Write: rec, Cause: op.Cause})
+			}
+		}
+		switch op.Kind {
+		case OpInsert:
+			_, rec, inserted, err := e.store.Insert(u.Number, op.Tuple)
+			if err != nil {
+				return out, err
+			}
+			if !inserted {
+				// Set semantics: the fact is already present. The no-op
+				// depends on the duplicate's presence — a content read.
+				e.record(u, &query.ContentRead{Rel: op.Tuple.Rel,
+					Vals: append([]model.Value(nil), op.Tuple.Vals...), ReaderNo: u.Number})
+				continue
+			}
+			out = append(out, rec)
+			trace(rec)
+		case OpDelete:
+			recs, err := e.store.DeleteContent(u.Number, op.Tuple)
+			if err != nil {
+				return out, err
+			}
+			// The set of copies removed is a content read.
+			e.record(u, &query.ContentRead{Rel: op.Tuple.Rel,
+				Vals: append([]model.Value(nil), op.Tuple.Vals...), ReaderNo: u.Number})
+			out = append(out, recs...)
+			trace(recs...)
+		case OpDeleteID:
+			rec, ok, err := e.store.Delete(u.Number, op.ID)
+			if err != nil {
+				return out, err
+			}
+			if ok {
+				out = append(out, rec)
+				trace(rec)
+			}
+		case OpReplaceNull:
+			// The set of rewritten tuples is the null-occurrence read.
+			e.record(u, &query.NullOccRead{Null: op.Null, ReaderNo: u.Number})
+			recs, err := e.store.ReplaceNull(u.Number, op.Null, op.With)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, recs...)
+			trace(recs...)
+		}
+	}
+	return out, nil
+}
+
+// discoverViolations runs the seeded violation queries for one write
+// (the reads of Algorithm 2's discovery phase) and enqueues new
+// violations. Inserts seed through LHS atoms (they can only create
+// LHS-violations); deletes seed through RHS atoms (RHS-violations);
+// modifications are treated as delete-then-insert but — per §2 — can
+// only surface LHS-violations, because null-replacement changes all
+// occurrences consistently, so the delete side cannot strand an RHS.
+func (e *Engine) discoverViolations(u *Update, w storage.WriteRec) {
+	seedAndEnqueue := func(vals []model.Value, side query.Side, isLHS bool) {
+		if vals == nil {
+			return
+		}
+		var mappings []*tgd.TGD
+		switch side {
+		case query.SeedLHS:
+			mappings = e.tgds.WithLHSRelation(w.Rel)
+		case query.SeedRHS:
+			mappings = e.tgds.WithRHSRelation(w.Rel)
+		}
+		for _, t := range mappings {
+			rq, vs := query.NewViolationRead(e.store, t, w.Rel, vals, side, u.Number)
+			e.record(u, rq)
+			for _, v := range vs {
+				e.enqueue(u, v, isLHS)
+			}
+		}
+	}
+	switch w.Op {
+	case storage.OpInsert:
+		seedAndEnqueue(w.After, query.SeedLHS, true)
+	case storage.OpDelete:
+		seedAndEnqueue(w.Before, query.SeedRHS, false)
+	case storage.OpModify:
+		// Null-replacement: the new values may complete LHS joins.
+		seedAndEnqueue(w.After, query.SeedLHS, true)
+	}
+}
+
+// enqueue adds a violation to the update's queue unless an entry with
+// the same key is already present.
+func (e *Engine) enqueue(u *Update, v query.Violation, isLHS bool) {
+	if u.findQueued(v.Key()) != nil {
+		return
+	}
+	u.queue = append(u.queue, &queuedViolation{v: v, isLHS: isLHS})
+}
+
+// recheckQueue removes queue entries whose violation no longer holds —
+// "violQueue.remove(violations just corrected)" in Algorithm 1 — and
+// reactivates entries whose planned repair did not stick.
+func (e *Engine) recheckQueue(u *Update) {
+	qe := e.engineFor(u)
+	kept := u.queue[:0]
+	for _, qv := range u.queue {
+		holds, binding := e.violationHolds(qe, &qv.v)
+		if !holds {
+			if qv.group != nil {
+				u.removeGroup(qv.group)
+				qv.group = nil
+			}
+			continue
+		}
+		qv.v.Binding = binding
+		if qv.state == ViolRepairing {
+			// The deterministic repair should have corrected it; if it
+			// is still here the repair raced with something — retry.
+			qv.state = ViolPending
+		}
+		kept = append(kept, qv)
+	}
+	u.queue = kept
+}
+
+// violationHolds rechecks one recorded violation against the current
+// snapshot: its witness tuples must still be visible, still jointly
+// match the mapping's LHS (their values may have changed through
+// null-replacements), and the RHS must still have no match. It returns
+// the rebuilt binding.
+func (e *Engine) violationHolds(qe *query.Engine, v *query.Violation) (bool, query.Binding) {
+	snap := qe.Snapshot()
+	b := query.Binding{}
+	for i, id := range v.Witness {
+		vals, ok := snap.Get(id)
+		if !ok {
+			return false, nil
+		}
+		nb, ok := query.UnifyValsAtom(vals, v.TGD.LHS[i], b)
+		if !ok {
+			return false, nil
+		}
+		b = nb
+	}
+	if qe.RHSSatisfied(v.TGD, b) {
+		return false, nil
+	}
+	return true, b
+}
+
+// nextPending returns the first pending violation in queue order.
+func (e *Engine) nextPending(u *Update) *queuedViolation {
+	for _, qv := range u.queue {
+		if qv.state == ViolPending {
+			return qv
+		}
+	}
+	return nil
+}
+
+// planRepair processes one violation (the second half of Algorithm 2):
+// deterministic repairs plan corrective writes for the next step;
+// nondeterministic ones open a frontier group and await a user.
+func (e *Engine) planRepair(u *Update, qv *queuedViolation) error {
+	if qv.isLHS {
+		return e.planForward(u, qv)
+	}
+	return e.planBackward(u, qv)
+}
+
+// planForward handles an LHS-violation (§2.2). The missing RHS tuples
+// are generated with fresh nulls for the existential variables; for
+// each generated tuple the correction query "is any visible tuple more
+// specific than it?" is performed and logged. Nondeterminism is
+// per path, as in the paper's chase tree: generated tuples without a
+// more specific counterpart are inserted (their path advances), while
+// tuples with one become positive frontier tuples and stop their path
+// awaiting a frontier operation.
+func (e *Engine) planForward(u *Update, qv *queuedViolation) error {
+	tuples, fresh := query.InstantiateRHS(qv.v.TGD, qv.v.Binding, e.store.FreshNull)
+	snap := e.snap(u)
+	var frontier []model.Tuple
+	var inserts []model.Tuple
+	for _, t := range tuples {
+		e.record(u, &query.MoreSpecificRead{Rel: t.Rel,
+			Pattern: append([]model.Value(nil), t.Vals...), ReaderNo: u.Number})
+		if len(snap.MoreSpecific(t)) > 0 {
+			frontier = append(frontier, t)
+		} else {
+			inserts = append(inserts, t)
+		}
+	}
+	for _, t := range inserts {
+		op := Insert(t)
+		op.Cause = "forward repair of " + qv.v.TGD.Name
+		u.writeSet = append(u.writeSet, op)
+		// Fresh nulls reaching the database through these inserts are no
+		// longer private to the frontier group.
+		for _, v := range t.Nulls() {
+			delete(fresh, v)
+		}
+	}
+	if len(frontier) == 0 {
+		qv.state = ViolRepairing
+		return nil
+	}
+	g := &FrontierGroup{
+		ID:         u.nextGID,
+		Positive:   true,
+		Viol:       qv.v,
+		Tuples:     frontier,
+		FreshNulls: fresh,
+	}
+	u.nextGID++
+	u.groups = append(u.groups, g)
+	qv.state = ViolAwaitingUser
+	qv.group = g
+	u.Stats.FrontierRequests++
+	return nil
+}
+
+// planBackward handles an RHS-violation (§2.3). The witness tuples are
+// the deletion candidates; with a single distinct candidate the repair
+// is deterministic, otherwise the candidates become negative frontier
+// tuples and a user selects the subset to delete. No further reads are
+// performed — the witness was already read.
+func (e *Engine) planBackward(u *Update, qv *queuedViolation) error {
+	seen := make(map[storage.TupleID]bool)
+	var candidates []storage.TupleID
+	for _, id := range qv.v.Witness {
+		if !seen[id] {
+			seen[id] = true
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 1 {
+		op := DeleteID(candidates[0])
+		op.Cause = "backward repair of " + qv.v.TGD.Name
+		u.writeSet = append(u.writeSet, op)
+		qv.state = ViolRepairing
+		return nil
+	}
+	g := &FrontierGroup{
+		ID:         u.nextGID,
+		Positive:   false,
+		Viol:       qv.v,
+		Candidates: candidates,
+	}
+	u.nextGID++
+	u.groups = append(u.groups, g)
+	qv.state = ViolAwaitingUser
+	qv.group = g
+	u.Stats.FrontierRequests++
+	return nil
+}

@@ -1,0 +1,300 @@
+package chase
+
+import (
+	"fmt"
+
+	"youtopia/internal/model"
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+)
+
+// ViolState tracks a queued violation through its repair lifecycle.
+type ViolState uint8
+
+const (
+	// ViolPending means the violation has not been processed yet.
+	ViolPending ViolState = iota
+	// ViolRepairing means corrective writes are planned or performed
+	// and the violation awaits its post-write recheck.
+	ViolRepairing
+	// ViolAwaitingUser means a frontier group is open for it.
+	ViolAwaitingUser
+)
+
+// queuedViolation is a violation queue entry (Algorithm 1).
+type queuedViolation struct {
+	v     query.Violation
+	state ViolState
+	// isLHS records the repair direction: LHS-violations chase forward,
+	// RHS-violations backward (§2.1).
+	isLHS bool
+	group *FrontierGroup // open frontier group, if any
+}
+
+// FrontierGroup is the set of frontier tuples produced for one
+// violation. For a forward chase these are the positive frontier
+// tuples — generated RHS tuples not yet inserted, which may share
+// fresh labeled nulls and must be treated consistently (§2.2). For a
+// backward chase these are the negative frontier tuples — the witness
+// tuples marked as deletion candidates (§2.3).
+type FrontierGroup struct {
+	// ID is unique within the update, for addressing decisions.
+	ID int
+	// Positive discriminates forward (true) from backward groups.
+	Positive bool
+	// Viol is the violation this group repairs; its mapping and witness
+	// provide the provenance shown to users.
+	Viol query.Violation
+
+	// Tuples are the remaining generated RHS tuples (positive groups),
+	// aligned with the mapping's RHS atoms at creation; entries are
+	// removed as they are expanded or unified.
+	Tuples []model.Tuple
+	// FreshNulls are the labeled nulls minted for the group's
+	// existential variables that have not yet reached the database.
+	FreshNulls map[model.Value]bool
+
+	// Candidates are the remaining deletion candidates (negative
+	// groups); reconfirmation removes entries without deleting them.
+	Candidates []storage.TupleID
+}
+
+// Empty reports whether every frontier tuple of the group has been
+// resolved.
+func (g *FrontierGroup) Empty() bool {
+	if g.Positive {
+		return len(g.Tuples) == 0
+	}
+	return len(g.Candidates) == 0
+}
+
+// String renders the group for diagnostics.
+func (g *FrontierGroup) String() string {
+	if g.Positive {
+		return fmt.Sprintf("positive frontier #%d of %s: %v", g.ID, g.Viol.TGD.Name, g.Tuples)
+	}
+	return fmt.Sprintf("negative frontier #%d of %s: %v", g.ID, g.Viol.TGD.Name, g.Candidates)
+}
+
+// State describes an update's lifecycle.
+type State uint8
+
+const (
+	// StateReady means the update can take a chase step.
+	StateReady State = iota
+	// StateAwaitingUser means every remaining violation has an open
+	// frontier group and no writes are pending: the chase is blocked on
+	// frontier operations.
+	StateAwaitingUser
+	// StateTerminated means the chase ran to completion.
+	StateTerminated
+	// StateAborted means concurrency control aborted the update; it can
+	// be Reset and re-run.
+	StateAborted
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateAwaitingUser:
+		return "awaiting-user"
+	case StateTerminated:
+		return "terminated"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Stats counts what an update did during its current attempt.
+type Stats struct {
+	Steps            int
+	Writes           int
+	FrontierRequests int
+	FrontierOps      int
+	Expansions       int
+	Unifications     int
+	DeletionChoices  int
+	Reconfirmations  int
+}
+
+// Update is a Youtopia update (Definition 2.6): the complete cascade
+// of consequences of one initial operation, including the frontier
+// operations users perform on its behalf.
+type Update struct {
+	// Number is the update's priority for serializability; lower is
+	// higher priority (§3). It doubles as the MVCC writer number.
+	Number int
+	// Initial is the user operation that starts the update.
+	Initial Op
+	// Attempt counts executions: 1 on first run, +1 per abort restart.
+	Attempt int
+
+	state    State
+	writeSet []Op
+	queue    []*queuedViolation
+	groups   []*FrontierGroup
+	nextGID  int
+
+	// Reads are the stored read queries of the current attempt, in the
+	// order performed; concurrency control checks writes against them.
+	// Identical queries are stored once (they denote the same
+	// intensional read).
+	Reads     []query.ReadQuery
+	readsSeen map[string]bool
+
+	// Trace records every performed write with its provenance cause,
+	// in execution order — the derivation a user interface can show
+	// alongside frontier tuples (§2.2).
+	Trace []TraceEntry
+
+	// Stats for the current attempt.
+	Stats Stats
+}
+
+// NewUpdate creates an update for an initial operation with the given
+// priority number (which must be positive; 0 is the committed initial
+// database).
+func NewUpdate(number int, initial Op) *Update {
+	if number <= 0 {
+		panic("chase: update numbers start at 1")
+	}
+	u := &Update{Number: number, Initial: initial}
+	u.Reset()
+	return u
+}
+
+// Reset prepares the update for a (re-)run: pending state is
+// discarded and the initial operation is planned again. Storage-level
+// rollback of a previous attempt is the caller's responsibility.
+func (u *Update) Reset() {
+	u.state = StateReady
+	initial := u.Initial
+	initial.Cause = "initial operation"
+	u.writeSet = []Op{initial}
+	u.queue = nil
+	u.groups = nil
+	u.nextGID = 0
+	u.Reads = nil
+	u.readsSeen = make(map[string]bool)
+	u.Trace = nil
+	u.Stats = Stats{}
+	u.Attempt++
+}
+
+// TraceEntry pairs a performed write with the reason the chase
+// performed it.
+type TraceEntry struct {
+	Write storage.WriteRec
+	Cause string
+}
+
+// String renders the entry.
+func (t TraceEntry) String() string {
+	return t.Write.String() + "  <- " + t.Cause
+}
+
+// addRead stores a read query, deduplicating identical ones. It
+// reports whether the query was new.
+func (u *Update) addRead(q query.ReadQuery) bool {
+	key := q.String()
+	if u.readsSeen[key] {
+		return false
+	}
+	u.readsSeen[key] = true
+	u.Reads = append(u.Reads, q)
+	return true
+}
+
+// State returns the update's current lifecycle state.
+func (u *Update) State() State { return u.state }
+
+// Positive reports whether this is a positive update (Definition 2.6).
+func (u *Update) Positive() bool { return u.Initial.Positive() }
+
+// Groups returns the open frontier groups awaiting user operations.
+func (u *Update) Groups() []*FrontierGroup { return u.groups }
+
+// Group looks up an open frontier group by ID.
+func (u *Update) Group(id int) (*FrontierGroup, bool) {
+	for _, g := range u.groups {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// QueueLen returns the number of queued violations (all states).
+func (u *Update) QueueLen() int { return len(u.queue) }
+
+// String renders the update for diagnostics.
+func (u *Update) String() string {
+	return fmt.Sprintf("update %d [%s, attempt %d]: %s", u.Number, u.state, u.Attempt, u.Initial)
+}
+
+// applySubst rewrites the update's pending state — queued violation
+// bindings, frontier tuples, and planned writes — under a null
+// substitution produced by a unification.
+func (u *Update) applySubst(s model.Subst) {
+	for i := range u.writeSet {
+		u.writeSet[i] = u.writeSet[i].applySubst(s)
+	}
+	for _, qv := range u.queue {
+		for k, v := range qv.v.Binding {
+			if v.IsNull() {
+				if r, ok := s[v]; ok {
+					qv.v.Binding[k] = r
+				}
+			}
+		}
+	}
+	for _, g := range u.groups {
+		for i := range g.Tuples {
+			g.Tuples[i] = s.ApplyTuple(g.Tuples[i])
+		}
+		// A substituted fresh null is no longer the group's to mint: it
+		// either became a database value or was renamed onto a null that
+		// carries its own freshness entry.
+		for from := range s {
+			delete(g.FreshNulls, from)
+		}
+	}
+}
+
+// findQueued locates a queued violation by key.
+func (u *Update) findQueued(key string) *queuedViolation {
+	for _, qv := range u.queue {
+		if qv.v.Key() == key {
+			return qv
+		}
+	}
+	return nil
+}
+
+// removeQueued drops a queue entry and its group.
+func (u *Update) removeQueued(target *queuedViolation) {
+	for i, qv := range u.queue {
+		if qv == target {
+			u.queue = append(u.queue[:i], u.queue[i+1:]...)
+			break
+		}
+	}
+	if target.group != nil {
+		u.removeGroup(target.group)
+		target.group = nil
+	}
+}
+
+// removeGroup drops a frontier group.
+func (u *Update) removeGroup(g *FrontierGroup) {
+	for i, h := range u.groups {
+		if h == g {
+			u.groups = append(u.groups[:i], u.groups[i+1:]...)
+			return
+		}
+	}
+}

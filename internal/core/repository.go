@@ -1,0 +1,275 @@
+// Package core ties the Youtopia subsystems together into a
+// repository: the logical storage abstraction of Figure 1 (schema,
+// mappings, versioned tuple store) plus the update exchange module
+// (chase engine, concurrency control). It offers two execution modes:
+// synchronous single-user updates, where each operation's chase runs
+// to completion before the call returns, and concurrent workloads
+// under the optimistic scheduler.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/chase"
+	"youtopia/internal/model"
+	"youtopia/internal/parse"
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// Repository is a Youtopia repository.
+type Repository struct {
+	mu       sync.Mutex
+	schema   *model.Schema
+	mappings *tgd.Set
+	store    *storage.Store
+	engine   *chase.Engine
+
+	nextUpdate int
+	protected  map[string]bool
+}
+
+// New creates a repository over a schema and mapping set. The mapping
+// set is validated; cycles are explicitly permitted (§1.3).
+func New(schema *model.Schema, mappings *tgd.Set) (*Repository, error) {
+	if err := mappings.Validate(schema); err != nil {
+		return nil, err
+	}
+	st := storage.NewStore(schema)
+	r := &Repository{
+		schema:     schema,
+		mappings:   mappings,
+		store:      st,
+		engine:     chase.NewEngine(st, mappings),
+		protected:  make(map[string]bool),
+		nextUpdate: 1,
+	}
+	r.engine.MaxStepsPerAttempt = 100000
+	return r, nil
+}
+
+// FromDocument builds a repository from a parsed document, loading its
+// tuples as the committed initial state. The document's update
+// operations are returned for the caller to apply (or ignore).
+func FromDocument(doc *parse.Document) (*Repository, []chase.Op, error) {
+	r, err := New(doc.Schema, doc.Mappings)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, t := range doc.Tuples {
+		if _, err := r.store.Load(t); err != nil {
+			return nil, nil, err
+		}
+	}
+	return r, doc.Ops, nil
+}
+
+// Open parses a repository definition and builds the repository.
+func Open(source string) (*Repository, []chase.Op, error) {
+	r, doc, err := OpenDocument(source)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, doc.Ops, nil
+}
+
+// OpenDocument is Open returning the full parsed document, including
+// the conjunctive queries it declares.
+func OpenDocument(source string) (*Repository, *parse.Document, error) {
+	var nf model.NullFactory
+	doc, err := parse.ParseDocument(source, nf.Fresh)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, _, err := FromDocument(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, doc, nil
+}
+
+// Schema returns the repository schema.
+func (r *Repository) Schema() *model.Schema { return r.schema }
+
+// Mappings returns the repository's mapping set.
+func (r *Repository) Mappings() *tgd.Set { return r.mappings }
+
+// Store exposes the underlying versioned store (read-mostly use).
+func (r *Repository) Store() *storage.Store { return r.store }
+
+// FreshNull mints a labeled null unused in the repository.
+func (r *Repository) FreshNull() model.Value { return r.store.FreshNull() }
+
+// Protect marks a relation as protected: updates whose deletion
+// cascade would remove tuples from it are rejected and rolled back —
+// the access-control check of §2.1. It returns an error for unknown
+// relations.
+func (r *Repository) Protect(rel string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.schema.Has(rel) {
+		return fmt.Errorf("core: cannot protect undeclared relation %s", rel)
+	}
+	r.protected[rel] = true
+	return nil
+}
+
+// ErrProtectedCascade is returned when an update's deletions would
+// cascade into a protected relation; the update is rolled back.
+var ErrProtectedCascade = errors.New("core: deletion cascades into a protected relation")
+
+// Apply runs a single update synchronously: the operation starts a
+// chase that is driven to completion, consulting user for frontier
+// operations, and commits. On failure — including a cascade into a
+// protected relation — the update is rolled back entirely and the
+// repository is unchanged.
+func (r *Repository) Apply(op chase.Op, user chase.User) (chase.Stats, error) {
+	stats, _, err := r.ApplyTraced(op, user)
+	return stats, err
+}
+
+// ApplyTraced is Apply returning, additionally, the update's write
+// provenance trace: every performed write paired with the violation
+// repair or frontier operation that caused it.
+func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []chase.TraceEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	number := r.nextUpdate
+	r.nextUpdate++
+	u := chase.NewUpdate(number, op)
+	stats, err := r.runSingle(u, user)
+	if err != nil {
+		r.store.Abort(number)
+		return stats, u.Trace, err
+	}
+	r.store.Commit(number)
+	return stats, u.Trace, nil
+}
+
+// runSingle drives one update to completion, enforcing the protected
+// relation guard on every performed write.
+func (r *Repository) runSingle(u *chase.Update, user chase.User) (chase.Stats, error) {
+	for {
+		res, err := r.engine.Step(u)
+		if err != nil {
+			return u.Stats, err
+		}
+		for _, w := range res.Writes {
+			if w.Op == storage.OpDelete && r.protected[w.Rel] {
+				return u.Stats, fmt.Errorf("%w: delete of %s from protected %s",
+					ErrProtectedCascade, model.Tuple{Rel: w.Rel, Vals: w.Before}, w.Rel)
+			}
+		}
+		switch res.State {
+		case chase.StateTerminated:
+			return u.Stats, nil
+		case chase.StateAwaitingUser:
+			if err := r.decideOne(u, user); err != nil {
+				return u.Stats, err
+			}
+		}
+	}
+}
+
+// decideOne obtains one frontier operation from the user.
+func (r *Repository) decideOne(u *chase.Update, user chase.User) error {
+	if user == nil {
+		return chase.ErrNoDecision
+	}
+	groups := append([]*chase.FrontierGroup(nil), u.Groups()...)
+	for _, g := range groups {
+		opts := r.engine.Options(u, g)
+		if len(opts) == 0 {
+			continue
+		}
+		ctx := r.engine.DecisionContext(u, g)
+		d, ok := user.Decide(u, g, opts, ctx)
+		if !ok {
+			continue
+		}
+		return r.engine.Apply(u, g.ID, d)
+	}
+	return chase.ErrNoDecision
+}
+
+// RunConcurrent executes a workload of updates under the optimistic
+// scheduler. The configuration's Tracker, Policy, Mode and User fields
+// select the algorithm variant (Algorithm 4, §5.1, §3); zero values
+// mean COARSE, round-robin step interleaving, prevention mode. Updates
+// are numbered from the repository's current update counter.
+func (r *Repository) RunConcurrent(ops []chase.Op, cfg cc.Config) (cc.Metrics, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// The scheduler numbers updates 1..n; to compose with single-user
+	// updates the repository requires a fresh numbering region. Since
+	// committed writers are never revisited, reuse is safe only going
+	// upward; enforce it.
+	if r.nextUpdate != 1 {
+		return cc.Metrics{}, fmt.Errorf("core: RunConcurrent requires a repository without prior updates (have %d); use a fresh repository or run the workload first", r.nextUpdate-1)
+	}
+	sched := cc.NewScheduler(r.store, r.mappings, cfg)
+	m, err := sched.Run(ops)
+	r.nextUpdate = len(ops) + 1
+	return m, err
+}
+
+// Facts returns the distinct visible facts per relation at the current
+// committed state.
+func (r *Repository) Facts() map[string][]model.Tuple {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Snap(r.nextUpdate).VisibleFacts()
+}
+
+// Dump renders the repository contents as sorted text.
+func (r *Repository) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Dump(r.nextUpdate)
+}
+
+// Violations returns the current mapping violations (empty after every
+// completed update).
+func (r *Repository) Violations() []query.Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := query.NewEngine(r.store.Snap(r.nextUpdate))
+	return e.AllViolations(r.mappings)
+}
+
+// Certain evaluates a conjunctive query under the certain semantics of
+// §1.2: only answers that hold under every valuation of the labeled
+// nulls ("guarantees correctness while potentially omitting results").
+func (r *Repository) Certain(q *query.CQ) ([]model.Tuple, error) {
+	if err := q.Validate(r.schema); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := query.NewEngine(r.store.Snap(r.nextUpdate))
+	return e.CertainAnswers(q), nil
+}
+
+// BestEffort evaluates a conjunctive query under the best-effort
+// semantics of §1.2: all potentially relevant answers, allowing
+// labeled nulls to unify with constants consistently per answer ("at
+// the risk of some incorrectness").
+func (r *Repository) BestEffort(q *query.CQ) ([]model.Tuple, error) {
+	if err := q.Validate(r.schema); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := query.NewEngine(r.store.Snap(r.nextUpdate))
+	return e.BestEffortAnswers(q), nil
+}
+
+// Analyze renders the static mapping analyses: dependency cycles and
+// weak acyclicity (the restrictions Youtopia lifts, §2.2).
+func (r *Repository) Analyze() string {
+	return tgd.Describe(r.mappings)
+}

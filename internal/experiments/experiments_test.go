@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"youtopia/internal/workload"
+)
+
+func tinyBase() workload.Config {
+	cfg := workload.Quick()
+	cfg.Relations = 12
+	cfg.Mappings = 12
+	cfg.InitialTuples = 40
+	cfg.Updates = 12
+	cfg.Constants = 8
+	return cfg
+}
+
+func TestRunTinyFigure(t *testing.T) {
+	fig, err := Figure3(tinyBase(), Options{
+		Sweep:       []int{4, 8, 12},
+		Trackers:    []string{"NAIVE", "COARSE", "PRECISE"},
+		Runs:        2,
+		NaivePoints: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAIVE runs only the first two sweep points.
+	if _, ok := fig.point(12, "NAIVE"); ok {
+		t.Fatal("NAIVE must be capped to the first points")
+	}
+	if _, ok := fig.point(4, "NAIVE"); !ok {
+		t.Fatal("NAIVE missing from first point")
+	}
+	for _, m := range []int{4, 8, 12} {
+		for _, tr := range []string{"COARSE", "PRECISE"} {
+			p, ok := fig.point(m, tr)
+			if !ok {
+				t.Fatalf("missing point m=%d %s", m, tr)
+			}
+			if p.UpdatesRun < float64(tinyBase().Updates) {
+				t.Fatalf("updates run = %.1f < submitted", p.UpdatesRun)
+			}
+			if p.PerUpdateMicros <= 0 {
+				t.Fatalf("per-update time missing for m=%d %s", m, tr)
+			}
+		}
+	}
+	out := fig.Render()
+	for _, want := range []string{"Figure 3", "(a) total number of aborts",
+		"(b) cascading abort requests", "(c) slowdown", "mappings"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "figure,workload,mappings") ||
+		len(strings.Split(strings.TrimSpace(csv), "\n")) < 2 {
+		t.Fatalf("CSV malformed:\n%s", csv)
+	}
+	if len(fig.Slowdown()) != 3 {
+		t.Fatalf("slowdown points = %v", fig.Slowdown())
+	}
+}
+
+func TestRunMixedFigure(t *testing.T) {
+	fig, err := Figure4(tinyBase(), Options{
+		Sweep:    []int{6, 12},
+		Trackers: []string{"COARSE", "PRECISE"},
+		Runs:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig.Workload, "mixed 80/20") {
+		t.Fatalf("workload label = %q", fig.Workload)
+	}
+	if len(fig.Points) != 4 {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := tinyBase()
+	_, err := Figure3(cfg, Options{Sweep: []int{999}})
+	if err == nil {
+		t.Fatal("sweep beyond Base.Mappings accepted")
+	}
+	if _, err := Figure3(cfg, Options{Sweep: []int{4}, Trackers: []string{"bogus"}, Runs: 1}); err == nil {
+		t.Fatal("unknown tracker accepted")
+	}
+}
+
+func TestLatencyStudy(t *testing.T) {
+	cfg := tinyBase()
+	points, err := LatencyStudy(cfg, []int{0, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	out := RenderLatency(points)
+	if !strings.Contains(out, "latency") || !strings.Contains(out, "frontier-ops") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if _, err := LatencyStudy(cfg, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package fixtures builds the repositories used throughout the paper's
+// narrative: the Figure 2 travel repository with mappings σ1–σ4 and the
+// §2.2 genealogy repository with its cyclic tgd. Tests, examples and
+// benchmarks share these.
+package fixtures
+
+import (
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// TravelSchema declares the seven relations of Figure 2.
+func TravelSchema() *model.Schema {
+	s := model.NewSchema()
+	s.MustAddRelation("C", "city")
+	s.MustAddRelation("S", "code", "location", "city_served")
+	s.MustAddRelation("A", "location", "name")
+	s.MustAddRelation("T", "attraction", "company", "tour_start")
+	s.MustAddRelation("R", "company", "attraction", "review")
+	s.MustAddRelation("V", "city", "convention")
+	s.MustAddRelation("E", "convention", "attraction")
+	return s
+}
+
+// TravelMappings builds σ1–σ4 of Figure 2:
+//
+//	σ1: C(c) → ∃a,l S(a, l, c)            every city has a suggested airport
+//	σ2: S(a, l, c) → C(l) ∧ C(c)          airports are located in and serve cities
+//	σ3: A(l,n) ∧ T(n,co,st) → ∃r R(co,n,r) every offered tour is reviewed
+//	σ4: V(ci,x) ∧ T(n,co,ci) → E(x,n)      conventions recommend local tours
+//
+// σ1 and σ2 form the paper's mapping cycle over C and S.
+func TravelMappings() *tgd.Set {
+	sigma1 := tgd.New("sigma1",
+		[]tgd.Atom{tgd.NewAtom("C", tgd.V("c"))},
+		[]tgd.Atom{tgd.NewAtom("S", tgd.V("a"), tgd.V("l"), tgd.V("c"))})
+	sigma2 := tgd.New("sigma2",
+		[]tgd.Atom{tgd.NewAtom("S", tgd.V("a"), tgd.V("l"), tgd.V("c"))},
+		[]tgd.Atom{tgd.NewAtom("C", tgd.V("l")), tgd.NewAtom("C", tgd.V("c"))})
+	sigma3 := tgd.New("sigma3",
+		[]tgd.Atom{tgd.NewAtom("A", tgd.V("l"), tgd.V("n")),
+			tgd.NewAtom("T", tgd.V("n"), tgd.V("co"), tgd.V("st"))},
+		[]tgd.Atom{tgd.NewAtom("R", tgd.V("co"), tgd.V("n"), tgd.V("r"))})
+	sigma4 := tgd.New("sigma4",
+		[]tgd.Atom{tgd.NewAtom("V", tgd.V("ci"), tgd.V("x")),
+			tgd.NewAtom("T", tgd.V("n"), tgd.V("co"), tgd.V("ci"))},
+		[]tgd.Atom{tgd.NewAtom("E", tgd.V("x"), tgd.V("n"))})
+	return tgd.MustNewSet(sigma1, sigma2, sigma3, sigma4)
+}
+
+// TravelData loads Figure 2's example instance into a store. The
+// labeled nulls x1 (the unknown Niagara Falls tour company) and x2
+// (its unknown review) match the figure.
+func TravelData(st *storage.Store) error {
+	c := model.Const
+	x1, x2 := model.Null(1), model.Null(2)
+	rows := []model.Tuple{
+		model.NewTuple("C", c("Ithaca")),
+		model.NewTuple("C", c("Syracuse")),
+		model.NewTuple("S", c("SYR"), c("Syracuse"), c("Syracuse")),
+		model.NewTuple("S", c("SYR"), c("Syracuse"), c("Ithaca")),
+		model.NewTuple("A", c("Geneva"), c("Geneva Winery")),
+		model.NewTuple("A", c("Niagara Falls"), c("Niagara Falls")),
+		model.NewTuple("T", c("Geneva Winery"), c("XYZ"), c("Syracuse")),
+		model.NewTuple("T", c("Niagara Falls"), x1, c("Toronto")),
+		model.NewTuple("R", c("XYZ"), c("Geneva Winery"), c("Great!")),
+		model.NewTuple("R", x1, c("Niagara Falls"), x2),
+		model.NewTuple("V", c("Syracuse"), c("Science Conf")),
+		model.NewTuple("E", c("Science Conf"), c("Geneva Winery")),
+	}
+	for _, t := range rows {
+		if _, err := st.Load(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Travel builds the complete Figure 2 repository: schema, mappings,
+// and a store loaded with the example instance.
+func Travel() (*model.Schema, *tgd.Set, *storage.Store, error) {
+	schema := TravelSchema()
+	set := TravelMappings()
+	if err := set.Validate(schema); err != nil {
+		return nil, nil, nil, err
+	}
+	st := storage.NewStore(schema)
+	if err := TravelData(st); err != nil {
+		return nil, nil, nil, err
+	}
+	return schema, set, st, nil
+}
+
+// GenealogySchema declares Person and Father.
+func GenealogySchema() *model.Schema {
+	s := model.NewSchema()
+	s.MustAddRelation("Person", "name")
+	s.MustAddRelation("Father", "child", "father")
+	return s
+}
+
+// GenealogyMappings builds the §2.2 cyclic tgd:
+//
+//	Person(x) → ∃y Father(x, y) ∧ Person(y)
+func GenealogyMappings() *tgd.Set {
+	gen := tgd.New("ancestry",
+		[]tgd.Atom{tgd.NewAtom("Person", tgd.V("x"))},
+		[]tgd.Atom{tgd.NewAtom("Father", tgd.V("x"), tgd.V("y")),
+			tgd.NewAtom("Person", tgd.V("y"))})
+	return tgd.MustNewSet(gen)
+}
+
+// Genealogy builds an empty genealogy repository.
+func Genealogy() (*model.Schema, *tgd.Set, *storage.Store, error) {
+	schema := GenealogySchema()
+	set := GenealogyMappings()
+	if err := set.Validate(schema); err != nil {
+		return nil, nil, nil, err
+	}
+	return schema, set, storage.NewStore(schema), nil
+}

@@ -1,0 +1,58 @@
+package fixtures
+
+import (
+	"testing"
+
+	"youtopia/internal/query"
+)
+
+func TestTravelSatisfiesMappings(t *testing.T) {
+	_, set, st, err := Travel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := query.NewEngine(st.Snap(0))
+	if vs := e.AllViolations(set); len(vs) != 0 {
+		t.Fatalf("Figure 2 instance violates its mappings: %v", vs)
+	}
+	if st.Snap(0).CountRel("C") != 2 || st.Snap(0).CountRel("S") != 2 {
+		t.Fatalf("unexpected instance:\n%s", st.Dump(0))
+	}
+}
+
+func TestTravelSchemaShape(t *testing.T) {
+	s := TravelSchema()
+	if s.Len() != 7 {
+		t.Fatalf("relations = %d", s.Len())
+	}
+	if s.Arity("S") != 3 || s.Arity("C") != 1 {
+		t.Fatal("arity wrong")
+	}
+}
+
+func TestTravelMappingsShape(t *testing.T) {
+	set := TravelMappings()
+	if set.Len() != 4 {
+		t.Fatalf("mappings = %d", set.Len())
+	}
+	if err := set.Validate(TravelSchema()); err != nil {
+		t.Fatal(err)
+	}
+	sigma2, _ := set.ByName("sigma2")
+	if len(sigma2.RHS) != 2 {
+		t.Fatalf("sigma2 = %s", sigma2)
+	}
+}
+
+func TestGenealogy(t *testing.T) {
+	_, set, st, err := Genealogy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("mappings = %d", set.Len())
+	}
+	if st.Snap(0).CountRel("Person") != 0 {
+		t.Fatal("genealogy must start empty")
+	}
+}

@@ -1,0 +1,79 @@
+package model
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Canonicalization renames labeled nulls to position-of-first-use
+// indices, producing representations that are invariant under any
+// bijective renaming of nulls. Two uses:
+//
+//   - the simulated user keys its decisions on canonical context
+//     strings, so that replays after an abort, and serial reference
+//     executions in tests, make the same choices even though fresh
+//     nulls carry different identifiers; and
+//   - the serializability checker compares databases up to null
+//     renaming.
+
+// CanonVals renders vals with nulls renamed to ?0, ?1, ... in order of
+// first occurrence, extending the supplied renaming map (which may be
+// nil for a self-contained rendering).
+func CanonVals(vals []Value, ren map[Value]int) string {
+	local := ren
+	if local == nil {
+		local = make(map[Value]int)
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		if v.IsConst() {
+			parts[i] = "c:" + v.ConstValue()
+			continue
+		}
+		idx, ok := local[v]
+		if !ok {
+			idx = len(local)
+			local[v] = idx
+		}
+		parts[i] = "?" + strconv.Itoa(idx)
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// CanonTuple renders a tuple canonically (self-contained renaming).
+func CanonTuple(t Tuple) string {
+	return t.Rel + "\x02" + CanonVals(t.Vals, nil)
+}
+
+// CanonTuples renders a set of tuples canonically and
+// order-insensitively. The tuples are first rendered with
+// self-contained renamings, sorted, and then re-rendered with a shared
+// renaming in sorted order, which makes the result stable under both
+// permutation of the set and renaming of nulls shared across tuples.
+func CanonTuples(ts []Tuple) string {
+	idx := make([]int, len(ts))
+	for i := range idx {
+		idx[i] = i
+	}
+	solo := make([]string, len(ts))
+	for i, t := range ts {
+		solo[i] = CanonTuple(t)
+	}
+	sort.Slice(idx, func(a, b int) bool { return solo[idx[a]] < solo[idx[b]] })
+	ren := make(map[Value]int)
+	parts := make([]string, len(ts))
+	for i, j := range idx {
+		parts[i] = ts[j].Rel + "\x02" + CanonVals(ts[j].Vals, ren)
+	}
+	return strings.Join(parts, "\x03")
+}
+
+// CanonHash hashes a canonical string to a 64-bit value. It is a
+// convenience for seeding deterministic pseudo-random choices.
+func CanonHash(canon string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(canon))
+	return h.Sum64()
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonTupleRenamingInvariance(t *testing.T) {
+	a := NewTuple("R", Null(1), Const("k"), Null(1), Null(2))
+	b := NewTuple("R", Null(77), Const("k"), Null(77), Null(3))
+	if CanonTuple(a) != CanonTuple(b) {
+		t.Fatalf("canon differs:\n%q\n%q", CanonTuple(a), CanonTuple(b))
+	}
+	c := NewTuple("R", Null(1), Const("k"), Null(2), Null(2))
+	if CanonTuple(a) == CanonTuple(c) {
+		t.Fatal("structurally different tuples must canonicalize differently")
+	}
+}
+
+func TestCanonTupleDistinguishesConstsFromNulls(t *testing.T) {
+	a := NewTuple("R", Null(1))
+	b := NewTuple("R", Const("?0"))
+	if CanonTuple(a) == CanonTuple(b) {
+		t.Fatal("null and constant \"?0\" must not collide")
+	}
+}
+
+func TestCanonTuplesOrderInsensitive(t *testing.T) {
+	x, y := NewTuple("R", Const("a"), Null(1)), NewTuple("S", Null(1), Null(2))
+	fwd := CanonTuples([]Tuple{x, y})
+	rev := CanonTuples([]Tuple{y, x})
+	if fwd != rev {
+		t.Fatalf("order sensitivity:\n%q\n%q", fwd, rev)
+	}
+}
+
+func TestCanonTuplesSharedNulls(t *testing.T) {
+	// The shared-null structure must be captured: {R(x1), S(x1)} differs
+	// from {R(x1), S(x2)}.
+	shared := CanonTuples([]Tuple{NewTuple("R", Null(1)), NewTuple("S", Null(1))})
+	split := CanonTuples([]Tuple{NewTuple("R", Null(1)), NewTuple("S", Null(2))})
+	if shared == split {
+		t.Fatal("shared-null structure lost in canonical form")
+	}
+}
+
+// Property: CanonTuples is invariant under any bijective renaming of
+// nulls applied across the whole set.
+func TestCanonTuplesRenamingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(5) + 1
+		ts := make([]Tuple, n)
+		for i := range ts {
+			ts[i] = NewTuple("R", randVals(r, r.Intn(4)+1)...)
+		}
+		// Build a random bijection on null ids 1..4 -> 101..104 shuffled.
+		perm := r.Perm(4)
+		ren := make(Subst)
+		for i := 0; i < 4; i++ {
+			ren[Null(int64(i+1))] = Null(int64(101 + perm[i]))
+		}
+		renamed := make([]Tuple, n)
+		for i, tp := range ts {
+			renamed[i] = ren.ApplyTuple(tp)
+		}
+		return CanonTuples(ts) == CanonTuples(renamed)
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonHashDeterministic(t *testing.T) {
+	a := CanonHash("hello")
+	b := CanonHash("hello")
+	if a != b {
+		t.Fatal("CanonHash not deterministic")
+	}
+	if CanonHash("hello") == CanonHash("world") {
+		t.Fatal("suspicious hash collision on test inputs")
+	}
+}

@@ -1,0 +1,144 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation describes one logical table of the repository: a name and
+// an ordered list of attribute names.
+type Relation struct {
+	Name  string
+	Attrs []string
+}
+
+// Arity returns the number of attributes of the relation.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// String renders the relation declaration, e.g. S(code, location, city).
+func (r *Relation) String() string {
+	return r.Name + "(" + strings.Join(r.Attrs, ", ") + ")"
+}
+
+// Schema is the set of relations of a repository. The zero value is
+// not usable; construct with NewSchema.
+type Schema struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{rels: make(map[string]*Relation)}
+}
+
+// AddRelation declares a relation. It returns an error if the name is
+// already declared, the name is empty, or the relation has no
+// attributes.
+func (s *Schema) AddRelation(name string, attrs ...string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty relation name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: relation %s has no attributes", name)
+	}
+	if _, dup := s.rels[name]; dup {
+		return nil, fmt.Errorf("schema: relation %s already declared", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("schema: relation %s has an empty attribute name", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("schema: relation %s declares attribute %s twice", name, a)
+		}
+		seen[a] = true
+	}
+	r := &Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+	s.rels[name] = r
+	s.order = append(s.order, name)
+	return r, nil
+}
+
+// MustAddRelation is AddRelation that panics on error; it is a
+// convenience for tests and hand-built examples.
+func (s *Schema) MustAddRelation(name string, attrs ...string) *Relation {
+	r, err := s.AddRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation looks up a relation by name.
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Arity returns the arity of the named relation, or -1 if undeclared.
+func (s *Schema) Arity(name string) int {
+	r, ok := s.rels[name]
+	if !ok {
+		return -1
+	}
+	return r.Arity()
+}
+
+// Has reports whether the relation is declared.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.rels[name]
+	return ok
+}
+
+// Relations returns the declared relations in declaration order.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, len(s.order))
+	for i, name := range s.order {
+		out[i] = s.rels[name]
+	}
+	return out
+}
+
+// Names returns the relation names in declaration order.
+func (s *Schema) Names() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Len returns the number of declared relations.
+func (s *Schema) Len() int { return len(s.order) }
+
+// CheckTuple verifies that a tuple conforms to the schema: the
+// relation is declared and the arity matches.
+func (s *Schema) CheckTuple(t Tuple) error {
+	r, ok := s.rels[t.Rel]
+	if !ok {
+		return fmt.Errorf("schema: tuple %s refers to undeclared relation %s", t, t.Rel)
+	}
+	if len(t.Vals) != r.Arity() {
+		return fmt.Errorf("schema: tuple %s has arity %d, relation %s has arity %d",
+			t, len(t.Vals), t.Rel, r.Arity())
+	}
+	return nil
+}
+
+// String renders the whole schema, one relation per line, in
+// declaration order.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		fmt.Fprintf(&b, "relation %s\n", s.rels[name])
+	}
+	return b.String()
+}
+
+// SortedNames returns the relation names in lexicographic order. It is
+// used where deterministic iteration independent of declaration order
+// is needed.
+func (s *Schema) SortedNames() []string {
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaAddAndLookup(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddRelation("C", "city"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRelation("S", "code", "location", "city_served"); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.Relation("S")
+	if !ok || r.Arity() != 3 {
+		t.Fatalf("Relation(S) = %v, %v", r, ok)
+	}
+	if s.Arity("C") != 1 || s.Arity("missing") != -1 {
+		t.Fatal("Arity wrong")
+	}
+	if !s.Has("C") || s.Has("Z") {
+		t.Fatal("Has wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "C" || names[1] != "S" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddRelation(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := s.AddRelation("R"); err == nil {
+		t.Fatal("zero-arity relation accepted")
+	}
+	if _, err := s.AddRelation("R", "a", "a"); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := s.AddRelation("R", ""); err == nil {
+		t.Fatal("empty attribute accepted")
+	}
+	s.MustAddRelation("R", "a")
+	if _, err := s.AddRelation("R", "b"); err == nil {
+		t.Fatal("duplicate relation accepted")
+	}
+}
+
+func TestSchemaCheckTuple(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("R", "a", "b")
+	if err := s.CheckTuple(NewTuple("R", Const("x"), Null(1))); err != nil {
+		t.Fatalf("valid tuple rejected: %v", err)
+	}
+	if err := s.CheckTuple(NewTuple("R", Const("x"))); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := s.CheckTuple(NewTuple("Q", Const("x"))); err == nil {
+		t.Fatal("undeclared relation accepted")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("C", "city")
+	got := s.String()
+	if !strings.Contains(got, "relation C(city)") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSchemaSortedNames(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("Z", "a")
+	s.MustAddRelation("A", "a")
+	got := s.SortedNames()
+	if len(got) != 2 || got[0] != "A" || got[1] != "Z" {
+		t.Fatalf("SortedNames = %v", got)
+	}
+	// Declaration order must be preserved separately.
+	if names := s.Names(); names[0] != "Z" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestMustAddRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSchema()
+	s.MustAddRelation("R", "a")
+	s.MustAddRelation("R", "a")
+}

@@ -1,0 +1,123 @@
+// Package model defines the value and tuple model of a Youtopia
+// repository: constants, labeled nulls, tuples, the more-specific-than
+// relation on tuples (Definition 2.4 of the paper), substitutions and
+// unifiers, and canonical forms that are invariant under renaming of
+// labeled nulls.
+//
+// A Youtopia database contains two kinds of values. Constants are
+// ordinary strings. Labeled nulls (written x1, x2, ... in the paper)
+// are placeholders for unknown values; all occurrences of a labeled
+// null denote the same unknown, so replacing a null with a constant is
+// a global, consistent operation.
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// ValueKind discriminates constants from labeled nulls.
+type ValueKind uint8
+
+const (
+	// KindConst is an ordinary constant value.
+	KindConst ValueKind = iota
+	// KindNull is a labeled null (a named unknown).
+	KindNull
+)
+
+// Value is a single attribute value: either a constant or a labeled
+// null. Value is comparable and can be used as a map key.
+type Value struct {
+	kind ValueKind
+	str  string // constant payload; empty for nulls
+	id   int64  // null identifier; zero for constants
+}
+
+// Const returns a constant value.
+func Const(s string) Value { return Value{kind: KindConst, str: s} }
+
+// Null returns the labeled null with the given identifier.
+func Null(id int64) Value { return Value{kind: KindNull, id: id} }
+
+// Kind reports whether v is a constant or a labeled null.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsNull reports whether v is a labeled null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsConst reports whether v is a constant.
+func (v Value) IsConst() bool { return v.kind == KindConst }
+
+// ConstValue returns the constant payload. It panics if v is a null.
+func (v Value) ConstValue() string {
+	if v.kind != KindConst {
+		panic("model: ConstValue called on labeled null " + v.String())
+	}
+	return v.str
+}
+
+// NullID returns the identifier of a labeled null. It panics if v is a
+// constant.
+func (v Value) NullID() int64 {
+	if v.kind != KindNull {
+		panic("model: NullID called on constant " + v.String())
+	}
+	return v.id
+}
+
+// String renders the value in the paper's notation: constants appear
+// verbatim, labeled nulls as x<id>.
+func (v Value) String() string {
+	if v.kind == KindNull {
+		return "x" + strconv.FormatInt(v.id, 10)
+	}
+	return v.str
+}
+
+// GoString renders the value unambiguously for debugging.
+func (v Value) GoString() string {
+	if v.kind == KindNull {
+		return fmt.Sprintf("Null(%d)", v.id)
+	}
+	return fmt.Sprintf("Const(%q)", v.str)
+}
+
+// encode writes a collision-free encoding of v used in tuple keys.
+func (v Value) encode() string {
+	if v.kind == KindNull {
+		return "n" + strconv.FormatInt(v.id, 10)
+	}
+	return "c" + v.str
+}
+
+// NullFactory mints fresh labeled nulls. It is safe for concurrent
+// use. The zero value is ready to use and starts numbering at 1.
+type NullFactory struct {
+	next atomic.Int64
+}
+
+// Fresh returns a labeled null that has never been returned before by
+// this factory.
+func (f *NullFactory) Fresh() Value {
+	return Null(f.next.Add(1))
+}
+
+// Peek returns the identifier that the next call to Fresh would use,
+// without consuming it. It is intended for diagnostics and tests.
+func (f *NullFactory) Peek() int64 { return f.next.Load() + 1 }
+
+// SetFloor ensures future identifiers are strictly greater than id.
+// It is used when loading a database that already contains nulls.
+func (f *NullFactory) SetFloor(id int64) {
+	for {
+		cur := f.next.Load()
+		if cur >= id {
+			return
+		}
+		if f.next.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package parse implements the textual repository language of this
+// Youtopia implementation: relation declarations, mappings (tgds),
+// tuple literals, and update scripts. The paper's system assumes
+// tooling for entering mappings and data; since no off-the-shelf
+// datalog tooling fits the labeled-null data model, the language is
+// implemented here from scratch with a hand-rolled lexer and a
+// recursive-descent parser.
+//
+// The grammar, line oriented with # comments:
+//
+//	relation C(city)
+//	relation S(code, location, city_served)
+//	mapping sigma1: C(c) -> exists a, l: S(a, l, c)
+//	mapping sigma2: S(a, l, c) -> C(l), C(c)
+//	tuple C("Ithaca")
+//	tuple S("SYR", "Syracuse", ?x1)
+//	insert T("Niagara Falls", "ABC Tours", "Toronto")
+//	delete R("XYZ", "Geneva Winery", "Great!")
+//	replace ?x2 "Great tour!"
+//
+// Quoted strings are constants; bare identifiers in mapping atoms are
+// variables; ?name denotes a labeled null in tuple literals and update
+// operations (scoped to the parsed unit — every distinct ?name maps to
+// one fresh labeled null).
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent    // bare identifier
+	tokString   // quoted constant
+	tokNullName // ?name
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokArrow // ->
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNullName:
+		return "labeled null"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokArrow:
+		return "'->'"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexeme with its position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans the input into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+// next returns the next token. Newlines are significant (statement
+// separators); runs of blank/comment lines collapse into one newline
+// token.
+func (lx *lexer) next() (token, error) {
+	for {
+		b, ok := lx.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+		}
+		switch {
+		case b == '#':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case b == '\n':
+			line, col := lx.line, lx.col
+			lx.advance()
+			return token{kind: tokNewline, line: line, col: col}, nil
+		case b == ' ' || b == '\t' || b == '\r':
+			lx.advance()
+		default:
+			return lx.scanToken()
+		}
+	}
+}
+
+func (lx *lexer) scanToken() (token, error) {
+	line, col := lx.line, lx.col
+	b, _ := lx.peekByte()
+	switch {
+	case b == '(':
+		lx.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case b == ')':
+		lx.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case b == ',':
+		lx.advance()
+		return token{tokComma, ",", line, col}, nil
+	case b == ':':
+		lx.advance()
+		return token{tokColon, ":", line, col}, nil
+	case b == '-':
+		lx.advance()
+		if c, ok := lx.peekByte(); ok && c == '>' {
+			lx.advance()
+			return token{tokArrow, "->", line, col}, nil
+		}
+		return token{}, lx.errorf(line, col, "unexpected '-' (did you mean '->'?)")
+	case b == '"':
+		return lx.scanString(line, col)
+	case b == '?':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			sb.WriteByte(lx.advance())
+		}
+		if sb.Len() == 0 {
+			return token{}, lx.errorf(line, col, "'?' must be followed by a null name")
+		}
+		return token{tokNullName, sb.String(), line, col}, nil
+	case isIdentStart(b):
+		var sb strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			sb.WriteByte(lx.advance())
+		}
+		return token{tokIdent, sb.String(), line, col}, nil
+	default:
+		return token{}, lx.errorf(line, col, "unexpected character %q", string(b))
+	}
+}
+
+// scanString reads a quoted constant with \" \\ \n \t escapes.
+func (lx *lexer) scanString(line, col int) (token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c, ok := lx.peekByte()
+		if !ok || c == '\n' {
+			return token{}, lx.errorf(line, col, "unterminated string")
+		}
+		lx.advance()
+		if c == '"' {
+			return token{tokString, sb.String(), line, col}, nil
+		}
+		if c == '\\' {
+			e, ok := lx.peekByte()
+			if !ok {
+				return token{}, lx.errorf(line, col, "unterminated escape")
+			}
+			lx.advance()
+			switch e {
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return token{}, lx.errorf(lx.line, lx.col, "unknown escape \\%s", string(e))
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+}

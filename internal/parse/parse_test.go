@@ -1,0 +1,312 @@
+package parse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/model"
+	"youtopia/internal/tgd"
+)
+
+const travelSource = `
+# The Figure 2 travel repository.
+relation C(city)
+relation S(code, location, city_served)
+relation A(location, name)
+relation T(attraction, company, tour_start)
+relation R(company, attraction, review)
+relation V(city, convention)
+relation E(convention, attraction)
+
+mapping sigma1: C(c) -> exists a, l: S(a, l, c)
+mapping sigma2: S(a, l, c) -> C(l), C(c)
+mapping sigma3: A(l, n), T(n, co, st) -> exists r: R(co, n, r)
+mapping sigma4: V(ci, x), T(n, co, ci) -> E(x, n)
+
+tuple C("Ithaca")
+tuple T("Niagara Falls", ?x1, "Toronto")
+tuple R(?x1, "Niagara Falls", ?x2)
+
+insert V("Syracuse", "Math Conf")
+delete R("XYZ", "Geneva Winery", "Great!")
+replace ?x2 "Great tour!"
+`
+
+func TestParseTravelDocument(t *testing.T) {
+	doc, err := ParseDocument(travelSource, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema.Len() != 7 {
+		t.Fatalf("relations = %d", doc.Schema.Len())
+	}
+	if doc.Mappings.Len() != 4 {
+		t.Fatalf("mappings = %d", doc.Mappings.Len())
+	}
+	sigma1, ok := doc.Mappings.ByName("sigma1")
+	if !ok {
+		t.Fatal("sigma1 missing")
+	}
+	if got := sigma1.ExistentialVars(); len(got) != 2 {
+		t.Fatalf("sigma1 existentials = %v", got)
+	}
+	if len(doc.Tuples) != 3 {
+		t.Fatalf("tuples = %v", doc.Tuples)
+	}
+	// ?x1 appears twice and must resolve to the same labeled null.
+	x1 := doc.Nulls["x1"]
+	if !x1.IsNull() {
+		t.Fatalf("x1 = %v", x1)
+	}
+	if doc.Tuples[1].Vals[1] != x1 || doc.Tuples[2].Vals[0] != x1 {
+		t.Fatal("?x1 occurrences differ")
+	}
+	if len(doc.Ops) != 3 {
+		t.Fatalf("ops = %v", doc.Ops)
+	}
+	if doc.Ops[0].Kind != chase.OpInsert || doc.Ops[1].Kind != chase.OpDelete ||
+		doc.Ops[2].Kind != chase.OpReplaceNull {
+		t.Fatalf("op kinds = %v", doc.Ops)
+	}
+	if doc.Ops[2].Null != doc.Nulls["x2"] || doc.Ops[2].With != model.Const("Great tour!") {
+		t.Fatalf("replace op = %v", doc.Ops[2])
+	}
+	if got := SortedNullNames(doc); len(got) != 2 || got[0] != "x1" || got[1] != "x2" {
+		t.Fatalf("null names = %v", got)
+	}
+}
+
+func TestParseAnonymousVariables(t *testing.T) {
+	src := `
+relation R(a, b)
+relation S(a)
+mapping m: R(_, x) -> S(x)
+mapping m2: R(_, _) -> exists z: S(z)
+`
+	doc, err := ParseDocument(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := doc.Mappings.ByName("m2")
+	// The two anonymous variables must be distinct.
+	vars := m.LHS[0].Vars()
+	if len(vars) != 2 || vars[0] == vars[1] {
+		t.Fatalf("anonymous vars = %v", vars)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	src := `relation R(a)
+tuple R("line\nbreak \"quoted\" back\\slash")
+`
+	doc, err := ParseDocument(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line\nbreak \"quoted\" back\\slash"
+	if got := doc.Tuples[0].Vals[0].ConstValue(); got != want {
+		t.Fatalf("escape handling: %q != %q", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown statement", "frobnicate R(a)\n", "unknown statement"},
+		{"bad arity tuple", "relation R(a)\ntuple R(\"x\", \"y\")\n", "arity"},
+		{"undeclared relation in mapping", "relation R(a)\nmapping m: Q(x) -> R(x)\n", "undeclared"},
+		{"duplicate relation", "relation R(a)\nrelation R(b)\n", "already declared"},
+		{"unterminated string", "relation R(a)\ntuple R(\"oops\n", "unterminated"},
+		{"stray dash", "relation R(a)\nmapping m: R(x) - R(x)\n", "->"},
+		{"replace unknown null", "relation R(a)\nreplace ?zz \"v\"\n", "not used anywhere"},
+		{"bad existential decl", "relation R(a)\nrelation S(a)\nmapping m: R(x) -> exists x: S(x)\n", "also occurs on the LHS"},
+		{"missing existential decl", "relation R(a)\nrelation S(a, b)\nmapping m: R(x) -> exists z: S(z, w)\n", "not declared"},
+		{"lone question mark", "relation R(a)\ntuple R(? )\n", "null name"},
+		{"bad escape", `relation R(a)` + "\n" + `tuple R("\q")` + "\n", "unknown escape"},
+		{"trailing junk", "relation R(a) garbage\n", "unexpected"},
+	}
+	for _, tc := range cases {
+		_, err := ParseDocument(tc.src, nil)
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+		var pe *Error
+		if !errorsAs(err, &pe) {
+			t.Errorf("%s: error %T carries no position", tc.name, err)
+		} else if pe.Line == 0 {
+			t.Errorf("%s: zero line number", tc.name)
+		}
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	if e, ok := err.(*Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestRoundTripTravel(t *testing.T) {
+	doc, err := ParseDocument(travelSource, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := PrintDocument(doc)
+	doc2, err := ParseDocument(printed, nil)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nprinted:\n%s", err, printed)
+	}
+	if PrintDocument(doc2) != printed {
+		t.Fatalf("round-trip not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, PrintDocument(doc2))
+	}
+	if doc2.Mappings.Len() != doc.Mappings.Len() || len(doc2.Tuples) != len(doc.Tuples) {
+		t.Fatal("round-trip lost content")
+	}
+}
+
+// Property: printing and re-parsing a random mapping preserves its
+// rendered form.
+func TestRoundTripMappingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		schema := model.NewSchema()
+		nRels := rng.Intn(4) + 2
+		for i := 0; i < nRels; i++ {
+			attrs := make([]string, rng.Intn(3)+1)
+			for j := range attrs {
+				attrs[j] = string(rune('a' + j))
+			}
+			schema.MustAddRelation(string(rune('P'+i)), attrs...)
+		}
+		rels := schema.Names()
+		mkAtoms := func(n int, vars []string) []tgd.Atom {
+			var atoms []tgd.Atom
+			for i := 0; i < n; i++ {
+				rel := rels[rng.Intn(len(rels))]
+				terms := make([]tgd.Term, schema.Arity(rel))
+				for j := range terms {
+					if rng.Intn(4) == 0 {
+						terms[j] = tgd.C(string(rune('k' + rng.Intn(3))))
+					} else {
+						terms[j] = tgd.V(vars[rng.Intn(len(vars))])
+					}
+				}
+				atoms = append(atoms, tgd.NewAtom(rel, terms...))
+			}
+			return atoms
+		}
+		lhs := mkAtoms(rng.Intn(2)+1, []string{"x", "y", "w"})
+		rhs := mkAtoms(rng.Intn(2)+1, []string{"x", "y", "z1", "z2"})
+		m := tgd.New("m", lhs, rhs)
+		if m.Validate(schema) != nil {
+			return true // skip invalid shapes
+		}
+		src := PrintSchema(schema) + "\n" + PrintMapping(m) + "\n"
+		doc, err := ParseDocument(src, nil)
+		if err != nil {
+			return false
+		}
+		got, ok := doc.Mappings.ByName("m")
+		if !ok {
+			return false
+		}
+		return PrintMapping(got) == PrintMapping(m)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tuple literals with random constants (arbitrary bytes) and
+// nulls survive a print/parse cycle.
+func TestRoundTripTupleQuick(t *testing.T) {
+	f := func(raw []string, nullMask uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		schema := model.NewSchema()
+		attrs := make([]string, len(raw))
+		for i := range attrs {
+			attrs[i] = string(rune('a' + i))
+		}
+		schema.MustAddRelation("R", attrs...)
+		vals := make([]model.Value, len(raw))
+		for i, s := range raw {
+			if nullMask&(1<<i) != 0 {
+				vals[i] = model.Null(int64(i + 1))
+			} else {
+				if !validConst(s) {
+					return true
+				}
+				vals[i] = model.Const(s)
+			}
+		}
+		tu := model.NewTuple("R", vals...)
+		src := PrintSchema(schema) + "tuple " + PrintTuple(tu) + "\n"
+		doc, err := ParseDocument(src, nil)
+		if err != nil || len(doc.Tuples) != 1 {
+			return false
+		}
+		got := doc.Tuples[0]
+		for i := range vals {
+			if vals[i].IsConst() && got.Vals[i] != vals[i] {
+				return false
+			}
+			if vals[i].IsNull() && !got.Vals[i].IsNull() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validConst rejects strings our printer cannot escape (only a few
+// control characters beyond \n and \t).
+func validConst(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseWithExternalNullFactory(t *testing.T) {
+	var nf model.NullFactory
+	nf.SetFloor(500)
+	doc, err := ParseDocument("relation R(a)\ntuple R(?q)\n", nf.Fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Tuples[0].Vals[0].NullID() <= 500 {
+		t.Fatalf("external factory ignored: %v", doc.Tuples[0])
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := ParseDocument("relation R(a)\n\n\nfrobnicate\n", nil)
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("line = %d, want 4", pe.Line)
+	}
+}

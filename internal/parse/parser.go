@@ -1,0 +1,445 @@
+package parse
+
+import (
+	"fmt"
+	"strings"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/model"
+	"youtopia/internal/query"
+	"youtopia/internal/tgd"
+)
+
+// Document is the result of parsing a repository definition: schema
+// declarations, mappings, initial tuples, update operations, and
+// conjunctive queries, in source order. Null names (?x) are resolved
+// to labeled nulls scoped to the document; Nulls records the
+// assignment.
+type Document struct {
+	Schema   *model.Schema
+	Mappings *tgd.Set
+	Tuples   []model.Tuple
+	Ops      []chase.Op
+	Queries  []*query.CQ
+	// Nulls maps source null names to the labeled nulls they denote.
+	Nulls map[string]model.Value
+}
+
+// parser is the recursive-descent parser.
+type parser struct {
+	lx    *lexer
+	tok   token
+	doc   *Document
+	fresh func() model.Value
+	anon  int
+}
+
+// ParseDocument parses a complete repository definition. The null
+// factory supplies labeled nulls for ?names (pass the store's factory
+// so IDs do not collide); a nil factory uses a document-local one.
+func ParseDocument(src string, fresh func() model.Value) (*Document, error) {
+	p := &parser{
+		lx: newLexer(src),
+		doc: &Document{
+			Schema:   model.NewSchema(),
+			Mappings: tgd.MustNewSet(),
+			Nulls:    make(map[string]model.Value),
+		},
+	}
+	if fresh == nil {
+		var nf model.NullFactory
+		fresh = nf.Fresh
+	}
+	p.fresh = fresh
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokNewline {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	return p.doc, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %s, found %s %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// endOfStatement consumes the trailing newline or EOF.
+func (p *parser) endOfStatement() error {
+	switch p.tok.kind {
+	case tokNewline:
+		return p.advance()
+	case tokEOF:
+		return nil
+	default:
+		return p.errorf("unexpected %s %q at end of statement", p.tok.kind, p.tok.text)
+	}
+}
+
+func (p *parser) statement() error {
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	switch kw.text {
+	case "relation":
+		return p.relationDecl()
+	case "mapping":
+		return p.mappingDecl()
+	case "tuple":
+		return p.tupleDecl()
+	case "insert", "delete":
+		return p.insertDelete(kw.text)
+	case "replace":
+		return p.replaceDecl()
+	case "query":
+		return p.queryDecl()
+	default:
+		return p.errorf("unknown statement %q (want relation, mapping, tuple, insert, delete, replace or query)", kw.text)
+	}
+}
+
+// queryDecl parses: query NAME(var, ...): atom, atom, ...
+func (p *parser) queryDecl() error {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var head []string
+	for {
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		head = append(head, v.text)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	body, err := p.atomList()
+	if err != nil {
+		return err
+	}
+	q := &query.CQ{Name: name.text, Head: head, Body: body}
+	if err := q.Validate(p.doc.Schema); err != nil {
+		return &Error{Line: name.line, Col: name.col, Msg: err.Error()}
+	}
+	p.doc.Queries = append(p.doc.Queries, q)
+	return p.endOfStatement()
+}
+
+// relationDecl parses: relation NAME(attr, attr, ...).
+func (p *parser) relationDecl() error {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var attrs []string
+	for {
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		attrs = append(attrs, a.text)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if _, err := p.doc.Schema.AddRelation(name.text, attrs...); err != nil {
+		return &Error{Line: name.line, Col: name.col, Msg: err.Error()}
+	}
+	return p.endOfStatement()
+}
+
+// mappingDecl parses: mapping NAME: atoms -> [exists v, ...:] atoms.
+func (p *parser) mappingDecl() error {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	lhs, err := p.atomList()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return err
+	}
+	// Optional existential prefix; the variable list is informational —
+	// existentials are inferred — but it is validated against the body.
+	var declared []string
+	if p.tok.kind == tokIdent && p.tok.text == "exists" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for {
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			declared = append(declared, v.text)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return err
+		}
+	}
+	rhs, err := p.atomList()
+	if err != nil {
+		return err
+	}
+	t := tgd.New(name.text, lhs, rhs)
+	if err := t.Validate(p.doc.Schema); err != nil {
+		return &Error{Line: name.line, Col: name.col, Msg: err.Error()}
+	}
+	if len(declared) > 0 {
+		want := map[string]bool{}
+		for _, v := range t.ExistentialVars() {
+			want[v] = true
+		}
+		for _, v := range declared {
+			if !want[v] {
+				return &Error{Line: name.line, Col: name.col,
+					Msg: fmt.Sprintf("declared existential %q also occurs on the LHS (or not at all)", v)}
+			}
+			delete(want, v)
+		}
+		if len(want) > 0 {
+			var missing []string
+			for v := range want {
+				missing = append(missing, v)
+			}
+			return &Error{Line: name.line, Col: name.col,
+				Msg: fmt.Sprintf("existential variable(s) %s not declared after 'exists'",
+					strings.Join(missing, ", "))}
+		}
+	}
+	if err := p.doc.Mappings.Add(t); err != nil {
+		return &Error{Line: name.line, Col: name.col, Msg: err.Error()}
+	}
+	return p.endOfStatement()
+}
+
+// atomList parses: atom [, atom]...
+func (p *parser) atomList() ([]tgd.Atom, error) {
+	var out []tgd.Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return out, nil
+	}
+}
+
+// atom parses: NAME(term, ...) where terms are variables (bare
+// identifiers, "_" anonymous) or quoted constants.
+func (p *parser) atom() (tgd.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return tgd.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return tgd.Atom{}, err
+	}
+	var terms []tgd.Term
+	for {
+		switch p.tok.kind {
+		case tokIdent:
+			v := p.tok.text
+			if v == "_" {
+				p.anon++
+				v = fmt.Sprintf("_anon%d", p.anon)
+			}
+			terms = append(terms, tgd.V(v))
+			if err := p.advance(); err != nil {
+				return tgd.Atom{}, err
+			}
+		case tokString:
+			terms = append(terms, tgd.C(p.tok.text))
+			if err := p.advance(); err != nil {
+				return tgd.Atom{}, err
+			}
+		default:
+			return tgd.Atom{}, p.errorf("expected variable or constant in atom %s", name.text)
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return tgd.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return tgd.Atom{}, err
+	}
+	return tgd.NewAtom(name.text, terms...), nil
+}
+
+// tupleDecl parses: tuple NAME(value, ...).
+func (p *parser) tupleDecl() error {
+	t, err := p.tupleLiteral()
+	if err != nil {
+		return err
+	}
+	if err := p.doc.Schema.CheckTuple(t); err != nil {
+		return p.errorf("%s", err)
+	}
+	p.doc.Tuples = append(p.doc.Tuples, t)
+	return p.endOfStatement()
+}
+
+// insertDelete parses: insert NAME(...) / delete NAME(...).
+func (p *parser) insertDelete(kw string) error {
+	t, err := p.tupleLiteral()
+	if err != nil {
+		return err
+	}
+	if err := p.doc.Schema.CheckTuple(t); err != nil {
+		return p.errorf("%s", err)
+	}
+	if kw == "insert" {
+		p.doc.Ops = append(p.doc.Ops, chase.Insert(t))
+	} else {
+		p.doc.Ops = append(p.doc.Ops, chase.Delete(t))
+	}
+	return p.endOfStatement()
+}
+
+// replaceDecl parses: replace ?name VALUE.
+func (p *parser) replaceDecl() error {
+	nm, err := p.expect(tokNullName)
+	if err != nil {
+		return err
+	}
+	x, ok := p.doc.Nulls[nm.text]
+	if !ok {
+		return &Error{Line: nm.line, Col: nm.col,
+			Msg: fmt.Sprintf("labeled null ?%s is not used anywhere earlier in the document", nm.text)}
+	}
+	var with model.Value
+	switch p.tok.kind {
+	case tokString:
+		with = model.Const(p.tok.text)
+	case tokNullName:
+		with = p.null(p.tok.text)
+	default:
+		return p.errorf("expected replacement value (string or ?null)")
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	p.doc.Ops = append(p.doc.Ops, chase.ReplaceNull(x, with))
+	return p.endOfStatement()
+}
+
+// tupleLiteral parses NAME(value, ...) with string constants and
+// ?null values.
+func (p *parser) tupleLiteral() (model.Tuple, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return model.Tuple{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return model.Tuple{}, err
+	}
+	var vals []model.Value
+	for {
+		switch p.tok.kind {
+		case tokString:
+			vals = append(vals, model.Const(p.tok.text))
+		case tokNullName:
+			vals = append(vals, p.null(p.tok.text))
+		default:
+			return model.Tuple{}, p.errorf("expected constant or ?null in tuple %s", name.text)
+		}
+		if err := p.advance(); err != nil {
+			return model.Tuple{}, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return model.Tuple{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return model.Tuple{}, err
+	}
+	return model.NewTuple(name.text, vals...), nil
+}
+
+// null resolves a document null name, minting on first use.
+func (p *parser) null(name string) model.Value {
+	if v, ok := p.doc.Nulls[name]; ok {
+		return v
+	}
+	v := p.fresh()
+	p.doc.Nulls[name] = v
+	return v
+}

@@ -1,0 +1,53 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQueryStatement(t *testing.T) {
+	src := `
+relation T(attraction, company, start)
+relation R(company, attraction, review)
+query reviewed(a, r): T(a, co, s), R(co, a, r)
+query companies(co): T(_, co, _)
+`
+	doc, err := ParseDocument(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Queries) != 2 {
+		t.Fatalf("queries = %v", doc.Queries)
+	}
+	q := doc.Queries[0]
+	if q.Name != "reviewed" || len(q.Head) != 2 || len(q.Body) != 2 {
+		t.Fatalf("query = %v", q)
+	}
+	// Anonymous variables in queries become distinct variables; the
+	// head must still be safe.
+	q2 := doc.Queries[1]
+	if q2.Name != "companies" || len(q2.Body) != 1 {
+		t.Fatalf("query = %v", q2)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unsafe head", "relation T(a)\nquery q(z): T(x)\n", "does not occur"},
+		{"bad arity", "relation T(a)\nquery q(x): T(x, y)\n", "arity"},
+		{"unknown relation", "relation T(a)\nquery q(x): Z(x)\n", "undeclared"},
+		{"constant in head", "relation T(a)\nquery q(\"k\"): T(x)\n", "identifier"},
+	}
+	for _, tc := range cases {
+		_, err := ParseDocument(tc.src, nil)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

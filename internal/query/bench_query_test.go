@@ -1,0 +1,91 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// benchWorld builds a two-relation join world: A(x, y) ⋈ T(y, z) with
+// a mapping requiring every join pair to have an R entry.
+func benchWorld(b *testing.B, rows int) (*storage.Store, *tgd.TGD) {
+	b.Helper()
+	s := model.NewSchema()
+	s.MustAddRelation("A", "x", "y")
+	s.MustAddRelation("T", "y", "z")
+	s.MustAddRelation("R", "x", "z")
+	m := tgd.New("m",
+		[]tgd.Atom{tgd.NewAtom("A", tgd.V("x"), tgd.V("y")),
+			tgd.NewAtom("T", tgd.V("y"), tgd.V("z"))},
+		[]tgd.Atom{tgd.NewAtom("R", tgd.V("x"), tgd.V("z"))})
+	st := storage.NewStore(s)
+	for i := 0; i < rows; i++ {
+		st.Load(model.NewTuple("A",
+			c(fmt.Sprintf("a%d", i)), c(fmt.Sprintf("j%d", i%40))))
+		st.Load(model.NewTuple("T",
+			c(fmt.Sprintf("j%d", i%40)), c(fmt.Sprintf("z%d", i))))
+		if i%2 == 0 {
+			st.Load(model.NewTuple("R",
+				c(fmt.Sprintf("a%d", i)), c(fmt.Sprintf("z%d", i))))
+		}
+	}
+	return st, m
+}
+
+func BenchmarkLHSMatchesSeeded(b *testing.B) {
+	st, m := benchWorld(b, 1000)
+	e := NewEngine(st.Snap(1))
+	seed := Binding{"y": c("j7")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := e.LHSMatches(m, seed)
+		if len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkViolationsSeeded(b *testing.B) {
+	st, m := benchWorld(b, 1000)
+	e := NewEngine(st.Snap(1))
+	vals := []model.Value{c("a8"), c("j8")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ViolationsSeeded(m, "A", vals, SeedLHS)
+	}
+}
+
+func BenchmarkRHSSatisfied(b *testing.B) {
+	st, m := benchWorld(b, 1000)
+	e := NewEngine(st.Snap(1))
+	bnd := Binding{"x": c("a10"), "z": c("z10")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.RHSSatisfied(m, bnd) {
+			b.Fatal("must be satisfied")
+		}
+	}
+}
+
+func BenchmarkViolationReadAffectedBy(b *testing.B) {
+	st, m := benchWorld(b, 1000)
+	_, w, _, err := st.Insert(2, model.NewTuple("A", c("fresh"), c("j3")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _ := NewViolationRead(st, m, w.Rel, w.After, SeedLHS, 2)
+	// A later write by update 1 joining through j3.
+	_, w1, _, err := st.Insert(1, model.NewTuple("T", c("j3"), c("zz")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !q.AffectedBy(st, w1) {
+			b.Fatal("must be affected")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// This file implements the query side of Youtopia (§1.2 of the paper):
+// conjunctive queries over a repository whose data is incomplete
+// (labeled nulls) and possibly inconsistent, under two semantics —
+//
+//   - a certain semantics "that guarantees correctness while
+//     potentially omitting some results": the classical certain
+//     answers of a conjunctive query over a naive table, computed by
+//     naive evaluation (nulls join like ordinary values) followed by
+//     dropping rows that still contain nulls; and
+//
+//   - a best-effort semantics "that includes all potentially relevant
+//     results at the risk of some incorrectness": evaluation in which
+//     a labeled null may additionally unify with any constant (or
+//     other null), consistently within each result row — every answer
+//     that holds in at least one completion of the nulls reachable by
+//     per-row unification.
+
+// CQ is a conjunctive query: distinguished head variables over a body
+// of relational atoms, written q(x, y) <- A(x, z), T(z, y).
+type CQ struct {
+	Name string
+	Head []string
+	Body []tgd.Atom
+}
+
+// Validate checks the query against a schema: body atoms must match
+// declared relations and arities, and every head variable must occur
+// in the body (safety).
+func (q *CQ) Validate(schema *model.Schema) error {
+	if q.Name == "" {
+		return fmt.Errorf("query: unnamed query")
+	}
+	if len(q.Body) == 0 {
+		return fmt.Errorf("query %s: empty body", q.Name)
+	}
+	bodyVars := make(map[string]bool)
+	for _, a := range q.Body {
+		ar := schema.Arity(a.Rel)
+		if ar < 0 {
+			return fmt.Errorf("query %s: undeclared relation %s", q.Name, a.Rel)
+		}
+		if ar != len(a.Terms) {
+			return fmt.Errorf("query %s: atom %s has arity %d, relation %s has arity %d",
+				q.Name, a, len(a.Terms), a.Rel, ar)
+		}
+		for _, v := range a.Vars() {
+			bodyVars[v] = true
+		}
+	}
+	seen := make(map[string]bool)
+	for _, h := range q.Head {
+		if !bodyVars[h] {
+			return fmt.Errorf("query %s: head variable %s does not occur in the body", q.Name, h)
+		}
+		if seen[h] {
+			return fmt.Errorf("query %s: head variable %s repeated", q.Name, h)
+		}
+		seen[h] = true
+	}
+	return nil
+}
+
+// String renders the query, e.g. q(x, y) <- A(x, z), T(z, y).
+func (q *CQ) String() string {
+	atoms := make([]string, len(q.Body))
+	for i, a := range q.Body {
+		atoms[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s) <- %s", q.Name, strings.Join(q.Head, ", "),
+		strings.Join(atoms, ", "))
+}
+
+// project builds the answer row for a binding.
+func (q *CQ) project(b Binding) model.Tuple {
+	vals := make([]model.Value, len(q.Head))
+	for i, h := range q.Head {
+		vals[i] = b[h]
+	}
+	return model.Tuple{Rel: q.Name, Vals: vals}
+}
+
+// dedupSort removes duplicate rows and orders them canonically.
+func dedupSort(rows []model.Tuple) []model.Tuple {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// CertainAnswers returns the certain answers of the query on the
+// engine's snapshot: rows of constants that hold under every valuation
+// of the labeled nulls. For conjunctive queries these are exactly the
+// null-free rows of the naive evaluation.
+func (e *Engine) CertainAnswers(q *CQ) []model.Tuple {
+	var rows []model.Tuple
+	e.joinAtoms(q.Body, Binding{}, func(b Binding, _ []storage.TupleID) bool {
+		row := q.project(b)
+		if row.IsGround() {
+			rows = append(rows, row)
+		}
+		return true
+	})
+	return dedupSort(rows)
+}
+
+// BestEffortAnswers returns the best-effort answers: every row
+// derivable when labeled nulls are allowed to unify — consistently
+// within the row — with constants and with each other. Rows may
+// contain nulls (facts known to exist with unknown values) and may be
+// incorrect in completions that resolve the nulls differently.
+func (e *Engine) BestEffortAnswers(q *CQ) []model.Tuple {
+	var rows []model.Tuple
+	e.joinAtomsUnifying(q.Body, func(b Binding, sub model.Subst) bool {
+		row := q.project(b)
+		row = model.Tuple{Rel: row.Rel, Vals: sub.Apply(row.Vals)}
+		rows = append(rows, row)
+		return true
+	})
+	return dedupSort(rows)
+}
+
+// joinAtomsUnifying enumerates matches of the atom conjunction under
+// unification semantics: a database null may match any query constant
+// or other value, with all identifications collected in a per-match
+// substitution. fn receives the binding and the substitution; both are
+// private copies.
+func (e *Engine) joinAtomsUnifying(atoms []tgd.Atom, fn func(Binding, model.Subst) bool) bool {
+	n := len(atoms)
+	done := make([]bool, n)
+	scratch := Binding{}
+	sub := model.Subst{}
+
+	// resolve follows the substitution chain to a representative.
+	resolve := func(v model.Value) model.Value {
+		for v.IsNull() {
+			next, ok := sub[v]
+			if !ok {
+				return v
+			}
+			v = next
+		}
+		return v
+	}
+	// unite makes two values equal under the substitution, preferring
+	// constants as representatives. It returns an undo closure, or nil
+	// when impossible.
+	unite := func(a, b model.Value) func() {
+		ra, rb := resolve(a), resolve(b)
+		if ra == rb {
+			return func() {}
+		}
+		switch {
+		case ra.IsNull():
+			sub[ra] = rb
+			return func() { delete(sub, ra) }
+		case rb.IsNull():
+			sub[rb] = ra
+			return func() { delete(sub, rb) }
+		default:
+			return nil // two distinct constants
+		}
+	}
+
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			// Copy binding with the substitution applied and a frozen
+			// copy of the substitution itself.
+			outB := make(Binding, len(scratch))
+			for k, v := range scratch {
+				outB[k] = resolve(v)
+			}
+			outS := make(model.Subst, len(sub))
+			for k, v := range sub {
+				outS[k] = resolve(v)
+			}
+			return fn(outB, outS)
+		}
+		best := -1
+		bestBound := -1
+		for i, a := range atoms {
+			if done[i] {
+				continue
+			}
+			if bc := boundTermCount(a, scratch); bc > bestBound {
+				best, bestBound = i, bc
+			}
+		}
+		a := atoms[best]
+		done[best] = true
+		defer func() { done[best] = false }()
+		// Unification can cross constants, so index narrowing by bound
+		// constants would be unsound (a null in that column matches
+		// too); scan the relation.
+		for _, id := range e.snap.RelIDs(a.Rel) {
+			vals, ok := e.snap.Get(id)
+			if !ok {
+				continue
+			}
+			var undos []func()
+			var added []string
+			ok = true
+			for i, term := range a.Terms {
+				v := vals[i]
+				var want model.Value
+				if term.IsVar {
+					bound, isBound := scratch[term.Var]
+					if !isBound {
+						scratch[term.Var] = v
+						added = append(added, term.Var)
+						continue
+					}
+					want = bound
+				} else {
+					want = model.Const(term.Const)
+				}
+				u := unite(want, v)
+				if u == nil {
+					ok = false
+					break
+				}
+				undos = append(undos, u)
+			}
+			if ok {
+				if !rec(remaining - 1) {
+					for i := len(undos) - 1; i >= 0; i-- {
+						undos[i]()
+					}
+					undoBinds(scratch, added)
+					return false
+				}
+			}
+			for i := len(undos) - 1; i >= 0; i-- {
+				undos[i]()
+			}
+			undoBinds(scratch, added)
+		}
+		return true
+	}
+	return rec(n)
+}

@@ -1,0 +1,472 @@
+// Package query evaluates the conjunctive queries that Youtopia's
+// update exchange needs: LHS/RHS matching of mappings by homomorphism,
+// violation detection (Definition 2.1), the seeded violation queries of
+// §4.2 ("SELECT * FROM (LHS query) WHERE NOT EXISTS (SELECT * FROM
+// (RHS query))" with bindings taken from a newly written tuple), and
+// the correction queries used by the forward chase.
+//
+// Matching follows the homomorphism semantics of Fagin et al. [11]:
+// labeled nulls in the database are ordinary domain values — a query
+// constant matches only itself, while a query variable binds to any
+// value, constant or null.
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// Binding assigns values to mapping variables.
+type Binding map[string]model.Value
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Restrict returns the binding restricted to the given variables.
+func (b Binding) Restrict(vars []string) Binding {
+	out := make(Binding, len(vars))
+	for _, v := range vars {
+		if val, ok := b[v]; ok {
+			out[v] = val
+		}
+	}
+	return out
+}
+
+// String renders the binding deterministically, e.g. {c->Ithaca, n->x3}.
+func (b Binding) String() string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "->" + b[k].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Match is one homomorphism of a mapping's LHS into the database: the
+// variable assignment plus the witness tuples, aligned positionally
+// with the mapping's LHS atoms (Witness[i] matched LHS[i]).
+type Match struct {
+	Binding Binding
+	Witness []storage.TupleID
+}
+
+// Violation is a mapping violation (Definition 2.1): an LHS match with
+// no corresponding RHS match. Witness is aligned with the mapping's
+// LHS atoms.
+type Violation struct {
+	TGD     *tgd.TGD
+	Binding Binding
+	Witness []storage.TupleID
+}
+
+// Key identifies the violation within a run: mapping name, witness
+// tuple IDs in atom order, and the full binding. Keys are comparable
+// only within one store instance (tuple IDs are store-scoped).
+func (v *Violation) Key() string {
+	var b strings.Builder
+	b.WriteString(v.TGD.Name)
+	b.WriteByte('|')
+	for _, id := range v.Witness {
+		b.WriteString(storageIDString(id))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(v.Binding.String())
+	return b.String()
+}
+
+func storageIDString(id storage.TupleID) string {
+	const digits = "0123456789"
+	if id == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for id > 0 {
+		i--
+		buf[i] = digits[id%10]
+		id /= 10
+	}
+	return string(buf[i:])
+}
+
+// String renders the violation for diagnostics.
+func (v *Violation) String() string {
+	return "violation of " + v.TGD.Name + " at " + v.Binding.String()
+}
+
+// Engine evaluates queries against one snapshot.
+type Engine struct {
+	snap *storage.Snapshot
+}
+
+// NewEngine returns an engine reading through the given snapshot.
+func NewEngine(snap *storage.Snapshot) *Engine {
+	return &Engine{snap: snap}
+}
+
+// Snapshot returns the snapshot the engine reads through.
+func (e *Engine) Snapshot() *storage.Snapshot { return e.snap }
+
+// unifyValsAtom extends binding b by matching concrete values against
+// an atom's terms. It reports false when a constant clashes or a
+// variable is already bound to a different value.
+func unifyValsAtom(vals []model.Value, a tgd.Atom, b Binding) (Binding, bool) {
+	if len(vals) != len(a.Terms) {
+		return nil, false
+	}
+	out := b
+	copied := false
+	for i, term := range a.Terms {
+		v := vals[i]
+		if !term.IsVar {
+			if !v.IsConst() || v.ConstValue() != term.Const {
+				return nil, false
+			}
+			continue
+		}
+		if bound, ok := out[term.Var]; ok {
+			if bound != v {
+				return nil, false
+			}
+			continue
+		}
+		if !copied {
+			out = out.clone()
+			copied = true
+		}
+		out[term.Var] = v
+	}
+	return out, true
+}
+
+// boundTermCount counts how many argument positions of the atom are
+// determined under b (constants or bound variables).
+func boundTermCount(a tgd.Atom, b Binding) int {
+	n := 0
+	for _, term := range a.Terms {
+		if !term.IsVar {
+			n++
+			continue
+		}
+		if _, ok := b[term.Var]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates returns tuple IDs that can possibly match the atom under
+// b, using the most selective determined position, or every visible
+// tuple of the relation when nothing is determined.
+func (e *Engine) candidates(a tgd.Atom, b Binding) []storage.TupleID {
+	bestCol := -1
+	var bestIDs []storage.TupleID
+	for i, term := range a.Terms {
+		var val model.Value
+		switch {
+		case !term.IsVar:
+			val = model.Const(term.Const)
+		default:
+			bound, ok := b[term.Var]
+			if !ok {
+				continue
+			}
+			val = bound
+		}
+		ids := e.snap.CandidatesByValue(a.Rel, i, val)
+		if bestCol == -1 || len(ids) < len(bestIDs) {
+			bestCol, bestIDs = i, ids
+		}
+		if len(bestIDs) == 0 {
+			return nil
+		}
+	}
+	if bestCol >= 0 {
+		return bestIDs
+	}
+	// Unconstrained: every tuple of the relation is a candidate; the
+	// caller's Get filters visibility.
+	return e.snap.RelIDs(a.Rel)
+}
+
+// bindInPlace extends b by matching vals against the atom's terms,
+// mutating b and recording the newly bound variables in *added (for
+// undo). It reports false — with b already restored — when a constant
+// clashes or a variable is bound to a different value.
+func bindInPlace(vals []model.Value, a tgd.Atom, b Binding, added *[]string) bool {
+	*added = (*added)[:0]
+	for i, term := range a.Terms {
+		v := vals[i]
+		if !term.IsVar {
+			if !v.IsConst() || v.ConstValue() != term.Const {
+				undoBinds(b, *added)
+				return false
+			}
+			continue
+		}
+		if bound, ok := b[term.Var]; ok {
+			if bound != v {
+				undoBinds(b, *added)
+				return false
+			}
+			continue
+		}
+		b[term.Var] = v
+		*added = append(*added, term.Var)
+	}
+	return true
+}
+
+func undoBinds(b Binding, added []string) {
+	for _, v := range added {
+		delete(b, v)
+	}
+}
+
+// joinAtoms enumerates homomorphisms of the atom conjunction into the
+// snapshot, extending seed binding b. The witness records, for each
+// original atom position, the tuple matched to it. fn receives a
+// private copy of the binding; returning false stops the enumeration.
+// joinAtoms reports whether enumeration ran to completion.
+//
+// Bindings are extended in place with undo lists rather than cloned
+// per candidate: the join is the hottest code path of the whole
+// system (every violation query runs through it).
+func (e *Engine) joinAtoms(atoms []tgd.Atom, b Binding, fn func(Binding, []storage.TupleID) bool) bool {
+	n := len(atoms)
+	witness := make([]storage.TupleID, n)
+	done := make([]bool, n)
+	scratch := b.clone()
+	undo := make([][]string, n)
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			w := make([]storage.TupleID, n)
+			copy(w, witness)
+			return fn(scratch.clone(), w)
+		}
+		// Greedy: evaluate the most-bound unprocessed atom next.
+		best := -1
+		bestBound := -1
+		for i, a := range atoms {
+			if done[i] {
+				continue
+			}
+			if bc := boundTermCount(a, scratch); bc > bestBound {
+				best, bestBound = i, bc
+			}
+		}
+		a := atoms[best]
+		done[best] = true
+		defer func() { done[best] = false }()
+		level := &undo[n-remaining]
+		for _, id := range e.candidates(a, scratch) {
+			vals, ok := e.snap.Get(id)
+			if !ok {
+				continue
+			}
+			if !bindInPlace(vals, a, scratch, level) {
+				continue
+			}
+			witness[best] = id
+			cont := rec(remaining - 1)
+			undoBinds(scratch, *level)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(n)
+}
+
+// LHSMatches returns every homomorphism of the mapping's LHS into the
+// snapshot that extends the seed binding, in deterministic order.
+func (e *Engine) LHSMatches(t *tgd.TGD, seed Binding) []Match {
+	var out []Match
+	if seed == nil {
+		seed = Binding{}
+	}
+	e.joinAtoms(t.LHS, seed, func(b Binding, w []storage.TupleID) bool {
+		out = append(out, Match{Binding: b, Witness: w})
+		return true
+	})
+	return out
+}
+
+// RHSSatisfied reports whether the mapping's RHS has a complete match
+// extending the binding (the existentially quantified variables bind
+// freely).
+func (e *Engine) RHSSatisfied(t *tgd.TGD, b Binding) bool {
+	found := false
+	e.joinAtoms(t.RHS, b.Restrict(t.FrontierVars()), func(Binding, []storage.TupleID) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Violations returns every violation of the mapping extending the seed
+// binding (Definition 2.1), in deterministic order.
+func (e *Engine) Violations(t *tgd.TGD, seed Binding) []Violation {
+	var out []Violation
+	for _, m := range e.LHSMatches(t, seed) {
+		if !e.RHSSatisfied(t, m.Binding) {
+			out = append(out, Violation{TGD: t, Binding: m.Binding, Witness: m.Witness})
+		}
+	}
+	return out
+}
+
+// Side selects which atoms of a mapping a seeded violation query
+// binds the written tuple against.
+type Side uint8
+
+const (
+	// SeedLHS seeds through LHS atoms: violations whose witness carries
+	// the written values. Inserts and the insert half of modifications
+	// create violations only this way.
+	SeedLHS Side = iota
+	// SeedRHS seeds through RHS atoms: violations whose RHS support
+	// involved the written values — the "deleted RHS support" case of
+	// Example 4.1.
+	SeedRHS
+	// SeedBoth unions both directions.
+	SeedBoth
+)
+
+// String names the side.
+func (s Side) String() string {
+	switch s {
+	case SeedLHS:
+		return "lhs"
+	case SeedRHS:
+		return "rhs"
+	default:
+		return "both"
+	}
+}
+
+// ViolationsSeeded evaluates the §4.2 violation query for mapping t
+// seeded by a written tuple (rel, vals) on the chosen side: violations
+// whose LHS atoms over rel carry the written values (SeedLHS), and/or
+// violations whose frontier bindings flow from the written tuple
+// through an RHS atom over rel (SeedRHS). The result is deduplicated
+// and deterministic.
+func (e *Engine) ViolationsSeeded(t *tgd.TGD, rel string, vals []model.Value, side Side) []Violation {
+	seen := make(map[string]bool)
+	var out []Violation
+	add := func(vs []Violation) {
+		for i := range vs {
+			v := vs[i]
+			if k := v.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, v)
+			}
+		}
+	}
+	if side == SeedLHS || side == SeedBoth {
+		for _, a := range t.LHS {
+			if a.Rel != rel {
+				continue
+			}
+			if b, ok := unifyValsAtom(vals, a, Binding{}); ok {
+				add(e.Violations(t, b))
+			}
+		}
+	}
+	if side == SeedRHS || side == SeedBoth {
+		for _, a := range t.RHS {
+			if a.Rel != rel {
+				continue
+			}
+			if b, ok := unifyValsAtom(vals, a, Binding{}); ok {
+				add(e.Violations(t, b.Restrict(t.FrontierVars())))
+			}
+		}
+	}
+	return out
+}
+
+// UnifyValsAtom extends binding b by matching concrete values against
+// an atom's terms; see unifyValsAtom. Exported for the chase engine's
+// violation rechecks.
+func UnifyValsAtom(vals []model.Value, a tgd.Atom, b Binding) (Binding, bool) {
+	return unifyValsAtom(vals, a, b)
+}
+
+// AllViolations returns the violations of every mapping in the set, in
+// mapping order then match order. Mainly used to validate that a
+// database satisfies its mappings.
+func (e *Engine) AllViolations(set *tgd.Set) []Violation {
+	var out []Violation
+	for _, t := range set.All() {
+		out = append(out, e.Violations(t, nil)...)
+	}
+	return out
+}
+
+// Satisfied reports whether the snapshot satisfies every mapping.
+func (e *Engine) Satisfied(set *tgd.Set) bool {
+	for _, t := range set.All() {
+		violated := false
+		e.joinAtoms(t.LHS, Binding{}, func(b Binding, _ []storage.TupleID) bool {
+			if !e.RHSSatisfied(t, b) {
+				violated = true
+				return false
+			}
+			return true
+		})
+		if violated {
+			return false
+		}
+	}
+	return true
+}
+
+// InstantiateRHS builds the tuples the standard chase would insert to
+// repair a violation: each RHS atom instantiated under the binding,
+// with one fresh labeled null per existential variable drawn from
+// fresh. It returns the tuples aligned with the RHS atoms and the
+// set of freshly minted nulls.
+func InstantiateRHS(t *tgd.TGD, b Binding, fresh func() model.Value) ([]model.Tuple, map[model.Value]bool) {
+	ext := make(Binding, len(b)+len(t.ExistentialVars()))
+	for k, v := range b {
+		ext[k] = v
+	}
+	freshNulls := make(map[model.Value]bool)
+	for _, z := range t.ExistentialVars() {
+		nv := fresh()
+		ext[z] = nv
+		freshNulls[nv] = true
+	}
+	out := make([]model.Tuple, len(t.RHS))
+	for i, a := range t.RHS {
+		vals := make([]model.Value, len(a.Terms))
+		for j, term := range a.Terms {
+			if term.IsVar {
+				vals[j] = ext[term.Var]
+			} else {
+				vals[j] = model.Const(term.Const)
+			}
+		}
+		out[i] = model.Tuple{Rel: a.Rel, Vals: vals}
+	}
+	return out, freshNulls
+}

@@ -1,0 +1,329 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// This file defines the stored read queries of §4.2 and the
+// "retroactively changes the result" checks of Algorithm 4 and §5.1.
+//
+// A chase step reads the database through a small number of query
+// shapes. Each shape is stored intensionally; concurrency control later
+// asks whether a freshly performed write changes its answer. The paper
+// observes (§5) that correction queries can be checked against a write
+// without touching the database, while violation queries need a
+// (seeded, therefore cheap) database query; the implementations below
+// preserve that asymmetry, which is what makes COARSE cheaper than
+// PRECISE.
+
+// Kind classifies a read query.
+type Kind uint8
+
+const (
+	// KindViolation is the seeded violation query of §4.2.
+	KindViolation Kind = iota
+	// KindMoreSpecific is the correction query "find tuples in R more
+	// specific than t".
+	KindMoreSpecific
+	// KindNullOcc is the correction query "find all tuples containing
+	// labeled null x".
+	KindNullOcc
+	// KindContent is the set-semantics duplicate/content probe issued
+	// by inserts and content deletes.
+	KindContent
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindViolation:
+		return "violation"
+	case KindMoreSpecific:
+		return "more-specific"
+	case KindNullOcc:
+		return "null-occurrence"
+	case KindContent:
+		return "content"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ReadQuery is a stored, intensional description of one read performed
+// by a chase step.
+type ReadQuery interface {
+	// Kind classifies the query.
+	Kind() Kind
+	// Reader is the priority number of the update that performed the
+	// read.
+	Reader() int
+	// Relations returns the relations the query ranges over; COARSE
+	// charges relation-granularity dependencies against violation
+	// queries using this. Correction queries return only their own
+	// relation (or nothing), and COARSE never uses it for them.
+	Relations() []string
+	// AffectedBy reports whether the given write, already applied to
+	// the store, retroactively changes this query's answer as seen by
+	// the reader. Writes that are invisible to the reader never affect
+	// the answer.
+	AffectedBy(st *storage.Store, w storage.WriteRec) bool
+	// String renders the query for diagnostics.
+	String() string
+}
+
+// ViolationRead stores a seeded violation query: "which violations of
+// TGD did the write of SeedVals into SeedRel create?" (Example 4.1).
+// Besides the intensional query it records the canonical answer and
+// the store sequence number at read time, so conflict checks can ask
+// whether a later write retroactively changes what was read — even
+// after the reader's own repairs have moved the current answer on.
+type ViolationRead struct {
+	TGD      *tgd.TGD
+	SeedRel  string
+	SeedVals []model.Value
+	// SeedSide records which atoms the seed was bound against; the
+	// re-evaluation used by AffectedBy reproduces the same query.
+	SeedSide Side
+	ReaderNo int
+	// Answer is the canonical rendering of the violations read.
+	Answer string
+	// ReadSeq is the store's sequence number when the read happened.
+	ReadSeq int64
+}
+
+// NewViolationRead evaluates the seeded violation query on the
+// reader's snapshot and returns both the stored read descriptor and
+// the violations it found.
+func NewViolationRead(st *storage.Store, t *tgd.TGD, seedRel string, seedVals []model.Value, side Side, reader int) (*ViolationRead, []Violation) {
+	q := &ViolationRead{
+		TGD:      t,
+		SeedRel:  seedRel,
+		SeedVals: append([]model.Value(nil), seedVals...),
+		SeedSide: side,
+		ReaderNo: reader,
+		ReadSeq:  st.CurrentSeq(),
+	}
+	vs := q.eval(NewEngine(st.Snap(reader)))
+	q.Answer = canonViolations(vs)
+	return q, vs
+}
+
+// canonViolations renders a violation set canonically.
+func canonViolations(vs []Violation) string {
+	keys := make([]string, len(vs))
+	for i := range vs {
+		keys[i] = vs[i].Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// Kind implements ReadQuery.
+func (q *ViolationRead) Kind() Kind { return KindViolation }
+
+// Reader implements ReadQuery.
+func (q *ViolationRead) Reader() int { return q.ReaderNo }
+
+// Relations implements ReadQuery: every relation of the mapping.
+func (q *ViolationRead) Relations() []string { return q.TGD.Relations() }
+
+// String implements ReadQuery. It identifies the read, including its
+// read time: the same intensional query read at different moments
+// guards different answers, so both instances are kept.
+func (q *ViolationRead) String() string {
+	return fmt.Sprintf("violation-query[%s seeded %s by %s @%d]", q.TGD.Name, q.SeedSide,
+		model.Tuple{Rel: q.SeedRel, Vals: q.SeedVals}, q.ReadSeq)
+}
+
+// mayTouch is a cheap structural prefilter: can values unify with any
+// atom of the mapping over the write's relation?
+func mayTouch(t *tgd.TGD, rel string, vals []model.Value) bool {
+	if vals == nil {
+		return false
+	}
+	for _, a := range t.LHS {
+		if a.Rel == rel {
+			if _, ok := unifyValsAtom(vals, a, Binding{}); ok {
+				return true
+			}
+		}
+	}
+	for _, a := range t.RHS {
+		if a.Rel == rel {
+			if _, ok := unifyValsAtom(vals, a, Binding{}); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// answerCanon renders the full answer of the stored query on a
+// snapshot, canonically.
+func (q *ViolationRead) answerCanon(snap *storage.Snapshot) string {
+	return canonViolations(q.eval(NewEngine(snap)))
+}
+
+// eval re-evaluates the stored query on an engine.
+func (q *ViolationRead) eval(e *Engine) []Violation {
+	return e.ViolationsSeeded(q.TGD, q.SeedRel, q.SeedVals, q.SeedSide)
+}
+
+// AffectedBy implements ReadQuery: does the write change what was read
+// at read time? For a write performed after the read, the answer is
+// re-evaluated on the read-time state augmented with the interference
+// window — every write up to and including w by writers other than
+// the reader (the reader's own later repairs must not hide the
+// change). For a write that preceded the read (the dependency
+// direction of §5.1), the read-time answer is re-evaluated with that
+// single write masked. Either way a difference from the recorded
+// answer means the write influences the read. This is the "single
+// query combining the original violation query with information about
+// the new tuple" of §5; modifications are delete-then-insert records,
+// exactly as the paper prescribes.
+func (q *ViolationRead) AffectedBy(st *storage.Store, w storage.WriteRec) bool {
+	if w.Writer > q.ReaderNo {
+		return false // invisible to the reader
+	}
+	if !q.TGD.UsesRelation(w.Rel) {
+		return false
+	}
+	if !mayTouch(q.TGD, w.Rel, w.After) && !mayTouch(q.TGD, w.Rel, w.Before) {
+		return false
+	}
+	base := st.Snap(q.ReaderNo)
+	var snap *storage.Snapshot
+	if w.Seq > q.ReadSeq {
+		snap = base.WithWindow(q.ReadSeq, w.Seq)
+	} else {
+		snap = base.WithCeiling(q.ReadSeq).WithMask(w.Writer, w.Seq)
+	}
+	return q.answerCanon(snap) != q.Answer
+}
+
+// MoreSpecificRead stores the correction query "find tuples of Rel
+// more specific than Pattern" (§4.2).
+type MoreSpecificRead struct {
+	Rel      string
+	Pattern  []model.Value
+	ReaderNo int
+}
+
+// Kind implements ReadQuery.
+func (q *MoreSpecificRead) Kind() Kind { return KindMoreSpecific }
+
+// Reader implements ReadQuery.
+func (q *MoreSpecificRead) Reader() int { return q.ReaderNo }
+
+// Relations implements ReadQuery.
+func (q *MoreSpecificRead) Relations() []string { return []string{q.Rel} }
+
+// String implements ReadQuery.
+func (q *MoreSpecificRead) String() string {
+	return fmt.Sprintf("more-specific-query[%s]", model.Tuple{Rel: q.Rel, Vals: q.Pattern})
+}
+
+// AffectedBy implements ReadQuery structurally, without touching the
+// database: a write changes the answer iff it writes or removes a
+// tuple more specific than the pattern.
+func (q *MoreSpecificRead) AffectedBy(_ *storage.Store, w storage.WriteRec) bool {
+	if w.Writer > q.ReaderNo || w.Rel != q.Rel {
+		return false
+	}
+	match := func(vals []model.Value) bool {
+		return vals != nil && model.MoreSpecificVals(vals, q.Pattern)
+	}
+	return match(w.After) || match(w.Before)
+}
+
+// NullOccRead stores the correction query "find all tuples containing
+// labeled null X" (§4.2): the write set of a unification.
+type NullOccRead struct {
+	Null     model.Value
+	ReaderNo int
+}
+
+// Kind implements ReadQuery.
+func (q *NullOccRead) Kind() Kind { return KindNullOcc }
+
+// Reader implements ReadQuery.
+func (q *NullOccRead) Reader() int { return q.ReaderNo }
+
+// Relations implements ReadQuery: the query ranges over the whole
+// database, but COARSE computes correction-query dependencies exactly
+// from the write log (§5.1.1), so no relation set is needed.
+func (q *NullOccRead) Relations() []string { return nil }
+
+// String implements ReadQuery.
+func (q *NullOccRead) String() string {
+	return fmt.Sprintf("null-occurrence-query[%s]", q.Null)
+}
+
+// AffectedBy implements ReadQuery: as the paper notes, "a given tuple
+// write changes the answer to a correction query either on all
+// databases, or on none" — here, iff the written tuple contains the
+// null (before or after).
+func (q *NullOccRead) AffectedBy(_ *storage.Store, w storage.WriteRec) bool {
+	if w.Writer > q.ReaderNo {
+		return false
+	}
+	has := func(vals []model.Value) bool {
+		for _, v := range vals {
+			if v == q.Null {
+				return true
+			}
+		}
+		return false
+	}
+	return has(w.Before) || has(w.After)
+}
+
+// ContentRead stores the set-semantics probe "is the fact (Rel, Vals)
+// present?". Inserts log it when they no-op against a visible
+// duplicate; content deletes log it to pin the set of copies they
+// removed. It is checked structurally.
+type ContentRead struct {
+	Rel      string
+	Vals     []model.Value
+	ReaderNo int
+}
+
+// Kind implements ReadQuery.
+func (q *ContentRead) Kind() Kind { return KindContent }
+
+// Reader implements ReadQuery.
+func (q *ContentRead) Reader() int { return q.ReaderNo }
+
+// Relations implements ReadQuery.
+func (q *ContentRead) Relations() []string { return []string{q.Rel} }
+
+// String implements ReadQuery.
+func (q *ContentRead) String() string {
+	return fmt.Sprintf("content-query[%s]", model.Tuple{Rel: q.Rel, Vals: q.Vals})
+}
+
+// AffectedBy implements ReadQuery: a write affects the probe iff it
+// writes or removes exactly this content.
+func (q *ContentRead) AffectedBy(_ *storage.Store, w storage.WriteRec) bool {
+	if w.Writer > q.ReaderNo || w.Rel != q.Rel {
+		return false
+	}
+	eq := func(vals []model.Value) bool {
+		if len(vals) != len(q.Vals) {
+			return false
+		}
+		for i := range vals {
+			if vals[i] != q.Vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(w.Before) || eq(w.After)
+}

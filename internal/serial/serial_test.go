@@ -1,0 +1,151 @@
+package serial
+
+import (
+	"math/rand"
+	"testing"
+
+	"youtopia/internal/model"
+)
+
+func c(s string) model.Value { return model.Const(s) }
+func n(id int64) model.Value { return model.Null(id) }
+func tup(rel string, vals ...model.Value) model.Tuple {
+	return model.NewTuple(rel, vals...)
+}
+
+func db(ts ...model.Tuple) map[string][]model.Tuple {
+	out := make(map[string][]model.Tuple)
+	for _, t := range ts {
+		out[t.Rel] = append(out[t.Rel], t)
+	}
+	return out
+}
+
+func TestEquivalentIdentical(t *testing.T) {
+	a := db(tup("R", c("x"), n(1)), tup("S", n(1)))
+	if !MustEquivalent(a, a) {
+		t.Fatal("database must be equivalent to itself")
+	}
+}
+
+func TestEquivalentRenamed(t *testing.T) {
+	a := db(tup("R", c("x"), n(1)), tup("S", n(1)), tup("S", n(2)))
+	b := db(tup("R", c("x"), n(9)), tup("S", n(9)), tup("S", n(4)))
+	if !MustEquivalent(a, b) {
+		t.Fatal("renaming x1->x9, x2->x4 must be found")
+	}
+}
+
+func TestEquivalentSharedStructureMatters(t *testing.T) {
+	// {R(x1,x1)} vs {R(x1,x2)}: per-tuple canonical forms differ.
+	a := db(tup("R", n(1), n(1)))
+	b := db(tup("R", n(1), n(2)))
+	if MustEquivalent(a, b) {
+		t.Fatal("repeated null must not match distinct nulls")
+	}
+	// Cross-tuple sharing: {R(x1), S(x1)} vs {R(x1), S(x2)}.
+	a = db(tup("R", n(1)), tup("S", n(1)))
+	b = db(tup("R", n(1)), tup("S", n(2)))
+	if MustEquivalent(a, b) {
+		t.Fatal("cross-tuple null sharing must be respected")
+	}
+}
+
+func TestEquivalentBijective(t *testing.T) {
+	// Two a-nulls cannot map to one b-null: {R(x1), R(x2)} (2 facts) vs
+	// {R(x1)} (1 fact) differs in cardinality; test injectivity with
+	// equal cardinalities instead.
+	a := db(tup("R", n(1), n(2)))
+	b := db(tup("R", n(5), n(5)))
+	if MustEquivalent(a, b) {
+		t.Fatal("distinct nulls must not collapse onto one")
+	}
+}
+
+func TestEquivalentNullVsConstant(t *testing.T) {
+	a := db(tup("R", n(1)))
+	b := db(tup("R", c("v")))
+	if MustEquivalent(a, b) {
+		t.Fatal("null must not match constant")
+	}
+}
+
+func TestEquivalentDuplicatesAreSets(t *testing.T) {
+	// Set semantics: duplicate content counts once.
+	a := db(tup("R", c("v")), tup("R", c("v")))
+	b := db(tup("R", c("v")))
+	if !MustEquivalent(a, b) {
+		t.Fatal("duplicate facts must compare as sets")
+	}
+}
+
+func TestEquivalentDifferentSizes(t *testing.T) {
+	a := db(tup("R", c("v")), tup("R", c("w")))
+	b := db(tup("R", c("v")))
+	if MustEquivalent(a, b) {
+		t.Fatal("different fact counts must differ")
+	}
+}
+
+func TestEquivalentHardSharing(t *testing.T) {
+	// A chain a: R(x1,x2), R(x2,x3) vs b: R(y1,y2), R(y2,y3) — match.
+	a := db(tup("R", n(1), n(2)), tup("R", n(2), n(3)))
+	b := db(tup("R", n(7), n(8)), tup("R", n(8), n(9)))
+	if !MustEquivalent(a, b) {
+		t.Fatal("isomorphic chains must match")
+	}
+	// Chain vs fork: R(x1,x2), R(x2,x3) vs R(y1,y2), R(y1,y3).
+	bfork := db(tup("R", n(7), n(8)), tup("R", n(7), n(9)))
+	if MustEquivalent(a, bfork) {
+		t.Fatal("chain must not match fork")
+	}
+}
+
+// Property: applying a random bijective null renaming yields an
+// equivalent database; flipping one value yields a non-equivalent one
+// (when the flip changes structure).
+func TestEquivalentRenamingQuick(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ts []model.Tuple
+		nTuples := rng.Intn(8) + 1
+		for i := 0; i < nTuples; i++ {
+			arity := rng.Intn(3) + 1
+			vals := make([]model.Value, arity)
+			for j := range vals {
+				if rng.Intn(2) == 0 {
+					vals[j] = c(string(rune('a' + rng.Intn(3))))
+				} else {
+					vals[j] = n(int64(rng.Intn(4) + 1))
+				}
+			}
+			ts = append(ts, tup("R", vals...))
+		}
+		a := db(ts...)
+		perm := rng.Perm(4)
+		ren := model.Subst{}
+		for i := 0; i < 4; i++ {
+			ren[n(int64(i+1))] = n(int64(100 + perm[i]))
+		}
+		var renamed []model.Tuple
+		for _, tp := range ts {
+			renamed = append(renamed, ren.ApplyTuple(tp))
+		}
+		if !MustEquivalent(a, db(renamed...)) {
+			t.Fatalf("seed %d: renamed database must be equivalent", seed)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	a := db(tup("R", c("v")))
+	b := db(tup("R", c("w")))
+	out := Explain(a, b)
+	if out == "" {
+		t.Fatal("empty explanation")
+	}
+	same := Explain(a, a)
+	if same == "" {
+		t.Fatal("empty explanation for equal dbs")
+	}
+}

@@ -1,0 +1,148 @@
+// Package simuser implements the simulated user of the paper's
+// experiments (§6): frontier operations are chosen uniformly at random
+// among all available alternatives. As the paper notes, this has the
+// practical side effect of making chases terminate even under cyclic
+// mappings, because a unification is chosen sooner or later on every
+// forward chase path.
+//
+// Choices are deterministic functions of (seed, update number,
+// decision ordinal within the attempt, canonical decision context), so
+// a restarted update facing the same situations repeats its choices,
+// and a serial reference execution of the same workload makes the same
+// choices as a concurrent one — the property the serializability tests
+// rely on.
+package simuser
+
+import (
+	"hash/fnv"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/model"
+)
+
+// User is a deterministic simulated user.
+type User struct {
+	// Seed drives all choices.
+	Seed uint64
+	// Latency is the number of times a decision must be requested
+	// before the user answers; 0 answers immediately. It models slow
+	// humans for scheduler experiments.
+	Latency int
+	// ForceUnifyAfter, when positive, makes the user prefer unification
+	// alternatives once an update attempt has performed that many
+	// frontier operations. It bounds the tail of the geometric
+	// expansion/unification race on cyclic mappings; the paper's
+	// uniform choice makes termination almost sure, this makes it sure.
+	ForceUnifyAfter int
+
+	attempt map[int]int // update number -> attempt last seen
+	ordinal map[int]int // update number -> decisions made this attempt
+	polls   map[pollKey]int
+}
+
+type pollKey struct {
+	number, attempt, ordinal int
+}
+
+// New returns a simulated user with the given seed and a
+// ForceUnifyAfter safeguard of 64.
+func New(seed uint64) *User {
+	return &User{
+		Seed:            seed,
+		ForceUnifyAfter: 64,
+		attempt:         make(map[int]int),
+		ordinal:         make(map[int]int),
+		polls:           make(map[pollKey]int),
+	}
+}
+
+// Decide implements chase.User.
+func (s *User) Decide(u *chase.Update, g *chase.FrontierGroup, opts []chase.Decision, context string) (chase.Decision, bool) {
+	if len(opts) == 0 {
+		return chase.Decision{}, false
+	}
+	if s.attempt[u.Number] != u.Attempt {
+		s.attempt[u.Number] = u.Attempt
+		s.ordinal[u.Number] = 0
+	}
+	ord := s.ordinal[u.Number]
+	if s.Latency > 0 {
+		k := pollKey{u.Number, u.Attempt, ord}
+		s.polls[k]++
+		if s.polls[k] <= s.Latency {
+			return chase.Decision{}, false
+		}
+		delete(s.polls, k)
+	}
+	s.ordinal[u.Number] = ord + 1
+
+	pool := opts
+	if s.ForceUnifyAfter > 0 && u.Stats.FrontierOps >= s.ForceUnifyAfter && g.Positive {
+		var unifies []chase.Decision
+		for _, d := range opts {
+			if d.Kind == chase.DecideUnify {
+				unifies = append(unifies, d)
+			}
+		}
+		if len(unifies) > 0 {
+			pool = unifies
+		}
+	}
+
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	put(s.Seed)
+	put(uint64(u.Number))
+	put(uint64(ord))
+	put(model.CanonHash(context))
+	idx := int(h.Sum64() % uint64(len(pool)))
+	return pool[idx], true
+}
+
+// ExpandAlways is a user that always expands the first frontier tuple
+// of positive groups and deletes the first candidate of negative ones.
+// It reproduces the classical chase's insert-always behaviour and is
+// used to demonstrate controlled nontermination on cyclic mappings.
+func ExpandAlways() chase.User {
+	return chase.UserFunc(func(u *chase.Update, g *chase.FrontierGroup, opts []chase.Decision, _ string) (chase.Decision, bool) {
+		for _, d := range opts {
+			if d.Kind == chase.DecideExpand || d.Kind == chase.DecideDelete {
+				return d, true
+			}
+		}
+		return chase.Decision{}, false
+	})
+}
+
+// UnifyFirst is a user that unifies whenever a unification alternative
+// exists, expanding (or deleting the first candidate) otherwise. It is
+// the "knowledgeable human who short-circuits the infinite cascade" of
+// §2.2.
+func UnifyFirst() chase.User {
+	return chase.UserFunc(func(u *chase.Update, g *chase.FrontierGroup, opts []chase.Decision, _ string) (chase.Decision, bool) {
+		for _, d := range opts {
+			if d.Kind == chase.DecideUnify {
+				return d, true
+			}
+		}
+		for _, d := range opts {
+			if d.Kind == chase.DecideExpand || d.Kind == chase.DecideDelete {
+				return d, true
+			}
+		}
+		return chase.Decision{}, false
+	})
+}
+
+// Silent is a user that never answers; it models an absent human.
+func Silent() chase.User {
+	return chase.UserFunc(func(*chase.Update, *chase.FrontierGroup, []chase.Decision, string) (chase.Decision, bool) {
+		return chase.Decision{}, false
+	})
+}

@@ -1,0 +1,191 @@
+package simuser
+
+import (
+	"testing"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/fixtures"
+	"youtopia/internal/model"
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+)
+
+func c(s string) model.Value { return model.Const(s) }
+func tup(rel string, vals ...model.Value) model.Tuple {
+	return model.NewTuple(rel, vals...)
+}
+
+// testGroup builds a plausible frontier group for Decide calls.
+func testGroup() (*chase.Update, *chase.FrontierGroup, []chase.Decision) {
+	u := chase.NewUpdate(3, chase.Insert(tup("C", c("x"))))
+	g := &chase.FrontierGroup{
+		ID:       0,
+		Positive: true,
+		Tuples:   []model.Tuple{tup("C", model.Null(9))},
+	}
+	opts := []chase.Decision{
+		{Kind: chase.DecideExpand, TupleIdx: 0},
+		{Kind: chase.DecideUnify, TupleIdx: 0, Target: 1},
+		{Kind: chase.DecideUnify, TupleIdx: 0, Target: 2},
+	}
+	return u, g, opts
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	u, g, opts := testGroup()
+	a := New(42)
+	b := New(42)
+	da, okA := a.Decide(u, g, opts, "ctx")
+	db, okB := b.Decide(u, g, opts, "ctx")
+	if !okA || !okB {
+		t.Fatal("users must decide")
+	}
+	if da.String() != db.String() {
+		t.Fatalf("same seed, different decisions: %v vs %v", da, db)
+	}
+	c := New(43)
+	varied := false
+	for i := 0; i < 16 && !varied; i++ {
+		d1, _ := New(42).Decide(u, g, opts, "ctx")
+		d2, _ := c.Decide(u, g, opts, "ctx")
+		if d1.String() != d2.String() {
+			varied = true
+		}
+		u.Stats.FrontierOps++ // perturb ordinal-free state only
+	}
+	_ = varied // different seeds may coincide on tiny option sets
+}
+
+func TestDecideEmptyOptions(t *testing.T) {
+	u, g, _ := testGroup()
+	if _, ok := New(1).Decide(u, g, nil, "ctx"); ok {
+		t.Fatal("no options must give no decision")
+	}
+}
+
+func TestDecideOrdinalResetsPerAttempt(t *testing.T) {
+	u, g, opts := testGroup()
+	s := New(7)
+	first, _ := s.Decide(u, g, opts, "ctx")
+	// Another decision in the same attempt advances the ordinal.
+	second, _ := s.Decide(u, g, opts, "ctx")
+	_ = second
+	// Restart (attempt 2): the first decision must repeat attempt 1's.
+	u.Reset()
+	again, _ := s.Decide(u, g, opts, "ctx")
+	if first.String() != again.String() {
+		t.Fatalf("restart decision differs: %v vs %v", first, again)
+	}
+}
+
+func TestDecideContextSensitivity(t *testing.T) {
+	u, g, opts := testGroup()
+	diff := false
+	for seed := uint64(0); seed < 32 && !diff; seed++ {
+		a, _ := New(seed).Decide(u, g, opts, "ctx-one")
+		u2, g2, opts2 := testGroup()
+		b, _ := New(seed).Decide(u2, g2, opts2, "ctx-two")
+		if a.String() != b.String() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("context never influenced the decision across 32 seeds")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	u, g, opts := testGroup()
+	s := New(5)
+	s.Latency = 2
+	if _, ok := s.Decide(u, g, opts, "ctx"); ok {
+		t.Fatal("first poll must be declined")
+	}
+	if _, ok := s.Decide(u, g, opts, "ctx"); ok {
+		t.Fatal("second poll must be declined")
+	}
+	if _, ok := s.Decide(u, g, opts, "ctx"); !ok {
+		t.Fatal("third poll must answer")
+	}
+}
+
+func TestForceUnifyAfter(t *testing.T) {
+	u, g, opts := testGroup()
+	s := New(9)
+	s.ForceUnifyAfter = 1
+	u.Stats.FrontierOps = 5 // past the threshold
+	for i := 0; i < 20; i++ {
+		d, ok := s.Decide(u, g, opts, "ctx")
+		if !ok {
+			t.Fatal("must decide")
+		}
+		if d.Kind != chase.DecideUnify {
+			t.Fatalf("forced unify violated: %v", d)
+		}
+	}
+	// With no unify options, expansion is allowed.
+	onlyExpand := opts[:1]
+	d, ok := s.Decide(u, g, onlyExpand, "ctx")
+	if !ok || d.Kind != chase.DecideExpand {
+		t.Fatalf("fallback expand failed: %v %v", d, ok)
+	}
+}
+
+func TestHelperUsers(t *testing.T) {
+	_, set, st, err := fixtures.Genealogy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(tup("Person", c("Mary"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(tup("Father", c("Mary"), c("Mary"))); err != nil {
+		t.Fatal(err)
+	}
+	e := chase.NewEngine(st, set)
+	e.MaxStepsPerAttempt = 200
+
+	// UnifyFirst terminates the cyclic chase.
+	u := chase.NewUpdate(1, chase.Insert(tup("Person", c("John"))))
+	r := &chase.Runner{Engine: e, User: UnifyFirst()}
+	if _, err := r.Run(u); err != nil {
+		t.Fatalf("UnifyFirst: %v", err)
+	}
+	qe := query.NewEngine(st.Snap(1))
+	if vs := qe.AllViolations(set); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+
+	// Silent never decides.
+	if _, ok := Silent().Decide(nil, nil, []chase.Decision{{}}, ""); ok {
+		t.Fatal("Silent decided")
+	}
+
+	// ExpandAlways picks expansions.
+	_, g, opts := testGroup()
+	d, ok := ExpandAlways().Decide(nil, g, opts, "")
+	if !ok || d.Kind != chase.DecideExpand {
+		t.Fatalf("ExpandAlways: %v %v", d, ok)
+	}
+	_ = storage.TupleID(0)
+}
+
+func TestRandomUserTerminatesCyclicChase(t *testing.T) {
+	// The §6 safeguard: even on the pathological cyclic genealogy
+	// mapping, the random user with ForceUnifyAfter terminates.
+	for seed := uint64(0); seed < 10; seed++ {
+		_, set, st, err := fixtures.Genealogy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := chase.NewEngine(st, set)
+		e.MaxStepsPerAttempt = 5000
+		user := New(seed)
+		user.ForceUnifyAfter = 8
+		u := chase.NewUpdate(1, chase.Insert(tup("Person", c("John"))))
+		r := &chase.Runner{Engine: e, User: user}
+		if _, err := r.Run(u); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"youtopia/internal/model"
+)
+
+func benchStore(b *testing.B, nTuples int) *Store {
+	b.Helper()
+	st := NewStore(testSchema())
+	for i := 0; i < nTuples; i++ {
+		t := tup("S",
+			c(fmt.Sprintf("code%d", i%50)),
+			c(fmt.Sprintf("loc%d", i%20)),
+			c(fmt.Sprintf("city%d", i)))
+		if _, err := st.Load(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+func BenchmarkInsert(b *testing.B) {
+	st := NewStore(testSchema())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, err := st.Insert(1, tup("C", c(fmt.Sprintf("v%d", i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertDuplicateNoOp(b *testing.B) {
+	st := NewStore(testSchema())
+	st.Load(tup("C", c("dup")))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Insert(1, tup("C", c("dup")))
+	}
+}
+
+func BenchmarkCandidatesByValue(b *testing.B) {
+	st := benchStore(b, 2000)
+	snap := st.Snap(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := snap.CandidatesByValue("S", 0, c(fmt.Sprintf("code%d", i%50)))
+		if len(ids) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+func BenchmarkScanRel(b *testing.B) {
+	st := benchStore(b, 2000)
+	snap := st.Snap(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		snap.ScanRel("S", func(TupleID, []model.Value) bool { n++; return true })
+		if n != 2000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkMoreSpecific(b *testing.B) {
+	st := benchStore(b, 2000)
+	snap := st.Snap(1)
+	pattern := tup("S", n(1), n(2), c("city7"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.MoreSpecific(pattern)
+	}
+}
+
+func BenchmarkReplaceNull(b *testing.B) {
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		st := NewStore(testSchema())
+		for j := 0; j < 50; j++ {
+			st.Load(tup("R", n(1), c(fmt.Sprintf("k%d", j))))
+		}
+		b.StartTimer()
+		if _, err := st.ReplaceNull(1, n(1), c("done")); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+	}
+}
+
+func BenchmarkAbort(b *testing.B) {
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		st := benchStore(b, 200)
+		for j := 0; j < 100; j++ {
+			st.Insert(1, tup("C", c(fmt.Sprintf("w%d", j))))
+		}
+		b.StartTimer()
+		st.Abort(1)
+		b.StopTimer()
+	}
+}

@@ -1,0 +1,66 @@
+package storage
+
+import "sort"
+
+// bucket is a multiset of tuple IDs (counting versions) with a cached
+// sorted view. Queries fetch candidate lists far more often than
+// writes change membership, so the sorted slice is memoized and only
+// invalidated when an ID enters or leaves the set — reference-count
+// changes for an existing member keep the cache.
+type bucket struct {
+	counts map[TupleID]int
+	sorted []TupleID // nil when stale
+}
+
+func newBucket() *bucket {
+	return &bucket{counts: make(map[TupleID]int)}
+}
+
+// add increments the count for id, invalidating the cache only on
+// fresh membership.
+func (b *bucket) add(id TupleID) {
+	if b.counts[id] == 0 {
+		b.sorted = nil
+	}
+	b.counts[id]++
+}
+
+// remove decrements the count, dropping membership at zero. It
+// reports whether the bucket became empty.
+func (b *bucket) remove(id TupleID) bool {
+	c, ok := b.counts[id]
+	if !ok {
+		return len(b.counts) == 0
+	}
+	if c <= 1 {
+		delete(b.counts, id)
+		b.sorted = nil
+	} else {
+		b.counts[id] = c - 1
+	}
+	return len(b.counts) == 0
+}
+
+// ids returns the member IDs in ascending order; the slice is shared
+// and must not be modified by callers.
+func (b *bucket) ids() []TupleID {
+	if b == nil {
+		return nil
+	}
+	if b.sorted == nil {
+		b.sorted = make([]TupleID, 0, len(b.counts))
+		for id := range b.counts {
+			b.sorted = append(b.sorted, id)
+		}
+		sort.Slice(b.sorted, func(i, j int) bool { return b.sorted[i] < b.sorted[j] })
+	}
+	return b.sorted
+}
+
+// size returns the number of distinct members.
+func (b *bucket) size() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.counts)
+}

@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"youtopia/internal/model"
+)
+
+// Snapshot is a read view of the store at a reader priority: versions
+// written by updates with priority number ≤ reader are visible, the
+// maximal one in (writer, seq) order winning. A snapshot may carry a
+// mask excluding one specific version; PRECISE dependency analysis
+// uses masks to compare query answers with and without a single write.
+//
+// Snapshots are cheap descriptors over live store state, not frozen
+// copies: results reflect the store at call time.
+type Snapshot struct {
+	st     *Store
+	reader int
+
+	masked     bool
+	maskWriter int
+	maskSeq    int64
+
+	// hasCeil restricts visibility to versions with seq <= ceilSeq,
+	// reconstructing the state as of a past read. hasWindow further
+	// admits versions in (ceilSeq, windowSeq] written by writers other
+	// than the reader — "the interference that landed after my read,
+	// excluding my own later repairs" (used by the as-of-read-time
+	// conflict check of Algorithm 4).
+	hasCeil   bool
+	ceilSeq   int64
+	hasWindow bool
+	windowSeq int64
+}
+
+// Reader returns the snapshot's reader priority.
+func (sn *Snapshot) Reader() int { return sn.reader }
+
+// WithMask returns a snapshot identical to sn but with the version
+// (writer, seq) hidden. Used to answer "what would this query return
+// had that write not happened?".
+func (sn *Snapshot) WithMask(writer int, seq int64) *Snapshot {
+	out := *sn
+	out.masked = true
+	out.maskWriter = writer
+	out.maskSeq = seq
+	return &out
+}
+
+// WithCeiling returns a snapshot restricted to versions with sequence
+// numbers at most seq: the state as of that moment (modulo versions
+// since removed by aborts, whose readers are cascaded independently).
+func (sn *Snapshot) WithCeiling(seq int64) *Snapshot {
+	out := *sn
+	out.hasCeil = true
+	out.ceilSeq = seq
+	return &out
+}
+
+// WithWindow returns a snapshot of the state as of sequence ceil,
+// augmented with the writes that other writers performed in
+// (ceil, upto] — the reader's own post-ceiling writes stay hidden.
+func (sn *Snapshot) WithWindow(ceil, upto int64) *Snapshot {
+	out := *sn
+	out.hasCeil = true
+	out.ceilSeq = ceil
+	out.hasWindow = true
+	out.windowSeq = upto
+	return &out
+}
+
+// admits reports whether a version is visible under all of the
+// snapshot's filters.
+func (sn *Snapshot) admits(v *version) bool {
+	if v.writer > sn.reader {
+		return false
+	}
+	if sn.masked && v.writer == sn.maskWriter && v.seq == sn.maskSeq {
+		return false
+	}
+	if sn.hasCeil && v.seq > sn.ceilSeq {
+		if !sn.hasWindow {
+			return false
+		}
+		if v.seq > sn.windowSeq || v.writer == sn.reader {
+			return false
+		}
+	}
+	return true
+}
+
+// version returns the visible version of a tuple record, or nil.
+func (sn *Snapshot) version(rec *tupleRec) *version {
+	for i := len(rec.versions) - 1; i >= 0; i-- {
+		v := &rec.versions[i]
+		if sn.admits(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// Get returns the values of the tuple visible to this snapshot, or
+// ok == false when the tuple does not exist, is not yet visible, or is
+// deleted. The returned slice is shared; callers must not modify it.
+func (sn *Snapshot) Get(id TupleID) ([]model.Value, bool) {
+	tr, ok := sn.st.tuples[id]
+	if !ok {
+		return nil, false
+	}
+	v := sn.version(tr)
+	if v == nil || v.deleted {
+		return nil, false
+	}
+	return v.vals, true
+}
+
+// GetTuple is Get returning a model.Tuple.
+func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
+	tr, ok := sn.st.tuples[id]
+	if !ok {
+		return model.Tuple{}, false
+	}
+	vals, ok := sn.Get(id)
+	if !ok {
+		return model.Tuple{}, false
+	}
+	return model.Tuple{Rel: tr.rel, Vals: vals}, true
+}
+
+// Rel returns the relation a tuple ID belongs to, regardless of
+// visibility.
+func (sn *Snapshot) Rel(id TupleID) (string, bool) {
+	tr, ok := sn.st.tuples[id]
+	if !ok {
+		return "", false
+	}
+	return tr.rel, true
+}
+
+// RelIDs returns the IDs of every tuple of the relation (visible or
+// not) in ascending order. Callers must verify visibility via Get and
+// must not modify the slice; it is the cheapest candidate source for
+// unconstrained scans.
+func (sn *Snapshot) RelIDs(rel string) []TupleID {
+	return sn.st.byRel[rel].ids()
+}
+
+// ScanRel calls fn for every visible tuple of the relation in tuple-ID
+// order; fn returning false stops the scan.
+func (sn *Snapshot) ScanRel(rel string, fn func(id TupleID, vals []model.Value) bool) {
+	for _, id := range sn.st.byRel[rel].ids() {
+		if vals, ok := sn.Get(id); ok {
+			if !fn(id, vals) {
+				return
+			}
+		}
+	}
+}
+
+// CountRel returns the number of visible tuples in the relation.
+func (sn *Snapshot) CountRel(rel string) int {
+	n := 0
+	sn.ScanRel(rel, func(TupleID, []model.Value) bool { n++; return true })
+	return n
+}
+
+// CandidatesByValue returns, in ascending order, the IDs of tuples
+// that have some version with value v in column col of rel. Callers
+// must verify candidates against the snapshot via Get; the index
+// over-approximates across versions.
+func (sn *Snapshot) CandidatesByValue(rel string, col int, v model.Value) []TupleID {
+	cols := sn.st.valIdx[rel]
+	if col < 0 || col >= len(cols) {
+		return nil
+	}
+	return cols[col][v].ids()
+}
+
+// candidatesByContent returns IDs of tuples with some version whose
+// full content key matches.
+func (sn *Snapshot) candidatesByContent(rel, key string) []TupleID {
+	return sn.st.contentIdx[rel][key].ids()
+}
+
+// LookupContent returns the IDs of visible tuples whose content equals
+// t, in ascending order (at most one unless duplicate content slipped
+// in through concurrent writers).
+func (sn *Snapshot) LookupContent(t model.Tuple) []TupleID {
+	var out []TupleID
+	for _, id := range sn.candidatesByContent(t.Rel, contentKey(t.Vals)) {
+		if vals, ok := sn.Get(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ContainsContent reports whether a visible tuple with content t
+// exists.
+func (sn *Snapshot) ContainsContent(t model.Tuple) bool {
+	return len(sn.LookupContent(t)) > 0
+}
+
+// TuplesWithNull returns, in ascending order, the IDs of visible
+// tuples containing the labeled null x.
+func (sn *Snapshot) TuplesWithNull(x model.Value) []TupleID {
+	var out []TupleID
+	for _, id := range sn.st.nullIdx[x].ids() {
+		vals, ok := sn.Get(id)
+		if !ok {
+			continue
+		}
+		for _, v := range vals {
+			if v == x {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MoreSpecific returns the visible tuples of t's relation that are
+// more specific than t (Definition 2.4), excluding exact duplicates of
+// t, in ascending ID order. This is the correction query the forward
+// chase asks for each generated tuple (§4.2).
+//
+// Candidate narrowing uses the most selective constant position of t;
+// if t has no constants the relation is scanned.
+func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
+	bestCol := -1
+	bestSize := -1
+	cols := sn.st.valIdx[t.Rel]
+	for i, v := range t.Vals {
+		if !v.IsConst() {
+			continue
+		}
+		size := cols[i][v].size()
+		if bestCol == -1 || size < bestSize {
+			bestCol, bestSize = i, size
+		}
+	}
+	var out []TupleID
+	check := func(id TupleID, vals []model.Value) {
+		if model.MoreSpecificVals(vals, t.Vals) && !(model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+			out = append(out, id)
+		}
+	}
+	if bestCol >= 0 {
+		for _, id := range sn.CandidatesByValue(t.Rel, bestCol, t.Vals[bestCol]) {
+			if vals, ok := sn.Get(id); ok {
+				check(id, vals)
+			}
+		}
+		return out
+	}
+	sn.ScanRel(t.Rel, func(id TupleID, vals []model.Value) bool {
+		check(id, vals)
+		return true
+	})
+	return out
+}
+
+// VisibleFacts returns the distinct visible tuple contents of every
+// relation, as canonical sets keyed by relation name. The
+// serializability checker compares these across executions.
+func (sn *Snapshot) VisibleFacts() map[string][]model.Tuple {
+	out := make(map[string][]model.Tuple)
+	for _, rel := range sn.st.schema.SortedNames() {
+		seen := make(map[string]bool)
+		var ts []model.Tuple
+		sn.ScanRel(rel, func(id TupleID, vals []model.Value) bool {
+			t := model.Tuple{Rel: rel, Vals: append([]model.Value(nil), vals...)}
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				ts = append(ts, t)
+			}
+			return true
+		})
+		if len(ts) > 0 {
+			out[rel] = ts
+		}
+	}
+	return out
+}

@@ -1,0 +1,539 @@
+// Package storage implements the multiversion tuple store that
+// Youtopia's optimistic concurrency control is built on (§4.1 of the
+// paper).
+//
+// Every write — tuple insertion, deletion, or modification through a
+// null-replacement — creates a new version tagged with the writing
+// update's priority number and a global sequence number. The version
+// of a tuple visible to update j is the maximal one, in
+// (writer, sequence) lexicographic order, among versions created by
+// writers with priority number ≤ j. Visibility therefore follows the
+// intended serialization order rather than wall-clock arrival order:
+// if update 1 writes a tuple after update 3 already wrote it, readers
+// at priority 3 and above see update 3's version.
+//
+// Writer 0 denotes the committed initial database. Aborting a writer
+// atomically removes every version it created and repairs all indexes;
+// committing a writer retires its write log.
+//
+// A Store requires external synchronization: the chase scheduler
+// serializes access at chase-step granularity, which is also the
+// paper's interleaving model.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"youtopia/internal/model"
+)
+
+// TupleID identifies a logical tuple across its versions.
+type TupleID int64
+
+// Op classifies a write.
+type Op uint8
+
+const (
+	// OpInsert creates a tuple.
+	OpInsert Op = iota
+	// OpDelete tombstones a tuple.
+	OpDelete
+	// OpModify rewrites a tuple's values (always part of a global
+	// null-replacement in Youtopia).
+	OpModify
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpModify:
+		return "modify"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// WriteRec describes one performed write. Concurrency control checks
+// these records against stored read queries (Algorithm 4).
+type WriteRec struct {
+	Writer int
+	Seq    int64
+	ID     TupleID
+	Rel    string
+	Op     Op
+	// Before holds the values visible to the writer just before the
+	// write (nil for inserts); After holds the written values (nil for
+	// deletes).
+	Before []model.Value
+	After  []model.Value
+}
+
+// String renders the record for diagnostics.
+func (w WriteRec) String() string {
+	switch w.Op {
+	case OpInsert:
+		return fmt.Sprintf("[u%d#%d] insert %s", w.Writer, w.Seq, model.Tuple{Rel: w.Rel, Vals: w.After})
+	case OpDelete:
+		return fmt.Sprintf("[u%d#%d] delete %s", w.Writer, w.Seq, model.Tuple{Rel: w.Rel, Vals: w.Before})
+	default:
+		return fmt.Sprintf("[u%d#%d] modify %s => %s", w.Writer, w.Seq,
+			model.Tuple{Rel: w.Rel, Vals: w.Before}, model.Tuple{Rel: w.Rel, Vals: w.After})
+	}
+}
+
+// version is one entry of a tuple's version chain.
+type version struct {
+	writer  int
+	seq     int64
+	vals    []model.Value // nil when deleted
+	deleted bool
+}
+
+// tupleRec is a logical tuple: an identity plus its version chain,
+// kept sorted ascending by (writer, seq).
+type tupleRec struct {
+	id       TupleID
+	rel      string
+	versions []version
+}
+
+// Store is the versioned repository storage.
+type Store struct {
+	schema *model.Schema
+	nulls  model.NullFactory
+
+	nextTuple TupleID
+	nextSeq   int64
+
+	tuples map[TupleID]*tupleRec
+	byRel  map[string]*bucket
+
+	// valIdx[rel][col][value] is a multiset of tuple IDs: the count of
+	// versions of that tuple carrying that value in that column. The
+	// index over-approximates; readers verify against their snapshot.
+	valIdx map[string][]map[model.Value]*bucket
+	// nullIdx[null] is a multiset of tuple IDs with a version
+	// containing the labeled null.
+	nullIdx map[model.Value]*bucket
+	// contentIdx[rel][contentKey] is a multiset of tuple IDs with a
+	// version whose full content matches.
+	contentIdx map[string]map[string]*bucket
+
+	logs       map[int][]WriteRec
+	committed  map[int]bool
+	relWriters map[string]map[int]int // live write counts per relation per uncommitted writer
+
+	// uncommittedCache memoizes UncommittedWrites between mutations;
+	// PRECISE dependency tracking calls it on every read.
+	uncommittedCache []WriteRec
+	uncommittedDirty bool
+}
+
+// NewStore creates an empty store over a schema.
+func NewStore(schema *model.Schema) *Store {
+	st := &Store{
+		schema:     schema,
+		tuples:     make(map[TupleID]*tupleRec),
+		byRel:      make(map[string]*bucket),
+		valIdx:     make(map[string][]map[model.Value]*bucket),
+		nullIdx:    make(map[model.Value]*bucket),
+		contentIdx: make(map[string]map[string]*bucket),
+		logs:       make(map[int][]WriteRec),
+		committed:  map[int]bool{0: true},
+		relWriters: make(map[string]map[int]int),
+	}
+	for _, r := range schema.Relations() {
+		st.byRel[r.Name] = newBucket()
+		cols := make([]map[model.Value]*bucket, r.Arity())
+		for i := range cols {
+			cols[i] = make(map[model.Value]*bucket)
+		}
+		st.valIdx[r.Name] = cols
+		st.contentIdx[r.Name] = make(map[string]*bucket)
+	}
+	return st
+}
+
+// Schema returns the schema the store was created with.
+func (st *Store) Schema() *model.Schema { return st.schema }
+
+// FreshNull mints a labeled null unused anywhere in the store.
+func (st *Store) FreshNull() model.Value { return st.nulls.Fresh() }
+
+// noteNulls raises the null-factory floor past any null in vals, so
+// loading data with explicit nulls cannot collide with fresh ones.
+func (st *Store) noteNulls(vals []model.Value) {
+	for _, v := range vals {
+		if v.IsNull() {
+			st.nulls.SetFloor(v.NullID())
+		}
+	}
+}
+
+func contentKey(vals []model.Value) string {
+	t := model.Tuple{Vals: vals}
+	return t.Key()[1:] // strip the empty relation prefix separator-free
+}
+
+// indexVersion adds (or with delta -1, removes) one version's values
+// to the secondary indexes.
+func (st *Store) indexVersion(rel string, id TupleID, vals []model.Value, delta int) {
+	if vals == nil {
+		return
+	}
+	cols := st.valIdx[rel]
+	for i, v := range vals {
+		vb := cols[i][v]
+		if vb == nil {
+			if delta < 0 {
+				continue
+			}
+			vb = newBucket()
+			cols[i][v] = vb
+		}
+		if delta > 0 {
+			vb.add(id)
+		} else if vb.remove(id) {
+			delete(cols[i], v)
+		}
+		if v.IsNull() {
+			nb := st.nullIdx[v]
+			if nb == nil {
+				if delta < 0 {
+					continue
+				}
+				nb = newBucket()
+				st.nullIdx[v] = nb
+			}
+			if delta > 0 {
+				nb.add(id)
+			} else if nb.remove(id) {
+				delete(st.nullIdx, v)
+			}
+		}
+	}
+	ck := contentKey(vals)
+	cb := st.contentIdx[rel][ck]
+	if cb == nil {
+		if delta < 0 {
+			return
+		}
+		cb = newBucket()
+		st.contentIdx[rel][ck] = cb
+	}
+	if delta > 0 {
+		cb.add(id)
+	} else if cb.remove(id) {
+		delete(st.contentIdx[rel], ck)
+	}
+}
+
+// addVersion appends a version to a tuple's chain, keeping the chain
+// sorted by (writer, seq), and maintains indexes and logs.
+func (st *Store) addVersion(rec *tupleRec, v version, logRec WriteRec) {
+	i := sort.Search(len(rec.versions), func(i int) bool {
+		w := rec.versions[i]
+		return w.writer > v.writer || (w.writer == v.writer && w.seq > v.seq)
+	})
+	rec.versions = append(rec.versions, version{})
+	copy(rec.versions[i+1:], rec.versions[i:])
+	rec.versions[i] = v
+	st.indexVersion(rec.rel, rec.id, v.vals, +1)
+	st.logs[v.writer] = append(st.logs[v.writer], logRec)
+	if !st.committed[v.writer] {
+		rw := st.relWriters[rec.rel]
+		if rw == nil {
+			rw = make(map[int]int)
+			st.relWriters[rec.rel] = rw
+		}
+		rw[v.writer]++
+		st.uncommittedDirty = true
+	}
+}
+
+// CurrentSeq returns the sequence number of the most recent write;
+// reads record it so conflict checks can reconstruct read-time state.
+func (st *Store) CurrentSeq() int64 { return st.nextSeq }
+
+// Insert inserts a tuple on behalf of writer. Set semantics apply: if
+// a tuple with identical content is already visible to the writer, the
+// insert is a no-op and the existing tuple's ID is returned with
+// inserted == false. The returned WriteRec is meaningful only when
+// inserted is true.
+func (st *Store) Insert(writer int, t model.Tuple) (id TupleID, rec WriteRec, inserted bool, err error) {
+	if err := st.schema.CheckTuple(t); err != nil {
+		return 0, WriteRec{}, false, err
+	}
+	st.noteNulls(t.Vals)
+	// Visible-duplicate check.
+	snap := st.Snap(writer)
+	for _, dupID := range snap.candidatesByContent(t.Rel, contentKey(t.Vals)) {
+		if vals, ok := snap.Get(dupID); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+			return dupID, WriteRec{}, false, nil
+		}
+	}
+	st.nextTuple++
+	st.nextSeq++
+	id = st.nextTuple
+	vals := append([]model.Value(nil), t.Vals...)
+	tr := &tupleRec{id: id, rel: t.Rel}
+	st.tuples[id] = tr
+	st.byRel[t.Rel].add(id)
+	w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: id, Rel: t.Rel, Op: OpInsert, After: vals}
+	st.addVersion(tr, version{writer: writer, seq: st.nextSeq, vals: vals}, w)
+	return id, w, true, nil
+}
+
+// Delete tombstones the tuple with the given ID if it is visible to
+// the writer. It returns ok == false (and no error) when the tuple is
+// not visible, which callers treat as "nothing to delete".
+func (st *Store) Delete(writer int, id TupleID) (rec WriteRec, ok bool, err error) {
+	tr, exists := st.tuples[id]
+	if !exists {
+		return WriteRec{}, false, nil
+	}
+	v := st.Snap(writer).version(tr)
+	if v == nil || v.deleted {
+		return WriteRec{}, false, nil
+	}
+	st.nextSeq++
+	w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: id, Rel: tr.rel, Op: OpDelete, Before: v.vals}
+	st.addVersion(tr, version{writer: writer, seq: st.nextSeq, deleted: true}, w)
+	return w, true, nil
+}
+
+// DeleteContent tombstones every tuple visible to the writer whose
+// content equals t. Under set semantics this is the natural "remove
+// this fact" operation. It returns the write records, which may be
+// empty when the fact is absent.
+func (st *Store) DeleteContent(writer int, t model.Tuple) ([]WriteRec, error) {
+	if err := st.schema.CheckTuple(t); err != nil {
+		return nil, err
+	}
+	snap := st.Snap(writer)
+	var ids []TupleID
+	for _, id := range snap.candidatesByContent(t.Rel, contentKey(t.Vals)) {
+		if vals, ok := snap.Get(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+			ids = append(ids, id)
+		}
+	}
+	var out []WriteRec
+	for _, id := range ids {
+		rec, ok, err := st.Delete(writer, id)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// ReplaceNull performs a global null-replacement on behalf of writer:
+// every occurrence of the labeled null x in tuples visible to the
+// writer is replaced by the value to (a constant for the paper's
+// null-replacement user operation, or another null during frontier
+// unification). It returns one modify record per rewritten tuple.
+func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) {
+	if !x.IsNull() {
+		return nil, fmt.Errorf("storage: ReplaceNull target %s is not a labeled null", x)
+	}
+	if x == to {
+		return nil, fmt.Errorf("storage: ReplaceNull of %s with itself", x)
+	}
+	if to.IsNull() {
+		st.nulls.SetFloor(to.NullID())
+	}
+	snap := st.Snap(writer)
+	// Collect affected tuples first: rewriting mutates the null index.
+	type hit struct {
+		id   TupleID
+		vals []model.Value
+	}
+	var hits []hit
+	for _, id := range snap.TuplesWithNull(x) {
+		vals, ok := snap.Get(id)
+		if !ok {
+			continue
+		}
+		hits = append(hits, hit{id, vals})
+	}
+	sub := model.Subst{x: to}
+	out := make([]WriteRec, 0, len(hits))
+	for _, h := range hits {
+		tr := st.tuples[h.id]
+		newVals := sub.Apply(h.vals)
+		// Set-semantics collapse (§2.2 "collapsed into one"): if the
+		// rewritten content is already carried by another visible tuple,
+		// this copy disappears instead of becoming a duplicate. The
+		// check runs against the live store so that two tuples rewritten
+		// to the same content within one replacement also collapse.
+		collapsed := false
+		for _, dupID := range snap.candidatesByContent(tr.rel, contentKey(newVals)) {
+			if dupID == h.id {
+				continue
+			}
+			if vals, ok := snap.Get(dupID); ok && (model.Tuple{Rel: tr.rel, Vals: vals}).Equal(model.Tuple{Rel: tr.rel, Vals: newVals}) {
+				collapsed = true
+				break
+			}
+		}
+		st.nextSeq++
+		if collapsed {
+			w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: h.id, Rel: tr.rel, Op: OpDelete,
+				Before: h.vals}
+			st.addVersion(tr, version{writer: writer, seq: st.nextSeq, deleted: true}, w)
+			out = append(out, w)
+			continue
+		}
+		w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: h.id, Rel: tr.rel, Op: OpModify,
+			Before: h.vals, After: newVals}
+		st.addVersion(tr, version{writer: writer, seq: st.nextSeq, vals: newVals}, w)
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Load inserts a tuple as part of the committed initial database
+// (writer 0). It is a convenience for bootstrap and tests.
+func (st *Store) Load(t model.Tuple) (TupleID, error) {
+	id, _, _, err := st.Insert(0, t)
+	return id, err
+}
+
+// Abort removes every version written by the given writer, restoring
+// the store to the state it would have without that writer, and
+// discards its log. Cascading aborts of updates that read the
+// writer's data are the concurrency-control layer's responsibility.
+func (st *Store) Abort(writer int) {
+	if writer == 0 {
+		panic("storage: cannot abort the initial load")
+	}
+	log := st.logs[writer]
+	for i := len(log) - 1; i >= 0; i-- {
+		rec := log[i]
+		tr, ok := st.tuples[rec.ID]
+		if !ok {
+			continue
+		}
+		for j := len(tr.versions) - 1; j >= 0; j-- {
+			v := tr.versions[j]
+			if v.writer == writer && v.seq == rec.Seq {
+				st.indexVersion(tr.rel, tr.id, v.vals, -1)
+				tr.versions = append(tr.versions[:j], tr.versions[j+1:]...)
+				break
+			}
+		}
+		if len(tr.versions) == 0 {
+			delete(st.tuples, tr.id)
+			st.byRel[tr.rel].remove(tr.id)
+		}
+		if rw := st.relWriters[rec.Rel]; rw != nil {
+			if rw[writer]--; rw[writer] <= 0 {
+				delete(rw, writer)
+			}
+		}
+	}
+	delete(st.logs, writer)
+	st.uncommittedDirty = true
+}
+
+// Commit marks a writer's versions as permanent and retires its write
+// log; a committed writer can no longer abort.
+func (st *Store) Commit(writer int) {
+	st.committed[writer] = true
+	for _, rw := range st.relWriters {
+		delete(rw, writer)
+	}
+	delete(st.logs, writer)
+	st.uncommittedDirty = true
+}
+
+// Committed reports whether the writer has committed.
+func (st *Store) Committed(writer int) bool { return st.committed[writer] }
+
+// WritesOf returns the write log of an uncommitted writer in sequence
+// order. The slice is shared; callers must not modify it.
+func (st *Store) WritesOf(writer int) []WriteRec { return st.logs[writer] }
+
+// UncommittedWrites returns all writes by uncommitted writers, sorted
+// by sequence number. PRECISE dependency computation iterates these on
+// every read, so the result is memoized between mutations. Callers
+// must not modify the returned slice.
+func (st *Store) UncommittedWrites() []WriteRec {
+	if !st.uncommittedDirty {
+		return st.uncommittedCache
+	}
+	var out []WriteRec
+	for w, log := range st.logs {
+		if !st.committed[w] {
+			out = append(out, log...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	st.uncommittedCache = out
+	st.uncommittedDirty = false
+	return out
+}
+
+// UncommittedWritersOf returns the uncommitted writers with live
+// writes into rel, sorted ascending. COARSE charges a violation-query
+// read dependency against exactly this set (§5.1.1).
+func (st *Store) UncommittedWritersOf(rel string) []int {
+	rw := st.relWriters[rel]
+	out := make([]int, 0, len(rw))
+	for w := range rw {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Snap returns a read view of the store at the given reader priority.
+func (st *Store) Snap(reader int) *Snapshot {
+	return &Snapshot{st: st, reader: reader}
+}
+
+// Stats summarizes store contents for diagnostics.
+type Stats struct {
+	Tuples   int // logical tuples with at least one version
+	Versions int
+	Visible  int // tuples visible to the all-seeing reader
+}
+
+// Stats computes summary statistics. The Visible count uses the
+// highest possible reader (every writer included).
+func (st *Store) Stats() Stats {
+	var s Stats
+	s.Tuples = len(st.tuples)
+	snap := st.Snap(int(^uint(0) >> 1))
+	for _, tr := range st.tuples {
+		s.Versions += len(tr.versions)
+		if _, ok := snap.Get(tr.id); ok {
+			s.Visible++
+		}
+	}
+	return s
+}
+
+// Dump renders the database visible to reader as sorted text, one
+// tuple per line. Intended for examples, debugging, and golden tests.
+func (st *Store) Dump(reader int) string {
+	snap := st.Snap(reader)
+	var lines []string
+	for _, rel := range st.schema.SortedNames() {
+		snap.ScanRel(rel, func(id TupleID, vals []model.Value) bool {
+			lines = append(lines, model.Tuple{Rel: rel, Vals: vals}.String())
+			return true
+		})
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,369 @@
+package storage
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"youtopia/internal/model"
+)
+
+func testSchema() *model.Schema {
+	s := model.NewSchema()
+	s.MustAddRelation("C", "city")
+	s.MustAddRelation("S", "code", "location", "city")
+	s.MustAddRelation("R", "a", "b")
+	return s
+}
+
+func c(s string) model.Value { return model.Const(s) }
+func n(id int64) model.Value { return model.Null(id) }
+func tup(rel string, vals ...model.Value) model.Tuple {
+	return model.NewTuple(rel, vals...)
+}
+
+func TestInsertAndGet(t *testing.T) {
+	st := NewStore(testSchema())
+	id, rec, ins, err := st.Insert(1, tup("C", c("Ithaca")))
+	if err != nil || !ins {
+		t.Fatalf("insert: %v %v", ins, err)
+	}
+	if rec.Op != OpInsert || rec.Writer != 1 || rec.Rel != "C" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if vals, ok := st.Snap(1).Get(id); !ok || vals[0] != c("Ithaca") {
+		t.Fatalf("Get = %v %v", vals, ok)
+	}
+}
+
+func TestInsertSchemaViolations(t *testing.T) {
+	st := NewStore(testSchema())
+	if _, _, _, err := st.Insert(1, tup("Nope", c("x"))); err == nil {
+		t.Fatal("undeclared relation accepted")
+	}
+	if _, _, _, err := st.Insert(1, tup("C", c("x"), c("y"))); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestInsertDuplicateNoOp(t *testing.T) {
+	st := NewStore(testSchema())
+	id1, _, ins1, _ := st.Insert(1, tup("C", c("Ithaca")))
+	id2, _, ins2, _ := st.Insert(1, tup("C", c("Ithaca")))
+	if !ins1 || ins2 {
+		t.Fatalf("duplicate insert: ins1=%v ins2=%v", ins1, ins2)
+	}
+	if id1 != id2 {
+		t.Fatalf("duplicate returned different id: %d vs %d", id1, id2)
+	}
+	// A different writer below priority 1 does not see it, so its
+	// insert is real.
+	_, _, ins3, _ := st.Insert(1, tup("C", c("Syracuse")))
+	if !ins3 {
+		t.Fatal("distinct content must insert")
+	}
+}
+
+func TestVisibilityByPriority(t *testing.T) {
+	st := NewStore(testSchema())
+	id, _, _, _ := st.Insert(3, tup("C", c("NYC")))
+	if _, ok := st.Snap(2).Get(id); ok {
+		t.Fatal("reader 2 must not see writer 3's tuple")
+	}
+	if _, ok := st.Snap(3).Get(id); !ok {
+		t.Fatal("reader 3 must see its own tuple")
+	}
+	if _, ok := st.Snap(9).Get(id); !ok {
+		t.Fatal("reader 9 must see writer 3's tuple")
+	}
+}
+
+func TestVisibilityFollowsSerializationOrder(t *testing.T) {
+	// Writer 3 modifies a committed tuple, then writer 1 modifies the
+	// original too (wall-clock later). Readers at priority >= 3 must
+	// see writer 3's version: visibility is by (writer, seq), not
+	// arrival time.
+	st := NewStore(testSchema())
+	id, _ := st.Load(tup("R", n(1), c("base")))
+	if _, err := st.ReplaceNull(3, n(1), c("three")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ReplaceNull(1, n(1), c("one")); err != nil {
+		t.Fatal(err)
+	}
+	if vals, _ := st.Snap(1).Get(id); vals[0] != c("one") {
+		t.Fatalf("reader 1 sees %v", vals)
+	}
+	if vals, _ := st.Snap(2).Get(id); vals[0] != c("one") {
+		t.Fatalf("reader 2 sees %v", vals)
+	}
+	if vals, _ := st.Snap(3).Get(id); vals[0] != c("three") {
+		t.Fatalf("reader 3 sees %v, want writer 3's version", vals)
+	}
+	if vals, _ := st.Snap(10).Get(id); vals[0] != c("three") {
+		t.Fatalf("reader 10 sees %v, want writer 3's version", vals)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	st := NewStore(testSchema())
+	id, _ := st.Load(tup("C", c("Ithaca")))
+	rec, ok, err := st.Delete(2, id)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if rec.Op != OpDelete || rec.Before[0] != c("Ithaca") {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if _, ok := st.Snap(2).Get(id); ok {
+		t.Fatal("deleted tuple visible to deleter")
+	}
+	if _, ok := st.Snap(1).Get(id); !ok {
+		t.Fatal("reader 1 must still see the tuple (writer 2 deleted it)")
+	}
+	// Double delete is a no-op.
+	if _, ok, _ := st.Delete(2, id); ok {
+		t.Fatal("second delete must be a no-op")
+	}
+	// Deleting an unknown id is a no-op, not an error.
+	if _, ok, err := st.Delete(2, 9999); ok || err != nil {
+		t.Fatalf("delete unknown: %v %v", ok, err)
+	}
+}
+
+func TestDeleteContent(t *testing.T) {
+	st := NewStore(testSchema())
+	st.Load(tup("C", c("Ithaca")))
+	recs, err := st.DeleteContent(1, tup("C", c("Ithaca")))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("DeleteContent: %v %v", recs, err)
+	}
+	if st.Snap(1).ContainsContent(tup("C", c("Ithaca"))) {
+		t.Fatal("content still present")
+	}
+	// Absent content deletes nothing.
+	recs, err = st.DeleteContent(1, tup("C", c("Ghost")))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("DeleteContent absent: %v %v", recs, err)
+	}
+}
+
+func TestReplaceNull(t *testing.T) {
+	st := NewStore(testSchema())
+	idS, _ := st.Load(tup("S", c("SYR"), n(7), c("Ithaca")))
+	idR, _ := st.Load(tup("R", n(7), n(8)))
+	recs, err := st.ReplaceNull(1, n(7), c("Syracuse"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("expected 2 modifies, got %v", recs)
+	}
+	snap := st.Snap(1)
+	if vals, _ := snap.Get(idS); vals[1] != c("Syracuse") {
+		t.Fatalf("S not rewritten: %v", vals)
+	}
+	if vals, _ := snap.Get(idR); vals[0] != c("Syracuse") || vals[1] != n(8) {
+		t.Fatalf("R not rewritten correctly: %v", vals)
+	}
+	// x7 gone from the null index for this snapshot.
+	if got := snap.TuplesWithNull(n(7)); len(got) != 0 {
+		t.Fatalf("x7 still indexed: %v", got)
+	}
+	if got := snap.TuplesWithNull(n(8)); len(got) != 1 || got[0] != idR {
+		t.Fatalf("x8 index wrong: %v", got)
+	}
+}
+
+func TestReplaceNullErrors(t *testing.T) {
+	st := NewStore(testSchema())
+	if _, err := st.ReplaceNull(1, c("a"), c("b")); err == nil {
+		t.Fatal("replacing a constant accepted")
+	}
+	if _, err := st.ReplaceNull(1, n(1), n(1)); err == nil {
+		t.Fatal("self-replacement accepted")
+	}
+}
+
+func TestReplaceNullRespectsVisibility(t *testing.T) {
+	st := NewStore(testSchema())
+	// Writer 5's tuple contains x1; writer 2 replaces x1. Writer 2
+	// cannot see writer 5's tuple, so it must remain untouched.
+	id5, _, _, _ := st.Insert(5, tup("C", n(1)))
+	idBase, _ := st.Load(tup("R", n(1), c("k")))
+	recs, err := st.ReplaceNull(2, n(1), c("done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != idBase {
+		t.Fatalf("recs = %v", recs)
+	}
+	if vals, _ := st.Snap(5).Get(id5); vals[0] != n(1) {
+		t.Fatalf("writer 5's tuple was touched: %v", vals)
+	}
+}
+
+func TestFreshNullAvoidsLoadedNulls(t *testing.T) {
+	st := NewStore(testSchema())
+	st.Load(tup("C", n(41)))
+	if f := st.FreshNull(); f.NullID() <= 41 {
+		t.Fatalf("fresh null %v collides with loaded x41", f)
+	}
+}
+
+func TestAbortRestoresState(t *testing.T) {
+	st := NewStore(testSchema())
+	st.Load(tup("C", c("Ithaca")))
+	idS, _ := st.Load(tup("S", c("SYR"), c("Syracuse"), n(3)))
+	before := st.Dump(1000)
+
+	// Writer 2 inserts, deletes, and replaces a null.
+	st.Insert(2, tup("C", c("NYC")))
+	st.DeleteContent(2, tup("C", c("Ithaca")))
+	st.ReplaceNull(2, n(3), c("Ithaca"))
+	if st.Dump(1000) == before {
+		t.Fatal("writes had no visible effect")
+	}
+	st.Abort(2)
+	if got := st.Dump(1000); got != before {
+		t.Fatalf("abort did not restore state:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	// Indexes restored too: x3 must be findable again.
+	if got := st.Snap(1000).TuplesWithNull(n(3)); len(got) != 1 || got[0] != idS {
+		t.Fatalf("null index not restored: %v", got)
+	}
+	// The writer's log must be gone.
+	if logs := st.WritesOf(2); len(logs) != 0 {
+		t.Fatalf("log survives abort: %v", logs)
+	}
+}
+
+func TestAbortRandomizedInverse(t *testing.T) {
+	// Property: interleaved ops by writers 1 and 2, then abort(2),
+	// leaves exactly the state produced by writer 1's ops alone.
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		run := func(include2 bool) string {
+			st := NewStore(testSchema())
+			st.Load(tup("R", c("a"), c("b")))
+			st.Load(tup("R", n(1), c("k")))
+			local := rand.New(rand.NewSource(seed + 1000))
+			for i := 0; i < 25; i++ {
+				w := 1
+				if local.Intn(2) == 0 {
+					w = 2
+				}
+				op := local.Intn(3)
+				val := c(string(rune('a' + local.Intn(5))))
+				if w == 2 && !include2 {
+					continue
+				}
+				switch op {
+				case 0:
+					st.Insert(w, tup("R", val, c("b")))
+				case 1:
+					st.DeleteContent(w, tup("R", val, c("b")))
+				case 2:
+					// Each null replaced at most once per run; draw a
+					// fresh null name occasionally to keep ops legal.
+					st.Insert(w, tup("R", n(int64(100+i)), val))
+				}
+			}
+			if include2 {
+				st.Abort(2)
+			}
+			return st.Dump(1)
+		}
+		_ = rng
+		with := run(true)
+		without := run(false)
+		if with != without {
+			t.Fatalf("seed %d: abort not an inverse\nwith abort:\n%s\nwithout w2:\n%s",
+				seed, with, without)
+		}
+	}
+}
+
+func TestAbortInitialLoadPanics(t *testing.T) {
+	st := NewStore(testSchema())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Abort(0) must panic")
+		}
+	}()
+	st.Abort(0)
+}
+
+func TestCommitRetiresLogs(t *testing.T) {
+	st := NewStore(testSchema())
+	st.Insert(1, tup("C", c("a")))
+	if got := st.UncommittedWritersOf("C"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("UncommittedWritersOf = %v", got)
+	}
+	if got := st.UncommittedWrites(); len(got) != 1 {
+		t.Fatalf("UncommittedWrites = %v", got)
+	}
+	st.Commit(1)
+	if !st.Committed(1) {
+		t.Fatal("Committed(1) false")
+	}
+	if got := st.UncommittedWritersOf("C"); len(got) != 0 {
+		t.Fatalf("writers after commit: %v", got)
+	}
+	if got := st.UncommittedWrites(); len(got) != 0 {
+		t.Fatalf("uncommitted writes after commit: %v", got)
+	}
+}
+
+func TestUncommittedWritesSorted(t *testing.T) {
+	st := NewStore(testSchema())
+	st.Insert(2, tup("C", c("a")))
+	st.Insert(1, tup("C", c("b")))
+	st.Insert(2, tup("C", c("c")))
+	ws := st.UncommittedWrites()
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1].Seq >= ws[i].Seq {
+			t.Fatalf("writes not sorted: %v", ws)
+		}
+	}
+}
+
+func TestStatsAndDump(t *testing.T) {
+	st := NewStore(testSchema())
+	st.Load(tup("C", c("Ithaca")))
+	st.Load(tup("C", c("Syracuse")))
+	st.DeleteContent(1, tup("C", c("Ithaca")))
+	stats := st.Stats()
+	if stats.Tuples != 2 || stats.Versions != 3 || stats.Visible != 1 {
+		t.Fatalf("Stats = %+v", stats)
+	}
+	dump := st.Dump(1000)
+	if dump != "C(Syracuse)" {
+		t.Fatalf("Dump = %q", dump)
+	}
+	// Reader 0 still sees both.
+	if got := st.Dump(0); !strings.Contains(got, "Ithaca") {
+		t.Fatalf("Dump(0) = %q", got)
+	}
+}
+
+func TestWriteRecString(t *testing.T) {
+	st := NewStore(testSchema())
+	_, rec, _, _ := st.Insert(1, tup("C", c("a")))
+	if !strings.Contains(rec.String(), "insert C(a)") {
+		t.Fatalf("String = %q", rec.String())
+	}
+	recs, _ := st.DeleteContent(1, tup("C", c("a")))
+	if !strings.Contains(recs[0].String(), "delete C(a)") {
+		t.Fatalf("String = %q", recs[0].String())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" || OpModify.String() != "modify" {
+		t.Fatal("Op.String wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatal("unknown op rendering wrong")
+	}
+}

@@ -1,0 +1,340 @@
+package tgd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the static analyses that classical update
+// exchange systems apply to mapping sets. Youtopia deliberately does
+// not restrict mappings by these analyses (§1.3, §2.2), but exposes
+// them so users and tools can inspect mapping structure, and so the
+// repository's standard-chase baseline can decide whether a classical
+// chase is guaranteed to terminate.
+
+// DependencyGraph is the relation-level dependency graph of a mapping
+// set: an edge R → S means some mapping reads R on its LHS and writes
+// S on its RHS, so an insertion into R can cascade into S.
+type DependencyGraph struct {
+	nodes []string
+	edges map[string]map[string][]*TGD // from -> to -> mappings inducing it
+}
+
+// BuildDependencyGraph constructs the graph for a mapping set.
+func BuildDependencyGraph(s *Set) *DependencyGraph {
+	g := &DependencyGraph{edges: make(map[string]map[string][]*TGD)}
+	nodeSet := make(map[string]bool)
+	addNode := func(r string) {
+		if !nodeSet[r] {
+			nodeSet[r] = true
+			g.nodes = append(g.nodes, r)
+		}
+	}
+	for _, t := range s.All() {
+		for from := range t.LHSRelations() {
+			addNode(from)
+			for to := range t.RHSRelations() {
+				addNode(to)
+				m := g.edges[from]
+				if m == nil {
+					m = make(map[string][]*TGD)
+					g.edges[from] = m
+				}
+				m[to] = append(m[to], t)
+			}
+		}
+	}
+	sort.Strings(g.nodes)
+	return g
+}
+
+// Nodes returns the relations that occur in the mapping set, sorted.
+func (g *DependencyGraph) Nodes() []string { return g.nodes }
+
+// HasEdge reports whether an edge from → to exists.
+func (g *DependencyGraph) HasEdge(from, to string) bool {
+	_, ok := g.edges[from][to]
+	return ok
+}
+
+// Successors returns the targets of edges out of rel, sorted.
+func (g *DependencyGraph) Successors(rel string) []string {
+	m := g.edges[rel]
+	out := make([]string, 0, len(m))
+	for to := range m {
+		out = append(out, to)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cycles returns the nontrivial strongly connected components of the
+// graph (components with more than one node, or a single node with a
+// self-loop), each sorted, in deterministic order. A nonempty result
+// means the mapping set is cyclic — permitted in Youtopia, rejected by
+// the systems of [15, 17, 11, 21].
+func (g *DependencyGraph) Cycles() [][]string {
+	sccs := g.stronglyConnected()
+	var out [][]string
+	for _, comp := range sccs {
+		if len(comp) > 1 || g.HasEdge(comp[0], comp[0]) {
+			sorted := append([]string(nil), comp...)
+			sort.Strings(sorted)
+			out = append(out, sorted)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// IsCyclic reports whether the mapping set has any relation-level
+// cycle.
+func (g *DependencyGraph) IsCyclic() bool { return len(g.Cycles()) > 0 }
+
+// stronglyConnected runs Tarjan's algorithm iteratively.
+func (g *DependencyGraph) stronglyConnected() [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		node string
+		succ []string
+		i    int
+	}
+	for _, start := range g.nodes {
+		if _, visited := index[start]; visited {
+			continue
+		}
+		frames := []frame{{node: start, succ: g.Successors(start)}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w, succ: g.Successors(w)})
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-order: pop the frame.
+			v := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}
+
+// Position identifies one attribute position of a relation, written
+// R.i (zero-based).
+type Position struct {
+	Rel string
+	Idx int
+}
+
+// String renders the position, e.g. S.2.
+func (p Position) String() string { return fmt.Sprintf("%s.%d", p.Rel, p.Idx) }
+
+// posEdge is an edge of the weak-acyclicity position graph.
+type posEdge struct {
+	from, to Position
+	special  bool
+}
+
+// WeakAcyclicityResult reports the outcome of the classical
+// weak-acyclicity test.
+type WeakAcyclicityResult struct {
+	// WeaklyAcyclic is true iff the position graph has no cycle through
+	// a special edge; in that case the standard chase terminates on all
+	// instances.
+	WeaklyAcyclic bool
+	// Witness, when not weakly acyclic, is a cycle of positions that
+	// includes a special edge, in traversal order.
+	Witness []Position
+}
+
+// CheckWeakAcyclicity runs the test of Fagin, Kolaitis, Miller and
+// Popa on a mapping set. The position graph has a node per (relation,
+// attribute index). For each mapping and each universally quantified
+// variable x occurring in the LHS at position p:
+//
+//   - for every occurrence of x in the RHS at position q, a regular
+//     edge p → q is added; and
+//   - if x occurs in the RHS at all, then for every existential
+//     variable z occurring in the RHS at position q, a special edge
+//     p ⇒ q is added.
+func CheckWeakAcyclicity(s *Set) WeakAcyclicityResult {
+	var edges []posEdge
+	edgeSeen := make(map[string]bool)
+	add := func(e posEdge) {
+		key := fmt.Sprintf("%s|%s|%t", e.from, e.to, e.special)
+		if !edgeSeen[key] {
+			edgeSeen[key] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, t := range s.All() {
+		// LHS positions of each universally quantified variable.
+		lhsPos := make(map[string][]Position)
+		for _, a := range t.LHS {
+			for i, term := range a.Terms {
+				if term.IsVar {
+					lhsPos[term.Var] = append(lhsPos[term.Var], Position{a.Rel, i})
+				}
+			}
+		}
+		// RHS positions of every variable.
+		rhsPos := make(map[string][]Position)
+		var existPos []Position
+		for _, a := range t.RHS {
+			for i, term := range a.Terms {
+				if !term.IsVar {
+					continue
+				}
+				rhsPos[term.Var] = append(rhsPos[term.Var], Position{a.Rel, i})
+				if t.IsExistential(term.Var) {
+					existPos = append(existPos, Position{a.Rel, i})
+				}
+			}
+		}
+		for x, froms := range lhsPos {
+			tos, inRHS := rhsPos[x]
+			if !inRHS {
+				continue
+			}
+			for _, p := range froms {
+				for _, q := range tos {
+					add(posEdge{from: p, to: q})
+				}
+				for _, q := range existPos {
+					add(posEdge{from: p, to: q, special: true})
+				}
+			}
+		}
+	}
+	return findSpecialCycle(edges)
+}
+
+// findSpecialCycle looks for a cycle containing at least one special
+// edge. It checks, for every special edge u ⇒ v, whether v can reach u.
+func findSpecialCycle(edges []posEdge) WeakAcyclicityResult {
+	adj := make(map[Position][]posEdge)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for _, se := range edges {
+		if !se.special {
+			continue
+		}
+		if path := findPath(adj, se.to, se.from); path != nil {
+			witness := append([]Position{se.from}, path...)
+			return WeakAcyclicityResult{WeaklyAcyclic: false, Witness: witness}
+		}
+	}
+	return WeakAcyclicityResult{WeaklyAcyclic: true}
+}
+
+// findPath returns the node sequence from src to dst (inclusive of
+// both; src may equal dst, giving the one-element path) using BFS, or
+// nil if unreachable.
+func findPath(adj map[Position][]posEdge, src, dst Position) []Position {
+	if src == dst {
+		return []Position{src}
+	}
+	prev := make(map[Position]Position)
+	seen := map[Position]bool{src: true}
+	queue := []Position{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[u] {
+			if seen[e.to] {
+				continue
+			}
+			seen[e.to] = true
+			prev[e.to] = u
+			if e.to == dst {
+				var rev []Position
+				for at := dst; ; at = prev[at] {
+					rev = append(rev, at)
+					if at == src {
+						break
+					}
+				}
+				path := make([]Position, len(rev))
+				for i := range rev {
+					path[i] = rev[len(rev)-1-i]
+				}
+				return path
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return nil
+}
+
+// Describe returns a human-readable multi-line report of the analyses
+// for a mapping set: cycles and weak acyclicity.
+func Describe(s *Set) string {
+	var b strings.Builder
+	g := BuildDependencyGraph(s)
+	cycles := g.Cycles()
+	fmt.Fprintf(&b, "mappings: %d, relations referenced: %d\n", s.Len(), len(g.Nodes()))
+	if len(cycles) == 0 {
+		b.WriteString("relation dependency graph: acyclic\n")
+	} else {
+		fmt.Fprintf(&b, "relation dependency graph: %d cyclic component(s):\n", len(cycles))
+		for _, c := range cycles {
+			fmt.Fprintf(&b, "  {%s}\n", strings.Join(c, ", "))
+		}
+	}
+	wa := CheckWeakAcyclicity(s)
+	if wa.WeaklyAcyclic {
+		b.WriteString("weakly acyclic: yes (standard chase terminates)\n")
+	} else {
+		parts := make([]string, len(wa.Witness))
+		for i, p := range wa.Witness {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&b, "weakly acyclic: no (special-edge cycle: %s)\n",
+			strings.Join(parts, " -> "))
+	}
+	return b.String()
+}

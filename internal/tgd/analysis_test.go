@@ -1,0 +1,168 @@
+package tgd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDependencyGraphFigure2(t *testing.T) {
+	g := BuildDependencyGraph(figure2Mappings())
+	// sigma1: C -> S, sigma2: S -> C (the paper's cycle).
+	if !g.HasEdge("C", "S") || !g.HasEdge("S", "C") {
+		t.Fatal("C<->S edges missing")
+	}
+	if !g.HasEdge("A", "R") || !g.HasEdge("T", "R") {
+		t.Fatal("sigma3 edges missing")
+	}
+	if !g.HasEdge("V", "E") || !g.HasEdge("T", "E") {
+		t.Fatal("sigma4 edges missing")
+	}
+	if g.HasEdge("R", "A") {
+		t.Fatal("phantom edge R->A")
+	}
+	cycles := g.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("Cycles = %v, want exactly the C/S component", cycles)
+	}
+	if len(cycles[0]) != 2 || cycles[0][0] != "C" || cycles[0][1] != "S" {
+		t.Fatalf("cycle = %v", cycles[0])
+	}
+	if !g.IsCyclic() {
+		t.Fatal("Figure 2 mappings are cyclic")
+	}
+}
+
+func TestDependencyGraphSelfLoop(t *testing.T) {
+	// The genealogy tgd of §2.2: Person(x) -> exists y: Father(x,y) & Person(y).
+	gen := New("gen",
+		[]Atom{NewAtom("Person", V("x"))},
+		[]Atom{NewAtom("Father", V("x"), V("y")), NewAtom("Person", V("y"))})
+	g := BuildDependencyGraph(MustNewSet(gen))
+	if !g.HasEdge("Person", "Person") {
+		t.Fatal("self-loop missing")
+	}
+	cycles := g.Cycles()
+	if len(cycles) != 1 || len(cycles[0]) != 1 || cycles[0][0] != "Person" {
+		t.Fatalf("Cycles = %v", cycles)
+	}
+}
+
+func TestDependencyGraphAcyclic(t *testing.T) {
+	m := New("m",
+		[]Atom{NewAtom("A", V("x"))},
+		[]Atom{NewAtom("B", V("x"))})
+	g := BuildDependencyGraph(MustNewSet(m))
+	if g.IsCyclic() {
+		t.Fatal("single edge reported cyclic")
+	}
+	if succ := g.Successors("A"); len(succ) != 1 || succ[0] != "B" {
+		t.Fatalf("Successors(A) = %v", succ)
+	}
+	if succ := g.Successors("B"); len(succ) != 0 {
+		t.Fatalf("Successors(B) = %v", succ)
+	}
+}
+
+func TestSCCLongCycle(t *testing.T) {
+	// A -> B -> C -> A plus a tail D.
+	mk := func(name, from, to string) *TGD {
+		return New(name,
+			[]Atom{NewAtom(from, V("x"))},
+			[]Atom{NewAtom(to, V("x"))})
+	}
+	s := MustNewSet(mk("ab", "A", "B"), mk("bc", "B", "C"), mk("ca", "C", "A"),
+		mk("cd", "C", "D"))
+	g := BuildDependencyGraph(s)
+	cycles := g.Cycles()
+	if len(cycles) != 1 || len(cycles[0]) != 3 {
+		t.Fatalf("Cycles = %v", cycles)
+	}
+}
+
+func TestWeakAcyclicityFigure2(t *testing.T) {
+	// sigma1/sigma2 form a cycle through existential positions, so the
+	// Figure 2 mapping set is NOT weakly acyclic; this is exactly why
+	// classical frameworks would reject it.
+	res := CheckWeakAcyclicity(figure2Mappings())
+	if res.WeaklyAcyclic {
+		t.Fatal("Figure 2 mappings must not be weakly acyclic")
+	}
+	if len(res.Witness) == 0 {
+		t.Fatal("witness cycle missing")
+	}
+}
+
+func TestWeakAcyclicityGenealogy(t *testing.T) {
+	gen := New("gen",
+		[]Atom{NewAtom("Person", V("x"))},
+		[]Atom{NewAtom("Father", V("x"), V("y")), NewAtom("Person", V("y"))})
+	res := CheckWeakAcyclicity(MustNewSet(gen))
+	if res.WeaklyAcyclic {
+		t.Fatal("genealogy tgd must not be weakly acyclic")
+	}
+}
+
+func TestWeakAcyclicityPositive(t *testing.T) {
+	// Full tgd with no existentials: copy A into B. Weakly acyclic.
+	copyT := New("copy",
+		[]Atom{NewAtom("A", V("x"), V("y"))},
+		[]Atom{NewAtom("B", V("x"), V("y"))})
+	res := CheckWeakAcyclicity(MustNewSet(copyT))
+	if !res.WeaklyAcyclic {
+		t.Fatalf("copy tgd must be weakly acyclic, witness %v", res.Witness)
+	}
+
+	// Existential that does not feed back: A(x) -> exists z B(x, z).
+	ex := New("ex",
+		[]Atom{NewAtom("A", V("x"))},
+		[]Atom{NewAtom("B", V("x"), V("z"))})
+	res = CheckWeakAcyclicity(MustNewSet(ex))
+	if !res.WeaklyAcyclic {
+		t.Fatalf("one-shot existential must be weakly acyclic, witness %v", res.Witness)
+	}
+}
+
+func TestWeakAcyclicityRegularCycleOnly(t *testing.T) {
+	// A(x) -> B(x); B(x) -> A(x): cyclic but with no special edges, so
+	// still weakly acyclic (the classical chase terminates).
+	ab := New("ab", []Atom{NewAtom("A", V("x"))}, []Atom{NewAtom("B", V("x"))})
+	ba := New("ba", []Atom{NewAtom("B", V("x"))}, []Atom{NewAtom("A", V("x"))})
+	s := MustNewSet(ab, ba)
+	if !BuildDependencyGraph(s).IsCyclic() {
+		t.Fatal("graph must be cyclic")
+	}
+	res := CheckWeakAcyclicity(s)
+	if !res.WeaklyAcyclic {
+		t.Fatalf("regular cycle must stay weakly acyclic, witness %v", res.Witness)
+	}
+}
+
+func TestWeakAcyclicitySpecialEdgeNeedsFrontierInRHS(t *testing.T) {
+	// B(x, w) -> exists z: B(z, z): x does not occur in the RHS, so no
+	// special edges arise from it and the set is weakly acyclic (the
+	// standard chase fires this tgd at most once per violation and the
+	// fresh tuple satisfies it).
+	m := New("m",
+		[]Atom{NewAtom("B", V("x"), V("w"))},
+		[]Atom{NewAtom("B", V("z"), V("z"))})
+	res := CheckWeakAcyclicity(MustNewSet(m))
+	if !res.WeaklyAcyclic {
+		t.Fatalf("no-frontier tgd must be weakly acyclic, witness %v", res.Witness)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	out := Describe(figure2Mappings())
+	if !strings.Contains(out, "cyclic component") {
+		t.Fatalf("Describe missing cycle info:\n%s", out)
+	}
+	if !strings.Contains(out, "weakly acyclic: no") {
+		t.Fatalf("Describe missing weak-acyclicity info:\n%s", out)
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	if got := (Position{"S", 2}).String(); got != "S.2" {
+		t.Fatalf("Position.String = %q", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package youtopia is a Go implementation of the cooperative update
+// exchange system of Kot and Koch, "Cooperative Update Exchange in the
+// Youtopia System" (VLDB 2009).
+//
+// A repository is a set of relations connected by mappings
+// (tuple-generating dependencies). User operations — tuple insertion,
+// tuple deletion, and null-replacement — propagate through the
+// mappings by a cooperative chase: deterministic repairs happen
+// automatically, while ambiguous ones stop at frontier tuples that a
+// user resolves with simple operations (expand, unify, delete a
+// subset). Mapping cycles are permitted; nontermination is controlled
+// rather than forbidden.
+//
+// Concurrent updates run under optimistic multiversion concurrency
+// control: every chase step's reads are recorded, writes by
+// higher-priority updates are checked against them, and conflicting
+// updates abort and restart, with cascading aborts determined by the
+// NAIVE, COARSE or PRECISE dependency algorithms of the paper.
+//
+// Quick start:
+//
+//	repo, _, err := youtopia.Open(`
+//	    relation C(city)
+//	    relation S(code, location, city_served)
+//	    mapping sigma1: C(c) -> exists a, l: S(a, l, c)
+//	    mapping sigma2: S(a, l, c) -> C(l), C(c)
+//	    tuple C("Ithaca")
+//	    tuple S("SYR", "Syracuse", "Ithaca")
+//	`)
+//	if err != nil { ... }
+//	stats, err := repo.Apply(
+//	    youtopia.Insert(youtopia.NewTuple("C", youtopia.Const("Boston"))),
+//	    youtopia.RandomUser(42))
+//
+// The examples/ directory contains complete programs: the paper's
+// Figure 2 travel repository, the cyclic genealogy scenario of §2.2,
+// and a concurrent workload comparing the abort algorithms.
+package youtopia
+
+import (
+	"youtopia/internal/cc"
+	"youtopia/internal/chase"
+	"youtopia/internal/core"
+	"youtopia/internal/model"
+	"youtopia/internal/parse"
+	"youtopia/internal/query"
+	"youtopia/internal/simuser"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// Core data model.
+type (
+	// Value is an attribute value: a constant or a labeled null.
+	Value = model.Value
+	// Tuple is a row of a relation.
+	Tuple = model.Tuple
+	// Schema is the set of declared relations.
+	Schema = model.Schema
+	// TGD is a mapping (tuple-generating dependency).
+	TGD = tgd.TGD
+	// MappingSet is an ordered collection of mappings.
+	MappingSet = tgd.Set
+)
+
+// Repository is a Youtopia repository; see package core.
+type Repository = core.Repository
+
+// CQ is a conjunctive query over the repository, evaluated under the
+// certain or best-effort semantics (§1.2 of the paper).
+type CQ = query.CQ
+
+// Update-exchange surface.
+type (
+	// Op is a database operation: the initial operation of an update.
+	Op = chase.Op
+	// Update is a running update (Definition 2.6 of the paper).
+	Update = chase.Update
+	// FrontierGroup is a set of frontier tuples awaiting a user.
+	FrontierGroup = chase.FrontierGroup
+	// Decision is a frontier operation.
+	Decision = chase.Decision
+	// User supplies frontier operations for blocked updates.
+	User = chase.User
+	// UserFunc adapts a function to the User interface.
+	UserFunc = chase.UserFunc
+	// Stats summarizes one update's chase.
+	Stats = chase.Stats
+)
+
+// Concurrency control surface.
+type (
+	// Tracker determines cascading aborts (NAIVE, COARSE, PRECISE).
+	Tracker = cc.Tracker
+	// SchedulerConfig parameterizes concurrent execution.
+	SchedulerConfig = cc.Config
+	// Metrics reports a concurrent run's outcome.
+	Metrics = cc.Metrics
+	// WriteRec describes one performed write.
+	WriteRec = storage.WriteRec
+)
+
+// Frontier operation kinds (§2.2, §2.3).
+const (
+	// DecideExpand inserts a positive frontier tuple.
+	DecideExpand = chase.DecideExpand
+	// DecideUnify collapses a positive frontier tuple onto a more
+	// specific existing tuple.
+	DecideUnify = chase.DecideUnify
+	// DecideDelete removes a subset of a negative frontier group.
+	DecideDelete = chase.DecideDelete
+	// DecideReconfirm protects a subset of a negative frontier group.
+	DecideReconfirm = chase.DecideReconfirm
+)
+
+// Const returns a constant value.
+func Const(s string) Value { return model.Const(s) }
+
+// NullValue returns the labeled null with the given identifier. Fresh
+// nulls should normally come from Repository.FreshNull.
+func NullValue(id int64) Value { return model.Null(id) }
+
+// NewTuple builds a tuple.
+func NewTuple(rel string, vals ...Value) Tuple { return model.NewTuple(rel, vals...) }
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return model.NewSchema() }
+
+// Insert returns an insert operation.
+func Insert(t Tuple) Op { return chase.Insert(t) }
+
+// Delete returns a delete operation (removes the fact).
+func Delete(t Tuple) Op { return chase.Delete(t) }
+
+// ReplaceNull returns a null-replacement operation: every occurrence
+// of the labeled null x becomes the value with.
+func ReplaceNull(x, with Value) Op { return chase.ReplaceNull(x, with) }
+
+// New creates a repository from a schema and mappings.
+func New(schema *Schema, mappings *MappingSet) (*Repository, error) {
+	return core.New(schema, mappings)
+}
+
+// Open parses a repository definition in the textual repository
+// language (see internal/parse) and returns the repository plus any
+// update operations the document contains.
+func Open(source string) (*Repository, []Op, error) {
+	return core.Open(source)
+}
+
+// OpenDocument is Open returning the full parsed document, including
+// declared conjunctive queries.
+func OpenDocument(source string) (*Repository, *Document, error) {
+	return core.OpenDocument(source)
+}
+
+// Document is a parsed repository definition.
+type Document = parse.Document
+
+// RandomUser returns the paper's §6 simulated user: frontier
+// operations chosen uniformly at random among the available
+// alternatives, deterministically by seed.
+func RandomUser(seed uint64) User { return simuser.New(seed) }
+
+// UnifyFirstUser returns a user that unifies whenever possible — the
+// knowledgeable human who short-circuits infinite cascades (§2.2).
+func UnifyFirstUser() User { return simuser.UnifyFirst() }
+
+// Cascading-abort trackers (§5.1).
+var (
+	// Naive aborts every lower-priority update when any update aborts.
+	Naive Tracker = cc.Naive{}
+	// Coarse tracks read dependencies at relation granularity.
+	Coarse Tracker = cc.Coarse{}
+	// Precise computes exact read dependencies against the database.
+	Precise Tracker = cc.Precise{}
+)
+
+// ErrProtectedCascade is returned by Repository.Apply when a deletion
+// would cascade into a protected relation (§2.1).
+var ErrProtectedCascade = core.ErrProtectedCascade
