@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"youtopia/internal/cc"
+	"youtopia/internal/experiments"
 	"youtopia/internal/simuser"
 	"youtopia/internal/workload"
 )
@@ -171,6 +172,58 @@ func timeTracker(b *testing.B, u *workload.Universe, mappings int, tracker cc.Tr
 
 func nowSeconds() float64 {
 	return float64(time.Now().UnixNano()) / 1e9
+}
+
+// --- Parallel runtime: serial vs goroutine-parallel execution ---
+
+// BenchmarkSchedulerWorkers runs the same seeded workload under the
+// serial reference scheduler (PolicySerial) and the goroutine-parallel
+// scheduler at several worker counts, reporting wall time and
+// committed-update throughput. On a multi-core machine the parallel
+// series should beat serial; on one core it quantifies the phase-lock
+// overhead. The committed final instance is serializable at every
+// point (asserted by the cc test battery, not re-checked here).
+func BenchmarkSchedulerWorkers(b *testing.B) {
+	u := universe(b, 100)
+	// runOne times only the scheduler run; store loading and workload
+	// generation happen outside the benchmark clock so the serial vs
+	// parallel comparison is not diluted by identical setup cost.
+	runOne := func(b *testing.B, workers int, run int64) (cc.Metrics, time.Duration) {
+		b.Helper()
+		b.StopTimer()
+		st, err := u.NewStore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := cc.Config{
+			Tracker:            cc.Coarse{},
+			User:               simuser.New(uint64(run) + 29),
+			MaxAbortsPerUpdate: 10000,
+			Workers:            workers,
+		}
+		ops := u.GenOpsSeeded(3000 + run)
+		b.StartTimer()
+		m, elapsed, err := experiments.RunMode(st, u.Mappings.Prefix(24), cfg, ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m, elapsed
+	}
+	for _, workers := range []int{0, 1, 2, 4} {
+		b.Run(experiments.ModeLabel(workers), func(b *testing.B) {
+			var updates float64
+			var elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, d := runOne(b, workers, int64(i))
+				updates += float64(m.Submitted)
+				elapsed += d
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				b.ReportMetric(updates/secs, "upd/s")
+			}
+		})
+	}
 }
 
 // --- Ablations: design choices called out in DESIGN.md ---

@@ -5,9 +5,15 @@
 // panels — total aborts, cascading abort requests, and the per-update
 // execution-time slowdown of PRECISE over COARSE.
 //
+// Beyond the paper's figures, -figure parallel compares the serial
+// reference execution against the goroutine-parallel runtime across a
+// sweep of worker counts, reporting wall time and committed-update
+// throughput.
+//
 // Usage:
 //
 //	youtopia-bench -figure both -preset paper -runs 3
+//	youtopia-bench -figure parallel -preset quick -workers 0,2,4
 //
 // Presets:
 //
@@ -31,7 +37,8 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, or latency (the §5.2 user-latency extension study)")
+	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, latency (the §5.2 user-latency extension study), or parallel (serial vs goroutine-parallel throughput)")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts for -figure parallel (0 = serial reference; default 0,1,2,4,8)")
 	preset := flag.String("preset", "moderate", "parameter preset: quick, moderate or paper")
 	runs := flag.Int("runs", 3, "runs averaged per data point (paper: 100)")
 	seed := flag.Int64("seed", 1, "master random seed")
@@ -60,10 +67,32 @@ func main() {
 		base.Updates = *updates
 	}
 	if *sweepFlag != "" {
-		sweep, err = parseSweep(*sweepFlag)
+		sweep, err = parseInts(*sweepFlag, 1)
+		if err != nil {
+			fail(fmt.Errorf("bad -sweep: %w", err))
+		}
+	}
+	if *figure == "parallel" {
+		var workers []int
+		if *workersFlag != "" {
+			ws, err := parseInts(*workersFlag, 0)
+			if err != nil {
+				fail(fmt.Errorf("bad -workers: %w", err))
+			}
+			workers = ws
+		}
+		points, err := experiments.ParallelStudy(base, workers, *runs)
 		if err != nil {
 			fail(err)
 		}
+		fmt.Println(experiments.RenderParallel(points))
+		if *csvPath != "" {
+			if err := os.WriteFile(*csvPath, []byte(experiments.ParallelCSV(points)), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		return
 	}
 	if *figure == "latency" {
 		points, err := experiments.LatencyStudy(base, nil, *runs)
@@ -144,12 +173,14 @@ func configFor(preset string) (workload.Config, []int, error) {
 	}
 }
 
-func parseSweep(s string) ([]int, error) {
+// parseInts parses a comma-separated integer list, rejecting entries
+// below min.
+func parseInts(s string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad sweep entry %q", part)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("bad entry %q", part)
 		}
 		out = append(out, n)
 	}

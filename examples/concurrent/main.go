@@ -1,17 +1,23 @@
 // Concurrent: a miniature of the paper's §6 evaluation. A synthetic
 // universe is generated (random relations, cyclic random mappings, an
-// initial database produced by update exchange itself), a workload of
-// concurrent updates runs under the optimistic scheduler, and the
-// three cascading-abort algorithms are compared head to head.
+// initial database produced by update exchange itself) and a workload
+// of concurrent updates runs under the optimistic scheduler. Part one
+// compares the three cascading-abort algorithms head to head on the
+// cooperative interleaver; part two runs the same workload on the
+// goroutine-parallel runtime across worker counts, demonstrating that
+// real goroutine-level concurrency preserves the workload's outcome
+// while using the machine's cores.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"youtopia/internal/cc"
+	"youtopia/internal/experiments"
 	"youtopia/internal/simuser"
 	"youtopia/internal/workload"
 )
@@ -59,4 +65,33 @@ func main() {
 	}
 	fmt.Println("\nNAIVE cascades indiscriminately; COARSE tracks relation-level read")
 	fmt.Println("dependencies; PRECISE asks the database exactly which writes matter.")
+
+	fmt.Printf("\ngoroutine-parallel runtime (COARSE tracker, GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Printf("%-12s %10s %10s %12s %12s\n",
+		"mode", "aborts", "reruns", "wall", "upd/s")
+	for _, workers := range []int{0, 1, 2, 4} {
+		st, err := u.NewStore()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ops := u.GenOps(rand.New(rand.NewSource(99)))
+		m, wall, err := experiments.RunMode(st, u.Mappings, cc.Config{
+			Tracker: cc.Coarse{},
+			User:    simuser.New(123),
+			Workers: workers,
+		}, ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		throughput := 0.0
+		if wall.Seconds() > 0 {
+			throughput = float64(m.Submitted) / wall.Seconds()
+		}
+		fmt.Printf("%-12s %10d %10d %12s %12.0f\n",
+			experiments.ModeLabel(workers), m.Aborts, m.Runs, wall.Round(time.Millisecond), throughput)
+	}
+	fmt.Println("\nEvery mode commits a serializable final instance: workers race through")
+	fmt.Println("chase read phases in parallel while writes and conflict checks remain")
+	fmt.Println("atomic under the phase lock, and updates commit in priority order.")
 }

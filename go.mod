@@ -1,0 +1,3 @@
+module youtopia
+
+go 1.24

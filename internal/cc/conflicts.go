@@ -1,0 +1,128 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/storage"
+)
+
+// This file holds the Algorithm-4 core shared by the cooperative
+// Scheduler and the goroutine-parallel ParallelScheduler. Keeping the
+// conflict detection, cascade closure, rollback, and frontier-polling
+// logic in one place is what makes the two schedulers' semantics
+// provably identical — the parallel-vs-serial equivalence tests lean
+// on that.
+
+// collectConflicts checks one batch of writes against the stored read
+// queries of higher-numbered uncommitted updates, closes the
+// dependency cascade transitively through the tracker, and returns
+// the consolidated abort set in ascending priority order (Algorithm
+// 4). Counters accumulate into m; in ModeFlag conflicts are only
+// counted and nothing is marked. The cooperative scheduler calls this
+// from its single goroutine; the parallel one under the exclusive
+// phase lock, which is what makes reading other updates' Reads and
+// deps safe there.
+func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []storage.WriteRec, m *Metrics) []int {
+	if len(writes) == 0 {
+		return nil
+	}
+	marked := make(map[int]bool)
+	var worklist []*Txn
+
+	for _, w := range writes {
+		for _, t := range txns {
+			if t.Number <= w.Writer || t.committed || marked[t.Number] {
+				continue
+			}
+			for _, q := range t.Upd.Reads {
+				if q.AffectedBy(store, w) {
+					m.DirectAbortRequests++
+					if cfg.Mode == ModeFlag {
+						m.Flagged++
+					} else {
+						marked[t.Number] = true
+						worklist = append(worklist, t)
+					}
+					break
+				}
+			}
+		}
+	}
+	if cfg.Mode == ModeFlag {
+		return nil
+	}
+
+	// Transitive cascade closure through read dependencies.
+	for len(worklist) > 0 {
+		a := worklist[0]
+		worklist = worklist[1:]
+		for _, t := range cfg.Tracker.Cascade(store, a, txns) {
+			m.CascadingAbortRequests++
+			if !marked[t.Number] {
+				marked[t.Number] = true
+				worklist = append(worklist, t)
+			}
+		}
+	}
+
+	// Consolidated execution order: ascending priority, for
+	// determinism.
+	numbers := make([]int, 0, len(marked))
+	for n := range marked {
+		numbers = append(numbers, n)
+	}
+	sort.Ints(numbers)
+	return numbers
+}
+
+// rollbackTxn aborts one update at the storage level and requeues it
+// with the same priority number for a fresh attempt, enforcing the
+// abort limit. Aborts and FrontierRequests accumulate into m (the §6
+// metric charges an attempt's frontier requests when it dies or
+// commits). The parallel scheduler calls it under the exclusive phase
+// lock; bumping the attempt counter there is what tells a concurrent
+// claimant to abandon its stale phase.
+func rollbackTxn(store *storage.Store, cfg *Config, t *Txn, m *Metrics) error {
+	if t.committed {
+		return fmt.Errorf("cc: attempt to abort committed update %d", t.Number)
+	}
+	m.Aborts++
+	t.aborts++
+	if cfg.MaxAbortsPerUpdate > 0 && t.aborts > cfg.MaxAbortsPerUpdate {
+		return fmt.Errorf("cc: update %d aborted %d times (limit %d)",
+			t.Number, t.aborts, cfg.MaxAbortsPerUpdate)
+	}
+	m.FrontierRequests += t.Upd.Stats.FrontierRequests
+	store.Abort(t.Number)
+	t.deps = make(map[int]bool)
+	t.Upd.Reset()
+	return nil
+}
+
+// pollFrontier offers one frontier decision opportunity to a blocked
+// update: it walks the open groups, enumerates each group's options,
+// and applies the first decision the decide callback supplies. It
+// reports whether a decision was applied. The parallel scheduler
+// wraps decide to serialize user calls across workers.
+func pollFrontier(e *chase.Engine, u *chase.Update,
+	decide func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool)) (bool, error) {
+	groups := append([]*chase.FrontierGroup(nil), u.Groups()...)
+	for _, g := range groups {
+		opts := e.Options(u, g)
+		if len(opts) == 0 {
+			continue
+		}
+		ctx := e.DecisionContext(u, g)
+		d, ok := decide(g, opts, ctx)
+		if !ok {
+			continue
+		}
+		if err := e.Apply(u, g.ID, d); err != nil {
+			return false, fmt.Errorf("cc: update %d frontier op: %w", u.Number, err)
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,460 @@
+package cc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// ParallelScheduler drives a workload of updates to termination on N
+// worker goroutines — the goroutine-level realization of the paper's
+// logically concurrent scheduler (Algorithms 3 and 4). Workers pull
+// runnable transactions and execute chase steps through the two-phase
+// engine API, synchronized by a single phase lock:
+//
+//   - The write half of a step (performing the planned writes) and the
+//     conflict processing of Algorithm 4 run under the exclusive phase
+//     lock, making every write-then-validate sequence atomic.
+//   - The read half (violation discovery, queue recheck, repair
+//     planning) and frontier-operation polling run under the shared
+//     phase lock, so the read-dominated bulk of chase work proceeds in
+//     parallel across updates.
+//
+// This closes the classical OCC validation race: a read query is
+// recorded during a shared-lock phase, so it is either fully published
+// before a later exclusive conflict check (which then inspects it), or
+// performed after the conflicting write landed (in which case the
+// answer already reflects the write and no conflict exists). Store
+// state never changes during shared phases — all mutations happen
+// under the exclusive lock — so each read phase observes the store
+// exactly as if it ran between two steps of the serial interleaving,
+// which is the paper's execution model; Theorem 4.4's serializability
+// argument therefore carries over unchanged, and the committed final
+// instance is equivalent to the serial execution of the same workload.
+//
+// Updates commit strictly in priority order once terminated, exactly
+// as in the cooperative scheduler. Aborts decided during conflict
+// processing are executed immediately under the exclusive lock; a
+// worker that had claimed the aborted transaction notices the bumped
+// attempt counter at its next lock acquisition and abandons the stale
+// phase.
+type ParallelScheduler struct {
+	store  *storage.Store
+	engine *chase.Engine
+	cfg    Config
+
+	// gmu is the phase lock described above. Lock order: gmu before mu.
+	gmu sync.RWMutex
+
+	// userMu serializes frontier-decision calls: chase.User
+	// implementations (the simulated users included) are not required
+	// to be goroutine-safe.
+	userMu sync.Mutex
+
+	// mu guards the dispatch state and metrics below.
+	mu             sync.Mutex
+	cond           *sync.Cond
+	txns           []*Txn
+	status         []txnStatus
+	claimed        []bool
+	inflight       int
+	commitInFlight bool
+	committedUpTo  int // txns[:committedUpTo] have committed
+	idle           int // consecutive finished work items without progress
+	idleLimit      int
+	err            error
+	done           bool
+	m              Metrics
+}
+
+// txnStatus mirrors an update's lifecycle state for the dispatcher,
+// which must not touch chase.Update fields (those are synchronized by
+// the phase lock, not by mu).
+type txnStatus uint8
+
+const (
+	statusReady txnStatus = iota
+	statusAwaiting
+	statusTerminated
+	statusCommitted
+)
+
+func mirrorOf(st chase.State) txnStatus {
+	switch st {
+	case chase.StateAwaitingUser:
+		return statusAwaiting
+	case chase.StateTerminated:
+		return statusTerminated
+	default:
+		return statusReady
+	}
+}
+
+// workKind classifies dispatched work items.
+type workKind uint8
+
+const (
+	workStep workKind = iota
+	workPoll
+	workCommit
+)
+
+// NewParallelScheduler builds a parallel scheduler over a store and
+// mapping set. Config.Workers selects the goroutine count; zero means
+// GOMAXPROCS. The Policy field is ignored — goroutine scheduling
+// replaces the cooperative interleaving policies.
+func NewParallelScheduler(store *storage.Store, set *tgd.Set, cfg Config) *ParallelScheduler {
+	if cfg.Tracker == nil {
+		cfg.Tracker = Coarse{}
+	}
+	if cfg.MaxStepsPerUpdate == 0 {
+		cfg.MaxStepsPerUpdate = 100000
+	}
+	if cfg.MaxIdleRounds == 0 {
+		cfg.MaxIdleRounds = 10000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &ParallelScheduler{store: store, cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	s.engine = chase.NewEngine(store, set)
+	s.engine.MaxStepsPerAttempt = cfg.MaxStepsPerUpdate
+	s.engine.SetReadObserver(s.onRead)
+	if h, ok := cfg.Tracker.(*Hybrid); ok && h.Attempts == nil {
+		h.Attempts = func(number int) int {
+			if t := s.txn(number); t != nil {
+				return t.Upd.Attempt
+			}
+			return 1
+		}
+	}
+	return s
+}
+
+// Txns returns the scheduler's transactions (after Run started).
+func (s *ParallelScheduler) Txns() []*Txn { return s.txns }
+
+// Metrics returns the metrics collected so far.
+func (s *ParallelScheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+func (s *ParallelScheduler) txn(number int) *Txn {
+	if number < 1 || number > len(s.txns) {
+		return nil
+	}
+	return s.txns[number-1]
+}
+
+// onRead forwards each stored read to the tracker, as in the
+// cooperative scheduler. It runs in the phase that performed the read
+// (shared or exclusive), so the transaction's dependency set is only
+// ever written by its current worker and only ever read under the
+// exclusive lock.
+func (s *ParallelScheduler) onRead(u *chase.Update, q query.ReadQuery) {
+	if s.cfg.Mode == ModeFlag {
+		return
+	}
+	if t := s.txn(u.Number); t != nil {
+		s.cfg.Tracker.OnRead(s.store, t, q)
+	}
+}
+
+// bump applies a metrics delta under mu.
+func (s *ParallelScheduler) bump(f func(m *Metrics)) {
+	s.mu.Lock()
+	f(&s.m)
+	s.mu.Unlock()
+}
+
+// Run executes the workload: ops[i] becomes update number i+1. It
+// blocks until every update has committed and returns the collected
+// metrics; the error reports stalls (absent users), step-limit or
+// abort-limit overruns, or storage failures.
+func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
+	start := time.Now()
+	s.txns = make([]*Txn, len(ops))
+	s.status = make([]txnStatus, len(ops))
+	s.claimed = make([]bool, len(ops))
+	for i, op := range ops {
+		u := chase.NewUpdate(i+1, op)
+		s.txns[i] = &Txn{Upd: u, Number: i + 1, deps: make(map[int]bool)}
+	}
+	s.m.Submitted = len(ops)
+	n := len(ops)
+	if n == 0 {
+		n = 1
+	}
+	s.idleLimit = s.cfg.MaxIdleRounds * n
+
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.workerLoop()
+		}()
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	s.m.Runs = s.m.Submitted + s.m.Aborts
+	s.m.WallTime = time.Since(start)
+	m := s.m
+	err := s.err
+	s.mu.Unlock()
+	return m, err
+}
+
+// workerLoop pulls and executes work items until the run completes or
+// fails.
+func (s *ParallelScheduler) workerLoop() {
+	for {
+		kind, t, ok := s.next()
+		if !ok {
+			return
+		}
+		var progressed bool
+		var err error
+		switch kind {
+		case workCommit:
+			progressed = s.execCommit()
+		case workStep:
+			progressed, err = s.execStep(t)
+		case workPoll:
+			progressed, err = s.execPoll(t)
+		}
+		s.finish(kind, t, progressed, err)
+	}
+}
+
+// next blocks until a work item is available and claims it. It returns
+// ok == false when the run is over (all committed, or a fatal error).
+func (s *ParallelScheduler) next() (workKind, *Txn, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil || s.done {
+			return 0, nil, false
+		}
+		if s.committedUpTo == len(s.txns) {
+			s.done = true
+			s.cond.Broadcast()
+			return 0, nil, false
+		}
+		// Advance the commit frontier as soon as the lowest-priority
+		// uncommitted update has terminated (§5: it can no longer abort
+		// once every lower-numbered update has committed).
+		if !s.commitInFlight && s.status[s.committedUpTo] == statusTerminated {
+			s.commitInFlight = true
+			s.inflight++
+			return workCommit, nil, true
+		}
+		// Lowest-numbered runnable transaction first: finishing
+		// high-priority updates unblocks the commit frontier and shrinks
+		// the abort window of everything above them.
+		for i, t := range s.txns {
+			if s.claimed[i] {
+				continue
+			}
+			switch s.status[i] {
+			case statusReady:
+				s.claimed[i] = true
+				s.inflight++
+				return workStep, t, true
+			case statusAwaiting:
+				s.claimed[i] = true
+				s.inflight++
+				return workPoll, t, true
+			}
+		}
+		if s.inflight == 0 {
+			// Unreachable by construction (ready/awaiting txns are always
+			// dispatchable and terminated ones feed the commit frontier);
+			// fail rather than hang if an invariant breaks.
+			s.err = fmt.Errorf("cc: parallel dispatch stalled with no work in flight")
+			s.cond.Broadcast()
+			return 0, nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish returns a work item's claim and accounts for progress.
+func (s *ParallelScheduler) finish(kind workKind, t *Txn, progressed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if kind == workCommit {
+		s.commitInFlight = false
+	} else {
+		s.claimed[t.Number-1] = false
+	}
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	if progressed {
+		s.idle = 0
+	} else {
+		s.idle++
+		if s.err == nil && s.idle >= s.idleLimit {
+			s.err = fmt.Errorf("cc: no progress after %d idle dispatches (users absent?)", s.idle)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// execStep runs one chase step for a claimed transaction: the write
+// half plus conflict processing atomically under the exclusive phase
+// lock, then the read half under the shared lock. If the transaction
+// was aborted between the phases (by a lower-priority writer's
+// conflict wave), the read half is abandoned — the storage rollback
+// already happened and the dispatcher will rerun the fresh attempt.
+func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
+	s.gmu.Lock()
+	if st := t.Upd.State(); st != chase.StateReady {
+		s.mu.Lock()
+		s.status[t.Number-1] = mirrorOf(st)
+		s.mu.Unlock()
+		s.gmu.Unlock()
+		return false, nil
+	}
+	attempt := t.Upd.Attempt
+	res, err := s.engine.StepWrites(t.Upd)
+	if err != nil {
+		err = fmt.Errorf("cc: update %d: %w", t.Number, err)
+	} else {
+		// Conflicts only ever abort higher-numbered txns than the
+		// writer, so t itself is never caught in the wave it causes.
+		err = s.processWritesLocked(res.Writes)
+	}
+	s.gmu.Unlock()
+	if err != nil {
+		return true, err
+	}
+	s.bump(func(m *Metrics) { m.Steps++; m.Writes += len(res.Writes) })
+
+	s.gmu.RLock()
+	if t.Upd.Attempt == attempt {
+		if _, rerr := s.engine.StepReads(t.Upd, res.Writes); rerr != nil {
+			s.gmu.RUnlock()
+			return true, fmt.Errorf("cc: update %d: %w", t.Number, rerr)
+		}
+		st := t.Upd.State()
+		s.mu.Lock()
+		s.status[t.Number-1] = mirrorOf(st)
+		s.mu.Unlock()
+	}
+	s.gmu.RUnlock()
+	return true, nil
+}
+
+// execPoll offers one frontier decision opportunity to a blocked
+// transaction, under the shared phase lock (frontier operations only
+// plan writes; the planned writes are performed by the next step).
+func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
+	if s.cfg.User == nil {
+		return false, nil
+	}
+	s.gmu.RLock()
+	defer s.gmu.RUnlock()
+	if st := t.Upd.State(); st != chase.StateAwaitingUser {
+		// Stale dispatch; resync the mirror so the dispatcher stops
+		// offering poll opportunities to a transaction that moved on.
+		s.mu.Lock()
+		s.status[t.Number-1] = mirrorOf(st)
+		s.mu.Unlock()
+		return false, nil
+	}
+	ok, err := pollFrontier(s.engine, t.Upd,
+		func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
+			s.userMu.Lock()
+			defer s.userMu.Unlock()
+			return s.cfg.User.Decide(t.Upd, g, opts, ctx)
+		})
+	if ok {
+		s.mu.Lock()
+		s.m.FrontierOps++
+		s.status[t.Number-1] = statusReady
+		s.mu.Unlock()
+	}
+	return ok, err
+}
+
+// execCommit advances the commit frontier under the exclusive phase
+// lock: terminated updates commit in priority order; the first
+// non-terminated update stops the sweep.
+func (s *ParallelScheduler) execCommit() bool {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	progressed := false
+	for _, t := range s.txns {
+		if t.committed {
+			continue
+		}
+		if t.Upd.State() != chase.StateTerminated {
+			break
+		}
+		t.committed = true
+		s.store.Commit(t.Number)
+		fr := t.Upd.Stats.FrontierRequests
+		// Released stored queries can no longer cause conflicts.
+		t.Upd.Reads = nil
+		s.mu.Lock()
+		s.m.FrontierRequests += fr
+		s.status[t.Number-1] = statusCommitted
+		s.committedUpTo++
+		s.mu.Unlock()
+		progressed = true
+	}
+	return progressed
+}
+
+// processWritesLocked runs the shared Algorithm-4 conflict processing
+// (collectConflicts) and executes the consolidated abort set. Callers
+// hold the exclusive phase lock, which is what makes reading other
+// updates' Reads and deps safe; metrics deltas are merged under mu.
+func (s *ParallelScheduler) processWritesLocked(writes []storage.WriteRec) error {
+	var delta Metrics
+	numbers := collectConflicts(s.store, &s.cfg, s.txns, writes, &delta)
+	if delta != (Metrics{}) {
+		s.bump(func(m *Metrics) {
+			m.DirectAbortRequests += delta.DirectAbortRequests
+			m.CascadingAbortRequests += delta.CascadingAbortRequests
+			m.Flagged += delta.Flagged
+		})
+	}
+	for _, n := range numbers {
+		if err := s.abortLocked(s.txn(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abortLocked rolls an update back via the shared rollbackTxn and
+// resyncs the dispatch mirror. Callers hold the exclusive phase lock;
+// bumping the attempt counter under it is what tells a concurrent
+// claimant to abandon its stale phase.
+func (s *ParallelScheduler) abortLocked(t *Txn) error {
+	var delta Metrics
+	err := rollbackTxn(s.store, &s.cfg, t, &delta)
+	s.mu.Lock()
+	s.m.Aborts += delta.Aborts
+	s.m.FrontierRequests += delta.FrontierRequests
+	if err == nil {
+		s.status[t.Number-1] = statusReady
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	return err
+}

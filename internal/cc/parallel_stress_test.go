@@ -1,0 +1,178 @@
+package cc_test
+
+import (
+	"testing"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/query"
+	"youtopia/internal/simuser"
+	"youtopia/internal/workload"
+)
+
+// TestParallelSchedulerStress drives a denser synthetic universe
+// through the parallel runtime with more workers than cores, under
+// every tracker, to shake out races between chase steps, conflict
+// processing, frontier polling, cascading aborts, and the commit
+// frontier. It is designed to be run under the race detector:
+// go test -race ./internal/cc/
+func TestParallelSchedulerStress(t *testing.T) {
+	cfg := workload.Config{
+		Relations:       14,
+		MinArity:        1,
+		MaxArity:        4,
+		Constants:       8,
+		Mappings:        16,
+		MaxAtomsPerSide: 2,
+		InitialTuples:   120,
+		Updates:         60,
+		InsertPct:       75,
+		Seed:            11,
+	}
+	if testing.Short() {
+		cfg.InitialTuples = 40
+		cfg.Updates = 16
+	}
+	u, err := workload.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := u.GenOpsSeeded(4242)
+
+	for _, tr := range []cc.Tracker{cc.Naive{}, cc.Coarse{}, cc.Precise{}} {
+		t.Run(tr.Name(), func(t *testing.T) {
+			st, err := u.NewStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched := cc.NewParallelScheduler(st, u.Mappings, cc.Config{
+				Tracker:            tr,
+				User:               simuser.New(99),
+				MaxAbortsPerUpdate: 5000,
+				Workers:            8,
+			})
+			if _, err := sched.Run(ops); err != nil {
+				t.Fatal(err)
+			}
+			for _, txn := range sched.Txns() {
+				if !txn.Committed() {
+					t.Fatalf("update %d never committed", txn.Number)
+				}
+			}
+			// The committed state must satisfy every mapping.
+			qe := query.NewEngine(st.Snap(1 << 30))
+			if vs := qe.AllViolations(u.Mappings); len(vs) != 0 {
+				t.Fatalf("%d violations survive", len(vs))
+			}
+		})
+	}
+}
+
+// TestParallelSchedulerHighLatencyUsers checks liveness under slow
+// frontier responses: updates blocked on a high-latency user must not
+// stall the workers, and the run must still converge to a
+// fully-repaired state.
+func TestParallelSchedulerHighLatencyUsers(t *testing.T) {
+	cfg := workload.Config{
+		Relations:       12,
+		MinArity:        1,
+		MaxArity:        4,
+		Constants:       8,
+		Mappings:        14,
+		MaxAtomsPerSide: 2,
+		InitialTuples:   80,
+		Updates:         30,
+		InsertPct:       70,
+		Seed:            3,
+	}
+	if testing.Short() {
+		cfg.InitialTuples = 30
+		cfg.Updates = 10
+	}
+	u, err := workload.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := simuser.New(9)
+	user.Latency = 6
+	st, err := u.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cc.NewParallelScheduler(st, u.Mappings, cc.Config{
+		Tracker:            cc.Coarse{},
+		User:               user,
+		MaxAbortsPerUpdate: 5000,
+		Workers:            4,
+	})
+	if _, err := sched.Run(u.GenOpsSeeded(77)); err != nil {
+		t.Fatal(err)
+	}
+	for _, txn := range sched.Txns() {
+		if !txn.Committed() {
+			t.Fatalf("update %d never committed", txn.Number)
+		}
+	}
+	qe := query.NewEngine(st.Snap(1 << 30))
+	if vs := qe.AllViolations(u.Mappings); len(vs) != 0 {
+		t.Fatalf("%d violations survive", len(vs))
+	}
+}
+
+// TestParallelSchedulerAbsentUser asserts the parallel scheduler
+// reports a stall instead of hanging when a frontier decision is
+// needed and no user answers.
+func TestParallelSchedulerAbsentUser(t *testing.T) {
+	cfg := workload.Config{
+		Relations:       8,
+		MinArity:        1,
+		MaxArity:        3,
+		Constants:       6,
+		Mappings:        10,
+		MaxAtomsPerSide: 2,
+		InitialTuples:   40,
+		Updates:         12,
+		InsertPct:       80,
+		Seed:            5,
+	}
+	u, err := workload.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := u.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cc.NewParallelScheduler(st, u.Mappings, cc.Config{
+		Tracker:       cc.Coarse{},
+		User:          simuser.Silent(),
+		MaxIdleRounds: 50,
+		Workers:       4,
+	})
+	if _, err := sched.Run(u.GenOpsSeeded(13)); err == nil {
+		t.Fatal("expected a stall error with a silent user, got nil")
+	}
+}
+
+// TestParallelSchedulerEmptyWorkload checks the degenerate case.
+func TestParallelSchedulerEmptyWorkload(t *testing.T) {
+	u, err := workload.Build(workload.Config{
+		Relations: 3, MinArity: 1, MaxArity: 2, Constants: 4,
+		Mappings: 2, MaxAtomsPerSide: 1, InitialTuples: 5,
+		Updates: 0, InsertPct: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := u.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := cc.NewParallelScheduler(st, u.Mappings, cc.Config{Workers: 3})
+	m, err := sched.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted != 0 || m.Runs != 0 {
+		t.Fatalf("unexpected metrics: %+v", m)
+	}
+}

@@ -1,12 +1,15 @@
 package cc_test
 
 import (
+	"fmt"
 	"testing"
 
 	"youtopia/internal/cc"
+	"youtopia/internal/model"
 	"youtopia/internal/query"
 	"youtopia/internal/serial"
 	"youtopia/internal/simuser"
+	"youtopia/internal/storage"
 	"youtopia/internal/workload"
 )
 
@@ -63,20 +66,97 @@ func TestSerializabilityOnRandomUniverses(t *testing.T) {
 			if _, err := sched.Run(ops); err != nil {
 				t.Fatalf("seed %d %s: %v", seed, tr.Name(), err)
 			}
-			got := st.Snap(1 << 30).VisibleFacts()
+			checkAgainstSerial(t, st, u, want, fmt.Sprintf("seed %d %s", seed, tr.Name()))
+		}
+	}
+}
 
-			// Every mapping must hold in the final state.
-			qe := query.NewEngine(st.Snap(1 << 30))
-			if vs := qe.AllViolations(u.Mappings); len(vs) != 0 {
-				t.Fatalf("seed %d %s: %d violations survive", seed, tr.Name(), len(vs))
-			}
-			eq, err := serial.Equivalent(got, want)
-			if err != nil {
-				t.Fatalf("seed %d %s: %v", seed, tr.Name(), err)
-			}
-			if !eq {
-				t.Errorf("seed %d %s: concurrent != serial\n%s", seed, tr.Name(),
-					serial.Explain(got, want))
+// checkAgainstSerial asserts that a finished store satisfies every
+// mapping and holds the same facts as the serial reference, up to a
+// bijective renaming of labeled nulls.
+func checkAgainstSerial(t *testing.T, st *storage.Store, u *workload.Universe, want map[string][]model.Tuple, label string) {
+	t.Helper()
+	got := st.Snap(1 << 30).VisibleFacts()
+	qe := query.NewEngine(st.Snap(1 << 30))
+	if vs := qe.AllViolations(u.Mappings); len(vs) != 0 {
+		t.Fatalf("%s: %d violations survive", label, len(vs))
+	}
+	eq, err := serial.Equivalent(got, want)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !eq {
+		t.Errorf("%s: concurrent != serial\n%s", label, serial.Explain(got, want))
+	}
+}
+
+// TestParallelSerializabilityOnRandomUniverses runs the same random
+// universes through the goroutine-parallel scheduler at several worker
+// counts and under every tracker, asserting the committed final
+// instance is equivalent to the serial reference — the headline
+// property of the parallel runtime: true goroutine concurrency must
+// not change the semantics of Theorem 4.4.
+func TestParallelSerializabilityOnRandomUniverses(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		cfg := workload.Config{
+			Relations:       10,
+			MinArity:        1,
+			MaxArity:        3,
+			Constants:       6,
+			Mappings:        8,
+			MaxAtomsPerSide: 2,
+			InitialTuples:   30,
+			Updates:         10,
+			InsertPct:       80,
+			Seed:            seed,
+		}
+		u, err := workload.Build(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ops := u.GenOpsSeeded(500 + seed)
+
+		// Serial reference.
+		stSerial, err := u.NewStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := serial.Execute(stSerial, u.Mappings, ops, simuser.New(uint64(seed))); err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		want := stSerial.Snap(1 << 30).VisibleFacts()
+
+		workerCounts := []int{1, 2, 4}
+		if testing.Short() {
+			workerCounts = []int{2}
+		}
+		for _, workers := range workerCounts {
+			for _, tr := range []cc.Tracker{cc.Naive{}, cc.Coarse{}, cc.Precise{}} {
+				st, err := u.NewStore()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sched := cc.NewParallelScheduler(st, u.Mappings, cc.Config{
+					Tracker:            tr,
+					User:               simuser.New(uint64(seed)),
+					MaxAbortsPerUpdate: 500,
+					Workers:            workers,
+				})
+				if _, err := sched.Run(ops); err != nil {
+					t.Fatalf("seed %d workers %d %s: %v", seed, workers, tr.Name(), err)
+				}
+				for _, txn := range sched.Txns() {
+					if !txn.Committed() {
+						t.Fatalf("seed %d workers %d %s: update %d never committed",
+							seed, workers, tr.Name(), txn.Number)
+					}
+				}
+				checkAgainstSerial(t, st, u, want,
+					fmt.Sprintf("seed %d workers %d %s", seed, workers, tr.Name()))
 			}
 		}
 	}

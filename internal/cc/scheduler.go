@@ -2,7 +2,6 @@ package cc
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"youtopia/internal/chase"
@@ -115,6 +114,14 @@ type Config struct {
 	// MaxAbortsPerUpdate bounds restarts of one update (0 = unlimited);
 	// exceeding it is reported as an error.
 	MaxAbortsPerUpdate int
+	// Workers selects goroutine-level parallel execution. The shared
+	// convention (core.Repository.RunConcurrent, experiments.RunMode,
+	// the benches): Workers >= 1 drives the workload through
+	// ParallelScheduler on that many worker goroutines, Workers == 0
+	// keeps the cooperative single-goroutine execution. Only when
+	// constructing a ParallelScheduler directly does 0 default to
+	// GOMAXPROCS. The cooperative Scheduler itself ignores the field.
+	Workers int
 }
 
 // Metrics aggregates a run's outcome — the quantities of §6.
@@ -323,7 +330,7 @@ func (s *Scheduler) runSteps(t *Txn) error {
 		s.m.Writes += len(res.Writes)
 		// Conflicts only ever abort higher-numbered txns than the
 		// writer, so t itself is never caught in the wave it causes.
-		if err := s.processWrites(t, res.Writes); err != nil {
+		if err := s.processWrites(res.Writes); err != nil {
 			return err
 		}
 		if s.cfg.Policy == PolicyRoundRobinStep {
@@ -340,105 +347,24 @@ func (s *Scheduler) pollUser(t *Txn) (bool, error) {
 	if s.cfg.User == nil {
 		return false, nil
 	}
-	groups := append([]*chase.FrontierGroup(nil), t.Upd.Groups()...)
-	for _, g := range groups {
-		opts := s.engine.Options(t.Upd, g)
-		if len(opts) == 0 {
-			continue
-		}
-		ctx := s.engine.DecisionContext(t.Upd, g)
-		d, ok := s.cfg.User.Decide(t.Upd, g, opts, ctx)
-		if !ok {
-			continue
-		}
-		if err := s.engine.Apply(t.Upd, g.ID, d); err != nil {
-			return false, fmt.Errorf("cc: update %d frontier op: %w", t.Number, err)
-		}
+	ok, err := pollFrontier(s.engine, t.Upd,
+		func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
+			return s.cfg.User.Decide(t.Upd, g, opts, ctx)
+		})
+	if ok {
 		s.m.FrontierOps++
-		return true, nil
 	}
-	return false, nil
+	return ok, err
 }
 
-// processWrites is the core of Algorithm 4: each write is checked
-// against the stored read queries of higher-numbered uncommitted
-// updates; direct conflicts and their dependency cascades are
-// collected, consolidated, and executed together once control is back
-// at the scheduler.
-func (s *Scheduler) processWrites(writer *Txn, writes []storage.WriteRec) error {
-	if len(writes) == 0 {
-		return nil
-	}
-	marked := make(map[int]bool)
-	var worklist []*Txn
-
-	for _, w := range writes {
-		for _, t := range s.txns {
-			if t.Number <= w.Writer || t.committed || marked[t.Number] {
-				continue
-			}
-			for _, q := range t.Upd.Reads {
-				if q.AffectedBy(s.store, w) {
-					s.m.DirectAbortRequests++
-					if s.cfg.Mode == ModeFlag {
-						s.m.Flagged++
-					} else {
-						marked[t.Number] = true
-						worklist = append(worklist, t)
-					}
-					break
-				}
-			}
-		}
-	}
-	if s.cfg.Mode == ModeFlag {
-		return nil
-	}
-
-	// Transitive cascade closure through read dependencies.
-	active := s.txns
-	for len(worklist) > 0 {
-		a := worklist[0]
-		worklist = worklist[1:]
-		for _, t := range s.cfg.Tracker.Cascade(s.store, a, active) {
-			s.m.CascadingAbortRequests++
-			if !marked[t.Number] {
-				marked[t.Number] = true
-				worklist = append(worklist, t)
-			}
-		}
-	}
-
-	// Consolidated execution, in ascending priority order for
-	// determinism.
-	numbers := make([]int, 0, len(marked))
-	for n := range marked {
-		numbers = append(numbers, n)
-	}
-	sort.Ints(numbers)
-	for _, n := range numbers {
-		if err := s.abort(s.txn(n)); err != nil {
+// processWrites runs Algorithm 4's conflict processing
+// (collectConflicts) on one step's writes and executes the
+// consolidated abort set.
+func (s *Scheduler) processWrites(writes []storage.WriteRec) error {
+	for _, n := range collectConflicts(s.store, &s.cfg, s.txns, writes, &s.m) {
+		if err := rollbackTxn(s.store, &s.cfg, s.txn(n), &s.m); err != nil {
 			return err
 		}
 	}
-	return nil
-}
-
-// abort rolls an update back and requeues it with the same priority
-// number for a fresh attempt.
-func (s *Scheduler) abort(t *Txn) error {
-	if t.committed {
-		return fmt.Errorf("cc: attempt to abort committed update %d", t.Number)
-	}
-	s.m.Aborts++
-	t.aborts++
-	if s.cfg.MaxAbortsPerUpdate > 0 && t.aborts > s.cfg.MaxAbortsPerUpdate {
-		return fmt.Errorf("cc: update %d aborted %d times (limit %d)",
-			t.Number, t.aborts, s.cfg.MaxAbortsPerUpdate)
-	}
-	s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
-	s.store.Abort(t.Number)
-	t.deps = make(map[int]bool)
-	t.Upd.Reset()
 	return nil
 }

@@ -79,7 +79,25 @@ var ErrStepLimit = fmt.Errorf("chase: step limit exceeded")
 // and processes pending violations until corrective writes are planned
 // for the next step or every remaining violation awaits a frontier
 // operation.
+//
+// Step is the composition of StepWrites and StepReads. Parallel
+// scheduling calls the two halves separately — the write half under an
+// exclusive phase lock (its effects must be validated against other
+// updates' stored reads atomically), the read half under a shared one.
 func (e *Engine) Step(u *Update) (StepResult, error) {
+	res, err := e.StepWrites(u)
+	if err != nil || res.State == StateTerminated || res.State == StateAborted {
+		return res, err
+	}
+	return e.StepReads(u, res.Writes)
+}
+
+// StepWrites is the mutating half of one chase step: it performs the
+// pending write set against the store (phase 1 of Algorithm 2) and
+// returns the write records with the update's state unchanged. On a
+// terminated or aborted update it returns immediately without
+// touching the store, mirroring Step.
+func (e *Engine) StepWrites(u *Update) (StepResult, error) {
 	switch u.state {
 	case StateTerminated:
 		return StepResult{State: StateTerminated}, nil
@@ -91,13 +109,21 @@ func (e *Engine) Step(u *Update) (StepResult, error) {
 	}
 	u.Stats.Steps++
 
-	// Phase 1: perform the pending writes.
 	writes, err := e.performWrites(u)
 	if err != nil {
 		return StepResult{Writes: writes, State: u.state}, err
 	}
 	u.Stats.Writes += len(writes)
+	return StepResult{Writes: writes, State: u.state}, nil
+}
 
+// StepReads is the read-only half of one chase step: violation
+// discovery for the performed writes, the queue recheck, and violation
+// processing until corrective writes are planned or every pending
+// violation awaits a frontier operation (phases 2–4 of Algorithm 2).
+// It only reads the store — new writes are merely planned into the
+// update's write set — and mutates nothing but the update itself.
+func (e *Engine) StepReads(u *Update, writes []storage.WriteRec) (StepResult, error) {
 	// Phase 2: discover new violations caused by the writes.
 	for _, w := range writes {
 		e.discoverViolations(u, w)

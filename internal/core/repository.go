@@ -201,6 +201,11 @@ func (r *Repository) decideOne(u *chase.Update, user chase.User) error {
 // select the algorithm variant (Algorithm 4, §5.1, §3); zero values
 // mean COARSE, round-robin step interleaving, prevention mode. Updates
 // are numbered from the repository's current update counter.
+//
+// With Workers >= 1 the workload runs on that many goroutines through
+// cc.ParallelScheduler (the Policy field is then ignored) — the same
+// convention the benches and experiments.RunMode use; Workers of zero
+// keeps the cooperative single-goroutine scheduler.
 func (r *Repository) RunConcurrent(ops []chase.Op, cfg cc.Config) (cc.Metrics, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -211,8 +216,13 @@ func (r *Repository) RunConcurrent(ops []chase.Op, cfg cc.Config) (cc.Metrics, e
 	if r.nextUpdate != 1 {
 		return cc.Metrics{}, fmt.Errorf("core: RunConcurrent requires a repository without prior updates (have %d); use a fresh repository or run the workload first", r.nextUpdate-1)
 	}
-	sched := cc.NewScheduler(r.store, r.mappings, cfg)
-	m, err := sched.Run(ops)
+	var m cc.Metrics
+	var err error
+	if cfg.Workers >= 1 {
+		m, err = cc.NewParallelScheduler(r.store, r.mappings, cfg).Run(ops)
+	} else {
+		m, err = cc.NewScheduler(r.store, r.mappings, cfg).Run(ops)
+	}
 	r.nextUpdate = len(ops) + 1
 	return m, err
 }

@@ -11,6 +11,7 @@ import (
 	"youtopia/internal/model"
 	"youtopia/internal/parse"
 	"youtopia/internal/query"
+	serialpkg "youtopia/internal/serial"
 	"youtopia/internal/simuser"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
@@ -173,6 +174,36 @@ func TestRunConcurrent(t *testing.T) {
 	// A second concurrent run on a used repository is rejected.
 	if _, err := r.RunConcurrent(ops, cc.Config{User: simuser.New(5)}); err == nil {
 		t.Fatal("second RunConcurrent accepted")
+	}
+}
+
+// TestRunConcurrentParallel drives RunConcurrent through the
+// goroutine-parallel scheduler (Workers > 1) and checks it leaves the
+// same facts as the cooperative path on the same workload.
+func TestRunConcurrentParallel(t *testing.T) {
+	ops := []chase.Op{
+		chase.Insert(tup("V", c("Ithaca"), c("ConfA"))),
+		chase.Insert(tup("A", c("Letchworth"), c("Letchworth Falls"))),
+		chase.Insert(tup("C", c("Boston"))),
+	}
+	serial := travelRepo(t)
+	if _, err := serial.RunConcurrent(ops, cc.Config{User: simuser.New(5)}); err != nil {
+		t.Fatal(err)
+	}
+	parallel := travelRepo(t)
+	m, err := parallel.RunConcurrent(ops, cc.Config{User: simuser.New(5), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if got := parallel.Violations(); len(got) != 0 {
+		t.Fatalf("violations: %v", got)
+	}
+	if !serialpkg.MustEquivalent(parallel.Facts(), serial.Facts()) {
+		t.Fatalf("parallel facts differ from cooperative facts\nparallel:\n%s\ncooperative:\n%s",
+			parallel.Dump(), serial.Dump())
 	}
 }
 

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/chase"
+	"youtopia/internal/simuser"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+	"youtopia/internal/workload"
+)
+
+// ModeLabel names an execution mode by its worker count: 0 is the
+// serial reference, anything positive the goroutine-parallel runtime.
+func ModeLabel(workers int) string {
+	if workers == 0 {
+		return "serial"
+	}
+	return fmt.Sprintf("workers=%d", workers)
+}
+
+// RunMode executes one workload under the study's execution
+// convention: cfg.Workers == 0 selects the serial reference
+// (PolicySerial on the cooperative scheduler), any positive count
+// runs cc.ParallelScheduler on that many goroutines. It returns the
+// metrics together with the scheduler's wall time (setup excluded).
+// The benches and examples share it so the serial-vs-parallel
+// comparison stays on one convention.
+func RunMode(st *storage.Store, set *tgd.Set, cfg cc.Config, ops []chase.Op) (cc.Metrics, time.Duration, error) {
+	start := time.Now()
+	var m cc.Metrics
+	var err error
+	if cfg.Workers == 0 {
+		cfg.Policy = cc.PolicySerial
+		m, err = cc.NewScheduler(st, set, cfg).Run(ops)
+	} else {
+		m, err = cc.NewParallelScheduler(st, set, cfg).Run(ops)
+	}
+	return m, time.Since(start), err
+}
+
+// ParallelPoint is one measurement of the parallel-runtime study.
+type ParallelPoint struct {
+	// Workers is the goroutine count; 0 denotes the serial reference
+	// execution (PolicySerial on the cooperative scheduler).
+	Workers    int
+	Runs       int
+	Aborts     float64
+	WallMillis float64
+	// UpdatesPerSec is committed-update throughput: Submitted / wall.
+	UpdatesPerSec float64
+}
+
+// Label names the point's execution mode.
+func (p ParallelPoint) Label() string { return ModeLabel(p.Workers) }
+
+// ParallelStudy compares the serial reference execution against the
+// goroutine-parallel scheduler across a sweep of worker counts on the
+// same seeded workload. Each point reports mean wall time and
+// throughput; on a multi-core machine the parallel points should beat
+// the serial one, and the committed final instance is serializable at
+// every point (the property the cc tests assert).
+func ParallelStudy(base workload.Config, workers []int, runs int) ([]ParallelPoint, error) {
+	if len(workers) == 0 {
+		workers = []int{0, 1, 2, 4, 8}
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	u, err := workload.Build(base)
+	if err != nil {
+		return nil, err
+	}
+	var out []ParallelPoint
+	for _, w := range workers {
+		p := ParallelPoint{Workers: w, Runs: runs}
+		var updates float64
+		for r := 0; r < runs; r++ {
+			st, err := u.NewStore()
+			if err != nil {
+				return nil, err
+			}
+			cfg := cc.Config{
+				Tracker:            cc.Coarse{},
+				User:               simuser.New(uint64(base.Seed)*31 + uint64(r)),
+				MaxAbortsPerUpdate: 10000,
+				Workers:            w,
+			}
+			ops := u.GenOpsSeeded(base.Seed*6151 + int64(r))
+			m, elapsed, err := RunMode(st, u.Mappings, cfg, ops)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s run %d: %w", p.Label(), r, err)
+			}
+			p.Aborts += float64(m.Aborts)
+			p.WallMillis += float64(elapsed.Milliseconds())
+			if secs := elapsed.Seconds(); secs > 0 {
+				updates += float64(m.Submitted) / secs
+			}
+		}
+		n := float64(runs)
+		p.Aborts /= n
+		p.WallMillis /= n
+		p.UpdatesPerSec = updates / n
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParallelCSV renders the study as CSV, one row per point.
+func ParallelCSV(points []ParallelPoint) string {
+	var b strings.Builder
+	b.WriteString("mode,workers,runs,aborts,wall_ms,upd_per_sec\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%.2f,%.2f\n",
+			p.Label(), p.Workers, p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec)
+	}
+	return b.String()
+}
+
+// RenderParallel prints the study as an aligned table.
+func RenderParallel(points []ParallelPoint) string {
+	var b strings.Builder
+	b.WriteString("parallel-runtime study (COARSE tracker, same seeded workload)\n")
+	fmt.Fprintf(&b, "%-12s%10s%12s%12s\n", "mode", "aborts", "wall(ms)", "upd/s")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s%10.1f%12.1f%12.1f\n", p.Label(), p.Aborts, p.WallMillis, p.UpdatesPerSec)
+	}
+	return b.String()
+}

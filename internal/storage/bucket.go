@@ -1,15 +1,29 @@
 package storage
 
-import "sort"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // bucket is a multiset of tuple IDs (counting versions) with a cached
 // sorted view. Queries fetch candidate lists far more often than
 // writes change membership, so the sorted slice is memoized and only
 // invalidated when an ID enters or leaves the set — reference-count
 // changes for an existing member keep the cache.
+//
+// Membership mutation happens only under the store's write lock, but
+// the lazy rebuild in ids runs under the store's read lock, which many
+// goroutines may hold at once. The cached view is published through an
+// atomic pointer so cache hits — the common case — stay lock-free;
+// sortMu only serializes the rebuild itself. A rebuild always
+// allocates a fresh slice, so callers may keep reading a previously
+// returned slice after later invalidations.
 type bucket struct {
 	counts map[TupleID]int
-	sorted []TupleID // nil when stale
+
+	sortMu sync.Mutex
+	sorted atomic.Pointer[[]TupleID] // nil when stale
 }
 
 func newBucket() *bucket {
@@ -17,16 +31,17 @@ func newBucket() *bucket {
 }
 
 // add increments the count for id, invalidating the cache only on
-// fresh membership.
+// fresh membership. Callers hold the store's write lock.
 func (b *bucket) add(id TupleID) {
 	if b.counts[id] == 0 {
-		b.sorted = nil
+		b.sorted.Store(nil)
 	}
 	b.counts[id]++
 }
 
 // remove decrements the count, dropping membership at zero. It
-// reports whether the bucket became empty.
+// reports whether the bucket became empty. Callers hold the store's
+// write lock.
 func (b *bucket) remove(id TupleID) bool {
 	c, ok := b.counts[id]
 	if !ok {
@@ -34,7 +49,7 @@ func (b *bucket) remove(id TupleID) bool {
 	}
 	if c <= 1 {
 		delete(b.counts, id)
-		b.sorted = nil
+		b.sorted.Store(nil)
 	} else {
 		b.counts[id] = c - 1
 	}
@@ -42,19 +57,27 @@ func (b *bucket) remove(id TupleID) bool {
 }
 
 // ids returns the member IDs in ascending order; the slice is shared
-// and must not be modified by callers.
+// and must not be modified by callers. Callers hold the store's lock
+// (read or write).
 func (b *bucket) ids() []TupleID {
 	if b == nil {
 		return nil
 	}
-	if b.sorted == nil {
-		b.sorted = make([]TupleID, 0, len(b.counts))
-		for id := range b.counts {
-			b.sorted = append(b.sorted, id)
-		}
-		sort.Slice(b.sorted, func(i, j int) bool { return b.sorted[i] < b.sorted[j] })
+	if p := b.sorted.Load(); p != nil {
+		return *p
 	}
-	return b.sorted
+	b.sortMu.Lock()
+	defer b.sortMu.Unlock()
+	if p := b.sorted.Load(); p != nil {
+		return *p
+	}
+	s := make([]TupleID, 0, len(b.counts))
+	for id := range b.counts {
+		s = append(s, id)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	b.sorted.Store(&s)
+	return s
 }
 
 // size returns the number of distinct members.

@@ -11,10 +11,18 @@ import (
 // uses masks to compare query answers with and without a single write.
 //
 // Snapshots are cheap descriptors over live store state, not frozen
-// copies: results reflect the store at call time.
+// copies: results reflect the store at call time. Each method takes
+// the store's read lock for its own duration, so individual calls are
+// atomic and safe to issue from any goroutine, but two successive
+// calls may observe different store states if a writer runs in
+// between — multi-call protocols need external phase locking.
 type Snapshot struct {
 	st     *Store
 	reader int
+
+	// noLock marks snapshots handed out by store code that already
+	// holds the store lock; their methods must not re-lock.
+	noLock bool
 
 	masked     bool
 	maskWriter int
@@ -30,6 +38,20 @@ type Snapshot struct {
 	ceilSeq   int64
 	hasWindow bool
 	windowSeq int64
+}
+
+// rlock acquires the store's read lock unless this snapshot was minted
+// under an already-held lock.
+func (sn *Snapshot) rlock() {
+	if !sn.noLock {
+		sn.st.mu.RLock()
+	}
+}
+
+func (sn *Snapshot) runlock() {
+	if !sn.noLock {
+		sn.st.mu.RUnlock()
+	}
 }
 
 // Reader returns the snapshot's reader priority.
@@ -88,8 +110,8 @@ func (sn *Snapshot) admits(v *version) bool {
 	return true
 }
 
-// version returns the visible version of a tuple record, or nil.
-func (sn *Snapshot) version(rec *tupleRec) *version {
+// versionLocked returns the visible version of a tuple record, or nil.
+func (sn *Snapshot) versionLocked(rec *tupleRec) *version {
 	for i := len(rec.versions) - 1; i >= 0; i-- {
 		v := &rec.versions[i]
 		if sn.admits(v) {
@@ -103,11 +125,17 @@ func (sn *Snapshot) version(rec *tupleRec) *version {
 // ok == false when the tuple does not exist, is not yet visible, or is
 // deleted. The returned slice is shared; callers must not modify it.
 func (sn *Snapshot) Get(id TupleID) ([]model.Value, bool) {
+	sn.rlock()
+	defer sn.runlock()
+	return sn.getLocked(id)
+}
+
+func (sn *Snapshot) getLocked(id TupleID) ([]model.Value, bool) {
 	tr, ok := sn.st.tuples[id]
 	if !ok {
 		return nil, false
 	}
-	v := sn.version(tr)
+	v := sn.versionLocked(tr)
 	if v == nil || v.deleted {
 		return nil, false
 	}
@@ -116,11 +144,13 @@ func (sn *Snapshot) Get(id TupleID) ([]model.Value, bool) {
 
 // GetTuple is Get returning a model.Tuple.
 func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
+	sn.rlock()
+	defer sn.runlock()
 	tr, ok := sn.st.tuples[id]
 	if !ok {
 		return model.Tuple{}, false
 	}
-	vals, ok := sn.Get(id)
+	vals, ok := sn.getLocked(id)
 	if !ok {
 		return model.Tuple{}, false
 	}
@@ -130,6 +160,8 @@ func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
 // Rel returns the relation a tuple ID belongs to, regardless of
 // visibility.
 func (sn *Snapshot) Rel(id TupleID) (string, bool) {
+	sn.rlock()
+	defer sn.runlock()
 	tr, ok := sn.st.tuples[id]
 	if !ok {
 		return "", false
@@ -142,14 +174,23 @@ func (sn *Snapshot) Rel(id TupleID) (string, bool) {
 // must not modify the slice; it is the cheapest candidate source for
 // unconstrained scans.
 func (sn *Snapshot) RelIDs(rel string) []TupleID {
+	sn.rlock()
+	defer sn.runlock()
 	return sn.st.byRel[rel].ids()
 }
 
 // ScanRel calls fn for every visible tuple of the relation in tuple-ID
-// order; fn returning false stops the scan.
+// order; fn returning false stops the scan. The store's read lock is
+// held across the whole scan, so fn must not call back into the store.
 func (sn *Snapshot) ScanRel(rel string, fn func(id TupleID, vals []model.Value) bool) {
+	sn.rlock()
+	defer sn.runlock()
+	sn.scanRelLocked(rel, fn)
+}
+
+func (sn *Snapshot) scanRelLocked(rel string, fn func(id TupleID, vals []model.Value) bool) {
 	for _, id := range sn.st.byRel[rel].ids() {
-		if vals, ok := sn.Get(id); ok {
+		if vals, ok := sn.getLocked(id); ok {
 			if !fn(id, vals) {
 				return
 			}
@@ -159,8 +200,10 @@ func (sn *Snapshot) ScanRel(rel string, fn func(id TupleID, vals []model.Value) 
 
 // CountRel returns the number of visible tuples in the relation.
 func (sn *Snapshot) CountRel(rel string) int {
+	sn.rlock()
+	defer sn.runlock()
 	n := 0
-	sn.ScanRel(rel, func(TupleID, []model.Value) bool { n++; return true })
+	sn.scanRelLocked(rel, func(TupleID, []model.Value) bool { n++; return true })
 	return n
 }
 
@@ -169,6 +212,12 @@ func (sn *Snapshot) CountRel(rel string) int {
 // must verify candidates against the snapshot via Get; the index
 // over-approximates across versions.
 func (sn *Snapshot) CandidatesByValue(rel string, col int, v model.Value) []TupleID {
+	sn.rlock()
+	defer sn.runlock()
+	return sn.candidatesByValueLocked(rel, col, v)
+}
+
+func (sn *Snapshot) candidatesByValueLocked(rel string, col int, v model.Value) []TupleID {
 	cols := sn.st.valIdx[rel]
 	if col < 0 || col >= len(cols) {
 		return nil
@@ -176,9 +225,9 @@ func (sn *Snapshot) CandidatesByValue(rel string, col int, v model.Value) []Tupl
 	return cols[col][v].ids()
 }
 
-// candidatesByContent returns IDs of tuples with some version whose
-// full content key matches.
-func (sn *Snapshot) candidatesByContent(rel, key string) []TupleID {
+// candidatesByContentLocked returns IDs of tuples with some version
+// whose full content key matches. Callers hold the store lock.
+func (sn *Snapshot) candidatesByContentLocked(rel, key string) []TupleID {
 	return sn.st.contentIdx[rel][key].ids()
 }
 
@@ -186,9 +235,11 @@ func (sn *Snapshot) candidatesByContent(rel, key string) []TupleID {
 // t, in ascending order (at most one unless duplicate content slipped
 // in through concurrent writers).
 func (sn *Snapshot) LookupContent(t model.Tuple) []TupleID {
+	sn.rlock()
+	defer sn.runlock()
 	var out []TupleID
-	for _, id := range sn.candidatesByContent(t.Rel, contentKey(t.Vals)) {
-		if vals, ok := sn.Get(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+	for _, id := range sn.candidatesByContentLocked(t.Rel, contentKey(t.Vals)) {
+		if vals, ok := sn.getLocked(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
 			out = append(out, id)
 		}
 	}
@@ -204,9 +255,15 @@ func (sn *Snapshot) ContainsContent(t model.Tuple) bool {
 // TuplesWithNull returns, in ascending order, the IDs of visible
 // tuples containing the labeled null x.
 func (sn *Snapshot) TuplesWithNull(x model.Value) []TupleID {
+	sn.rlock()
+	defer sn.runlock()
+	return sn.tuplesWithNullLocked(x)
+}
+
+func (sn *Snapshot) tuplesWithNullLocked(x model.Value) []TupleID {
 	var out []TupleID
 	for _, id := range sn.st.nullIdx[x].ids() {
-		vals, ok := sn.Get(id)
+		vals, ok := sn.getLocked(id)
 		if !ok {
 			continue
 		}
@@ -228,6 +285,8 @@ func (sn *Snapshot) TuplesWithNull(x model.Value) []TupleID {
 // Candidate narrowing uses the most selective constant position of t;
 // if t has no constants the relation is scanned.
 func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
+	sn.rlock()
+	defer sn.runlock()
 	bestCol := -1
 	bestSize := -1
 	cols := sn.st.valIdx[t.Rel]
@@ -247,14 +306,14 @@ func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
 		}
 	}
 	if bestCol >= 0 {
-		for _, id := range sn.CandidatesByValue(t.Rel, bestCol, t.Vals[bestCol]) {
-			if vals, ok := sn.Get(id); ok {
+		for _, id := range sn.candidatesByValueLocked(t.Rel, bestCol, t.Vals[bestCol]) {
+			if vals, ok := sn.getLocked(id); ok {
 				check(id, vals)
 			}
 		}
 		return out
 	}
-	sn.ScanRel(t.Rel, func(id TupleID, vals []model.Value) bool {
+	sn.scanRelLocked(t.Rel, func(id TupleID, vals []model.Value) bool {
 		check(id, vals)
 		return true
 	})
@@ -265,11 +324,13 @@ func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
 // relation, as canonical sets keyed by relation name. The
 // serializability checker compares these across executions.
 func (sn *Snapshot) VisibleFacts() map[string][]model.Tuple {
+	sn.rlock()
+	defer sn.runlock()
 	out := make(map[string][]model.Tuple)
 	for _, rel := range sn.st.schema.SortedNames() {
 		seen := make(map[string]bool)
 		var ts []model.Tuple
-		sn.ScanRel(rel, func(id TupleID, vals []model.Value) bool {
+		sn.scanRelLocked(rel, func(id TupleID, vals []model.Value) bool {
 			t := model.Tuple{Rel: rel, Vals: append([]model.Value(nil), vals...)}
 			if k := t.Key(); !seen[k] {
 				seen[k] = true

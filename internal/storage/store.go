@@ -16,15 +16,21 @@
 // atomically removes every version it created and repairs all indexes;
 // committing a writer retires its write log.
 //
-// A Store requires external synchronization: the chase scheduler
-// serializes access at chase-step granularity, which is also the
-// paper's interleaving model.
+// A Store is safe for concurrent use: an internal RWMutex serializes
+// mutators against each other and against readers, while any number of
+// readers (snapshots) proceed in parallel. Each exported operation is
+// individually atomic; multi-operation protocols (a chase step's
+// write-then-validate sequence) still need the concurrency-control
+// layer's phase locking on top, which is what cc.ParallelScheduler
+// provides.
 package storage
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"youtopia/internal/model"
 )
@@ -105,6 +111,13 @@ type tupleRec struct {
 
 // Store is the versioned repository storage.
 type Store struct {
+	// mu guards every field below except nulls (internally atomic) and
+	// the memoization pair guarded by cacheMu. Mutators take the write
+	// lock; snapshots and read accessors take the read lock. Value
+	// slices inside versions are never mutated in place, so they may be
+	// returned to callers and read after the lock is released.
+	mu sync.RWMutex
+
 	schema *model.Schema
 	nulls  model.NullFactory
 
@@ -129,10 +142,13 @@ type Store struct {
 	committed  map[int]bool
 	relWriters map[string]map[int]int // live write counts per relation per uncommitted writer
 
-	// uncommittedCache memoizes UncommittedWrites between mutations;
-	// PRECISE dependency tracking calls it on every read.
-	uncommittedCache []WriteRec
-	uncommittedDirty bool
+	// uncommittedCache publishes the memoized UncommittedWrites result
+	// (nil = stale); PRECISE dependency tracking calls it on every
+	// read, so cache hits go through the atomic pointer without any
+	// lock. cacheMu only serializes the rebuild among concurrent
+	// readers (who hold mu.RLock). Lock order: mu before cacheMu.
+	cacheMu          sync.Mutex
+	uncommittedCache atomic.Pointer[[]WriteRec]
 }
 
 // NewStore creates an empty store over a schema.
@@ -163,7 +179,8 @@ func NewStore(schema *model.Schema) *Store {
 // Schema returns the schema the store was created with.
 func (st *Store) Schema() *model.Schema { return st.schema }
 
-// FreshNull mints a labeled null unused anywhere in the store.
+// FreshNull mints a labeled null unused anywhere in the store. It is
+// safe to call concurrently (the factory is atomic) and takes no lock.
 func (st *Store) FreshNull() model.Value { return st.nulls.Fresh() }
 
 // noteNulls raises the null-factory floor past any null in vals, so
@@ -181,8 +198,14 @@ func contentKey(vals []model.Value) string {
 	return t.Key()[1:] // strip the empty relation prefix separator-free
 }
 
+// markUncommittedDirty invalidates the UncommittedWrites memo.
+// Callers hold mu (write), so no reader is concurrently rebuilding.
+func (st *Store) markUncommittedDirty() {
+	st.uncommittedCache.Store(nil)
+}
+
 // indexVersion adds (or with delta -1, removes) one version's values
-// to the secondary indexes.
+// to the secondary indexes. Callers hold mu (write).
 func (st *Store) indexVersion(rel string, id TupleID, vals []model.Value, delta int) {
 	if vals == nil {
 		return
@@ -235,7 +258,8 @@ func (st *Store) indexVersion(rel string, id TupleID, vals []model.Value, delta 
 }
 
 // addVersion appends a version to a tuple's chain, keeping the chain
-// sorted by (writer, seq), and maintains indexes and logs.
+// sorted by (writer, seq), and maintains indexes and logs. Callers
+// hold mu (write).
 func (st *Store) addVersion(rec *tupleRec, v version, logRec WriteRec) {
 	i := sort.Search(len(rec.versions), func(i int) bool {
 		w := rec.versions[i]
@@ -253,13 +277,17 @@ func (st *Store) addVersion(rec *tupleRec, v version, logRec WriteRec) {
 			st.relWriters[rec.rel] = rw
 		}
 		rw[v.writer]++
-		st.uncommittedDirty = true
+		st.markUncommittedDirty()
 	}
 }
 
 // CurrentSeq returns the sequence number of the most recent write;
 // reads record it so conflict checks can reconstruct read-time state.
-func (st *Store) CurrentSeq() int64 { return st.nextSeq }
+func (st *Store) CurrentSeq() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.nextSeq
+}
 
 // Insert inserts a tuple on behalf of writer. Set semantics apply: if
 // a tuple with identical content is already visible to the writer, the
@@ -271,10 +299,16 @@ func (st *Store) Insert(writer int, t model.Tuple) (id TupleID, rec WriteRec, in
 		return 0, WriteRec{}, false, err
 	}
 	st.noteNulls(t.Vals)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.insertLocked(writer, t)
+}
+
+func (st *Store) insertLocked(writer int, t model.Tuple) (id TupleID, rec WriteRec, inserted bool, err error) {
 	// Visible-duplicate check.
-	snap := st.Snap(writer)
-	for _, dupID := range snap.candidatesByContent(t.Rel, contentKey(t.Vals)) {
-		if vals, ok := snap.Get(dupID); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+	snap := st.snapLocked(writer)
+	for _, dupID := range snap.candidatesByContentLocked(t.Rel, contentKey(t.Vals)) {
+		if vals, ok := snap.getLocked(dupID); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
 			return dupID, WriteRec{}, false, nil
 		}
 	}
@@ -294,11 +328,17 @@ func (st *Store) Insert(writer int, t model.Tuple) (id TupleID, rec WriteRec, in
 // the writer. It returns ok == false (and no error) when the tuple is
 // not visible, which callers treat as "nothing to delete".
 func (st *Store) Delete(writer int, id TupleID) (rec WriteRec, ok bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.deleteLocked(writer, id)
+}
+
+func (st *Store) deleteLocked(writer int, id TupleID) (rec WriteRec, ok bool, err error) {
 	tr, exists := st.tuples[id]
 	if !exists {
 		return WriteRec{}, false, nil
 	}
-	v := st.Snap(writer).version(tr)
+	v := st.snapLocked(writer).versionLocked(tr)
 	if v == nil || v.deleted {
 		return WriteRec{}, false, nil
 	}
@@ -316,16 +356,18 @@ func (st *Store) DeleteContent(writer int, t model.Tuple) ([]WriteRec, error) {
 	if err := st.schema.CheckTuple(t); err != nil {
 		return nil, err
 	}
-	snap := st.Snap(writer)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := st.snapLocked(writer)
 	var ids []TupleID
-	for _, id := range snap.candidatesByContent(t.Rel, contentKey(t.Vals)) {
-		if vals, ok := snap.Get(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+	for _, id := range snap.candidatesByContentLocked(t.Rel, contentKey(t.Vals)) {
+		if vals, ok := snap.getLocked(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
 			ids = append(ids, id)
 		}
 	}
 	var out []WriteRec
 	for _, id := range ids {
-		rec, ok, err := st.Delete(writer, id)
+		rec, ok, err := st.deleteLocked(writer, id)
 		if err != nil {
 			return out, err
 		}
@@ -351,15 +393,17 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 	if to.IsNull() {
 		st.nulls.SetFloor(to.NullID())
 	}
-	snap := st.Snap(writer)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := st.snapLocked(writer)
 	// Collect affected tuples first: rewriting mutates the null index.
 	type hit struct {
 		id   TupleID
 		vals []model.Value
 	}
 	var hits []hit
-	for _, id := range snap.TuplesWithNull(x) {
-		vals, ok := snap.Get(id)
+	for _, id := range snap.tuplesWithNullLocked(x) {
+		vals, ok := snap.getLocked(id)
 		if !ok {
 			continue
 		}
@@ -376,11 +420,11 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 		// check runs against the live store so that two tuples rewritten
 		// to the same content within one replacement also collapse.
 		collapsed := false
-		for _, dupID := range snap.candidatesByContent(tr.rel, contentKey(newVals)) {
+		for _, dupID := range snap.candidatesByContentLocked(tr.rel, contentKey(newVals)) {
 			if dupID == h.id {
 				continue
 			}
-			if vals, ok := snap.Get(dupID); ok && (model.Tuple{Rel: tr.rel, Vals: vals}).Equal(model.Tuple{Rel: tr.rel, Vals: newVals}) {
+			if vals, ok := snap.getLocked(dupID); ok && (model.Tuple{Rel: tr.rel, Vals: vals}).Equal(model.Tuple{Rel: tr.rel, Vals: newVals}) {
 				collapsed = true
 				break
 			}
@@ -416,6 +460,8 @@ func (st *Store) Abort(writer int) {
 	if writer == 0 {
 		panic("storage: cannot abort the initial load")
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	log := st.logs[writer]
 	for i := len(log) - 1; i >= 0; i-- {
 		rec := log[i]
@@ -442,44 +488,61 @@ func (st *Store) Abort(writer int) {
 		}
 	}
 	delete(st.logs, writer)
-	st.uncommittedDirty = true
+	st.markUncommittedDirty()
 }
 
 // Commit marks a writer's versions as permanent and retires its write
 // log; a committed writer can no longer abort.
 func (st *Store) Commit(writer int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.committed[writer] = true
 	for _, rw := range st.relWriters {
 		delete(rw, writer)
 	}
 	delete(st.logs, writer)
-	st.uncommittedDirty = true
+	st.markUncommittedDirty()
 }
 
 // Committed reports whether the writer has committed.
-func (st *Store) Committed(writer int) bool { return st.committed[writer] }
+func (st *Store) Committed(writer int) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.committed[writer]
+}
 
 // WritesOf returns the write log of an uncommitted writer in sequence
-// order. The slice is shared; callers must not modify it.
-func (st *Store) WritesOf(writer int) []WriteRec { return st.logs[writer] }
+// order. The slice is shared; callers must not modify it or hold it
+// across the writer's next mutation.
+func (st *Store) WritesOf(writer int) []WriteRec {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.logs[writer]
+}
 
 // UncommittedWrites returns all writes by uncommitted writers, sorted
 // by sequence number. PRECISE dependency computation iterates these on
 // every read, so the result is memoized between mutations. Callers
 // must not modify the returned slice.
 func (st *Store) UncommittedWrites() []WriteRec {
-	if !st.uncommittedDirty {
-		return st.uncommittedCache
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if p := st.uncommittedCache.Load(); p != nil {
+		return *p
 	}
-	var out []WriteRec
+	st.cacheMu.Lock()
+	defer st.cacheMu.Unlock()
+	if p := st.uncommittedCache.Load(); p != nil {
+		return *p
+	}
+	out := []WriteRec{}
 	for w, log := range st.logs {
 		if !st.committed[w] {
 			out = append(out, log...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	st.uncommittedCache = out
-	st.uncommittedDirty = false
+	st.uncommittedCache.Store(&out)
 	return out
 }
 
@@ -487,6 +550,8 @@ func (st *Store) UncommittedWrites() []WriteRec {
 // writes into rel, sorted ascending. COARSE charges a violation-query
 // read dependency against exactly this set (§5.1.1).
 func (st *Store) UncommittedWritersOf(rel string) []int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	rw := st.relWriters[rel]
 	out := make([]int, 0, len(rw))
 	for w := range rw {
@@ -497,8 +562,15 @@ func (st *Store) UncommittedWritersOf(rel string) []int {
 }
 
 // Snap returns a read view of the store at the given reader priority.
+// The snapshot locks internally per call and is safe for concurrent
+// use.
 func (st *Store) Snap(reader int) *Snapshot {
 	return &Snapshot{st: st, reader: reader}
+}
+
+// snapLocked returns a read view for use by code already holding mu.
+func (st *Store) snapLocked(reader int) *Snapshot {
+	return &Snapshot{st: st, reader: reader, noLock: true}
 }
 
 // Stats summarizes store contents for diagnostics.
@@ -511,12 +583,14 @@ type Stats struct {
 // Stats computes summary statistics. The Visible count uses the
 // highest possible reader (every writer included).
 func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var s Stats
 	s.Tuples = len(st.tuples)
-	snap := st.Snap(int(^uint(0) >> 1))
+	snap := st.snapLocked(int(^uint(0) >> 1))
 	for _, tr := range st.tuples {
 		s.Versions += len(tr.versions)
-		if _, ok := snap.Get(tr.id); ok {
+		if _, ok := snap.getLocked(tr.id); ok {
 			s.Visible++
 		}
 	}
@@ -526,10 +600,12 @@ func (st *Store) Stats() Stats {
 // Dump renders the database visible to reader as sorted text, one
 // tuple per line. Intended for examples, debugging, and golden tests.
 func (st *Store) Dump(reader int) string {
-	snap := st.Snap(reader)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	snap := st.snapLocked(reader)
 	var lines []string
 	for _, rel := range st.schema.SortedNames() {
-		snap.ScanRel(rel, func(id TupleID, vals []model.Value) bool {
+		snap.scanRelLocked(rel, func(id TupleID, vals []model.Value) bool {
 			lines = append(lines, model.Tuple{Rel: rel, Vals: vals}.String())
 			return true
 		})

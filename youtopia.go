@@ -16,6 +16,11 @@
 // higher-priority updates are checked against them, and conflicting
 // updates abort and restart, with cascading aborts determined by the
 // NAIVE, COARSE or PRECISE dependency algorithms of the paper.
+// Workloads execute either on the cooperative single-goroutine
+// interleaver of the paper's experiments or, with
+// SchedulerConfig.Workers >= 1, on a pool of worker goroutines that
+// chase independent updates truly in parallel over the
+// concurrency-safe store.
 //
 // Quick start:
 //
@@ -92,7 +97,11 @@ type (
 type (
 	// Tracker determines cascading aborts (NAIVE, COARSE, PRECISE).
 	Tracker = cc.Tracker
-	// SchedulerConfig parameterizes concurrent execution.
+	// SchedulerConfig parameterizes concurrent execution. Setting its
+	// Workers field to 1 or more makes Repository.RunConcurrent execute
+	// the workload on that many goroutines (cc.ParallelScheduler)
+	// instead of the cooperative single-goroutine interleaver; the
+	// committed final instance is serializable either way.
 	SchedulerConfig = cc.Config
 	// Metrics reports a concurrent run's outcome.
 	Metrics = cc.Metrics
