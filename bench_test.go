@@ -179,16 +179,27 @@ func nowSeconds() float64 {
 // BenchmarkSchedulerWorkers runs the same seeded workload under the
 // serial reference scheduler (PolicySerial) and the goroutine-parallel
 // scheduler at several worker counts, reporting wall time and
-// committed-update throughput. On a multi-core machine the parallel
-// series should beat serial; on one core it quantifies the phase-lock
-// overhead. The committed final instance is serializable at every
-// point (asserted by the cc test battery, not re-checked here).
+// committed-update throughput. Two workload shapes are measured:
+//
+//	mapped    the §6 universe under a 24-mapping prefix — chases
+//	          interact through the mappings, so the win comes from
+//	          running conflict checks and read phases outside the
+//	          exclusive phase lock;
+//	disjoint  the same universe with no mappings — every update is a
+//	          single insert into its own relation, the pure
+//	          lock-traffic case the striped store and group-commit
+//	          frontier target.
+//
+// On a multi-core machine the parallel series should beat serial; on
+// one core it quantifies the phase-lock overhead. The committed final
+// instance is serializable at every point (asserted by the cc test
+// battery, not re-checked here).
 func BenchmarkSchedulerWorkers(b *testing.B) {
 	u := universe(b, 100)
 	// runOne times only the scheduler run; store loading and workload
 	// generation happen outside the benchmark clock so the serial vs
 	// parallel comparison is not diluted by identical setup cost.
-	runOne := func(b *testing.B, workers int, run int64) (cc.Metrics, time.Duration) {
+	runOne := func(b *testing.B, mappings, workers int, run int64) (cc.Metrics, time.Duration) {
 		b.Helper()
 		b.StopTimer()
 		st, err := u.NewStore()
@@ -203,24 +214,34 @@ func BenchmarkSchedulerWorkers(b *testing.B) {
 		}
 		ops := u.GenOpsSeeded(3000 + run)
 		b.StartTimer()
-		m, elapsed, err := experiments.RunMode(st, u.Mappings.Prefix(24), cfg, ops)
+		m, elapsed, err := experiments.RunMode(st, u.Mappings.Prefix(mappings), cfg, ops)
 		if err != nil {
 			b.Fatal(err)
 		}
 		return m, elapsed
 	}
-	for _, workers := range []int{0, 1, 2, 4} {
-		b.Run(experiments.ModeLabel(workers), func(b *testing.B) {
-			var updates float64
-			var elapsed time.Duration
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				m, d := runOne(b, workers, int64(i))
-				updates += float64(m.Submitted)
-				elapsed += d
-			}
-			if secs := elapsed.Seconds(); secs > 0 {
-				b.ReportMetric(updates/secs, "upd/s")
+	for _, shape := range []struct {
+		name     string
+		mappings int
+	}{
+		{"mapped", 24},
+		{"disjoint", 0},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			for _, workers := range []int{0, 1, 2, 4, 8} {
+				b.Run(experiments.ModeLabel(workers), func(b *testing.B) {
+					var updates float64
+					var elapsed time.Duration
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						m, d := runOne(b, shape.mappings, workers, int64(i))
+						updates += float64(m.Submitted)
+						elapsed += d
+					}
+					if secs := elapsed.Seconds(); secs > 0 {
+						b.ReportMetric(updates/secs, "upd/s")
+					}
+				})
 			}
 		})
 	}

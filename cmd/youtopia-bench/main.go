@@ -39,6 +39,9 @@ import (
 func main() {
 	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, latency (the §5.2 user-latency extension study), or parallel (serial vs goroutine-parallel throughput)")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for -figure parallel (0 = serial reference; default 0,1,2,4,8)")
+	jsonPath := flag.String("json", "", "write the -figure parallel study as JSON to this file (the CI bench artifact)")
+	baseline := flag.String("baseline", "", "compare the -figure parallel study against this committed JSON baseline and exit nonzero on regression")
+	regressPct := flag.Float64("regress", 20, "tolerated throughput regression vs -baseline, in percent")
 	preset := flag.String("preset", "moderate", "parameter preset: quick, moderate or paper")
 	runs := flag.Int("runs", 3, "runs averaged per data point (paper: 100)")
 	seed := flag.Int64("seed", 1, "master random seed")
@@ -91,6 +94,26 @@ func main() {
 				fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		if *jsonPath != "" {
+			data, err := experiments.ParallelJSON(points)
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+		if *baseline != "" {
+			base, err := experiments.LoadParallelJSON(*baseline)
+			if err != nil {
+				fail(err)
+			}
+			if err := experiments.CheckRegression(points, base, *regressPct); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "throughput within %.0f%% of %s\n", *regressPct, *baseline)
 		}
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"youtopia/internal/chase"
+	"youtopia/internal/query"
 	"youtopia/internal/storage"
 )
 
@@ -14,47 +15,108 @@ import (
 // logic in one place is what makes the two schedulers' semantics
 // provably identical — the parallel-vs-serial equivalence tests lean
 // on that.
+//
+// Detection is split into three phases so the parallel scheduler can
+// run the expensive part outside its exclusive phase lock:
+//
+//  1. snapshotCandidates freezes, at write time, each potential victim
+//     together with its attempt counter and the stable prefix of reads
+//     it had published before the writes landed;
+//  2. directConflicts runs the AffectedBy checks of Algorithm 4 over
+//     those frozen candidates — safe under a shared lock, because the
+//     read prefixes are immutable and a bumped attempt counter marks a
+//     candidate whose reads no longer predate the writes;
+//  3. cascadeClosure closes the abort set transitively through the
+//     tracker and orders it — cheap, and run under the exclusive lock
+//     where other updates' dependency sets are stable.
+//
+// The cooperative scheduler calls all three back to back from its
+// single goroutine, which reproduces the original atomic semantics.
 
-// collectConflicts checks one batch of writes against the stored read
-// queries of higher-numbered uncommitted updates, closes the
-// dependency cascade transitively through the tracker, and returns
-// the consolidated abort set in ascending priority order (Algorithm
-// 4). Counters accumulate into m; in ModeFlag conflicts are only
-// counted and nothing is marked. The cooperative scheduler calls this
-// from its single goroutine; the parallel one under the exclusive
-// phase lock, which is what makes reading other updates' Reads and
-// deps safe there.
-func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []storage.WriteRec, m *Metrics) []int {
+// conflictCandidate freezes one potential victim of a write batch: the
+// txn, the attempt that published the reads, and the read prefix that
+// existed when the writes landed. Reads recorded later were evaluated
+// on a store that already contained the writes, so they can only be
+// dependencies (the tracker's concern), never retroactive conflicts.
+type conflictCandidate struct {
+	t       *Txn
+	attempt int
+	reads   []query.ReadQuery
+}
+
+// snapshotCandidates captures every uncommitted txn numbered above the
+// writer. The parallel scheduler calls it under the exclusive phase
+// lock, immediately after performing the writes.
+func snapshotCandidates(txns []*Txn, writer int) []conflictCandidate {
+	var out []conflictCandidate
+	for _, t := range txns {
+		if t.Number <= writer || t.committed || !t.Upd.HasReads() {
+			continue
+		}
+		reads := t.Upd.StoredReads()
+		if len(reads) == 0 {
+			continue
+		}
+		out = append(out, conflictCandidate{t: t, attempt: t.Upd.Attempt, reads: reads})
+	}
+	return out
+}
+
+// directConflicts checks one batch of writes against the candidates'
+// frozen read prefixes and returns the directly affected candidates in
+// candidate order (Algorithm 4's detection phase), attempts preserved
+// so a later exclusive phase can revalidate them. Counters accumulate
+// into m; in ModeFlag conflicts are only counted and nothing is
+// returned. Candidates whose attempt counter moved on since the
+// snapshot are skipped — their restarted reads postdate the writes.
+func directConflicts(store *storage.Store, cfg *Config, cands []conflictCandidate, writes []storage.WriteRec, m *Metrics) []conflictCandidate {
 	if len(writes) == 0 {
 		return nil
 	}
-	marked := make(map[int]bool)
-	var worklist []*Txn
-
-	for _, w := range writes {
-		for _, t := range txns {
-			if t.Number <= w.Writer || t.committed || marked[t.Number] {
-				continue
-			}
-			for _, q := range t.Upd.Reads {
+	var marked []conflictCandidate
+	for _, c := range cands {
+		if c.t.Upd.Attempt != c.attempt || c.t.committed {
+			continue
+		}
+		hit := false
+	scan:
+		for _, w := range writes {
+			for _, q := range c.reads {
 				if q.AffectedBy(store, w) {
 					m.DirectAbortRequests++
 					if cfg.Mode == ModeFlag {
 						m.Flagged++
-					} else {
-						marked[t.Number] = true
-						worklist = append(worklist, t)
+						continue scan // count at most once per write
 					}
-					break
+					hit = true
+					break scan
 				}
 			}
+		}
+		if hit {
+			marked = append(marked, c)
 		}
 	}
 	if cfg.Mode == ModeFlag {
 		return nil
 	}
+	return marked
+}
 
-	// Transitive cascade closure through read dependencies.
+// cascadeClosure closes the direct abort set transitively through read
+// dependencies (the tracker) and returns the consolidated set in
+// ascending priority order, for deterministic execution. Callers hold
+// whatever lock makes other updates' dependency sets stable (the
+// parallel scheduler's exclusive phase lock).
+func cascadeClosure(store *storage.Store, cfg *Config, txns []*Txn, direct []*Txn, m *Metrics) []int {
+	marked := make(map[int]bool, len(direct))
+	var worklist []*Txn
+	for _, t := range direct {
+		if !marked[t.Number] {
+			marked[t.Number] = true
+			worklist = append(worklist, t)
+		}
+	}
 	for len(worklist) > 0 {
 		a := worklist[0]
 		worklist = worklist[1:]
@@ -66,15 +128,34 @@ func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []s
 			}
 		}
 	}
-
-	// Consolidated execution order: ascending priority, for
-	// determinism.
 	numbers := make([]int, 0, len(marked))
 	for n := range marked {
 		numbers = append(numbers, n)
 	}
 	sort.Ints(numbers)
 	return numbers
+}
+
+// collectConflicts is the single-threaded composition of the three
+// phases: it checks one batch of writes against the stored read
+// queries of higher-numbered uncommitted updates, closes the
+// dependency cascade, and returns the consolidated abort set in
+// ascending priority order (Algorithm 4). The cooperative scheduler
+// calls it from its one goroutine.
+func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []storage.WriteRec, m *Metrics) []int {
+	if len(writes) == 0 {
+		return nil
+	}
+	cands := snapshotCandidates(txns, writes[0].Writer)
+	direct := directConflicts(store, cfg, cands, writes, m)
+	if len(direct) == 0 {
+		return nil
+	}
+	victims := make([]*Txn, len(direct))
+	for i, c := range direct {
+		victims[i] = c.t
+	}
+	return cascadeClosure(store, cfg, txns, victims, m)
 }
 
 // rollbackTxn aborts one update at the storage level and requeues it

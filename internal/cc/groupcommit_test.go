@@ -1,0 +1,130 @@
+package cc
+
+import (
+	"testing"
+
+	"youtopia/internal/chase"
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// These white-box tests pin the group-commit frontier: one exclusive
+// acquisition drains the whole terminated prefix, in priority order,
+// through a single storage CommitBatch.
+
+func groupCommitScheduler(t *testing.T, n int) *ParallelScheduler {
+	t.Helper()
+	schema := model.NewSchema()
+	schema.MustAddRelation("R", "a")
+	st := storage.NewStore(schema)
+	s := NewParallelScheduler(st, tgd.MustNewSet(), Config{Workers: 1})
+	s.txns = make([]*Txn, n)
+	s.status = make([]txnStatus, n)
+	s.claimed = make([]bool, n)
+	// Drive each update to termination through the engine (no mappings:
+	// the initial insert is the whole chase).
+	for i := 0; i < n; i++ {
+		u := chase.NewUpdate(i+1, chase.Insert(model.NewTuple("R", model.Const(string(rune('a'+i))))))
+		if _, err := s.engine.Step(u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.engine.Step(u); err != nil {
+			t.Fatal(err)
+		}
+		if u.State() != chase.StateTerminated {
+			t.Fatalf("update %d state = %v, want terminated", i+1, u.State())
+		}
+		s.txns[i] = &Txn{Upd: u, Number: i + 1, deps: make(map[int]bool)}
+		s.status[i] = statusTerminated
+	}
+	return s
+}
+
+func TestGroupCommitDrainsTerminatedPrefix(t *testing.T) {
+	const n = 5
+	s := groupCommitScheduler(t, n)
+	if !s.execCommit() {
+		t.Fatal("execCommit reported no progress on a terminated prefix")
+	}
+	for i := 1; i <= n; i++ {
+		if !s.store.Committed(i) {
+			t.Fatalf("update %d not committed by the drain", i)
+		}
+		if !s.txns[i-1].Committed() {
+			t.Fatalf("txn %d mirror not committed", i)
+		}
+	}
+	m := s.Metrics()
+	if m.CommitBatches != 1 {
+		t.Fatalf("CommitBatches = %d, want 1 (one drain for the whole prefix)", m.CommitBatches)
+	}
+	if m.MaxCommitBatch != n {
+		t.Fatalf("MaxCommitBatch = %d, want %d", m.MaxCommitBatch, n)
+	}
+	s.mu.Lock()
+	upTo := s.committedUpTo
+	s.mu.Unlock()
+	if upTo != n {
+		t.Fatalf("committedUpTo = %d, want %d", upTo, n)
+	}
+	// A second drain finds nothing.
+	if s.execCommit() {
+		t.Fatal("second execCommit claimed progress")
+	}
+}
+
+func TestGroupCommitStopsAtFirstUnterminated(t *testing.T) {
+	const n = 4
+	s := groupCommitScheduler(t, n)
+	// Update 3 is still mid-chase: reset it to a fresh (ready) attempt.
+	s.store.Abort(3)
+	s.txns[2].Upd.Reset()
+	s.status[2] = statusReady
+
+	if !s.execCommit() {
+		t.Fatal("execCommit made no progress")
+	}
+	for i := 1; i <= 2; i++ {
+		if !s.txns[i-1].Committed() {
+			t.Fatalf("txn %d (before the gap) not committed", i)
+		}
+	}
+	for i := 3; i <= n; i++ {
+		if s.txns[i-1].Committed() {
+			t.Fatalf("txn %d (at/after the gap) committed across a non-terminated update", i)
+		}
+	}
+	m := s.Metrics()
+	if m.MaxCommitBatch != 2 {
+		t.Fatalf("MaxCommitBatch = %d, want 2", m.MaxCommitBatch)
+	}
+}
+
+func TestParallelRunBatchesCommits(t *testing.T) {
+	// An end-to-end run on a conflict-free workload: with several
+	// workers racing ahead of the frontier, at least one drain must
+	// batch more than one update (the dispatcher only re-issues
+	// workCommit after the previous drain returned).
+	schema := model.NewSchema()
+	schema.MustAddRelation("R", "a", "b")
+	st := storage.NewStore(schema)
+	var ops []chase.Op
+	for i := 0; i < 40; i++ {
+		ops = append(ops, chase.Insert(model.NewTuple("R",
+			model.Const(string(rune('a'+i%26))), model.Const(string(rune('a'+i/26))))))
+	}
+	s := NewParallelScheduler(st, tgd.MustNewSet(), Config{Workers: 4})
+	m, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CommitBatches == 0 || m.CommitBatches > m.Submitted {
+		t.Fatalf("CommitBatches = %d out of range (submitted %d)", m.CommitBatches, m.Submitted)
+	}
+	for _, txn := range s.Txns() {
+		if !txn.Committed() {
+			t.Fatalf("update %d never committed", txn.Number)
+		}
+	}
+}

@@ -18,32 +18,51 @@ import (
 // runnable transactions and execute chase steps through the two-phase
 // engine API, synchronized by a single phase lock:
 //
-//   - The write half of a step (performing the planned writes) and the
-//     conflict processing of Algorithm 4 run under the exclusive phase
-//     lock, making every write-then-validate sequence atomic.
+//   - The write half of a step (performing the planned writes) runs
+//     under the exclusive phase lock, together with a cheap snapshot
+//     of the conflict-check candidates: every higher-numbered
+//     uncommitted txn's attempt counter and published read prefix,
+//     plus the per-stripe sequence numbers of the written relations.
+//   - The expensive part of Algorithm 4's conflict processing — the
+//     AffectedBy re-evaluations against those frozen read prefixes —
+//     runs under the SHARED phase lock, overlapping other updates'
+//     read phases. This is safe because store state never changes
+//     during shared phases and the frozen prefixes are immutable.
+//   - If the checks mark victims, the exclusive lock is re-acquired to
+//     apply them: each verdict is revalidated (victims whose attempt
+//     counter moved on restarted after the writes and are dropped),
+//     and if the per-stripe sequence numbers of the written relations
+//     advanced in the interim — other writers landed in the same
+//     stripes between the phases — the direct check is redone under
+//     the exclusive lock, restoring the original atomic semantics for
+//     exactly the overlapping-relation case. Writes to relation sets
+//     disjoint from all interim writers keep their shared-phase
+//     verdicts. The cascade closure and the rollbacks always run under
+//     the exclusive lock, where dependency sets are stable.
 //   - The read half (violation discovery, queue recheck, repair
 //     planning) and frontier-operation polling run under the shared
 //     phase lock, so the read-dominated bulk of chase work proceeds in
 //     parallel across updates.
 //
-// This closes the classical OCC validation race: a read query is
-// recorded during a shared-lock phase, so it is either fully published
-// before a later exclusive conflict check (which then inspects it), or
-// performed after the conflicting write landed (in which case the
-// answer already reflects the write and no conflict exists). Store
-// state never changes during shared phases — all mutations happen
-// under the exclusive lock — so each read phase observes the store
-// exactly as if it ran between two steps of the serial interleaving,
-// which is the paper's execution model; Theorem 4.4's serializability
-// argument therefore carries over unchanged, and the committed final
-// instance is equivalent to the serial execution of the same workload.
+// This preserves the closure of the classical OCC validation race: a
+// read query is published (under the update's read lock) during a
+// shared phase, so at candidate-snapshot time it either is in the
+// frozen prefix (and is checked), or was performed after the writes
+// landed — in which case its answer already reflects the writes and no
+// retroactive conflict exists; the tracker records the dependency
+// instead. Each read phase observes the store exactly as if it ran
+// between two steps of the serial interleaving, which is the paper's
+// execution model; Theorem 4.4's serializability argument therefore
+// carries over unchanged, and the committed final instance is
+// equivalent to the serial execution of the same workload.
 //
 // Updates commit strictly in priority order once terminated, exactly
-// as in the cooperative scheduler. Aborts decided during conflict
-// processing are executed immediately under the exclusive lock; a
-// worker that had claimed the aborted transaction notices the bumped
-// attempt counter at its next lock acquisition and abandons the stale
-// phase.
+// as in the cooperative scheduler, but the commit frontier is a group
+// commit: one exclusive-lock acquisition drains the whole terminated
+// prefix through a single storage.CommitBatch. Aborts decided during
+// conflict processing are executed under the exclusive lock; a worker
+// that had claimed the aborted transaction notices the bumped attempt
+// counter at its next lock acquisition and abandons the stale phase.
 type ParallelScheduler struct {
 	store  *storage.Store
 	engine *chase.Engine
@@ -314,11 +333,13 @@ func (s *ParallelScheduler) finish(kind workKind, t *Txn, progressed bool, err e
 }
 
 // execStep runs one chase step for a claimed transaction: the write
-// half plus conflict processing atomically under the exclusive phase
-// lock, then the read half under the shared lock. If the transaction
-// was aborted between the phases (by a lower-priority writer's
-// conflict wave), the read half is abandoned — the storage rollback
-// already happened and the dispatcher will rerun the fresh attempt.
+// half under the exclusive phase lock (plus a cheap candidate
+// snapshot), the direct conflict checks under the shared lock, abort
+// application back under the exclusive lock, and finally the read half
+// under the shared lock. If the transaction was aborted between any of
+// the phases (by a lower-priority writer's conflict wave), the
+// remaining phases are abandoned — the storage rollback already
+// happened and the dispatcher will rerun the fresh attempt.
 func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
 	s.gmu.Lock()
 	if st := t.Upd.State(); st != chase.StateReady {
@@ -330,18 +351,28 @@ func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
 	}
 	attempt := t.Upd.Attempt
 	res, err := s.engine.StepWrites(t.Upd)
+	var cands []conflictCandidate
+	var relSeqs map[string]int64
 	if err != nil {
 		err = fmt.Errorf("cc: update %d: %w", t.Number, err)
-	} else {
-		// Conflicts only ever abort higher-numbered txns than the
-		// writer, so t itself is never caught in the wave it causes.
-		err = s.processWritesLocked(res.Writes)
+	} else if len(res.Writes) > 0 {
+		// Freeze the victims-to-check and the written stripes' sequence
+		// numbers while still exclusive; the expensive AffectedBy
+		// evaluations then run under the shared lock.
+		cands = snapshotCandidates(s.txns, t.Number)
+		relSeqs = writtenRelSeqs(s.store, res.Writes)
 	}
 	s.gmu.Unlock()
 	if err != nil {
 		return true, err
 	}
 	s.bump(func(m *Metrics) { m.Steps++; m.Writes += len(res.Writes) })
+
+	if len(cands) > 0 {
+		if err := s.processWritesDeferred(t, attempt, res.Writes, cands, relSeqs); err != nil {
+			return true, err
+		}
+	}
 
 	s.gmu.RLock()
 	if t.Upd.Attempt == attempt {
@@ -356,6 +387,95 @@ func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
 	}
 	s.gmu.RUnlock()
 	return true, nil
+}
+
+// writtenRelSeqs records, for each relation a write batch touched, the
+// stripe sequence number after the batch landed. Callers hold the
+// exclusive phase lock, so these are exactly the writer's own seqs; a
+// later mismatch proves another writer has since landed in the stripe.
+func writtenRelSeqs(store *storage.Store, writes []storage.WriteRec) map[string]int64 {
+	out := make(map[string]int64)
+	for _, w := range writes {
+		if _, ok := out[w.Rel]; !ok {
+			out[w.Rel] = store.RelSeq(w.Rel)
+		}
+	}
+	return out
+}
+
+// processWritesDeferred is the out-of-lock half of Algorithm 4's
+// conflict processing: the direct AffectedBy checks run under the
+// shared phase lock against the frozen candidates, and only if victims
+// were marked (never in ModeFlag) is the exclusive lock taken to
+// revalidate and execute the abort wave.
+func (s *ParallelScheduler) processWritesDeferred(t *Txn, attempt int, writes []storage.WriteRec, cands []conflictCandidate, relSeqs map[string]int64) error {
+	var delta Metrics
+	var marked []conflictCandidate
+	s.gmu.RLock()
+	if t.Upd.Attempt == attempt {
+		// Our writes are still in place (a rolled-back batch cannot
+		// retroactively change anyone's answers).
+		marked = directConflicts(s.store, &s.cfg, cands, writes, &delta)
+	}
+	s.gmu.RUnlock()
+	if len(marked) == 0 {
+		// Nothing to apply; ModeFlag and clean checks end here.
+		s.bumpConflictMetrics(delta)
+		return nil
+	}
+
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if t.Upd.Attempt != attempt {
+		// The writer itself was aborted in the interim: its writes are
+		// gone, and the conflicts died with them.
+		return nil
+	}
+	// Per-stripe sequence validation: if other writers landed in the
+	// written relations between the phases, redo the direct check here
+	// under the exclusive lock — the conservative original semantics.
+	// Disjoint-relation interim writers leave the seqs untouched and
+	// the shared-phase verdicts stand.
+	stale := false
+	for rel, seq := range relSeqs {
+		if s.store.RelSeq(rel) != seq {
+			stale = true
+			break
+		}
+	}
+	if stale {
+		delta = Metrics{}
+		marked = directConflicts(s.store, &s.cfg, snapshotCandidates(s.txns, t.Number), writes, &delta)
+	}
+	// Revalidate: a victim whose attempt counter moved on (or that
+	// committed) restarted after our writes, so its fresh reads already
+	// reflect them and the verdict no longer applies.
+	victims := make([]*Txn, 0, len(marked))
+	for _, c := range marked {
+		if c.t.Upd.Attempt == c.attempt && !c.t.committed {
+			victims = append(victims, c.t)
+		}
+	}
+	numbers := cascadeClosure(s.store, &s.cfg, s.txns, victims, &delta)
+	s.bumpConflictMetrics(delta)
+	for _, n := range numbers {
+		if err := s.abortLocked(s.txn(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bumpConflictMetrics merges a conflict-processing metrics delta.
+func (s *ParallelScheduler) bumpConflictMetrics(delta Metrics) {
+	if delta == (Metrics{}) {
+		return
+	}
+	s.bump(func(m *Metrics) {
+		m.DirectAbortRequests += delta.DirectAbortRequests
+		m.CascadingAbortRequests += delta.CascadingAbortRequests
+		m.Flagged += delta.Flagged
+	})
 }
 
 // execPoll offers one frontier decision opportunity to a blocked
@@ -390,13 +510,15 @@ func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
 	return ok, err
 }
 
-// execCommit advances the commit frontier under the exclusive phase
-// lock: terminated updates commit in priority order; the first
-// non-terminated update stops the sweep.
+// execCommit advances the commit frontier under one exclusive
+// phase-lock acquisition: the whole terminated prefix is drained in
+// priority order through a single storage group commit, so N
+// back-to-back terminations cost one store-wide lock round instead of
+// N. The first non-terminated update stops the sweep.
 func (s *ParallelScheduler) execCommit() bool {
 	s.gmu.Lock()
 	defer s.gmu.Unlock()
-	progressed := false
+	var batch []*Txn
 	for _, t := range s.txns {
 		if t.committed {
 			continue
@@ -404,41 +526,35 @@ func (s *ParallelScheduler) execCommit() bool {
 		if t.Upd.State() != chase.StateTerminated {
 			break
 		}
+		batch = append(batch, t)
+	}
+	if len(batch) == 0 {
+		return false
+	}
+	numbers := make([]int, len(batch))
+	for i, t := range batch {
+		numbers[i] = t.Number
+	}
+	s.store.CommitBatch(numbers)
+	fr := 0
+	for _, t := range batch {
 		t.committed = true
-		s.store.Commit(t.Number)
-		fr := t.Upd.Stats.FrontierRequests
+		fr += t.Upd.Stats.FrontierRequests
 		// Released stored queries can no longer cause conflicts.
-		t.Upd.Reads = nil
-		s.mu.Lock()
-		s.m.FrontierRequests += fr
+		t.Upd.ReleaseReads()
+	}
+	s.mu.Lock()
+	s.m.FrontierRequests += fr
+	s.m.CommitBatches++
+	if len(batch) > s.m.MaxCommitBatch {
+		s.m.MaxCommitBatch = len(batch)
+	}
+	for _, t := range batch {
 		s.status[t.Number-1] = statusCommitted
-		s.committedUpTo++
-		s.mu.Unlock()
-		progressed = true
 	}
-	return progressed
-}
-
-// processWritesLocked runs the shared Algorithm-4 conflict processing
-// (collectConflicts) and executes the consolidated abort set. Callers
-// hold the exclusive phase lock, which is what makes reading other
-// updates' Reads and deps safe; metrics deltas are merged under mu.
-func (s *ParallelScheduler) processWritesLocked(writes []storage.WriteRec) error {
-	var delta Metrics
-	numbers := collectConflicts(s.store, &s.cfg, s.txns, writes, &delta)
-	if delta != (Metrics{}) {
-		s.bump(func(m *Metrics) {
-			m.DirectAbortRequests += delta.DirectAbortRequests
-			m.CascadingAbortRequests += delta.CascadingAbortRequests
-			m.Flagged += delta.Flagged
-		})
-	}
-	for _, n := range numbers {
-		if err := s.abortLocked(s.txn(n)); err != nil {
-			return err
-		}
-	}
-	return nil
+	s.committedUpTo += len(batch)
+	s.mu.Unlock()
+	return true
 }
 
 // abortLocked rolls an update back via the shared rollbackTxn and

@@ -2,9 +2,11 @@ package cc_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"youtopia/internal/cc"
+	"youtopia/internal/chase"
 	"youtopia/internal/model"
 	"youtopia/internal/query"
 	"youtopia/internal/serial"
@@ -159,6 +161,80 @@ func TestParallelSerializabilityOnRandomUniverses(t *testing.T) {
 					fmt.Sprintf("seed %d workers %d %s", seed, workers, tr.Name()))
 			}
 		}
+	}
+}
+
+// TestParallelEquivalenceOnDuplicateHeavySeeds regresses a conflict
+// hole the striped-store PR fixed: pool-constant seed batches carry
+// many content-identical inserts, and a successful insert that a
+// lower-priority update later duplicates must abort and rerun as a
+// no-op (the serial execution would have no-op'ed) — which requires
+// real inserts to store their content probe, not just no-op inserts.
+// Without that read, the parallel final state diverged from serial
+// beyond null renaming on exactly this workload shape.
+func TestParallelEquivalenceOnDuplicateHeavySeeds(t *testing.T) {
+	cfg := workload.Config{
+		Relations:       10,
+		MinArity:        1,
+		MaxArity:        4,
+		Constants:       12,
+		Mappings:        12,
+		MaxAtomsPerSide: 3,
+		InitialTuples:   1,
+		Updates:         0,
+		InsertPct:       100,
+		Seed:            1,
+	}
+	u, err := workload.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed-batch shape: pure pool-constant inserts, heavy duplication.
+	rng := rand.New(rand.NewSource(42))
+	rels := u.Schema.Names()
+	var ops []chase.Op
+	n := 120
+	if testing.Short() {
+		n = 40
+	}
+	for i := 0; i < n; i++ {
+		rel := rels[rng.Intn(len(rels))]
+		arity := u.Schema.Arity(rel)
+		vals := make([]model.Value, arity)
+		for j := range vals {
+			vals[j] = u.Pool[rng.Intn(len(u.Pool))]
+		}
+		ops = append(ops, chase.Insert(model.NewTuple(rel, vals...)))
+	}
+
+	stSerial, err := u.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serial.Execute(stSerial, u.Mappings, ops, simuser.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	want := stSerial.Snap(1 << 30).VisibleFacts()
+
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		st, err := u.NewStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := cc.NewParallelScheduler(st, u.Mappings, cc.Config{
+			Tracker:            cc.Coarse{},
+			User:               simuser.New(7),
+			Workers:            8,
+			MaxAbortsPerUpdate: 10000,
+		})
+		if _, err := sched.Run(ops); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		checkAgainstSerial(t, st, u, want, fmt.Sprintf("duplicate-heavy round %d", round))
 	}
 }
 

@@ -149,6 +149,12 @@ type Metrics struct {
 	Writes           int
 	FrontierRequests int
 	FrontierOps      int
+	// CommitBatches counts commit-frontier drains that committed at
+	// least one update, and MaxCommitBatch the largest prefix drained
+	// in one acquisition — both 1 per group commit, so CommitBatches
+	// well below Submitted means the frontier is batching.
+	CommitBatches  int
+	MaxCommitBatch int
 	// WallTime is the total run time.
 	WallTime time.Duration
 }
@@ -263,22 +269,40 @@ func (s *Scheduler) Run(ops []chase.Op) (Metrics, error) {
 // commitReady advances the commit frontier — updates commit in
 // priority order once terminated (§5: a terminated update can still be
 // aborted until every lower-numbered update has terminated) — and
-// reports whether every txn has committed.
+// reports whether every txn has committed. Like the parallel
+// scheduler's frontier, it drains the whole terminated prefix through
+// one storage group commit per call.
 func (s *Scheduler) commitReady() bool {
+	var batch []*Txn
+	all := true
 	for _, t := range s.txns {
 		if t.committed {
 			continue
 		}
 		if t.Upd.State() != chase.StateTerminated {
-			return false
+			all = false
+			break
 		}
-		t.committed = true
-		s.store.Commit(t.Number)
-		s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
-		// Released stored queries can no longer cause conflicts.
-		t.Upd.Reads = nil
+		batch = append(batch, t)
 	}
-	return true
+	if len(batch) > 0 {
+		numbers := make([]int, len(batch))
+		for i, t := range batch {
+			numbers[i] = t.Number
+		}
+		s.store.CommitBatch(numbers)
+		for _, t := range batch {
+			t.committed = true
+			s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
+			// Released stored queries can no longer cause conflicts.
+			t.Upd.ReleaseReads()
+		}
+		s.m.CommitBatches++
+		if len(batch) > s.m.MaxCommitBatch {
+			s.m.MaxCommitBatch = len(batch)
+		}
+	}
+	return all
 }
 
 // round performs one scheduler round: under round-robin policies every

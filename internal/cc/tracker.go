@@ -77,11 +77,32 @@ func (Coarse) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
 		}
 		return
 	}
-	for _, w := range st.UncommittedWrites() {
+	for _, w := range relevantUncommitted(st, q) {
 		if w.Writer != u.Number && q.AffectedBy(st, w) {
 			u.addDep(w.Writer)
 		}
 	}
+}
+
+// relevantUncommitted returns the uncommitted writes a read query's
+// AffectedBy could possibly match: queries that name their relations
+// (content, more-specific, violation) can only be affected by writes
+// into those relations, so only the matching stripes' log shards are
+// scanned; relation-less queries (null occurrence) fall back to the
+// full memoized list.
+func relevantUncommitted(st *storage.Store, q query.ReadQuery) []storage.WriteRec {
+	rels := q.Relations()
+	if rels == nil {
+		return st.UncommittedWrites()
+	}
+	if len(rels) == 1 {
+		return st.UncommittedWritesOf(rels[0])
+	}
+	var out []storage.WriteRec
+	for _, rel := range rels {
+		out = append(out, st.UncommittedWritesOf(rel)...)
+	}
+	return out
 }
 
 // Cascade implements Tracker: txns whose recorded dependencies include
@@ -102,7 +123,7 @@ func (Precise) Name() string { return "PRECISE" }
 
 // OnRead implements Tracker.
 func (Precise) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
-	for _, w := range st.UncommittedWrites() {
+	for _, w := range relevantUncommitted(st, q) {
 		if w.Writer == u.Number {
 			continue
 		}

@@ -385,8 +385,8 @@ func TestUpdateLifecycle(t *testing.T) {
 	// Reset rewinds everything.
 	st.Abort(3)
 	u.Reset()
-	if u.State() != chase.StateReady || u.Attempt != 2 || len(u.Reads) != 0 {
-		t.Fatalf("after reset: %v attempt %d reads %d", u.State(), u.Attempt, len(u.Reads))
+	if u.State() != chase.StateReady || u.Attempt != 2 || len(u.StoredReads()) != 0 {
+		t.Fatalf("after reset: %v attempt %d reads %d", u.State(), u.Attempt, len(u.StoredReads()))
 	}
 	if !chase.NewUpdate(4, chase.Delete(tup("C", c("Z")))).Positive() == false {
 		t.Fatal("delete update must be negative")

@@ -174,11 +174,15 @@ func (e *Engine) performWrites(u *Update) ([]storage.WriteRec, error) {
 			if err != nil {
 				return out, err
 			}
+			// Set semantics make every insert a content read: a no-op
+			// depends on the duplicate's presence, and a real insert
+			// depends just as much on its absence — if a lower-numbered
+			// update later writes the same fact, the serial execution
+			// would have no-op'ed here, so the stored probe must exist
+			// for Algorithm 4 to abort and rerun this update.
+			e.record(u, &query.ContentRead{Rel: op.Tuple.Rel,
+				Vals: append([]model.Value(nil), op.Tuple.Vals...), ReaderNo: u.Number})
 			if !inserted {
-				// Set semantics: the fact is already present. The no-op
-				// depends on the duplicate's presence — a content read.
-				e.record(u, &query.ContentRead{Rel: op.Tuple.Rel,
-					Vals: append([]model.Value(nil), op.Tuple.Vals...), ReaderNo: u.Number})
 				continue
 			}
 			out = append(out, rec)

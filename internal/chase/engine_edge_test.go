@@ -74,12 +74,12 @@ func TestReadDeduplication(t *testing.T) {
 		t.Fatalf("state = %v", res.State)
 	}
 	g := u.Groups()[0]
-	before := len(u.Reads)
+	before := len(u.StoredReads())
 	e.Options(u, g)
-	mid := len(u.Reads)
+	mid := len(u.StoredReads())
 	e.Options(u, g)
 	e.Options(u, g)
-	after := len(u.Reads)
+	after := len(u.StoredReads())
 	if after != mid {
 		t.Fatalf("repeated Options grew the read log: %d -> %d -> %d", before, mid, after)
 	}

@@ -2,6 +2,8 @@ package chase
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"youtopia/internal/model"
 	"youtopia/internal/query"
@@ -139,11 +141,18 @@ type Update struct {
 	groups   []*FrontierGroup
 	nextGID  int
 
-	// Reads are the stored read queries of the current attempt, in the
-	// order performed; concurrency control checks writes against them.
-	// Identical queries are stored once (they denote the same
-	// intensional read).
-	Reads     []query.ReadQuery
+	// reads are the stored read queries of the current attempt, in the
+	// order performed; concurrency control checks writes against them
+	// (StoredReads). Identical queries are stored once (they denote the
+	// same intensional read). The slice header is guarded by readsMu so
+	// a conflict checker can snapshot it while the owning worker keeps
+	// appending under a shared phase lock; entries are immutable once
+	// published, so a snapshot stays valid after later appends, a
+	// Reset, or a ReleaseReads. Unexported so the unsynchronized access
+	// pattern of the pre-striping schedulers cannot compile.
+	reads     []query.ReadQuery
+	readsMu   sync.Mutex
+	readsLen  atomic.Int32 // mirrors len(reads); lock-free emptiness checks
 	readsSeen map[string]bool
 
 	// Trace records every performed write with its provenance cause,
@@ -178,8 +187,11 @@ func (u *Update) Reset() {
 	u.queue = nil
 	u.groups = nil
 	u.nextGID = 0
-	u.Reads = nil
+	u.readsMu.Lock()
+	u.reads = nil
+	u.readsLen.Store(0)
 	u.readsSeen = make(map[string]bool)
+	u.readsMu.Unlock()
 	u.Trace = nil
 	u.Stats = Stats{}
 	u.Attempt++
@@ -201,12 +213,45 @@ func (t TraceEntry) String() string {
 // reports whether the query was new.
 func (u *Update) addRead(q query.ReadQuery) bool {
 	key := q.String()
+	u.readsMu.Lock()
+	defer u.readsMu.Unlock()
 	if u.readsSeen[key] {
 		return false
 	}
 	u.readsSeen[key] = true
-	u.Reads = append(u.Reads, q)
+	u.reads = append(u.reads, q)
+	u.readsLen.Store(int32(len(u.reads)))
 	return true
+}
+
+// HasReads reports, without locking, whether any reads are published.
+// Conflict-candidate snapshots use it to skip the locked slice copy
+// for the common not-yet-started transaction.
+func (u *Update) HasReads() bool { return u.readsLen.Load() > 0 }
+
+// PublishRead stores a read query as if the engine had performed it —
+// the external publication point for tests and custom drivers. It
+// reports whether the query was new.
+func (u *Update) PublishRead(q query.ReadQuery) bool { return u.addRead(q) }
+
+// StoredReads returns a stable snapshot of the reads published so far:
+// later appends reallocate or extend past the returned length and
+// never disturb it, so callers may iterate without further locking.
+func (u *Update) StoredReads() []query.ReadQuery {
+	u.readsMu.Lock()
+	defer u.readsMu.Unlock()
+	return u.reads[:len(u.reads):len(u.reads)]
+}
+
+// ReleaseReads drops the stored read queries — the commit-time release
+// of Algorithm 4 (a committed update's reads can no longer cause
+// conflicts). Snapshots previously taken via StoredReads stay valid.
+func (u *Update) ReleaseReads() {
+	u.readsMu.Lock()
+	defer u.readsMu.Unlock()
+	u.reads = nil
+	u.readsLen.Store(0)
+	u.readsSeen = nil
 }
 
 // State returns the update's current lifecycle state.

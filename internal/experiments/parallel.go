@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -107,6 +109,73 @@ func ParallelStudy(base workload.Config, workers []int, runs int) ([]ParallelPoi
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// ParallelJSON renders the study as indented JSON — the
+// BENCH_parallel.json artifact CI uploads and gates regressions on.
+func ParallelJSON(points []ParallelPoint) ([]byte, error) {
+	return json.MarshalIndent(points, "", "  ")
+}
+
+// LoadParallelJSON reads a study previously written by ParallelJSON.
+func LoadParallelJSON(path string) ([]ParallelPoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var points []ParallelPoint
+	if err := json.Unmarshal(data, &points); err != nil {
+		return nil, fmt.Errorf("experiments: parse %s: %w", path, err)
+	}
+	return points, nil
+}
+
+// CheckRegression compares a fresh parallel study against a committed
+// baseline and returns an error when any shared mode's throughput
+// regressed by more than tolerancePct percent. Raw upd/s is
+// machine-dependent, so when both studies carry a serial reference
+// point (workers == 0) each mode is first normalized by its own run's
+// serial throughput — the parallel-speedup ratio — making the gate
+// portable across CI runner generations; without a serial point the
+// raw numbers are compared.
+func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) error {
+	find := func(points []ParallelPoint, workers int) (ParallelPoint, bool) {
+		for _, p := range points {
+			if p.Workers == workers {
+				return p, true
+			}
+		}
+		return ParallelPoint{}, false
+	}
+	curSerial, cs := find(current, 0)
+	baseSerial, bs := find(baseline, 0)
+	normalized := cs && bs && curSerial.UpdatesPerSec > 0 && baseSerial.UpdatesPerSec > 0
+	var failures []string
+	for _, bp := range baseline {
+		cp, ok := find(current, bp.Workers)
+		if !ok || bp.UpdatesPerSec <= 0 {
+			continue
+		}
+		cur, base := cp.UpdatesPerSec, bp.UpdatesPerSec
+		metric := "upd/s"
+		if normalized {
+			if bp.Workers == 0 {
+				continue // the serial point normalizes to 1 by definition
+			}
+			cur /= curSerial.UpdatesPerSec
+			base /= baseSerial.UpdatesPerSec
+			metric = "speedup-vs-serial"
+		}
+		if cur < base*(1-tolerancePct/100) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %s %.2f vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+				cp.Label(), metric, cur, base, 100*(1-cur/base), tolerancePct))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("experiments: throughput regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // ParallelCSV renders the study as CSV, one row per point.

@@ -303,9 +303,11 @@ func (q *ContentRead) Reader() int { return q.ReaderNo }
 // Relations implements ReadQuery.
 func (q *ContentRead) Relations() []string { return []string{q.Rel} }
 
-// String implements ReadQuery.
+// String implements ReadQuery. The rendering doubles as the read-dedup
+// key and is built once per insert/delete on the hot write path, so it
+// uses the tuple's cheap canonical key rather than display formatting.
 func (q *ContentRead) String() string {
-	return fmt.Sprintf("content-query[%s]", model.Tuple{Rel: q.Rel, Vals: q.Vals})
+	return "content-query[" + (model.Tuple{Rel: q.Rel, Vals: q.Vals}).Key() + "]"
 }
 
 // AffectedBy implements ReadQuery: a write affects the probe iff it

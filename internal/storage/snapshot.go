@@ -11,17 +11,21 @@ import (
 // uses masks to compare query answers with and without a single write.
 //
 // Snapshots are cheap descriptors over live store state, not frozen
-// copies: results reflect the store at call time. Each method takes
-// the store's read lock for its own duration, so individual calls are
-// atomic and safe to issue from any goroutine, but two successive
-// calls may observe different store states if a writer runs in
-// between — multi-call protocols need external phase locking.
+// copies: results reflect the store at call time. Single-relation
+// methods take that relation's stripe read lock for their own
+// duration, so individual calls are atomic and safe to issue from any
+// goroutine; methods that span relations (TuplesWithNull,
+// VisibleFacts) lock stripe-by-stripe and are atomic per relation
+// only. Two successive calls may observe different store states if a
+// writer runs in between — multi-call protocols need external phase
+// locking.
 type Snapshot struct {
 	st     *Store
 	reader int
 
 	// noLock marks snapshots handed out by store code that already
-	// holds the store lock; their methods must not re-lock.
+	// holds the locks the snapshot's calls need; their methods must not
+	// re-lock.
 	noLock bool
 
 	masked     bool
@@ -40,17 +44,17 @@ type Snapshot struct {
 	windowSeq int64
 }
 
-// rlock acquires the store's read lock unless this snapshot was minted
-// under an already-held lock.
-func (sn *Snapshot) rlock() {
+// rlock acquires a stripe's read lock unless this snapshot was minted
+// under already-held locks.
+func (sn *Snapshot) rlock(s *stripe) {
 	if !sn.noLock {
-		sn.st.mu.RLock()
+		s.mu.RLock()
 	}
 }
 
-func (sn *Snapshot) runlock() {
+func (sn *Snapshot) runlock(s *stripe) {
 	if !sn.noLock {
-		sn.st.mu.RUnlock()
+		s.mu.RUnlock()
 	}
 }
 
@@ -110,8 +114,9 @@ func (sn *Snapshot) admits(v *version) bool {
 	return true
 }
 
-// versionLocked returns the visible version of a tuple record, or nil.
-func (sn *Snapshot) versionLocked(rec *tupleRec) *version {
+// versionOf returns the visible version of a tuple record, or nil.
+// Callers hold the owning stripe's lock.
+func (sn *Snapshot) versionOf(rec *tupleRec) *version {
 	for i := len(rec.versions) - 1; i >= 0; i-- {
 		v := &rec.versions[i]
 		if sn.admits(v) {
@@ -125,17 +130,31 @@ func (sn *Snapshot) versionLocked(rec *tupleRec) *version {
 // ok == false when the tuple does not exist, is not yet visible, or is
 // deleted. The returned slice is shared; callers must not modify it.
 func (sn *Snapshot) Get(id TupleID) ([]model.Value, bool) {
-	sn.rlock()
-	defer sn.runlock()
-	return sn.getLocked(id)
+	s := sn.st.stripeOf(id)
+	if s == nil {
+		return nil, false
+	}
+	sn.rlock(s)
+	defer sn.runlock(s)
+	return sn.getInStripe(s, id)
 }
 
+// getLocked resolves a tuple under already-held locks (the caller
+// holds the owning stripe's lock, directly or via lockAll).
 func (sn *Snapshot) getLocked(id TupleID) ([]model.Value, bool) {
-	tr, ok := sn.st.tuples[id]
+	s := sn.st.stripeOf(id)
+	if s == nil {
+		return nil, false
+	}
+	return sn.getInStripe(s, id)
+}
+
+func (sn *Snapshot) getInStripe(s *stripe, id TupleID) ([]model.Value, bool) {
+	tr, ok := s.tuples[id]
 	if !ok {
 		return nil, false
 	}
-	v := sn.versionLocked(tr)
+	v := sn.versionOf(tr)
 	if v == nil || v.deleted {
 		return nil, false
 	}
@@ -144,29 +163,32 @@ func (sn *Snapshot) getLocked(id TupleID) ([]model.Value, bool) {
 
 // GetTuple is Get returning a model.Tuple.
 func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
-	sn.rlock()
-	defer sn.runlock()
-	tr, ok := sn.st.tuples[id]
+	s := sn.st.stripeOf(id)
+	if s == nil {
+		return model.Tuple{}, false
+	}
+	sn.rlock(s)
+	defer sn.runlock(s)
+	vals, ok := sn.getInStripe(s, id)
 	if !ok {
 		return model.Tuple{}, false
 	}
-	vals, ok := sn.getLocked(id)
-	if !ok {
-		return model.Tuple{}, false
-	}
-	return model.Tuple{Rel: tr.rel, Vals: vals}, true
+	return model.Tuple{Rel: s.rel, Vals: vals}, true
 }
 
 // Rel returns the relation a tuple ID belongs to, regardless of
 // visibility.
 func (sn *Snapshot) Rel(id TupleID) (string, bool) {
-	sn.rlock()
-	defer sn.runlock()
-	tr, ok := sn.st.tuples[id]
-	if !ok {
+	s := sn.st.stripeOf(id)
+	if s == nil {
 		return "", false
 	}
-	return tr.rel, true
+	sn.rlock(s)
+	defer sn.runlock(s)
+	if _, ok := s.tuples[id]; !ok {
+		return "", false
+	}
+	return s.rel, true
 }
 
 // RelIDs returns the IDs of every tuple of the relation (visible or
@@ -174,23 +196,31 @@ func (sn *Snapshot) Rel(id TupleID) (string, bool) {
 // must not modify the slice; it is the cheapest candidate source for
 // unconstrained scans.
 func (sn *Snapshot) RelIDs(rel string) []TupleID {
-	sn.rlock()
-	defer sn.runlock()
-	return sn.st.byRel[rel].ids()
+	s := sn.st.stripes[rel]
+	if s == nil {
+		return nil
+	}
+	sn.rlock(s)
+	defer sn.runlock(s)
+	return s.ids.ids()
 }
 
 // ScanRel calls fn for every visible tuple of the relation in tuple-ID
-// order; fn returning false stops the scan. The store's read lock is
+// order; fn returning false stops the scan. The stripe's read lock is
 // held across the whole scan, so fn must not call back into the store.
 func (sn *Snapshot) ScanRel(rel string, fn func(id TupleID, vals []model.Value) bool) {
-	sn.rlock()
-	defer sn.runlock()
-	sn.scanRelLocked(rel, fn)
+	s := sn.st.stripes[rel]
+	if s == nil {
+		return
+	}
+	sn.rlock(s)
+	defer sn.runlock(s)
+	sn.scanStripe(s, fn)
 }
 
-func (sn *Snapshot) scanRelLocked(rel string, fn func(id TupleID, vals []model.Value) bool) {
-	for _, id := range sn.st.byRel[rel].ids() {
-		if vals, ok := sn.getLocked(id); ok {
+func (sn *Snapshot) scanStripe(s *stripe, fn func(id TupleID, vals []model.Value) bool) {
+	for _, id := range s.ids.ids() {
+		if vals, ok := sn.getInStripe(s, id); ok {
 			if !fn(id, vals) {
 				return
 			}
@@ -200,10 +230,8 @@ func (sn *Snapshot) scanRelLocked(rel string, fn func(id TupleID, vals []model.V
 
 // CountRel returns the number of visible tuples in the relation.
 func (sn *Snapshot) CountRel(rel string) int {
-	sn.rlock()
-	defer sn.runlock()
 	n := 0
-	sn.scanRelLocked(rel, func(TupleID, []model.Value) bool { n++; return true })
+	sn.ScanRel(rel, func(TupleID, []model.Value) bool { n++; return true })
 	return n
 }
 
@@ -212,34 +240,35 @@ func (sn *Snapshot) CountRel(rel string) int {
 // must verify candidates against the snapshot via Get; the index
 // over-approximates across versions.
 func (sn *Snapshot) CandidatesByValue(rel string, col int, v model.Value) []TupleID {
-	sn.rlock()
-	defer sn.runlock()
-	return sn.candidatesByValueLocked(rel, col, v)
-}
-
-func (sn *Snapshot) candidatesByValueLocked(rel string, col int, v model.Value) []TupleID {
-	cols := sn.st.valIdx[rel]
-	if col < 0 || col >= len(cols) {
+	s := sn.st.stripes[rel]
+	if s == nil {
 		return nil
 	}
-	return cols[col][v].ids()
+	sn.rlock(s)
+	defer sn.runlock(s)
+	return sn.candidatesByValueInStripe(s, col, v)
 }
 
-// candidatesByContentLocked returns IDs of tuples with some version
-// whose full content key matches. Callers hold the store lock.
-func (sn *Snapshot) candidatesByContentLocked(rel, key string) []TupleID {
-	return sn.st.contentIdx[rel][key].ids()
+func (sn *Snapshot) candidatesByValueInStripe(s *stripe, col int, v model.Value) []TupleID {
+	if col < 0 || col >= len(s.valIdx) {
+		return nil
+	}
+	return s.valIdx[col][v].ids()
 }
 
 // LookupContent returns the IDs of visible tuples whose content equals
 // t, in ascending order (at most one unless duplicate content slipped
 // in through concurrent writers).
 func (sn *Snapshot) LookupContent(t model.Tuple) []TupleID {
-	sn.rlock()
-	defer sn.runlock()
+	s := sn.st.stripes[t.Rel]
+	if s == nil {
+		return nil
+	}
+	sn.rlock(s)
+	defer sn.runlock(s)
 	var out []TupleID
-	for _, id := range sn.candidatesByContentLocked(t.Rel, contentKey(t.Vals)) {
-		if vals, ok := sn.getLocked(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+	for _, id := range s.contentIdx[contentKey(t.Vals)].ids() {
+		if vals, ok := sn.getInStripe(s, id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
 			out = append(out, id)
 		}
 	}
@@ -253,17 +282,43 @@ func (sn *Snapshot) ContainsContent(t model.Tuple) bool {
 }
 
 // TuplesWithNull returns, in ascending order, the IDs of visible
-// tuples containing the labeled null x.
+// tuples containing the labeled null x. The null index spans
+// relations, so visibility is verified stripe-by-stripe (IDs cluster
+// by stripe, so consecutive hits share one lock acquisition).
 func (sn *Snapshot) TuplesWithNull(x model.Value) []TupleID {
-	sn.rlock()
-	defer sn.runlock()
-	return sn.tuplesWithNullLocked(x)
+	var cands []TupleID
+	if sn.noLock {
+		cands = sn.st.nullIdx[x].ids()
+		return sn.filterNullCands(x, cands)
+	}
+	sn.st.nullMu.Lock()
+	cands = sn.st.nullIdx[x].ids()
+	sn.st.nullMu.Unlock()
+	return sn.filterNullCands(x, cands)
 }
 
+// tuplesWithNullLocked is TuplesWithNull for callers holding every
+// stripe lock (ReplaceNull).
 func (sn *Snapshot) tuplesWithNullLocked(x model.Value) []TupleID {
+	return sn.filterNullCands(x, sn.st.nullIdx[x].ids())
+}
+
+func (sn *Snapshot) filterNullCands(x model.Value, cands []TupleID) []TupleID {
 	var out []TupleID
-	for _, id := range sn.st.nullIdx[x].ids() {
-		vals, ok := sn.getLocked(id)
+	var cur *stripe
+	for _, id := range cands {
+		s := sn.st.stripeOf(id)
+		if s == nil {
+			continue
+		}
+		if s != cur {
+			if cur != nil {
+				sn.runlock(cur)
+			}
+			cur = s
+			sn.rlock(cur)
+		}
+		vals, ok := sn.getInStripe(s, id)
 		if !ok {
 			continue
 		}
@@ -273,6 +328,9 @@ func (sn *Snapshot) tuplesWithNullLocked(x model.Value) []TupleID {
 				break
 			}
 		}
+	}
+	if cur != nil {
+		sn.runlock(cur)
 	}
 	return out
 }
@@ -285,16 +343,19 @@ func (sn *Snapshot) tuplesWithNullLocked(x model.Value) []TupleID {
 // Candidate narrowing uses the most selective constant position of t;
 // if t has no constants the relation is scanned.
 func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
-	sn.rlock()
-	defer sn.runlock()
+	s := sn.st.stripes[t.Rel]
+	if s == nil {
+		return nil
+	}
+	sn.rlock(s)
+	defer sn.runlock(s)
 	bestCol := -1
 	bestSize := -1
-	cols := sn.st.valIdx[t.Rel]
 	for i, v := range t.Vals {
 		if !v.IsConst() {
 			continue
 		}
-		size := cols[i][v].size()
+		size := s.valIdx[i][v].size()
 		if bestCol == -1 || size < bestSize {
 			bestCol, bestSize = i, size
 		}
@@ -306,14 +367,14 @@ func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
 		}
 	}
 	if bestCol >= 0 {
-		for _, id := range sn.candidatesByValueLocked(t.Rel, bestCol, t.Vals[bestCol]) {
-			if vals, ok := sn.getLocked(id); ok {
+		for _, id := range sn.candidatesByValueInStripe(s, bestCol, t.Vals[bestCol]) {
+			if vals, ok := sn.getInStripe(s, id); ok {
 				check(id, vals)
 			}
 		}
 		return out
 	}
-	sn.scanRelLocked(t.Rel, func(id TupleID, vals []model.Value) bool {
+	sn.scanStripe(s, func(id TupleID, vals []model.Value) bool {
 		check(id, vals)
 		return true
 	})
@@ -324,13 +385,13 @@ func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
 // relation, as canonical sets keyed by relation name. The
 // serializability checker compares these across executions.
 func (sn *Snapshot) VisibleFacts() map[string][]model.Tuple {
-	sn.rlock()
-	defer sn.runlock()
 	out := make(map[string][]model.Tuple)
-	for _, rel := range sn.st.schema.SortedNames() {
+	for _, rel := range sn.st.relsByIdx {
+		s := sn.st.stripes[rel]
 		seen := make(map[string]bool)
 		var ts []model.Tuple
-		sn.scanRelLocked(rel, func(id TupleID, vals []model.Value) bool {
+		sn.rlock(s)
+		sn.scanStripe(s, func(id TupleID, vals []model.Value) bool {
 			t := model.Tuple{Rel: rel, Vals: append([]model.Value(nil), vals...)}
 			if k := t.Key(); !seen[k] {
 				seen[k] = true
@@ -338,6 +399,7 @@ func (sn *Snapshot) VisibleFacts() map[string][]model.Tuple {
 			}
 			return true
 		})
+		sn.runlock(s)
 		if len(ts) > 0 {
 			out[rel] = ts
 		}

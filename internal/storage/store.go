@@ -16,13 +16,40 @@
 // atomically removes every version it created and repairs all indexes;
 // committing a writer retires its write log.
 //
-// A Store is safe for concurrent use: an internal RWMutex serializes
-// mutators against each other and against readers, while any number of
-// readers (snapshots) proceed in parallel. Each exported operation is
-// individually atomic; multi-operation protocols (a chase step's
-// write-then-validate sequence) still need the concurrency-control
-// layer's phase locking on top, which is what cc.ParallelScheduler
-// provides.
+// # Locking
+//
+// The store's write lock is striped by relation: each relation owns a
+// stripe holding its tuples, indexes, per-writer log shard, and an
+// RWMutex, so mutators of disjoint relations proceed truly
+// concurrently and readers only contend on the stripes they touch.
+// Three pieces of state span stripes and have their own coordination:
+//
+//   - nullIdx (labeled-null occurrences cross relations) is guarded by
+//     nullMu, a leaf lock acquired while holding a stripe lock; no
+//     stripe lock is ever acquired while holding nullMu.
+//   - the committed-writer set is guarded by commitMu, a leaf lock
+//     below the stripe locks.
+//   - cross-relation operations (ReplaceNull, Abort, CommitBatch,
+//     WritesOf, the UncommittedWrites rebuild, Stats, Dump) acquire
+//     every stripe lock in ascending stripe order, which makes them
+//     atomic against all single-stripe operations and against each
+//     other without a global mutex on the hot paths.
+//
+// Sequence numbers and tuple IDs are allocated without locks: the
+// global sequence counter is atomic (assigned while holding the
+// written stripe's lock, so per-stripe sequences stay monotone), and a
+// TupleID encodes its stripe index in the high bits, so resolving an
+// ID to its relation requires no shared lookup structure.
+//
+// Each exported operation is individually atomic; multi-operation
+// protocols (a chase step's write-then-validate sequence) still need
+// the concurrency-control layer's phase locking on top, which is what
+// cc.ParallelScheduler provides. The one relaxation against the
+// pre-striping store: snapshot reads that span relations
+// (TuplesWithNull, VisibleFacts) lock stripe-by-stripe, so under
+// concurrent mutators they may observe different relations at
+// different instants — the schedulers never read while a writer runs,
+// and single-relation calls remain fully atomic.
 package storage
 
 import (
@@ -35,8 +62,15 @@ import (
 	"youtopia/internal/model"
 )
 
-// TupleID identifies a logical tuple across its versions.
+// TupleID identifies a logical tuple across its versions. The high
+// bits carry the stripe (relation) index, the low localIDBits the
+// per-stripe allocation counter, so the owning stripe is recoverable
+// from the ID alone and IDs within one relation ascend in creation
+// order.
 type TupleID int64
+
+// localIDBits is the width of the per-stripe counter inside a TupleID.
+const localIDBits = 40
 
 // Op classifies a write.
 type Op uint8
@@ -109,71 +143,144 @@ type tupleRec struct {
 	versions []version
 }
 
-// Store is the versioned repository storage.
-type Store struct {
-	// mu guards every field below except nulls (internally atomic) and
-	// the memoization pair guarded by cacheMu. Mutators take the write
-	// lock; snapshots and read accessors take the read lock. Value
-	// slices inside versions are never mutated in place, so they may be
-	// returned to callers and read after the lock is released.
+// stripe is the per-relation shard of the store: one relation's
+// tuples, secondary indexes, and slice of the per-writer logs, guarded
+// by its own RWMutex.
+type stripe struct {
+	rel string
+	idx int
+
+	// mu guards every field below. Single-relation operations lock only
+	// their stripe; cross-relation operations lock all stripes in
+	// ascending idx order.
 	mu sync.RWMutex
 
+	nextLocal int64
+	tuples    map[TupleID]*tupleRec
+	ids       *bucket // members of the relation, visible or not
+
+	// valIdx[col][value] is a multiset of tuple IDs: the count of
+	// versions of that tuple carrying that value in that column. The
+	// index over-approximates; readers verify against their snapshot.
+	valIdx []map[model.Value]*bucket
+	// contentIdx[contentKey] is a multiset of tuple IDs with a version
+	// whose full content matches.
+	contentIdx map[string]*bucket
+
+	logs       map[int][]WriteRec // this relation's writes per writer
+	relWriters map[int]int        // live write counts per uncommitted writer
+
+	// seq publishes the highest global sequence number applied in this
+	// stripe (monotone: assigned under mu). Concurrency control uses it
+	// to validate conflict checks performed outside its exclusive phase
+	// lock.
+	seq atomic.Int64
+}
+
+// newID mints the next tuple ID of the stripe. Callers hold s.mu.
+func (s *stripe) newID() TupleID {
+	s.nextLocal++
+	return TupleID(int64(s.idx)<<localIDBits | s.nextLocal)
+}
+
+// Store is the versioned repository storage.
+type Store struct {
 	schema *model.Schema
 	nulls  model.NullFactory
 
-	nextTuple TupleID
-	nextSeq   int64
+	nextSeq atomic.Int64
 
-	tuples map[TupleID]*tupleRec
-	byRel  map[string]*bucket
+	// stripes is fixed at construction: one per schema relation.
+	stripes   map[string]*stripe
+	byIdx     []*stripe
+	relsByIdx []string // sorted relation names, aligned with byIdx
 
-	// valIdx[rel][col][value] is a multiset of tuple IDs: the count of
-	// versions of that tuple carrying that value in that column. The
-	// index over-approximates; readers verify against their snapshot.
-	valIdx map[string][]map[model.Value]*bucket
+	// nullMu guards nullIdx; see the package comment for lock order.
+	nullMu sync.Mutex
 	// nullIdx[null] is a multiset of tuple IDs with a version
 	// containing the labeled null.
 	nullIdx map[model.Value]*bucket
-	// contentIdx[rel][contentKey] is a multiset of tuple IDs with a
-	// version whose full content matches.
-	contentIdx map[string]map[string]*bucket
 
-	logs       map[int][]WriteRec
-	committed  map[int]bool
-	relWriters map[string]map[int]int // live write counts per relation per uncommitted writer
+	// commitMu guards committed.
+	commitMu  sync.RWMutex
+	committed map[int]bool
 
 	// uncommittedCache publishes the memoized UncommittedWrites result
 	// (nil = stale); PRECISE dependency tracking calls it on every
 	// read, so cache hits go through the atomic pointer without any
-	// lock. cacheMu only serializes the rebuild among concurrent
-	// readers (who hold mu.RLock). Lock order: mu before cacheMu.
+	// lock. cacheMu serializes the rebuild, which takes every stripe's
+	// read lock for a consistent cross-stripe view.
 	cacheMu          sync.Mutex
 	uncommittedCache atomic.Pointer[[]WriteRec]
 }
 
 // NewStore creates an empty store over a schema.
 func NewStore(schema *model.Schema) *Store {
+	names := schema.SortedNames()
 	st := &Store{
-		schema:     schema,
-		tuples:     make(map[TupleID]*tupleRec),
-		byRel:      make(map[string]*bucket),
-		valIdx:     make(map[string][]map[model.Value]*bucket),
-		nullIdx:    make(map[model.Value]*bucket),
-		contentIdx: make(map[string]map[string]*bucket),
-		logs:       make(map[int][]WriteRec),
-		committed:  map[int]bool{0: true},
-		relWriters: make(map[string]map[int]int),
+		schema:    schema,
+		stripes:   make(map[string]*stripe, len(names)),
+		byIdx:     make([]*stripe, 0, len(names)),
+		relsByIdx: names,
+		nullIdx:   make(map[model.Value]*bucket),
+		committed: map[int]bool{0: true},
 	}
-	for _, r := range schema.Relations() {
-		st.byRel[r.Name] = newBucket()
-		cols := make([]map[model.Value]*bucket, r.Arity())
-		for i := range cols {
-			cols[i] = make(map[model.Value]*bucket)
+	for i, name := range names {
+		cols := make([]map[model.Value]*bucket, schema.Arity(name))
+		for j := range cols {
+			cols[j] = make(map[model.Value]*bucket)
 		}
-		st.valIdx[r.Name] = cols
-		st.contentIdx[r.Name] = make(map[string]*bucket)
+		s := &stripe{
+			rel:        name,
+			idx:        i,
+			tuples:     make(map[TupleID]*tupleRec),
+			ids:        newBucket(),
+			valIdx:     cols,
+			contentIdx: make(map[string]*bucket),
+			logs:       make(map[int][]WriteRec),
+			relWriters: make(map[int]int),
+		}
+		st.stripes[name] = s
+		st.byIdx = append(st.byIdx, s)
 	}
 	return st
+}
+
+// stripeOf resolves a tuple ID to its stripe (nil for IDs no stripe
+// could have minted).
+func (st *Store) stripeOf(id TupleID) *stripe {
+	i := int(int64(id) >> localIDBits)
+	if i < 0 || i >= len(st.byIdx) {
+		return nil
+	}
+	return st.byIdx[i]
+}
+
+// lockAll acquires every stripe's write lock in ascending order; the
+// caller then owns the whole store. unlockAll releases them.
+func (st *Store) lockAll() {
+	for _, s := range st.byIdx {
+		s.mu.Lock()
+	}
+}
+
+func (st *Store) unlockAll() {
+	for _, s := range st.byIdx {
+		s.mu.Unlock()
+	}
+}
+
+// rlockAll / runlockAll are the shared-mode counterparts of lockAll.
+func (st *Store) rlockAll() {
+	for _, s := range st.byIdx {
+		s.mu.RLock()
+	}
+}
+
+func (st *Store) runlockAll() {
+	for _, s := range st.byIdx {
+		s.mu.RUnlock()
+	}
 }
 
 // Schema returns the schema the store was created with.
@@ -199,68 +306,85 @@ func contentKey(vals []model.Value) string {
 }
 
 // markUncommittedDirty invalidates the UncommittedWrites memo.
-// Callers hold mu (write), so no reader is concurrently rebuilding.
+// Callers hold the write lock of the stripe they mutated.
 func (st *Store) markUncommittedDirty() {
 	st.uncommittedCache.Store(nil)
 }
 
+// indexNull adds (delta +1) or removes (delta -1) one null occurrence
+// of a tuple. Callers hold the owning stripe's write lock; nullMu is a
+// leaf below it.
+func (st *Store) indexNull(v model.Value, id TupleID, delta int) {
+	st.nullMu.Lock()
+	defer st.nullMu.Unlock()
+	nb := st.nullIdx[v]
+	if nb == nil {
+		if delta < 0 {
+			return
+		}
+		nb = newBucket()
+		st.nullIdx[v] = nb
+	}
+	if delta > 0 {
+		nb.add(id)
+	} else if nb.remove(id) {
+		delete(st.nullIdx, v)
+	}
+}
+
 // indexVersion adds (or with delta -1, removes) one version's values
-// to the secondary indexes. Callers hold mu (write).
-func (st *Store) indexVersion(rel string, id TupleID, vals []model.Value, delta int) {
+// to the stripe's secondary indexes and the global null index.
+// Callers hold the stripe's write lock.
+func (st *Store) indexVersion(s *stripe, id TupleID, vals []model.Value, delta int) {
 	if vals == nil {
 		return
 	}
-	cols := st.valIdx[rel]
 	for i, v := range vals {
-		vb := cols[i][v]
+		vb := s.valIdx[i][v]
 		if vb == nil {
 			if delta < 0 {
 				continue
 			}
 			vb = newBucket()
-			cols[i][v] = vb
+			s.valIdx[i][v] = vb
 		}
 		if delta > 0 {
 			vb.add(id)
 		} else if vb.remove(id) {
-			delete(cols[i], v)
+			delete(s.valIdx[i], v)
 		}
 		if v.IsNull() {
-			nb := st.nullIdx[v]
-			if nb == nil {
-				if delta < 0 {
-					continue
-				}
-				nb = newBucket()
-				st.nullIdx[v] = nb
-			}
-			if delta > 0 {
-				nb.add(id)
-			} else if nb.remove(id) {
-				delete(st.nullIdx, v)
-			}
+			st.indexNull(v, id, delta)
 		}
 	}
 	ck := contentKey(vals)
-	cb := st.contentIdx[rel][ck]
+	cb := s.contentIdx[ck]
 	if cb == nil {
 		if delta < 0 {
 			return
 		}
 		cb = newBucket()
-		st.contentIdx[rel][ck] = cb
+		s.contentIdx[ck] = cb
 	}
 	if delta > 0 {
 		cb.add(id)
 	} else if cb.remove(id) {
-		delete(st.contentIdx[rel], ck)
+		delete(s.contentIdx, ck)
 	}
+}
+
+// isCommitted reports a writer's commit status. Safe under any stripe
+// lock (commitMu is a leaf).
+func (st *Store) isCommitted(writer int) bool {
+	st.commitMu.RLock()
+	defer st.commitMu.RUnlock()
+	return st.committed[writer]
 }
 
 // addVersion appends a version to a tuple's chain, keeping the chain
 // sorted by (writer, seq), and maintains indexes and logs. Callers
-// hold mu (write).
-func (st *Store) addVersion(rec *tupleRec, v version, logRec WriteRec) {
+// hold the stripe's write lock.
+func (st *Store) addVersion(s *stripe, rec *tupleRec, v version, logRec WriteRec) {
 	i := sort.Search(len(rec.versions), func(i int) bool {
 		w := rec.versions[i]
 		return w.writer > v.writer || (w.writer == v.writer && w.seq > v.seq)
@@ -268,25 +392,31 @@ func (st *Store) addVersion(rec *tupleRec, v version, logRec WriteRec) {
 	rec.versions = append(rec.versions, version{})
 	copy(rec.versions[i+1:], rec.versions[i:])
 	rec.versions[i] = v
-	st.indexVersion(rec.rel, rec.id, v.vals, +1)
-	st.logs[v.writer] = append(st.logs[v.writer], logRec)
-	if !st.committed[v.writer] {
-		rw := st.relWriters[rec.rel]
-		if rw == nil {
-			rw = make(map[int]int)
-			st.relWriters[rec.rel] = rw
-		}
-		rw[v.writer]++
+	st.indexVersion(s, rec.id, v.vals, +1)
+	s.logs[v.writer] = append(s.logs[v.writer], logRec)
+	if !st.isCommitted(v.writer) {
+		s.relWriters[v.writer]++
 		st.markUncommittedDirty()
 	}
+	s.seq.Store(v.seq)
 }
 
 // CurrentSeq returns the sequence number of the most recent write;
 // reads record it so conflict checks can reconstruct read-time state.
 func (st *Store) CurrentSeq() int64 {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.nextSeq
+	return st.nextSeq.Load()
+}
+
+// RelSeq returns the highest sequence number applied in the relation's
+// stripe (0 when the relation is unknown or untouched). Concurrency
+// control captures it at write time and re-reads it later to detect
+// whether other writers have since landed in the same stripes.
+func (st *Store) RelSeq(rel string) int64 {
+	s := st.stripes[rel]
+	if s == nil {
+		return 0
+	}
+	return s.seq.Load()
 }
 
 // Insert inserts a tuple on behalf of writer. Set semantics apply: if
@@ -299,28 +429,28 @@ func (st *Store) Insert(writer int, t model.Tuple) (id TupleID, rec WriteRec, in
 		return 0, WriteRec{}, false, err
 	}
 	st.noteNulls(t.Vals)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.insertLocked(writer, t)
+	s := st.stripes[t.Rel]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return st.insertLocked(s, writer, t)
 }
 
-func (st *Store) insertLocked(writer int, t model.Tuple) (id TupleID, rec WriteRec, inserted bool, err error) {
+func (st *Store) insertLocked(s *stripe, writer int, t model.Tuple) (id TupleID, rec WriteRec, inserted bool, err error) {
 	// Visible-duplicate check.
 	snap := st.snapLocked(writer)
-	for _, dupID := range snap.candidatesByContentLocked(t.Rel, contentKey(t.Vals)) {
-		if vals, ok := snap.getLocked(dupID); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+	for _, dupID := range s.contentIdx[contentKey(t.Vals)].ids() {
+		if vals, ok := snap.getInStripe(s, dupID); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
 			return dupID, WriteRec{}, false, nil
 		}
 	}
-	st.nextTuple++
-	st.nextSeq++
-	id = st.nextTuple
+	id = s.newID()
+	seq := st.nextSeq.Add(1)
 	vals := append([]model.Value(nil), t.Vals...)
 	tr := &tupleRec{id: id, rel: t.Rel}
-	st.tuples[id] = tr
-	st.byRel[t.Rel].add(id)
-	w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: id, Rel: t.Rel, Op: OpInsert, After: vals}
-	st.addVersion(tr, version{writer: writer, seq: st.nextSeq, vals: vals}, w)
+	s.tuples[id] = tr
+	s.ids.add(id)
+	w := WriteRec{Writer: writer, Seq: seq, ID: id, Rel: t.Rel, Op: OpInsert, After: vals}
+	st.addVersion(s, tr, version{writer: writer, seq: seq, vals: vals}, w)
 	return id, w, true, nil
 }
 
@@ -328,23 +458,27 @@ func (st *Store) insertLocked(writer int, t model.Tuple) (id TupleID, rec WriteR
 // the writer. It returns ok == false (and no error) when the tuple is
 // not visible, which callers treat as "nothing to delete".
 func (st *Store) Delete(writer int, id TupleID) (rec WriteRec, ok bool, err error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.deleteLocked(writer, id)
+	s := st.stripeOf(id)
+	if s == nil {
+		return WriteRec{}, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return st.deleteLocked(s, writer, id)
 }
 
-func (st *Store) deleteLocked(writer int, id TupleID) (rec WriteRec, ok bool, err error) {
-	tr, exists := st.tuples[id]
+func (st *Store) deleteLocked(s *stripe, writer int, id TupleID) (rec WriteRec, ok bool, err error) {
+	tr, exists := s.tuples[id]
 	if !exists {
 		return WriteRec{}, false, nil
 	}
-	v := st.snapLocked(writer).versionLocked(tr)
+	v := st.snapLocked(writer).versionOf(tr)
 	if v == nil || v.deleted {
 		return WriteRec{}, false, nil
 	}
-	st.nextSeq++
-	w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: id, Rel: tr.rel, Op: OpDelete, Before: v.vals}
-	st.addVersion(tr, version{writer: writer, seq: st.nextSeq, deleted: true}, w)
+	seq := st.nextSeq.Add(1)
+	w := WriteRec{Writer: writer, Seq: seq, ID: id, Rel: tr.rel, Op: OpDelete, Before: v.vals}
+	st.addVersion(s, tr, version{writer: writer, seq: seq, deleted: true}, w)
 	return w, true, nil
 }
 
@@ -356,18 +490,19 @@ func (st *Store) DeleteContent(writer int, t model.Tuple) ([]WriteRec, error) {
 	if err := st.schema.CheckTuple(t); err != nil {
 		return nil, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	s := st.stripes[t.Rel]
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	snap := st.snapLocked(writer)
 	var ids []TupleID
-	for _, id := range snap.candidatesByContentLocked(t.Rel, contentKey(t.Vals)) {
-		if vals, ok := snap.getLocked(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+	for _, id := range s.contentIdx[contentKey(t.Vals)].ids() {
+		if vals, ok := snap.getInStripe(s, id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
 			ids = append(ids, id)
 		}
 	}
 	var out []WriteRec
 	for _, id := range ids {
-		rec, ok, err := st.deleteLocked(writer, id)
+		rec, ok, err := st.deleteLocked(s, writer, id)
 		if err != nil {
 			return out, err
 		}
@@ -383,6 +518,9 @@ func (st *Store) DeleteContent(writer int, t model.Tuple) ([]WriteRec, error) {
 // writer is replaced by the value to (a constant for the paper's
 // null-replacement user operation, or another null during frontier
 // unification). It returns one modify record per rewritten tuple.
+//
+// The replacement spans relations, so it holds every stripe lock for
+// its duration — the one mutator that still serializes store-wide.
 func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) {
 	if !x.IsNull() {
 		return nil, fmt.Errorf("storage: ReplaceNull target %s is not a labeled null", x)
@@ -393,8 +531,8 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 	if to.IsNull() {
 		st.nulls.SetFloor(to.NullID())
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.lockAll()
+	defer st.unlockAll()
 	snap := st.snapLocked(writer)
 	// Collect affected tuples first: rewriting mutates the null index.
 	type hit struct {
@@ -412,7 +550,8 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 	sub := model.Subst{x: to}
 	out := make([]WriteRec, 0, len(hits))
 	for _, h := range hits {
-		tr := st.tuples[h.id]
+		s := st.stripeOf(h.id)
+		tr := s.tuples[h.id]
 		newVals := sub.Apply(h.vals)
 		// Set-semantics collapse (§2.2 "collapsed into one"): if the
 		// rewritten content is already carried by another visible tuple,
@@ -420,26 +559,26 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 		// check runs against the live store so that two tuples rewritten
 		// to the same content within one replacement also collapse.
 		collapsed := false
-		for _, dupID := range snap.candidatesByContentLocked(tr.rel, contentKey(newVals)) {
+		for _, dupID := range s.contentIdx[contentKey(newVals)].ids() {
 			if dupID == h.id {
 				continue
 			}
-			if vals, ok := snap.getLocked(dupID); ok && (model.Tuple{Rel: tr.rel, Vals: vals}).Equal(model.Tuple{Rel: tr.rel, Vals: newVals}) {
+			if vals, ok := snap.getInStripe(s, dupID); ok && (model.Tuple{Rel: tr.rel, Vals: vals}).Equal(model.Tuple{Rel: tr.rel, Vals: newVals}) {
 				collapsed = true
 				break
 			}
 		}
-		st.nextSeq++
+		seq := st.nextSeq.Add(1)
 		if collapsed {
-			w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: h.id, Rel: tr.rel, Op: OpDelete,
+			w := WriteRec{Writer: writer, Seq: seq, ID: h.id, Rel: tr.rel, Op: OpDelete,
 				Before: h.vals}
-			st.addVersion(tr, version{writer: writer, seq: st.nextSeq, deleted: true}, w)
+			st.addVersion(s, tr, version{writer: writer, seq: seq, deleted: true}, w)
 			out = append(out, w)
 			continue
 		}
-		w := WriteRec{Writer: writer, Seq: st.nextSeq, ID: h.id, Rel: tr.rel, Op: OpModify,
+		w := WriteRec{Writer: writer, Seq: seq, ID: h.id, Rel: tr.rel, Op: OpModify,
 			Before: h.vals, After: newVals}
-		st.addVersion(tr, version{writer: writer, seq: st.nextSeq, vals: newVals}, w)
+		st.addVersion(s, tr, version{writer: writer, seq: seq, vals: newVals}, w)
 		out = append(out, w)
 	}
 	return out, nil
@@ -460,73 +599,94 @@ func (st *Store) Abort(writer int) {
 	if writer == 0 {
 		panic("storage: cannot abort the initial load")
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	log := st.logs[writer]
-	for i := len(log) - 1; i >= 0; i-- {
-		rec := log[i]
-		tr, ok := st.tuples[rec.ID]
-		if !ok {
+	st.lockAll()
+	defer st.unlockAll()
+	for _, s := range st.byIdx {
+		log := s.logs[writer]
+		if len(log) == 0 {
 			continue
 		}
-		for j := len(tr.versions) - 1; j >= 0; j-- {
-			v := tr.versions[j]
-			if v.writer == writer && v.seq == rec.Seq {
-				st.indexVersion(tr.rel, tr.id, v.vals, -1)
-				tr.versions = append(tr.versions[:j], tr.versions[j+1:]...)
-				break
+		for i := len(log) - 1; i >= 0; i-- {
+			rec := log[i]
+			tr, ok := s.tuples[rec.ID]
+			if !ok {
+				continue
+			}
+			for j := len(tr.versions) - 1; j >= 0; j-- {
+				v := tr.versions[j]
+				if v.writer == writer && v.seq == rec.Seq {
+					st.indexVersion(s, tr.id, v.vals, -1)
+					tr.versions = append(tr.versions[:j], tr.versions[j+1:]...)
+					break
+				}
+			}
+			if len(tr.versions) == 0 {
+				delete(s.tuples, tr.id)
+				s.ids.remove(tr.id)
 			}
 		}
-		if len(tr.versions) == 0 {
-			delete(st.tuples, tr.id)
-			st.byRel[tr.rel].remove(tr.id)
-		}
-		if rw := st.relWriters[rec.Rel]; rw != nil {
-			if rw[writer]--; rw[writer] <= 0 {
-				delete(rw, writer)
-			}
-		}
+		delete(s.logs, writer)
+		delete(s.relWriters, writer)
 	}
-	delete(st.logs, writer)
 	st.markUncommittedDirty()
 }
 
 // Commit marks a writer's versions as permanent and retires its write
 // log; a committed writer can no longer abort.
 func (st *Store) Commit(writer int) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.committed[writer] = true
-	for _, rw := range st.relWriters {
-		delete(rw, writer)
+	st.CommitBatch([]int{writer})
+}
+
+// CommitBatch commits a group of writers in one store-wide lock
+// acquisition — the group-commit primitive the scheduler's commit
+// frontier uses to drain a whole terminated prefix at once. Logs and
+// per-relation writer counts are retired for every writer in the
+// batch before the locks are released.
+func (st *Store) CommitBatch(writers []int) {
+	if len(writers) == 0 {
+		return
 	}
-	delete(st.logs, writer)
+	st.lockAll()
+	defer st.unlockAll()
+	st.commitMu.Lock()
+	for _, w := range writers {
+		st.committed[w] = true
+	}
+	st.commitMu.Unlock()
+	for _, s := range st.byIdx {
+		for _, w := range writers {
+			delete(s.relWriters, w)
+			delete(s.logs, w)
+		}
+	}
 	st.markUncommittedDirty()
 }
 
 // Committed reports whether the writer has committed.
 func (st *Store) Committed(writer int) bool {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.committed[writer]
+	return st.isCommitted(writer)
 }
 
 // WritesOf returns the write log of an uncommitted writer in sequence
-// order. The slice is shared; callers must not modify it or hold it
-// across the writer's next mutation.
+// order. The log is sharded by relation internally, so this merges the
+// shards; callers must not modify the slice.
 func (st *Store) WritesOf(writer int) []WriteRec {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.logs[writer]
+	st.rlockAll()
+	defer st.runlockAll()
+	var out []WriteRec
+	for _, s := range st.byIdx {
+		out = append(out, s.logs[writer]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // UncommittedWrites returns all writes by uncommitted writers, sorted
 // by sequence number. PRECISE dependency computation iterates these on
-// every read, so the result is memoized between mutations. Callers
-// must not modify the returned slice.
+// every read, so the result is memoized between mutations; the rebuild
+// takes every stripe's read lock for a consistent cross-stripe view.
+// Callers must not modify the returned slice.
 func (st *Store) UncommittedWrites() []WriteRec {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	if p := st.uncommittedCache.Load(); p != nil {
 		return *p
 	}
@@ -535,14 +695,45 @@ func (st *Store) UncommittedWrites() []WriteRec {
 	if p := st.uncommittedCache.Load(); p != nil {
 		return *p
 	}
+	st.rlockAll()
 	out := []WriteRec{}
-	for w, log := range st.logs {
-		if !st.committed[w] {
+	for _, s := range st.byIdx {
+		for w, log := range s.logs {
+			if !st.isCommitted(w) {
+				out = append(out, log...)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	// Publish while still holding every stripe lock: a mutator that
+	// slipped in after an unlock could have invalidated the cache
+	// first, and storing afterwards would resurrect a stale list.
+	st.uncommittedCache.Store(&out)
+	st.runlockAll()
+	return out
+}
+
+// UncommittedWritesOf returns the writes by uncommitted writers into
+// one relation, sorted by sequence number — the stripe-local slice of
+// UncommittedWrites. Dependency trackers use it for read queries that
+// name their relations, which turns the per-read scan from
+// O(all uncommitted writes) plus a store-wide memo rebuild into a walk
+// of one stripe's (usually tiny) log shard. Callers must not modify
+// the returned slice.
+func (st *Store) UncommittedWritesOf(rel string) []WriteRec {
+	s := st.stripes[rel]
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []WriteRec
+	for w, log := range s.logs {
+		if !st.isCommitted(w) {
 			out = append(out, log...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	st.uncommittedCache.Store(&out)
 	return out
 }
 
@@ -550,11 +741,14 @@ func (st *Store) UncommittedWrites() []WriteRec {
 // writes into rel, sorted ascending. COARSE charges a violation-query
 // read dependency against exactly this set (§5.1.1).
 func (st *Store) UncommittedWritersOf(rel string) []int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	rw := st.relWriters[rel]
-	out := make([]int, 0, len(rw))
-	for w := range rw {
+	s := st.stripes[rel]
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.relWriters))
+	for w := range s.relWriters {
 		out = append(out, w)
 	}
 	sort.Ints(out)
@@ -568,7 +762,9 @@ func (st *Store) Snap(reader int) *Snapshot {
 	return &Snapshot{st: st, reader: reader}
 }
 
-// snapLocked returns a read view for use by code already holding mu.
+// snapLocked returns a read view for use by code already holding the
+// locks its calls will need (a single stripe for relation-local use,
+// or every stripe for cross-relation operations).
 func (st *Store) snapLocked(reader int) *Snapshot {
 	return &Snapshot{st: st, reader: reader, noLock: true}
 }
@@ -583,15 +779,17 @@ type Stats struct {
 // Stats computes summary statistics. The Visible count uses the
 // highest possible reader (every writer included).
 func (st *Store) Stats() Stats {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.rlockAll()
+	defer st.runlockAll()
 	var s Stats
-	s.Tuples = len(st.tuples)
 	snap := st.snapLocked(int(^uint(0) >> 1))
-	for _, tr := range st.tuples {
-		s.Versions += len(tr.versions)
-		if _, ok := snap.getLocked(tr.id); ok {
-			s.Visible++
+	for _, sp := range st.byIdx {
+		s.Tuples += len(sp.tuples)
+		for _, tr := range sp.tuples {
+			s.Versions += len(tr.versions)
+			if v := snap.versionOf(tr); v != nil && !v.deleted {
+				s.Visible++
+			}
 		}
 	}
 	return s
@@ -600,12 +798,12 @@ func (st *Store) Stats() Stats {
 // Dump renders the database visible to reader as sorted text, one
 // tuple per line. Intended for examples, debugging, and golden tests.
 func (st *Store) Dump(reader int) string {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.rlockAll()
+	defer st.runlockAll()
 	snap := st.snapLocked(reader)
 	var lines []string
-	for _, rel := range st.schema.SortedNames() {
-		snap.scanRelLocked(rel, func(id TupleID, vals []model.Value) bool {
+	for _, rel := range st.relsByIdx {
+		snap.scanStripe(st.stripes[rel], func(id TupleID, vals []model.Value) bool {
 			lines = append(lines, model.Tuple{Rel: rel, Vals: vals}.String())
 			return true
 		})

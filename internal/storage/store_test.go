@@ -315,6 +315,54 @@ func TestCommitRetiresLogs(t *testing.T) {
 	}
 }
 
+func TestCommitBatchRetiresAllWriters(t *testing.T) {
+	st := NewStore(testSchema())
+	st.Insert(1, tup("C", c("a")))
+	st.Insert(2, tup("S", c("x"), c("y"), c("z")))
+	st.Insert(3, tup("R", c("p"), c("q")))
+	if got := len(st.UncommittedWrites()); got != 3 {
+		t.Fatalf("uncommitted before batch = %d, want 3", got)
+	}
+	st.CommitBatch([]int{1, 2, 3})
+	for w := 1; w <= 3; w++ {
+		if !st.Committed(w) {
+			t.Fatalf("writer %d not committed by batch", w)
+		}
+		if logs := st.WritesOf(w); len(logs) != 0 {
+			t.Fatalf("writer %d log survives batch commit: %v", w, logs)
+		}
+	}
+	if got := st.UncommittedWrites(); len(got) != 0 {
+		t.Fatalf("uncommitted writes after batch: %v", got)
+	}
+	for _, rel := range []string{"C", "S", "R"} {
+		if got := st.UncommittedWritersOf(rel); len(got) != 0 {
+			t.Fatalf("writers of %s after batch: %v", rel, got)
+		}
+	}
+	// Empty batch is a no-op.
+	st.CommitBatch(nil)
+}
+
+func TestRelSeqPerStripe(t *testing.T) {
+	st := NewStore(testSchema())
+	if st.RelSeq("C") != 0 || st.RelSeq("nope") != 0 {
+		t.Fatal("untouched/unknown relations must report seq 0")
+	}
+	_, w1, _, _ := st.Insert(1, tup("C", c("a")))
+	if got := st.RelSeq("C"); got != w1.Seq {
+		t.Fatalf("RelSeq(C) = %d, want %d", got, w1.Seq)
+	}
+	// Writes to another relation leave C's stripe sequence untouched.
+	_, w2, _, _ := st.Insert(1, tup("R", c("p"), c("q")))
+	if got := st.RelSeq("C"); got != w1.Seq {
+		t.Fatalf("RelSeq(C) moved to %d after a disjoint write", got)
+	}
+	if got := st.RelSeq("R"); got != w2.Seq {
+		t.Fatalf("RelSeq(R) = %d, want %d", got, w2.Seq)
+	}
+}
+
 func TestUncommittedWritesSorted(t *testing.T) {
 	st := NewStore(testSchema())
 	st.Insert(2, tup("C", c("a")))

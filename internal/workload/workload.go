@@ -11,6 +11,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"youtopia/internal/cc"
 	"youtopia/internal/chase"
@@ -45,6 +47,16 @@ type Config struct {
 	// instead of fresh constants. The paper's wording admits both
 	// readings; fresh constants are the default.
 	FreshNulls bool
+	// SetupWorkers selects how the initial database is generated: 0
+	// (the default) runs the seed batch through the parallel scheduler
+	// on GOMAXPROCS workers, a positive value on that many workers, and
+	// a negative value through the serial reference scheduler
+	// (PolicySerial) — the pre-parallel behaviour, kept for equivalence
+	// tests. All modes produce the same initial database: the parallel
+	// runtime is serializable and the simulated user's decisions are
+	// order-independent, and the extracted facts are canonicalized (see
+	// genInitialDB).
+	SetupWorkers int
 	// Seed drives all generation.
 	Seed int64
 }
@@ -333,8 +345,17 @@ func usesAny(atoms []tgd.Atom, vars []string) bool {
 // genInitialDB produces the initial database: InitialTuples seed
 // tuples (relation uniform, values from the pool) inserted one at a
 // time, each chased to completion with a simulated user, under the
-// full mapping set. The resulting facts are returned for loading into
-// fresh stores as the committed writer-0 state.
+// full mapping set. By default the seed batch runs through the
+// parallel scheduler — the execution is serializable and the simulated
+// user's decisions are keyed on canonical contexts, so the committed
+// instance matches the serial reference's up to renaming of the fresh
+// labeled nulls the chase mints; the extracted facts are then
+// canonicalized (nulls renumbered in canonical order) so the universe
+// is identical whichever execution mode built it. This cuts setup
+// time on multicore machines and doubles as a standing
+// serial-vs-parallel equivalence check. The resulting facts are
+// returned for loading into fresh stores as the committed writer-0
+// state.
 func genInitialDB(rng *rand.Rand, cfg Config, u *Universe) ([]model.Tuple, error) {
 	st := storage.NewStore(u.Schema)
 	ops := make([]chase.Op, 0, cfg.InitialTuples)
@@ -348,12 +369,20 @@ func genInitialDB(rng *rand.Rand, cfg Config, u *Universe) ([]model.Tuple, error
 		}
 		ops = append(ops, chase.Insert(model.NewTuple(rel, vals...)))
 	}
-	sched := cc.NewScheduler(st, u.Mappings, cc.Config{
-		Policy:  cc.PolicySerial,
-		Tracker: cc.Naive{},
-		User:    simuser.New(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
-	})
-	if _, err := sched.Run(ops); err != nil {
+	ccCfg := cc.Config{
+		User: simuser.New(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
+	}
+	var err error
+	if cfg.SetupWorkers < 0 {
+		ccCfg.Policy = cc.PolicySerial
+		ccCfg.Tracker = cc.Naive{}
+		_, err = cc.NewScheduler(st, u.Mappings, ccCfg).Run(ops)
+	} else {
+		ccCfg.Workers = cfg.SetupWorkers // 0 = GOMAXPROCS
+		ccCfg.Tracker = cc.Coarse{}
+		_, err = cc.NewParallelScheduler(st, u.Mappings, ccCfg).Run(ops)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("workload: initial database generation: %w", err)
 	}
 	facts := st.Snap(1 << 30).VisibleFacts()
@@ -361,7 +390,115 @@ func genInitialDB(rng *rand.Rand, cfg Config, u *Universe) ([]model.Tuple, error
 	for _, rel := range u.Schema.SortedNames() {
 		out = append(out, facts[rel]...)
 	}
-	return out, nil
+	return canonicalizeNulls(out), nil
+}
+
+// canonicalizeNulls renumbers the labeled nulls of a fact set to 1..k
+// in a canonical order, preserving cross-tuple null sharing.
+// Executions that differ only in null allocation order (serial vs
+// parallel initial-database builds) thereby extract byte-identical
+// universes.
+//
+// Per-tuple canonical renderings alone cannot order nulls that appear
+// in identically-shaped tuples but differ in how they are shared
+// across tuples, so nulls are first distinguished by bounded color
+// refinement: each null's color is iteratively recomputed from the
+// canonical renderings of the tuples containing it (with current
+// colors substituted), exactly the 1-dimensional Weisfeiler–Lehman
+// refinement on the fact/null incidence graph. Nulls still tied after
+// refinement occupy genuinely symmetric positions, where any
+// assignment yields the same set up to automorphism.
+func canonicalizeNulls(facts []model.Tuple) []model.Tuple {
+	color := make(map[model.Value]int)
+	render := func(t model.Tuple) string {
+		var b strings.Builder
+		b.WriteString(t.Rel)
+		for _, v := range t.Vals {
+			b.WriteByte('\x02')
+			if v.IsNull() {
+				fmt.Fprintf(&b, "?%d", color[v])
+			} else {
+				b.WriteString("c:" + v.ConstValue())
+			}
+		}
+		return b.String()
+	}
+	distinct := make(map[model.Value]bool)
+	for _, t := range facts {
+		for _, v := range t.Vals {
+			if v.IsNull() {
+				distinct[v] = true
+			}
+		}
+	}
+	// Refinement strictly grows the color partition until it reaches a
+	// fixpoint, so |nulls| rounds always suffice; chain-shaped sharing
+	// graphs genuinely need O(|nulls|) of them.
+	for round := 0; round <= len(distinct); round++ {
+		keys := make([]string, len(facts))
+		for i, t := range facts {
+			keys[i] = render(t)
+		}
+		sigs := make(map[model.Value][]string)
+		for i, t := range facts {
+			for pos, v := range t.Vals {
+				if v.IsNull() {
+					sigs[v] = append(sigs[v], fmt.Sprintf("%s@%d", keys[i], pos))
+				}
+			}
+		}
+		joined := make(map[model.Value]string, len(sigs))
+		all := make([]string, 0, len(sigs))
+		for v, ss := range sigs {
+			sort.Strings(ss)
+			j := strings.Join(ss, "\x01")
+			joined[v] = j
+			all = append(all, j)
+		}
+		sort.Strings(all)
+		rank := make(map[string]int, len(all))
+		for _, k := range all {
+			if _, ok := rank[k]; !ok {
+				rank[k] = len(rank) + 1
+			}
+		}
+		changed := false
+		for v, j := range joined {
+			if c := rank[j]; c != color[v] {
+				color[v] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	idx := make([]int, len(facts))
+	final := make([]string, len(facts))
+	for i, t := range facts {
+		idx[i] = i
+		final[i] = render(t)
+	}
+	sort.Slice(idx, func(a, b int) bool { return final[idx[a]] < final[idx[b]] })
+	ren := model.Subst{}
+	var next int64
+	out := make([]model.Tuple, len(facts))
+	for pos, j := range idx {
+		t := facts[j]
+		// Within a tuple, tied colors are broken positionally; across
+		// tuples, by the sorted order — both canonical.
+		for _, v := range t.Vals {
+			if v.IsNull() {
+				if _, ok := ren[v]; !ok {
+					next++
+					ren[v] = model.Null(next)
+				}
+			}
+		}
+		out[pos] = ren.ApplyTuple(t)
+	}
+	return out
 }
 
 // NewStore loads the universe's initial database into a fresh store as

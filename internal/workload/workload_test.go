@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"youtopia/internal/chase"
+	"youtopia/internal/model"
 	"youtopia/internal/query"
 )
 
@@ -168,6 +169,70 @@ func TestGenOpsFreshNulls(t *testing.T) {
 	}
 	if !foundNull {
 		t.Fatal("FreshNulls workload contains no nulls")
+	}
+}
+
+// TestInitialDBParallelMatchesSerial pins the equivalence the default
+// parallel setup path relies on: building the same universe through
+// the serial reference scheduler and through the parallel scheduler
+// must extract byte-identical initial databases — the parallel run is
+// serializable, the simulated user decides on canonical contexts, and
+// canonicalizeNulls erases the remaining null-allocation differences.
+func TestInitialDBParallelMatchesSerial(t *testing.T) {
+	cfg := Quick()
+	cfg.InitialTuples = 120
+	cfg.Relations = 10
+	cfg.Mappings = 12
+
+	serialCfg := cfg
+	serialCfg.SetupWorkers = -1
+	us, err := Build(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := cfg
+	parCfg.SetupWorkers = 8
+	up, err := Build(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us.Initial) != len(up.Initial) {
+		t.Fatalf("initial sizes differ: serial %d, parallel %d", len(us.Initial), len(up.Initial))
+	}
+	for i := range us.Initial {
+		if !us.Initial[i].Equal(up.Initial[i]) {
+			t.Fatalf("fact %d differs: serial %s, parallel %s", i, us.Initial[i], up.Initial[i])
+		}
+	}
+}
+
+// TestCanonicalizeNullsIsOrderInsensitive: permuting the input facts
+// must not change the canonical output set.
+func TestCanonicalizeNullsIsOrderInsensitive(t *testing.T) {
+	n := func(id int64) model.Value { return model.Null(id) }
+	c := func(s string) model.Value { return model.Const(s) }
+	facts := []model.Tuple{
+		model.NewTuple("R0", n(7), c("a")),
+		model.NewTuple("R1", n(7), n(9)),
+		model.NewTuple("R2", c("b"), n(9)),
+	}
+	perm := []model.Tuple{facts[2], facts[0], facts[1]}
+	a := canonicalizeNulls(facts)
+	b := canonicalizeNulls(perm)
+	if model.CanonTuples(a) != model.CanonTuples(b) {
+		t.Fatalf("canonicalization order-sensitive:\n%v\n%v", a, b)
+	}
+	// Shared nulls must stay shared after renumbering.
+	var shared model.Value
+	for _, tp := range a {
+		if tp.Rel == "R1" {
+			shared = tp.Vals[1]
+		}
+	}
+	for _, tp := range a {
+		if tp.Rel == "R2" && tp.Vals[1] != shared {
+			t.Fatalf("cross-tuple null sharing broken: %v", a)
+		}
 	}
 }
 
