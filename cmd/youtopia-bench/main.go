@@ -8,12 +8,15 @@
 // Beyond the paper's figures, -figure parallel compares the serial
 // reference execution against the goroutine-parallel runtime across a
 // sweep of worker counts, reporting wall time and committed-update
-// throughput.
+// throughput; with -data-dir the runs execute against a write-ahead-
+// logged store (one fsync per commit batch), measuring durable
+// throughput and the group-commit sync amortization.
 //
 // Usage:
 //
 //	youtopia-bench -figure both -preset paper -runs 3
 //	youtopia-bench -figure parallel -preset quick -workers 0,2,4
+//	youtopia-bench -figure parallel -preset quick -data-dir /tmp/ybench
 //
 // Presets:
 //
@@ -39,6 +42,7 @@ import (
 func main() {
 	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, latency (the §5.2 user-latency extension study), or parallel (serial vs goroutine-parallel throughput)")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for -figure parallel (0 = serial reference; default 0,1,2,4,8)")
+	dataDir := flag.String("data-dir", "", "back each -figure parallel run with a write-ahead log under this directory (one fsync per commit batch); empty = in-memory, the unchanged default")
 	jsonPath := flag.String("json", "", "write the -figure parallel study as JSON to this file (the CI bench artifact)")
 	baseline := flag.String("baseline", "", "compare the -figure parallel study against this committed JSON baseline and exit nonzero on regression")
 	regressPct := flag.Float64("regress", 20, "tolerated throughput regression vs -baseline, in percent")
@@ -84,7 +88,7 @@ func main() {
 			}
 			workers = ws
 		}
-		points, err := experiments.ParallelStudy(base, workers, *runs)
+		points, err := experiments.ParallelStudy(base, workers, *runs, *dataDir)
 		if err != nil {
 			fail(err)
 		}

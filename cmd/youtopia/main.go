@@ -16,6 +16,9 @@
 //	-auto uint     answer frontier operations automatically with the
 //	               given random seed (0 = interactive)
 //	-analyze       print mapping analyses (cycles, weak acyclicity)
+//	-data-dir dir  durable repository: recover committed state from
+//	               dir's write-ahead log on boot and log every commit
+//	               (empty = in-memory)
 //	-dump          print the full repository contents at the end
 //	-skip-ops      load the repository but do not run its operations
 package main
@@ -36,6 +39,7 @@ import (
 func main() {
 	auto := flag.Uint64("auto", 0, "answer frontier operations automatically (seed)")
 	analyze := flag.Bool("analyze", false, "print mapping analyses")
+	dataDir := flag.String("data-dir", "", "durable repository: write-ahead log + checkpoints under this directory (empty = in-memory)")
 	dump := flag.Bool("dump", false, "print repository contents at the end")
 	skipOps := flag.Bool("skip-ops", false, "do not run the document's operations")
 	trace := flag.Bool("trace", false, "print each update's write provenance")
@@ -50,13 +54,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	repo, doc, err := youtopia.OpenDocument(string(src))
+	repo, doc, err := youtopia.OpenDocumentWithOptions(string(src), youtopia.Options{DataDir: *dataDir})
 	if err != nil {
 		fail(err)
 	}
+	defer repo.Close()
 	ops := doc.Ops
 	fmt.Printf("loaded %d relation(s), %d mapping(s), %d operation(s), %d quer(ies)\n",
 		repo.Schema().Len(), repo.Mappings().Len(), len(ops), len(doc.Queries))
+	if repo.Durable() {
+		if info := repo.Recovery(); info.Fresh {
+			fmt.Printf("durable repository at %s (fresh)\n", *dataDir)
+		} else {
+			fmt.Printf("durable repository at %s: recovered checkpoint@%d + %d commit batch(es), %d redo record(s)\n",
+				*dataDir, info.CheckpointBatch, info.BatchesReplayed, info.RecordsReplayed)
+		}
+	}
 
 	if *analyze {
 		fmt.Println()

@@ -44,8 +44,8 @@ func groupCommitScheduler(t *testing.T, n int) *ParallelScheduler {
 func TestGroupCommitDrainsTerminatedPrefix(t *testing.T) {
 	const n = 5
 	s := groupCommitScheduler(t, n)
-	if !s.execCommit() {
-		t.Fatal("execCommit reported no progress on a terminated prefix")
+	if ok, err := s.execCommit(); err != nil || !ok {
+		t.Fatalf("execCommit on a terminated prefix: ok=%v err=%v", ok, err)
 	}
 	for i := 1; i <= n; i++ {
 		if !s.store.Committed(i) {
@@ -69,8 +69,8 @@ func TestGroupCommitDrainsTerminatedPrefix(t *testing.T) {
 		t.Fatalf("committedUpTo = %d, want %d", upTo, n)
 	}
 	// A second drain finds nothing.
-	if s.execCommit() {
-		t.Fatal("second execCommit claimed progress")
+	if ok, err := s.execCommit(); err != nil || ok {
+		t.Fatalf("second execCommit: ok=%v err=%v, want no progress", ok, err)
 	}
 }
 
@@ -82,8 +82,8 @@ func TestGroupCommitStopsAtFirstUnterminated(t *testing.T) {
 	s.txns[2].Upd.Reset()
 	s.status[2] = statusReady
 
-	if !s.execCommit() {
-		t.Fatal("execCommit made no progress")
+	if ok, err := s.execCommit(); err != nil || !ok {
+		t.Fatalf("execCommit: ok=%v err=%v, want progress", ok, err)
 	}
 	for i := 1; i <= 2; i++ {
 		if !s.txns[i-1].Committed() {

@@ -82,6 +82,7 @@ type ParallelScheduler struct {
 	txns           []*Txn
 	status         []txnStatus
 	claimed        []bool
+	ready          readyQueue // candidate txn indexes awaiting dispatch
 	inflight       int
 	commitInFlight bool
 	committedUpTo  int // txns[:committedUpTo] have committed
@@ -90,6 +91,57 @@ type ParallelScheduler struct {
 	err            error
 	done           bool
 	m              Metrics
+}
+
+// readyQueue is the dispatcher's min-heap of candidate transaction
+// indexes, replacing the old all-txn scan under mu: a pop costs
+// O(log n) instead of O(n) per work item. Entries are hints, not
+// truth — the dispatcher re-checks status and claim on pop and drops
+// stale ones — so pushing duplicates is harmless and every transition
+// into a dispatchable state simply pushes. Lowest index first
+// preserves the scan's priority order: finishing low-numbered updates
+// unblocks the commit frontier and shrinks everyone else's abort
+// window.
+type readyQueue []int
+
+func (q *readyQueue) push(i int) {
+	*q = append(*q, i)
+	h := *q
+	for c := len(h) - 1; c > 0; {
+		p := (c - 1) / 2
+		if h[p] <= h[c] {
+			break
+		}
+		h[p], h[c] = h[c], h[p]
+		c = p
+	}
+}
+
+func (q *readyQueue) pop() (int, bool) {
+	h := *q
+	if len(h) == 0 {
+		return 0, false
+	}
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for p := 0; ; {
+		c := 2*p + 1
+		if c >= len(h) {
+			break
+		}
+		if c+1 < len(h) && h[c+1] < h[c] {
+			c++
+		}
+		if h[p] <= h[c] {
+			break
+		}
+		h[p], h[c] = h[c], h[p]
+		p = c
+	}
+	*q = h
+	return top, true
 }
 
 // txnStatus mirrors an update's lifecycle state for the dispatcher,
@@ -204,9 +256,11 @@ func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
 	s.txns = make([]*Txn, len(ops))
 	s.status = make([]txnStatus, len(ops))
 	s.claimed = make([]bool, len(ops))
+	s.ready = make(readyQueue, 0, len(ops))
 	for i, op := range ops {
 		u := chase.NewUpdate(i+1, op)
 		s.txns[i] = &Txn{Upd: u, Number: i + 1, deps: make(map[int]bool)}
+		s.ready.push(i)
 	}
 	s.m.Submitted = len(ops)
 	n := len(ops)
@@ -246,7 +300,7 @@ func (s *ParallelScheduler) workerLoop() {
 		var err error
 		switch kind {
 		case workCommit:
-			progressed = s.execCommit()
+			progressed, err = s.execCommit()
 		case workStep:
 			progressed, err = s.execStep(t)
 		case workPoll:
@@ -280,8 +334,14 @@ func (s *ParallelScheduler) next() (workKind, *Txn, bool) {
 		}
 		// Lowest-numbered runnable transaction first: finishing
 		// high-priority updates unblocks the commit frontier and shrinks
-		// the abort window of everything above them.
-		for i, t := range s.txns {
+		// the abort window of everything above them. The ready queue
+		// yields candidates in that order; stale entries (claimed, or
+		// no longer in a dispatchable state) are dropped on pop.
+		for {
+			i, ok := s.ready.pop()
+			if !ok {
+				break
+			}
 			if s.claimed[i] {
 				continue
 			}
@@ -289,11 +349,11 @@ func (s *ParallelScheduler) next() (workKind, *Txn, bool) {
 			case statusReady:
 				s.claimed[i] = true
 				s.inflight++
-				return workStep, t, true
+				return workStep, s.txns[i], true
 			case statusAwaiting:
 				s.claimed[i] = true
 				s.inflight++
-				return workPoll, t, true
+				return workPoll, s.txns[i], true
 			}
 		}
 		if s.inflight == 0 {
@@ -308,7 +368,9 @@ func (s *ParallelScheduler) next() (workKind, *Txn, bool) {
 	}
 }
 
-// finish returns a work item's claim and accounts for progress.
+// finish returns a work item's claim and accounts for progress. A
+// transaction that is still dispatchable goes back on the ready queue
+// (the claim was what kept it out).
 func (s *ParallelScheduler) finish(kind workKind, t *Txn, progressed bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -316,7 +378,11 @@ func (s *ParallelScheduler) finish(kind workKind, t *Txn, progressed bool, err e
 	if kind == workCommit {
 		s.commitInFlight = false
 	} else {
-		s.claimed[t.Number-1] = false
+		i := t.Number - 1
+		s.claimed[i] = false
+		if st := s.status[i]; st == statusReady || st == statusAwaiting {
+			s.ready.push(i)
+		}
 	}
 	if err != nil && s.err == nil {
 		s.err = err
@@ -514,8 +580,9 @@ func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
 // phase-lock acquisition: the whole terminated prefix is drained in
 // priority order through a single storage group commit, so N
 // back-to-back terminations cost one store-wide lock round instead of
-// N. The first non-terminated update stops the sweep.
-func (s *ParallelScheduler) execCommit() bool {
+// N — and, on a durable store, one log append+sync for the whole
+// batch. The first non-terminated update stops the sweep.
+func (s *ParallelScheduler) execCommit() (bool, error) {
 	s.gmu.Lock()
 	defer s.gmu.Unlock()
 	var batch []*Txn
@@ -529,13 +596,16 @@ func (s *ParallelScheduler) execCommit() bool {
 		batch = append(batch, t)
 	}
 	if len(batch) == 0 {
-		return false
+		return false, nil
 	}
 	numbers := make([]int, len(batch))
 	for i, t := range batch {
 		numbers[i] = t.Number
 	}
-	s.store.CommitBatch(numbers)
+	if err := s.store.CommitBatch(numbers); err != nil {
+		return false, fmt.Errorf("cc: commit of updates %d..%d: %w",
+			numbers[0], numbers[len(numbers)-1], err)
+	}
 	fr := 0
 	for _, t := range batch {
 		t.committed = true
@@ -549,12 +619,15 @@ func (s *ParallelScheduler) execCommit() bool {
 	if len(batch) > s.m.MaxCommitBatch {
 		s.m.MaxCommitBatch = len(batch)
 	}
+	if s.store.Persistent() {
+		s.m.WALSyncs++
+	}
 	for _, t := range batch {
 		s.status[t.Number-1] = statusCommitted
 	}
 	s.committedUpTo += len(batch)
 	s.mu.Unlock()
-	return true
+	return true, nil
 }
 
 // abortLocked rolls an update back via the shared rollbackTxn and
@@ -568,7 +641,13 @@ func (s *ParallelScheduler) abortLocked(t *Txn) error {
 	s.m.Aborts += delta.Aborts
 	s.m.FrontierRequests += delta.FrontierRequests
 	if err == nil {
-		s.status[t.Number-1] = statusReady
+		i := t.Number - 1
+		s.status[i] = statusReady
+		if !s.claimed[i] {
+			// The victim may belong to no worker right now; requeue it
+			// ourselves (a claimant's finish re-queues otherwise).
+			s.ready.push(i)
+		}
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()

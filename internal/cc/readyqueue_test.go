@@ -1,0 +1,61 @@
+package cc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestReadyQueueOrdersAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q readyQueue
+	var want []int
+	for i := 0; i < 500; i++ {
+		v := rng.Intn(100)
+		q.push(v)
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	for i, w := range want {
+		got, ok := q.pop()
+		if !ok || got != w {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, got, ok, w)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on empty queue reported ok")
+	}
+}
+
+func TestReadyQueueInterleavedPushPop(t *testing.T) {
+	// The dispatcher interleaves pushes (requeues, aborts) with pops;
+	// the minimum must hold at every pop against a reference multiset.
+	rng := rand.New(rand.NewSource(2))
+	var q readyQueue
+	ref := map[int]int{}
+	size := 0
+	for step := 0; step < 2000; step++ {
+		if size == 0 || rng.Intn(3) > 0 {
+			v := rng.Intn(50)
+			q.push(v)
+			ref[v]++
+			size++
+			continue
+		}
+		got, ok := q.pop()
+		if !ok {
+			t.Fatalf("step %d: queue empty with %d expected entries", step, size)
+		}
+		min := -1
+		for v, c := range ref {
+			if c > 0 && (min == -1 || v < min) {
+				min = v
+			}
+		}
+		if got != min {
+			t.Fatalf("step %d: pop = %d, want minimum %d", step, got, min)
+		}
+		ref[got]--
+		size--
+	}
+}

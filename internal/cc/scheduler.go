@@ -155,6 +155,14 @@ type Metrics struct {
 	// well below Submitted means the frontier is batching.
 	CommitBatches  int
 	MaxCommitBatch int
+	// WALSyncs counts durable log appends at commit-batch granularity:
+	// with a write-ahead log installed on the store, every
+	// commit-frontier drain is exactly one append — and, under the
+	// default sync-always policy, one fsync — so WALSyncs ==
+	// CommitBatches and the group commit is what amortizes fsync cost
+	// across the batch. Zero on in-memory stores. (Under a no-sync
+	// log policy the appends happen but the fsyncs are the OS's.)
+	WALSyncs int
 	// WallTime is the total run time.
 	WallTime time.Duration
 }
@@ -246,7 +254,11 @@ func (s *Scheduler) Run(ops []chase.Op) (Metrics, error) {
 
 	idle := 0
 	for {
-		if s.commitReady() {
+		done, err := s.commitReady()
+		if err != nil {
+			return s.m, err
+		}
+		if done {
 			break
 		}
 		progressed, err := s.round()
@@ -271,8 +283,9 @@ func (s *Scheduler) Run(ops []chase.Op) (Metrics, error) {
 // aborted until every lower-numbered update has terminated) — and
 // reports whether every txn has committed. Like the parallel
 // scheduler's frontier, it drains the whole terminated prefix through
-// one storage group commit per call.
-func (s *Scheduler) commitReady() bool {
+// one storage group commit per call; on a durable store that is also
+// exactly one log append+sync (the error is the durability hook's).
+func (s *Scheduler) commitReady() (bool, error) {
 	var batch []*Txn
 	all := true
 	for _, t := range s.txns {
@@ -290,7 +303,13 @@ func (s *Scheduler) commitReady() bool {
 		for i, t := range batch {
 			numbers[i] = t.Number
 		}
-		s.store.CommitBatch(numbers)
+		if err := s.store.CommitBatch(numbers); err != nil {
+			return false, fmt.Errorf("cc: commit of updates %d..%d: %w",
+				numbers[0], numbers[len(numbers)-1], err)
+		}
+		if s.store.Persistent() {
+			s.m.WALSyncs++
+		}
 		for _, t := range batch {
 			t.committed = true
 			s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
@@ -302,7 +321,7 @@ func (s *Scheduler) commitReady() bool {
 			s.m.MaxCommitBatch = len(batch)
 		}
 	}
-	return all
+	return all, nil
 }
 
 // round performs one scheduler round: under round-robin policies every

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/chase"
+	"youtopia/internal/model"
+	"youtopia/internal/simuser"
+)
+
+func concurrentConfig(workers int) cc.Config {
+	return cc.Config{User: simuser.New(5), Workers: workers}
+}
+
+const durableDoc = `
+relation C(city)
+relation S(code, location, city_served)
+mapping sigma1: C(c) -> exists a, l: S(a, l, c)
+mapping sigma2: S(a, l, c) -> C(l), C(c)
+tuple C("Ithaca")
+tuple S("SYR", "Syracuse", "Ithaca")
+`
+
+func TestDurableRepositoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{DataDir: dir}
+	r, _, err := OpenWithOptions(durableDoc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := simuser.New(42)
+	for _, city := range []string{"Boston", "Albany"} {
+		op := chase.Insert(model.NewTuple("C", model.Const(city)))
+		if _, err := r.Apply(op, user); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := r.Dump()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _, err := OpenWithOptions(durableDoc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Recovery().Fresh {
+		t.Fatal("reopen reported a fresh directory")
+	}
+	if got := r2.Dump(); got != want {
+		t.Fatalf("recovered repository differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// The recovered repository accepts new updates (recovery collapsed
+	// all committed writers onto writer 0, freeing the number space).
+	op := chase.Insert(model.NewTuple("C", model.Const("Utica")))
+	if _, err := r2.Apply(op, user); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Dump(); got == want {
+		t.Fatal("post-recovery update had no effect")
+	}
+}
+
+func TestDurableRunConcurrentSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	r, ops, err := OpenWithOptions(durableDoc+`
+insert C("Elmira")
+insert C("Geneva")
+insert C("Cortland")
+`, Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.RunConcurrent(ops, concurrentConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WALSyncs == 0 || m.WALSyncs != m.CommitBatches {
+		t.Fatalf("WALSyncs = %d, CommitBatches = %d: want one sync per commit batch",
+			m.WALSyncs, m.CommitBatches)
+	}
+	want := r.Dump()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _, err := OpenWithOptions(durableDoc, Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Dump(); got != want {
+		t.Fatalf("concurrent run lost across reopen:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDocTuplesDoNotResurrectAfterCommittedDelete pins the reload
+// policy: a document tuple deleted by a committed update must stay
+// deleted when the same document is reopened over the data directory
+// — durable state, not the document, is the truth after bootstrap.
+func TestDocTuplesDoNotResurrectAfterCommittedDelete(t *testing.T) {
+	// No mappings: the delete terminates without frontier decisions.
+	doc := `
+relation C(city)
+tuple C("Ithaca")
+tuple C("Dryden")
+`
+	dir := t.TempDir()
+	r, _, err := OpenWithOptions(doc, Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Apply(chase.Delete(model.NewTuple("C", model.Const("Ithaca"))), nil); err != nil {
+		t.Fatal(err)
+	}
+	want := r.Dump()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _, err := OpenWithOptions(doc, Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Dump(); got != want {
+		t.Fatalf("document reload resurrected a committed deletion:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestInMemoryRepositoryReportsNoSyncs(t *testing.T) {
+	r, ops, err := Open(durableDoc + `
+insert C("Elmira")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Durable() {
+		t.Fatal("in-memory repository claims durability")
+	}
+	m, err := r.RunConcurrent(ops, concurrentConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WALSyncs != 0 {
+		t.Fatalf("WALSyncs = %d on an in-memory store", m.WALSyncs)
+	}
+}

@@ -19,7 +19,27 @@ import (
 	"youtopia/internal/query"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
+	"youtopia/internal/wal"
 )
+
+// Options selects how a repository is backed.
+type Options struct {
+	// DataDir, when non-empty, makes the repository durable: a
+	// write-ahead log plus checkpoints under this directory. On open,
+	// any durable state the directory holds is recovered into the
+	// committed instance; every commit batch is then appended to the
+	// log before it takes effect. Empty (the default) keeps the store
+	// purely in memory — the pre-durability behaviour.
+	DataDir string
+	// Durability is the log's sync policy (default wal.SyncAlways:
+	// one fsync per commit batch, amortized by the group-commit
+	// frontier). Ignored when DataDir is empty.
+	Durability wal.SyncPolicy
+	// CheckpointBytes and SegmentBytes tune the log (0 = wal
+	// defaults). Ignored when DataDir is empty.
+	CheckpointBytes int64
+	SegmentBytes    int64
+}
 
 // Repository is a Youtopia repository.
 type Repository struct {
@@ -28,26 +48,47 @@ type Repository struct {
 	mappings *tgd.Set
 	store    *storage.Store
 	engine   *chase.Engine
+	wal      *wal.Manager // nil for in-memory repositories
 
 	nextUpdate int
 	protected  map[string]bool
 }
 
-// New creates a repository over a schema and mapping set. The mapping
-// set is validated; cycles are explicitly permitted (§1.3).
+// New creates an in-memory repository over a schema and mapping set.
+// The mapping set is validated; cycles are explicitly permitted
+// (§1.3).
 func New(schema *model.Schema, mappings *tgd.Set) (*Repository, error) {
+	return NewWithOptions(schema, mappings, Options{})
+}
+
+// NewWithOptions is New with a backing selection: with Options.DataDir
+// set, the store is recovered from (and logged to) that directory.
+// Durable repositories should be Closed when done.
+func NewWithOptions(schema *model.Schema, mappings *tgd.Set, opts Options) (*Repository, error) {
 	if err := mappings.Validate(schema); err != nil {
 		return nil, err
 	}
-	st := storage.NewStore(schema)
 	r := &Repository{
 		schema:     schema,
 		mappings:   mappings,
-		store:      st,
-		engine:     chase.NewEngine(st, mappings),
 		protected:  make(map[string]bool),
 		nextUpdate: 1,
 	}
+	if opts.DataDir == "" {
+		r.store = storage.NewStore(schema)
+	} else {
+		mgr, st, err := wal.Open(opts.DataDir, schema, wal.Options{
+			Sync:            opts.Durability,
+			CheckpointBytes: opts.CheckpointBytes,
+			SegmentBytes:    opts.SegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.wal = mgr
+		r.store = st
+	}
+	r.engine = chase.NewEngine(r.store, mappings)
 	r.engine.MaxStepsPerAttempt = 100000
 	return r, nil
 }
@@ -56,13 +97,40 @@ func New(schema *model.Schema, mappings *tgd.Set) (*Repository, error) {
 // tuples as the committed initial state. The document's update
 // operations are returned for the caller to apply (or ignore).
 func FromDocument(doc *parse.Document) (*Repository, []chase.Op, error) {
-	r, err := New(doc.Schema, doc.Mappings)
+	return FromDocumentWithOptions(doc, Options{})
+}
+
+// FromDocumentWithOptions is FromDocument with a backing selection.
+// The document's tuples are loaded only when there is no recovered
+// durable state — on a fresh data directory they bootstrap the
+// committed instance and are made durable with a checkpoint (writer-0
+// loads bypass the commit log). Once a directory holds durable state,
+// that state alone is the truth: reloading the document could
+// resurrect tuples that committed updates have since deleted, so it
+// is skipped (document edits to initial data do not apply to an
+// existing directory).
+func FromDocumentWithOptions(doc *parse.Document, opts Options) (*Repository, []chase.Op, error) {
+	r, err := NewWithOptions(doc.Schema, doc.Mappings, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, t := range doc.Tuples {
-		if _, err := r.store.Load(t); err != nil {
-			return nil, nil, err
+	if r.wal == nil || r.wal.Fresh() {
+		loaded := 0
+		for _, t := range doc.Tuples {
+			_, _, inserted, err := r.store.Insert(0, t)
+			if err != nil {
+				r.Close()
+				return nil, nil, err
+			}
+			if inserted {
+				loaded++
+			}
+		}
+		if r.wal != nil && loaded > 0 {
+			if err := r.wal.Checkpoint(); err != nil {
+				r.Close()
+				return nil, nil, err
+			}
 		}
 	}
 	return r, doc.Ops, nil
@@ -77,19 +145,64 @@ func Open(source string) (*Repository, []chase.Op, error) {
 	return r, doc.Ops, nil
 }
 
+// OpenWithOptions is Open with a backing selection.
+func OpenWithOptions(source string, opts Options) (*Repository, []chase.Op, error) {
+	r, doc, err := OpenDocumentWithOptions(source, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, doc.Ops, nil
+}
+
 // OpenDocument is Open returning the full parsed document, including
 // the conjunctive queries it declares.
 func OpenDocument(source string) (*Repository, *parse.Document, error) {
+	return OpenDocumentWithOptions(source, Options{})
+}
+
+// OpenDocumentWithOptions is OpenDocument with a backing selection.
+func OpenDocumentWithOptions(source string, opts Options) (*Repository, *parse.Document, error) {
 	var nf model.NullFactory
 	doc, err := parse.ParseDocument(source, nf.Fresh)
 	if err != nil {
 		return nil, nil, err
 	}
-	r, _, err := FromDocument(doc)
+	r, _, err := FromDocumentWithOptions(doc, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return r, doc, nil
+}
+
+// Close releases the repository's durable backing, if any. In-memory
+// repositories close trivially; Close is idempotent.
+func (r *Repository) Close() error {
+	if r.wal == nil {
+		return nil
+	}
+	return r.wal.Close()
+}
+
+// Checkpoint forces a checkpoint of a durable repository (shrinking
+// the log that recovery must replay) and is a no-op in memory.
+func (r *Repository) Checkpoint() error {
+	if r.wal == nil {
+		return nil
+	}
+	return r.wal.Checkpoint()
+}
+
+// Durable reports whether the repository is backed by a write-ahead
+// log.
+func (r *Repository) Durable() bool { return r.wal != nil }
+
+// Recovery reports what opening the repository recovered from its
+// data directory (the zero value for in-memory repositories).
+func (r *Repository) Recovery() wal.RecoveryInfo {
+	if r.wal == nil {
+		return wal.RecoveryInfo{}
+	}
+	return r.wal.Recovery()
 }
 
 // Schema returns the repository schema.
@@ -146,7 +259,12 @@ func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []c
 		r.store.Abort(number)
 		return stats, u.Trace, err
 	}
-	r.store.Commit(number)
+	if err := r.store.Commit(number); err != nil {
+		// The update never became durable; roll it back so the
+		// in-memory state matches the log.
+		r.store.Abort(number)
+		return stats, u.Trace, fmt.Errorf("core: durable commit of update %d: %w", number, err)
+	}
 	return stats, u.Trace, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"youtopia/internal/simuser"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
+	"youtopia/internal/wal"
 	"youtopia/internal/workload"
 )
 
@@ -54,6 +56,11 @@ type ParallelPoint struct {
 	WallMillis float64
 	// UpdatesPerSec is committed-update throughput: Submitted / wall.
 	UpdatesPerSec float64
+	// WALSyncs is the mean number of log syncs per run — zero for
+	// in-memory studies; for durable studies (DataDir set) it equals
+	// the commit-batch count, and WALSyncs well below the update count
+	// is the group-commit fsync amortization at work.
+	WALSyncs float64 `json:",omitempty"`
 }
 
 // Label names the point's execution mode.
@@ -65,7 +72,13 @@ func (p ParallelPoint) Label() string { return ModeLabel(p.Workers) }
 // throughput; on a multi-core machine the parallel points should beat
 // the serial one, and the committed final instance is serializable at
 // every point (the property the cc tests assert).
-func ParallelStudy(base workload.Config, workers []int, runs int) ([]ParallelPoint, error) {
+//
+// With a non-empty dataDir every run executes against a write-ahead-
+// logged store rooted in a per-run subdirectory (one fsync per commit
+// batch), so the study measures durable throughput; the wall time
+// includes the syncs but not the one-off seed build. Empty keeps the
+// pre-durability in-memory measurement.
+func ParallelStudy(base workload.Config, workers []int, runs int, dataDir string) ([]ParallelPoint, error) {
 	if len(workers) == 0 {
 		workers = []int{0, 1, 2, 4, 8}
 	}
@@ -81,9 +94,17 @@ func ParallelStudy(base workload.Config, workers []int, runs int) ([]ParallelPoi
 		p := ParallelPoint{Workers: w, Runs: runs}
 		var updates float64
 		for r := 0; r < runs; r++ {
-			st, err := u.NewStore()
-			if err != nil {
-				return nil, err
+			var st *storage.Store
+			var mgr *wal.Manager
+			if dataDir == "" {
+				if st, err = u.NewStore(); err != nil {
+					return nil, err
+				}
+			} else {
+				dir := filepath.Join(dataDir, fmt.Sprintf("w%d-r%d", w, r))
+				if st, mgr, err = u.OpenDurableStore(dir, wal.Options{}); err != nil {
+					return nil, err
+				}
 			}
 			cfg := cc.Config{
 				Tracker:            cc.Coarse{},
@@ -93,11 +114,17 @@ func ParallelStudy(base workload.Config, workers []int, runs int) ([]ParallelPoi
 			}
 			ops := u.GenOpsSeeded(base.Seed*6151 + int64(r))
 			m, elapsed, err := RunMode(st, u.Mappings, cfg, ops)
+			if mgr != nil {
+				if cerr := mgr.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s run %d: %w", p.Label(), r, err)
 			}
 			p.Aborts += float64(m.Aborts)
 			p.WallMillis += float64(elapsed.Milliseconds())
+			p.WALSyncs += float64(m.WALSyncs)
 			if secs := elapsed.Seconds(); secs > 0 {
 				updates += float64(m.Submitted) / secs
 			}
@@ -105,6 +132,7 @@ func ParallelStudy(base workload.Config, workers []int, runs int) ([]ParallelPoi
 		n := float64(runs)
 		p.Aborts /= n
 		p.WallMillis /= n
+		p.WALSyncs /= n
 		p.UpdatesPerSec = updates / n
 		out = append(out, p)
 	}
@@ -181,10 +209,10 @@ func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) er
 // ParallelCSV renders the study as CSV, one row per point.
 func ParallelCSV(points []ParallelPoint) string {
 	var b strings.Builder
-	b.WriteString("mode,workers,runs,aborts,wall_ms,upd_per_sec\n")
+	b.WriteString("mode,workers,runs,aborts,wall_ms,upd_per_sec,wal_syncs\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%.2f,%.2f\n",
-			p.Label(), p.Workers, p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec)
+		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%.2f,%.2f,%.1f\n",
+			p.Label(), p.Workers, p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec, p.WALSyncs)
 	}
 	return b.String()
 }
@@ -193,9 +221,23 @@ func ParallelCSV(points []ParallelPoint) string {
 func RenderParallel(points []ParallelPoint) string {
 	var b strings.Builder
 	b.WriteString("parallel-runtime study (COARSE tracker, same seeded workload)\n")
-	fmt.Fprintf(&b, "%-12s%10s%12s%12s\n", "mode", "aborts", "wall(ms)", "upd/s")
+	durable := false
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-12s%10.1f%12.1f%12.1f\n", p.Label(), p.Aborts, p.WallMillis, p.UpdatesPerSec)
+		if p.WALSyncs > 0 {
+			durable = true
+		}
+	}
+	fmt.Fprintf(&b, "%-12s%10s%12s%12s", "mode", "aborts", "wall(ms)", "upd/s")
+	if durable {
+		fmt.Fprintf(&b, "%12s", "wal syncs")
+	}
+	b.WriteByte('\n')
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s%10.1f%12.1f%12.1f", p.Label(), p.Aborts, p.WallMillis, p.UpdatesPerSec)
+		if durable {
+			fmt.Fprintf(&b, "%12.1f", p.WALSyncs)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

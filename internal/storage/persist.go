@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"youtopia/internal/model"
+)
+
+// This file is the storage half of the durability subsystem: the
+// commit hook that turns every group commit into one write-ahead-log
+// append, the committed-instance snapshot used by checkpoints, and the
+// redo application used by recovery. The log format itself lives in
+// internal/wal; storage only exposes the structured state.
+
+// CommitHook observes a commit batch before it takes effect. It is
+// called by CommitBatch while every stripe lock is held, with the
+// batch's writers in ascending order and their write records merged in
+// (writer, seq) order — the serialization order of the batch. A
+// non-nil error vetoes the commit: the store is left unchanged and
+// CommitBatch returns the error. The hook must not call back into the
+// store.
+type CommitHook func(writers []int, recs []WriteRec) error
+
+// SetCommitHook installs the durability hook. It must be called before
+// the store sees concurrent use (the field is read without a lock on
+// the commit path).
+func (st *Store) SetCommitHook(h CommitHook) { st.commitHook = h }
+
+// Persistent reports whether a durability hook is installed, which is
+// how the schedulers know each commit batch costs one log sync.
+func (st *Store) Persistent() bool { return st.commitHook != nil }
+
+// sortedWriters returns an ascending copy of a commit batch's writers.
+func sortedWriters(writers []int) []int {
+	out := append([]int(nil), writers...)
+	sort.Ints(out)
+	return out
+}
+
+// batchWrites merges the live write logs of a commit batch's writers
+// across all stripes, sorted by (writer, seq) — the order recovery
+// replays them in. Callers hold every stripe lock.
+func (st *Store) batchWrites(writers []int) []WriteRec {
+	var out []WriteRec
+	for _, s := range st.byIdx {
+		for _, w := range writers {
+			out = append(out, s.logs[w]...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Writer != out[j].Writer {
+			return out[i].Writer < out[j].Writer
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// ApplyRedo replays one committed write record during recovery. The
+// record's tuple ID is preserved (so later records that reference it
+// resolve), but the version is applied on behalf of writer 0 with a
+// fresh sequence number: commits happen in priority order and redo
+// records arrive sorted by (writer, seq), so collapsing the writers
+// onto the committed initial database preserves every tuple's visible
+// version while freeing the whole update-number space for the next
+// run. Not safe for concurrent use with live writers; recovery runs
+// before the store is shared.
+func (st *Store) ApplyRedo(rec WriteRec) error {
+	s := st.stripes[rec.Rel]
+	if s == nil {
+		return fmt.Errorf("storage: redo record for undeclared relation %s", rec.Rel)
+	}
+	if got := st.stripeOf(rec.ID); got != s {
+		return fmt.Errorf("storage: redo record for %s carries tuple ID %d of another stripe", rec.Rel, rec.ID)
+	}
+	st.noteNulls(rec.Before)
+	st.noteNulls(rec.After)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if local := int64(rec.ID) & (1<<localIDBits - 1); local > s.nextLocal {
+		s.nextLocal = local
+	}
+	seq := st.nextSeq.Add(1)
+	tr := s.tuples[rec.ID]
+	switch rec.Op {
+	case OpInsert:
+		if tr == nil {
+			tr = &tupleRec{id: rec.ID, rel: rec.Rel}
+			s.tuples[rec.ID] = tr
+			s.ids.add(rec.ID)
+		}
+		st.insertVersion(s, tr, version{seq: seq, vals: append([]model.Value(nil), rec.After...)})
+	case OpDelete:
+		if tr == nil {
+			return fmt.Errorf("storage: redo delete of unknown tuple %d in %s", rec.ID, rec.Rel)
+		}
+		st.insertVersion(s, tr, version{seq: seq, deleted: true})
+	case OpModify:
+		if tr == nil {
+			return fmt.Errorf("storage: redo modify of unknown tuple %d in %s", rec.ID, rec.Rel)
+		}
+		st.insertVersion(s, tr, version{seq: seq, vals: append([]model.Value(nil), rec.After...)})
+	default:
+		return fmt.Errorf("storage: redo record with unknown op %d", rec.Op)
+	}
+	return nil
+}
+
+// CommittedTuple is one tuple of the committed instance as a
+// checkpoint serializes it: the preserved tuple ID, the owning
+// relation, and the tuple's committed visible content (or a tombstone).
+type CommittedTuple struct {
+	ID      TupleID
+	Rel     string
+	Deleted bool
+	Vals    []model.Value // nil when Deleted
+}
+
+// CommittedSnapshot extracts the committed instance — for every tuple,
+// the maximal version in (writer, seq) order among committed writers —
+// together with the labeled-null floor, in deterministic (stripe,
+// tuple ID) order. It holds every stripe's read lock for the duration,
+// so the cut is consistent: commit batches (which take every write
+// lock) cannot land halfway through. The observe callback, if non-nil,
+// runs while the locks are held, letting the caller pair the snapshot
+// with its own commit-batch bookkeeping.
+func (st *Store) CommittedSnapshot(observe func()) ([]CommittedTuple, int64) {
+	st.rlockAll()
+	defer st.runlockAll()
+	if observe != nil {
+		observe()
+	}
+	var out []CommittedTuple
+	for _, s := range st.byIdx {
+		for _, id := range s.ids.ids() {
+			tr := s.tuples[id]
+			for i := len(tr.versions) - 1; i >= 0; i-- {
+				v := &tr.versions[i]
+				if !st.isCommitted(v.writer) {
+					continue
+				}
+				ct := CommittedTuple{ID: id, Rel: s.rel, Deleted: v.deleted}
+				if !v.deleted {
+					ct.Vals = append([]model.Value(nil), v.vals...)
+				}
+				out = append(out, ct)
+				break
+			}
+		}
+	}
+	return out, st.nulls.Peek() - 1
+}
+
+// RestoreSnapshot loads a checkpointed committed instance into a fresh
+// store: every tuple becomes a single writer-0 version under its
+// preserved ID, and the null factory floor is restored so fresh nulls
+// cannot collide with checkpointed ones. The store must be empty.
+func (st *Store) RestoreSnapshot(tuples []CommittedTuple, nullFloor int64) error {
+	for _, ct := range tuples {
+		s := st.stripes[ct.Rel]
+		if s == nil {
+			return fmt.Errorf("storage: checkpoint tuple for undeclared relation %s", ct.Rel)
+		}
+		if got := st.stripeOf(ct.ID); got != s {
+			return fmt.Errorf("storage: checkpoint tuple for %s carries ID %d of another stripe", ct.Rel, ct.ID)
+		}
+		s.mu.Lock()
+		if _, dup := s.tuples[ct.ID]; dup {
+			s.mu.Unlock()
+			return fmt.Errorf("storage: checkpoint declares tuple %d of %s twice", ct.ID, ct.Rel)
+		}
+		if local := int64(ct.ID) & (1<<localIDBits - 1); local > s.nextLocal {
+			s.nextLocal = local
+		}
+		st.noteNulls(ct.Vals)
+		tr := &tupleRec{id: ct.ID, rel: ct.Rel}
+		s.tuples[ct.ID] = tr
+		s.ids.add(ct.ID)
+		v := version{seq: st.nextSeq.Add(1), deleted: ct.Deleted}
+		if !ct.Deleted {
+			v.vals = append([]model.Value(nil), ct.Vals...)
+		}
+		st.insertVersion(s, tr, v)
+		s.mu.Unlock()
+	}
+	st.nulls.SetFloor(nullFloor)
+	return nil
+}

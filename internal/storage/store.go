@@ -205,6 +205,12 @@ type Store struct {
 	commitMu  sync.RWMutex
 	committed map[int]bool
 
+	// commitHook, when non-nil, makes commits durable: CommitBatch
+	// hands it every batch's write records before marking the writers
+	// committed. Installed once via SetCommitHook before the store sees
+	// concurrent use; see persist.go.
+	commitHook CommitHook
+
 	// uncommittedCache publishes the memoized UncommittedWrites result
 	// (nil = stale); PRECISE dependency tracking calls it on every
 	// read, so cache hits go through the atomic pointer without any
@@ -381,10 +387,12 @@ func (st *Store) isCommitted(writer int) bool {
 	return st.committed[writer]
 }
 
-// addVersion appends a version to a tuple's chain, keeping the chain
-// sorted by (writer, seq), and maintains indexes and logs. Callers
-// hold the stripe's write lock.
-func (st *Store) addVersion(s *stripe, rec *tupleRec, v version, logRec WriteRec) {
+// insertVersion splices a version into a tuple's chain, keeping the
+// chain sorted by (writer, seq), and maintains the stripe indexes and
+// published sequence number. Callers hold the stripe's write lock.
+// Logging and writer accounting are the caller's concern: live writes
+// go through addVersion, recovery replay applies versions directly.
+func (st *Store) insertVersion(s *stripe, rec *tupleRec, v version) {
 	i := sort.Search(len(rec.versions), func(i int) bool {
 		w := rec.versions[i]
 		return w.writer > v.writer || (w.writer == v.writer && w.seq > v.seq)
@@ -393,12 +401,19 @@ func (st *Store) addVersion(s *stripe, rec *tupleRec, v version, logRec WriteRec
 	copy(rec.versions[i+1:], rec.versions[i:])
 	rec.versions[i] = v
 	st.indexVersion(s, rec.id, v.vals, +1)
+	s.seq.Store(v.seq)
+}
+
+// addVersion appends a version to a tuple's chain, keeping the chain
+// sorted by (writer, seq), and maintains indexes and logs. Callers
+// hold the stripe's write lock.
+func (st *Store) addVersion(s *stripe, rec *tupleRec, v version, logRec WriteRec) {
+	st.insertVersion(s, rec, v)
 	s.logs[v.writer] = append(s.logs[v.writer], logRec)
 	if !st.isCommitted(v.writer) {
 		s.relWriters[v.writer]++
 		st.markUncommittedDirty()
 	}
-	s.seq.Store(v.seq)
 }
 
 // CurrentSeq returns the sequence number of the most recent write;
@@ -632,9 +647,11 @@ func (st *Store) Abort(writer int) {
 }
 
 // Commit marks a writer's versions as permanent and retires its write
-// log; a committed writer can no longer abort.
-func (st *Store) Commit(writer int) {
-	st.CommitBatch([]int{writer})
+// log; a committed writer can no longer abort. With a durability hook
+// installed (SetCommitHook) the error is the hook's: on failure
+// nothing is committed.
+func (st *Store) Commit(writer int) error {
+	return st.CommitBatch([]int{writer})
 }
 
 // CommitBatch commits a group of writers in one store-wide lock
@@ -642,12 +659,24 @@ func (st *Store) Commit(writer int) {
 // frontier uses to drain a whole terminated prefix at once. Logs and
 // per-relation writer counts are retired for every writer in the
 // batch before the locks are released.
-func (st *Store) CommitBatch(writers []int) {
+//
+// With a durability hook installed, the batch's write records are
+// handed to the hook — one call, and therefore one log append and one
+// sync, per commit batch — before the writers are marked committed; a
+// hook failure aborts the commit (the store is unchanged and the
+// error is returned), so a batch is never committed in memory without
+// being durable first.
+func (st *Store) CommitBatch(writers []int) error {
 	if len(writers) == 0 {
-		return
+		return nil
 	}
 	st.lockAll()
 	defer st.unlockAll()
+	if st.commitHook != nil {
+		if err := st.commitHook(sortedWriters(writers), st.batchWrites(writers)); err != nil {
+			return err
+		}
+	}
 	st.commitMu.Lock()
 	for _, w := range writers {
 		st.committed[w] = true
@@ -660,6 +689,7 @@ func (st *Store) CommitBatch(writers []int) {
 		}
 	}
 	st.markUncommittedDirty()
+	return nil
 }
 
 // Committed reports whether the writer has committed.

@@ -1,0 +1,522 @@
+// Package wal makes the committed Youtopia instance durable: a
+// segmented, CRC-checked write-ahead log plus a checkpoint/recovery
+// engine layered under the storage package's group commit.
+//
+// The design leans on two invariants the storage and concurrency
+// layers already provide. First, storage.WriteRec is a redo record —
+// it carries the written tuple's ID, relation, operation, and both
+// value sides — so the log needs no format of its own beyond framing.
+// Second, the schedulers' commit frontier drains whole terminated
+// prefixes through single storage.CommitBatch calls, so the group
+// commit doubles as the fsync batch boundary: one log append and one
+// sync cover every update in the batch, and batches reach the log in
+// priority order. Recovery therefore replays a strictly ordered
+// stream of committed writes, collapsing them onto writer 0 (the
+// committed initial database) — which both reproduces the committed
+// instance byte-for-byte and frees the whole update-number space for
+// the next run.
+//
+// A directory holds at most one checkpoint lineage and a contiguous
+// run of segments:
+//
+//	ckpt-<batch>.ckpt    committed instance as of commit batch <batch>
+//	wal-<batch>.seg      commit batches <batch>.. in append order
+//
+// The checkpointer (Manager.Checkpoint, also run in the background
+// once CheckpointBytes of log accumulate) serializes a consistent
+// committed snapshot, writes it via a temp-file rename, and deletes
+// segments wholly covered by it. Crashes at any point — mid-append,
+// mid-checkpoint, mid-truncation — recover to exactly the durable
+// prefix of whole commit batches: torn tails are detected by the
+// frame CRCs and cut off, half-written checkpoints never get renamed
+// into place, and an interrupted truncation only leaves fully-covered
+// segments whose records recovery skips.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+)
+
+// SyncPolicy selects when the log is fsynced.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways fsyncs after every commit batch (the default): a
+	// crash loses nothing that was reported committed.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: group commit still bounds
+	// the write rate, but a crash may lose the most recent batches
+	// (never a partial one — the frame CRCs see to that).
+	SyncNever
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	if p == SyncNever {
+		return "never"
+	}
+	return "always"
+}
+
+// Options parameterizes a Manager.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SegmentBytes rotates the active segment once it exceeds this
+	// size (0 = 4 MiB).
+	SegmentBytes int64
+	// CheckpointBytes triggers a background checkpoint once this much
+	// log has accumulated since the last one (0 = 8 MiB; negative
+	// disables background checkpointing — Checkpoint can still be
+	// called explicitly).
+	CheckpointBytes int64
+	// Observer, when non-nil, is called after every durable append
+	// with the batch index and the appended batch. It runs under the
+	// manager's and the store's commit locks and must not call back
+	// into either; tests and metrics collectors use it.
+	Observer func(batch int64, writers []int, recs []storage.WriteRec)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 8 << 20
+	}
+	return o
+}
+
+// Manager owns a WAL directory: it appends commit batches (as the
+// store's durability hook), rotates segments, checkpoints, and
+// truncates retired segments. Open wires it under a fresh store.
+type Manager struct {
+	dir  string
+	cdc  *codec
+	opts Options
+	st   *storage.Store
+	info RecoveryInfo
+
+	// ckptMu serializes checkpoints (explicit and background). It is
+	// never held together with the store's stripe locks on the append
+	// path; see Checkpoint for the ordering argument.
+	ckptMu sync.Mutex
+
+	// mu guards everything below.
+	mu        sync.Mutex
+	f         *os.File // active segment (nil until the first append)
+	size      int64    // bytes written to the active segment
+	batches   int64    // index of the last appended commit batch
+	lastCkpt  int64    // batch index of the last durable checkpoint
+	sinceCkpt int64    // log bytes since the last durable checkpoint
+	syncs     int64    // fsyncs issued for appends
+	closed    bool
+	ioErr     error // sticky append-path I/O failure; see appendBatch
+	bgErr     error // first background-checkpoint failure
+
+	// ckptCh wakes the background checkpointer; nil when disabled.
+	ckptCh chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func segName(first int64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, uint64(first), segSuffix)
+}
+func ckptName(batch int64) string {
+	return fmt.Sprintf("%s%016x%s", ckptPrefix, uint64(batch), ckptSuffix)
+}
+
+// Open recovers the directory's durable state into a fresh store over
+// the schema, repairs any torn tail, installs the manager as the
+// store's durability hook, and starts the background checkpointer.
+// The directory is created if absent. The returned store is ready for
+// use; Close releases the log.
+func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec, err := recoverDir(dir, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &Manager{
+		dir:      dir,
+		cdc:      newCodec(schema),
+		opts:     opts.withDefaults(),
+		st:       rec.st,
+		info:     rec.info,
+		batches:  rec.info.LastBatch,
+		lastCkpt: rec.info.CheckpointBatch,
+	}
+	if err := m.repair(rec); err != nil {
+		return nil, nil, err
+	}
+	rec.st.SetCommitHook(m.appendBatch)
+	if m.opts.CheckpointBytes > 0 {
+		m.done = make(chan struct{})
+		m.ckptCh = make(chan struct{}, 1)
+		m.wg.Add(1)
+		go m.checkpointLoop(m.ckptCh)
+	}
+	return m, rec.st, nil
+}
+
+// repair applies the recovery scan's repair plan: truncate the torn
+// tail, drop orphaned later segments and the temp checkpoint, and
+// reopen the last live segment for appending.
+func (m *Manager) repair(rec *recovery) error {
+	for _, orphan := range rec.orphans {
+		if err := os.Remove(orphan); err != nil {
+			return fmt.Errorf("wal: dropping orphaned %s: %w", filepath.Base(orphan), err)
+		}
+	}
+	if tmp := filepath.Join(m.dir, tmpCkptName); fileExists(tmp) {
+		if err := os.Remove(tmp); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	if rec.truncFile != "" {
+		if err := os.Truncate(rec.truncFile, rec.truncAt); err != nil {
+			return fmt.Errorf("wal: repairing torn tail of %s: %w", filepath.Base(rec.truncFile), err)
+		}
+	}
+	if rec.lastSeg != "" {
+		f, err := os.OpenFile(rec.lastSeg, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: reopening %s: %w", filepath.Base(rec.lastSeg), err)
+		}
+		if rec.truncFile != "" || len(rec.orphans) > 0 {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: %w", err)
+			}
+		}
+		m.f = f
+		m.size = rec.lastSegSize
+	}
+	if rec.truncFile != "" || len(rec.orphans) > 0 {
+		if err := syncDir(m.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Store returns the store the manager persists.
+func (m *Manager) Store() *storage.Store { return m.st }
+
+// Dir returns the log directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Fresh reports whether Open found no durable state at all.
+func (m *Manager) Fresh() bool { return m.info.Fresh }
+
+// Recovery returns what Open recovered.
+func (m *Manager) Recovery() RecoveryInfo { return m.info }
+
+// Batches returns the index of the last durably appended commit batch.
+func (m *Manager) Batches() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batches
+}
+
+// Syncs returns the number of fsyncs issued for batch appends.
+func (m *Manager) Syncs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncs
+}
+
+// LastCheckpoint returns the batch index of the last durable
+// checkpoint (0 when none has been taken).
+func (m *Manager) LastCheckpoint() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastCkpt
+}
+
+// appendBatch is the storage.CommitHook: one frame append (and, under
+// SyncAlways, one fsync) per commit batch. It runs while the store
+// holds every stripe lock, which is what makes the log order the
+// commit order.
+//
+// Any I/O failure on the append path poisons the manager: the commit
+// it vetoed may have left a torn frame (or pages in an unknown sync
+// state) at the tail, and a later successful append landing after
+// those bytes would be silently truncated away by the next recovery —
+// an acknowledged commit lost. Refusing every subsequent append keeps
+// the acknowledged prefix exactly equal to the durable one; the
+// operator reopens the directory (which repairs the torn tail) to
+// resume.
+func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("wal: append to closed log")
+	}
+	if m.ioErr != nil {
+		return fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
+	}
+	payload, err := m.cdc.encodeBatch(m.batches+1, writers, recs)
+	if err != nil {
+		return err
+	}
+	frame := appendFrame(nil, payload)
+	if err := m.ensureSegmentLocked(int64(len(frame))); err != nil {
+		return err
+	}
+	if _, err := m.f.Write(frame); err != nil {
+		m.ioErr = fmt.Errorf("wal: append: %w", err)
+		return m.ioErr
+	}
+	if m.opts.Sync == SyncAlways {
+		if err := m.f.Sync(); err != nil {
+			m.ioErr = fmt.Errorf("wal: sync: %w", err)
+			return m.ioErr
+		}
+		m.syncs++
+	}
+	m.batches++
+	m.size += int64(len(frame))
+	m.sinceCkpt += int64(len(frame))
+	if obs := m.opts.Observer; obs != nil {
+		obs(m.batches, writers, recs)
+	}
+	if m.ckptCh != nil && m.sinceCkpt >= m.opts.CheckpointBytes {
+		select {
+		case m.ckptCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// ensureSegmentLocked rotates a full segment and lazily creates the
+// next one. Callers hold m.mu. Failures that may have left bytes in
+// an unknown state poison the manager (see appendBatch); a failure to
+// create the next segment leaves nothing written and stays retryable.
+func (m *Manager) ensureSegmentLocked(frameLen int64) error {
+	if m.f != nil && m.size > headerLen && m.size+frameLen > m.opts.SegmentBytes {
+		if err := m.f.Sync(); err != nil {
+			m.ioErr = fmt.Errorf("wal: sync on rotation: %w", err)
+			return m.ioErr
+		}
+		if err := m.f.Close(); err != nil {
+			m.ioErr = fmt.Errorf("wal: close on rotation: %w", err)
+			return m.ioErr
+		}
+		m.f = nil
+	}
+	if m.f != nil {
+		return nil
+	}
+	path := filepath.Join(m.dir, segName(m.batches+1))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: new segment: %w", err)
+	}
+	if _, err := f.Write(segmentHeader(m.cdc.hash, m.batches+1)); err != nil {
+		f.Close()
+		m.ioErr = fmt.Errorf("wal: segment header: %w", err)
+		return m.ioErr
+	}
+	if err := syncDir(m.dir); err != nil {
+		f.Close()
+		m.ioErr = err
+		return err
+	}
+	m.f = f
+	m.size = headerLen
+	return nil
+}
+
+// checkpointLoop is the background checkpointer.
+func (m *Manager) checkpointLoop(ch <-chan struct{}) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ch:
+			if err := m.Checkpoint(); err != nil {
+				m.mu.Lock()
+				if m.bgErr == nil {
+					m.bgErr = err
+				}
+				m.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Checkpoint serializes the committed instance, installs it with a
+// temp-file rename, and deletes segments (and older checkpoints) the
+// new checkpoint wholly covers. Safe to call concurrently with
+// commits: the snapshot takes every stripe read lock, so it lands
+// exactly between two commit batches, and the batch index it is
+// paired with is read inside that critical section.
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("wal: checkpoint of closed log")
+	}
+	m.mu.Unlock()
+
+	var k int64
+	tuples, floor := m.st.CommittedSnapshot(func() {
+		m.mu.Lock()
+		k = m.batches
+		m.mu.Unlock()
+	})
+	payload, err := m.cdc.encodeCheckpoint(k, floor, tuples)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, ckptHdrLen+8+len(payload))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, m.cdc.hash)
+	buf = appendFrame(buf, payload)
+
+	tmp := filepath.Join(m.dir, tmpCkptName)
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	final := filepath.Join(m.dir, ckptName(k))
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: installing checkpoint: %w", err)
+	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	if k > m.lastCkpt {
+		m.lastCkpt = k
+	}
+	m.sinceCkpt = 0
+	var active string
+	if m.f != nil {
+		active = m.f.Name()
+	}
+	m.mu.Unlock()
+	return m.retire(k, final, active)
+}
+
+// retire deletes checkpoints older than the one just installed and
+// every segment whose batches it wholly covers.
+func (m *Manager) retire(k int64, keepCkpt, activeSeg string) error {
+	ckpts, segs, err := scanDir(m.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, c := range ckpts {
+		if c.path != keepCkpt && c.idx <= k {
+			if err := os.Remove(c.path); err != nil {
+				return fmt.Errorf("wal: retiring checkpoint: %w", err)
+			}
+			removed = true
+		}
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		// Segment i holds batches [first_i, first_{i+1}); all covered
+		// by the checkpoint iff first_{i+1} <= k+1.
+		if segs[i].path != activeSeg && segs[i+1].first <= k+1 {
+			if err := os.Remove(segs[i].path); err != nil {
+				return fmt.Errorf("wal: retiring segment: %w", err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return syncDir(m.dir)
+	}
+	return nil
+}
+
+// Close stops the background checkpointer and releases the active
+// segment, syncing it first. It returns the first background
+// checkpoint failure, if any. Close is idempotent.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	if m.done != nil {
+		close(m.done)
+		m.wg.Wait()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var err error
+	if m.f != nil {
+		if serr := m.f.Sync(); serr != nil {
+			err = serr
+		}
+		if cerr := m.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		m.f = nil
+	}
+	if m.bgErr != nil {
+		return m.bgErr
+	}
+	return err
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and unlinks within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("wal: sync %s: %w", dir, serr)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"youtopia/internal/simuser"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
+	"youtopia/internal/wal"
 )
 
 // Config holds the generator parameters; Default matches §6.
@@ -511,6 +512,34 @@ func (u *Universe) NewStore() (*storage.Store, error) {
 		}
 	}
 	return st, nil
+}
+
+// OpenDurableStore is NewStore over a write-ahead-logged backing: the
+// store is recovered from dir, and on a fresh directory the initial
+// database is loaded and made durable with a bootstrap checkpoint
+// (writer-0 loads bypass the commit log). Reopening a directory where
+// a workload already ran therefore resumes from whatever that run
+// committed — the durable seed build the crash-recovery experiments
+// and the -data-dir benches are based on. The caller owns closing the
+// returned manager.
+func (u *Universe) OpenDurableStore(dir string, opts wal.Options) (*storage.Store, *wal.Manager, error) {
+	mgr, st, err := wal.Open(dir, u.Schema, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if mgr.Fresh() {
+		for _, t := range u.Initial {
+			if _, err := st.Load(t); err != nil {
+				mgr.Close()
+				return nil, nil, fmt.Errorf("workload: durable seed load: %w", err)
+			}
+		}
+		if err := mgr.Checkpoint(); err != nil {
+			mgr.Close()
+			return nil, nil, fmt.Errorf("workload: bootstrap checkpoint: %w", err)
+		}
+	}
+	return st, mgr, nil
 }
 
 // GenOpsSeeded is GenOps with a fresh PRNG from the given seed.

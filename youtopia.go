@@ -52,6 +52,7 @@ import (
 	"youtopia/internal/simuser"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
+	"youtopia/internal/wal"
 )
 
 // Core data model.
@@ -145,9 +146,42 @@ func Delete(t Tuple) Op { return chase.Delete(t) }
 // of the labeled null x becomes the value with.
 func ReplaceNull(x, with Value) Op { return chase.ReplaceNull(x, with) }
 
-// New creates a repository from a schema and mappings.
+// Durability surface. A repository opened with a non-empty
+// Options.DataDir keeps a segmented, CRC-checked write-ahead log plus
+// periodic checkpoints under that directory: every commit batch is
+// appended and synced before it takes effect (the group-commit
+// frontier makes that one fsync for a whole batch of updates), and
+// reopening the directory recovers the committed instance exactly —
+// a crash at any point loses at most un-committed work, never part of
+// a committed batch. Call Repository.Close when done with a durable
+// repository.
+type (
+	// Options selects how a repository is backed; the zero value is
+	// the in-memory default.
+	Options = core.Options
+	// SyncPolicy selects when the write-ahead log is fsynced.
+	SyncPolicy = wal.SyncPolicy
+	// RecoveryInfo reports what opening a durable repository recovered.
+	RecoveryInfo = wal.RecoveryInfo
+)
+
+const (
+	// SyncAlways fsyncs once per commit batch (the durable default).
+	SyncAlways = wal.SyncAlways
+	// SyncNever leaves flushing to the OS: faster, and a crash may
+	// lose recent commit batches but never tears one.
+	SyncNever = wal.SyncNever
+)
+
+// New creates an in-memory repository from a schema and mappings.
 func New(schema *Schema, mappings *MappingSet) (*Repository, error) {
 	return core.New(schema, mappings)
+}
+
+// NewWithOptions is New with a backing selection (Options.DataDir
+// enables the write-ahead log).
+func NewWithOptions(schema *Schema, mappings *MappingSet, opts Options) (*Repository, error) {
+	return core.NewWithOptions(schema, mappings, opts)
 }
 
 // Open parses a repository definition in the textual repository
@@ -157,10 +191,24 @@ func Open(source string) (*Repository, []Op, error) {
 	return core.Open(source)
 }
 
+// OpenWithOptions is Open with a backing selection: on a fresh
+// DataDir the document's tuples bootstrap the committed instance;
+// once the directory holds durable state, that state alone is
+// recovered and the document's tuple section is ignored (committed
+// deletions stay deleted).
+func OpenWithOptions(source string, opts Options) (*Repository, []Op, error) {
+	return core.OpenWithOptions(source, opts)
+}
+
 // OpenDocument is Open returning the full parsed document, including
 // declared conjunctive queries.
 func OpenDocument(source string) (*Repository, *Document, error) {
 	return core.OpenDocument(source)
+}
+
+// OpenDocumentWithOptions is OpenDocument with a backing selection.
+func OpenDocumentWithOptions(source string, opts Options) (*Repository, *Document, error) {
+	return core.OpenDocumentWithOptions(source, opts)
 }
 
 // Document is a parsed repository definition.
