@@ -1,0 +1,78 @@
+package cc
+
+import (
+	"slices"
+	"sync"
+	"time"
+
+	"youtopia/internal/storage"
+)
+
+// ackTracker follows the outstanding commit acknowledgments of a
+// scheduler run. With the pipelined WAL sync, storage.CommitBatchAsync
+// returns before the batch's fsync lands; the scheduler keeps driving
+// chase work (and further commit batches, which is what lets the log
+// coalesce their syncs) while a goroutine per batch waits on the ack
+// ticket. A run is only reported successful after every ack resolved —
+// that wait is the run-level "acknowledged implies on disk" point —
+// and the per-batch decision-to-durable latencies feed the
+// CommitAckP50/P99 metrics.
+type ackTracker struct {
+	wg sync.WaitGroup
+
+	mu   sync.Mutex
+	lats []time.Duration
+	err  error
+}
+
+// track registers one commit batch: with a nil ack (in-memory store,
+// or a no-sync log) the batch needs no follow-up; otherwise a
+// goroutine waits for durability and records the latency since start.
+func (a *ackTracker) track(start time.Time, ack storage.CommitAck) {
+	if ack == nil {
+		return
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		err := ack()
+		lat := time.Since(start)
+		a.mu.Lock()
+		a.lats = append(a.lats, lat)
+		if err != nil && a.err == nil {
+			a.err = err
+		}
+		a.mu.Unlock()
+	}()
+}
+
+// wait blocks until every tracked ack resolved and returns the first
+// failure.
+func (a *ackTracker) wait() error {
+	a.wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// percentiles reports the nearest-rank p50 and p99 of the recorded
+// ack latencies (zero when nothing was tracked). Call after wait.
+func (a *ackTracker) percentiles() (p50, p99 time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.lats) == 0 {
+		return 0, 0
+	}
+	slices.Sort(a.lats)
+	rank := func(p float64) time.Duration {
+		i := int(p*float64(len(a.lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(a.lats) {
+			i = len(a.lats) - 1
+		}
+		return a.lats[i]
+	}
+	return rank(0.50), rank(0.99)
+}

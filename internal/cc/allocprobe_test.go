@@ -1,0 +1,41 @@
+package cc
+
+import (
+	"testing"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+)
+
+// TestCandidateCollectionAllocFree pins the ISSUE-4 acceptance
+// criterion: conflict-candidate collection performs zero heap
+// allocations per step in steady state — the published read-prefix
+// records are loaded pointer-by-pointer into a warm scratch buffer,
+// with no locking, copying, or map traffic.
+func TestCandidateCollectionAllocFree(t *testing.T) {
+	probe := CandidateProbe(64)
+	probe() // warm the scratch buffer
+	if got := testing.AllocsPerRun(200, probe); got != 0 {
+		t.Fatalf("candidate collection allocates %.1f/op in steady state, want 0", got)
+	}
+}
+
+// TestWrittenRelSeqsAllocFree covers the other half of the write
+// phase's coordination snapshot: the written-relation sequence capture
+// reuses its scratch the same way.
+func TestWrittenRelSeqsAllocFree(t *testing.T) {
+	st := storage.NewStore(conflictSchema())
+	_, w, _, err := st.Insert(1, model.NewTuple("S", model.Const("v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := []storage.WriteRec{w, w, w}
+	var scratch []relSeq
+	probe := func() {
+		scratch = writtenRelSeqsInto(scratch[:0], st, writes)
+	}
+	probe()
+	if got := testing.AllocsPerRun(200, probe); got != 0 {
+		t.Fatalf("relSeq capture allocates %.1f/op in steady state, want 0", got)
+	}
+}

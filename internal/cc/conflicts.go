@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"youtopia/internal/chase"
-	"youtopia/internal/query"
 	"youtopia/internal/storage"
 )
 
@@ -19,12 +18,15 @@ import (
 // Detection is split into three phases so the parallel scheduler can
 // run the expensive part outside its exclusive phase lock:
 //
-//  1. snapshotCandidates freezes, at write time, each potential victim
-//     together with its attempt counter and the stable prefix of reads
-//     it had published before the writes landed;
+//  1. snapshotCandidatesInto freezes, at write time, each potential
+//     victim's published read-prefix record — an immutable
+//     (attempt, epoch, reads) pointer the update republishes on every
+//     change — into a reusable scratch slice; in steady state the
+//     collection performs zero heap allocations (no per-candidate
+//     locking, no slice copies);
 //  2. directConflicts runs the AffectedBy checks of Algorithm 4 over
 //     those frozen candidates — safe under a shared lock, because the
-//     read prefixes are immutable and a bumped attempt counter marks a
+//     records are immutable and a bumped attempt counter marks a
 //     candidate whose reads no longer predate the writes;
 //  3. cascadeClosure closes the abort set transitively through the
 //     tracker and orders it — cheap, and run under the exclusive lock
@@ -34,32 +36,40 @@ import (
 // single goroutine, which reproduces the original atomic semantics.
 
 // conflictCandidate freezes one potential victim of a write batch: the
-// txn, the attempt that published the reads, and the read prefix that
-// existed when the writes landed. Reads recorded later were evaluated
-// on a store that already contained the writes, so they can only be
-// dependencies (the tracker's concern), never retroactive conflicts.
+// txn and the published read-prefix record that existed when the
+// writes landed. Reads recorded later were evaluated on a store that
+// already contained the writes, so they can only be dependencies (the
+// tracker's concern), never retroactive conflicts. Later phases
+// revalidate a frozen record by comparing its Attempt — the restart
+// counter — against the live one, the same compare-a-counter shape as
+// the per-stripe sequence validation: a mismatch means the victim
+// restarted and its frozen reads no longer exist. (The finer Epoch
+// field versions individual publications; appends within one attempt
+// bump it without invalidating earlier prefixes, so revalidation
+// deliberately does not compare it.)
 type conflictCandidate struct {
-	t       *Txn
-	attempt int
-	reads   []query.ReadQuery
+	t      *Txn
+	prefix *chase.ReadPrefix
 }
 
-// snapshotCandidates captures every uncommitted txn numbered above the
-// writer. The parallel scheduler calls it under the exclusive phase
-// lock, immediately after performing the writes.
-func snapshotCandidates(txns []*Txn, writer int) []conflictCandidate {
-	var out []conflictCandidate
+// snapshotCandidatesInto appends every uncommitted txn numbered above
+// the writer that has published reads to dst (normally a scratch
+// buffer reset to length zero by the caller) and returns the extended
+// slice. The parallel scheduler calls it under the exclusive phase
+// lock, immediately after performing the writes; with a warm scratch
+// the collection allocates nothing.
+func snapshotCandidatesInto(dst []conflictCandidate, txns []*Txn, writer int) []conflictCandidate {
 	for _, t := range txns {
-		if t.Number <= writer || t.committed || !t.Upd.HasReads() {
+		if t.Number <= writer || t.committed {
 			continue
 		}
-		reads := t.Upd.StoredReads()
-		if len(reads) == 0 {
+		p := t.Upd.PublishedReads()
+		if len(p.Reads) == 0 {
 			continue
 		}
-		out = append(out, conflictCandidate{t: t, attempt: t.Upd.Attempt, reads: reads})
+		dst = append(dst, conflictCandidate{t: t, prefix: p})
 	}
-	return out
+	return dst
 }
 
 // directConflicts checks one batch of writes against the candidates'
@@ -75,13 +85,13 @@ func directConflicts(store *storage.Store, cfg *Config, cands []conflictCandidat
 	}
 	var marked []conflictCandidate
 	for _, c := range cands {
-		if c.t.Upd.Attempt != c.attempt || c.t.committed {
+		if c.t.Upd.Attempt != c.prefix.Attempt || c.t.committed {
 			continue
 		}
 		hit := false
 	scan:
 		for _, w := range writes {
-			for _, q := range c.reads {
+			for _, q := range c.prefix.Reads {
 				if q.AffectedBy(store, w) {
 					m.DirectAbortRequests++
 					if cfg.Mode == ModeFlag {
@@ -136,18 +146,57 @@ func cascadeClosure(store *storage.Store, cfg *Config, txns []*Txn, direct []*Tx
 	return numbers
 }
 
+// stepScratch holds the reusable buffers of one conflict-processing
+// pipeline: the candidate collection, the redo collection of the
+// exclusive revalidation phase, and the written-relation sequence
+// snapshot. Each scheduler goroutine owns one, so steady-state steps
+// (no conflicts) allocate nothing on the coordination path.
+type stepScratch struct {
+	cands []conflictCandidate
+	redo  []conflictCandidate
+	rels  []relSeq
+}
+
+// relSeq records one written relation's stripe sequence number at
+// write time; a later mismatch proves another writer has since landed
+// in the stripe.
+type relSeq struct {
+	rel string
+	seq int64
+}
+
+// writtenRelSeqsInto records, for each relation a write batch touched,
+// the stripe sequence number after the batch landed, appending into
+// dst (a scratch buffer reset by the caller). Callers hold the
+// exclusive phase lock, so these are exactly the writer's own seqs.
+func writtenRelSeqsInto(dst []relSeq, store *storage.Store, writes []storage.WriteRec) []relSeq {
+	for _, w := range writes {
+		seen := false
+		for i := range dst {
+			if dst[i].rel == w.Rel {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, relSeq{rel: w.Rel, seq: store.RelSeq(w.Rel)})
+		}
+	}
+	return dst
+}
+
 // collectConflicts is the single-threaded composition of the three
 // phases: it checks one batch of writes against the stored read
 // queries of higher-numbered uncommitted updates, closes the
 // dependency cascade, and returns the consolidated abort set in
 // ascending priority order (Algorithm 4). The cooperative scheduler
-// calls it from its one goroutine.
-func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []storage.WriteRec, m *Metrics) []int {
+// calls it from its one goroutine, reusing its scratch across steps.
+func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []storage.WriteRec, m *Metrics, scratch *stepScratch) []int {
 	if len(writes) == 0 {
 		return nil
 	}
-	cands := snapshotCandidates(txns, writes[0].Writer)
-	direct := directConflicts(store, cfg, cands, writes, m)
+	scratch.cands = snapshotCandidatesInto(scratch.cands[:0], txns, writes[0].Writer)
+	direct := directConflicts(store, cfg, scratch.cands, writes, m)
 	if len(direct) == 0 {
 		return nil
 	}

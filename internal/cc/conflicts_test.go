@@ -49,7 +49,7 @@ func TestDirectConflictsDisjointRelations(t *testing.T) {
 	}
 
 	var m Metrics
-	cands := snapshotCandidates([]*Txn{reader}, 1)
+	cands := snapshotCandidatesInto(nil, []*Txn{reader}, 1)
 	if len(cands) != 1 {
 		t.Fatalf("candidates = %d, want 1", len(cands))
 	}
@@ -76,7 +76,7 @@ func TestDirectConflictsOverlappingRelations(t *testing.T) {
 	}
 
 	var m Metrics
-	cands := snapshotCandidates([]*Txn{reader}, 1)
+	cands := snapshotCandidatesInto(nil, []*Txn{reader}, 1)
 	marked := directConflicts(st, cfg, cands, []storage.WriteRec{w}, &m)
 	if len(marked) != 1 || marked[0].t.Number != 2 {
 		t.Fatalf("overlapping write marked %v, want txn 2", marked)
@@ -102,11 +102,11 @@ func TestDirectConflictsInvisibleWriter(t *testing.T) {
 	var m Metrics
 	// snapshotCandidates already filters by priority; check the query
 	// layer agrees if forced through.
-	cands := []conflictCandidate{{t: reader, attempt: reader.Upd.Attempt, reads: reader.Upd.StoredReads()}}
+	cands := []conflictCandidate{{t: reader, prefix: reader.Upd.PublishedReads()}}
 	if marked := directConflicts(st, cfg, cands, []storage.WriteRec{w}, &m); len(marked) != 0 {
 		t.Fatalf("invisible write marked %v", marked)
 	}
-	if got := snapshotCandidates([]*Txn{reader}, 3); len(got) != 0 {
+	if got := snapshotCandidatesInto(nil, []*Txn{reader}, 3); len(got) != 0 {
 		t.Fatalf("snapshotCandidates included lower-numbered txn: %v", got)
 	}
 }
@@ -122,7 +122,7 @@ func TestDirectConflictsSkipsRestartedAttempt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands := snapshotCandidates([]*Txn{reader}, 1)
+	cands := snapshotCandidatesInto(nil, []*Txn{reader}, 1)
 	// The reader restarts between the snapshot and the check (as a
 	// concurrent abort wave would cause): its frozen reads predate the
 	// new attempt and must be ignored.
@@ -154,7 +154,7 @@ func TestDirectConflictsViolationReadRelations(t *testing.T) {
 	seed := []model.Value{model.Const("a"), model.Const("b")}
 	rq, _ := query.NewViolationRead(st, m1, "R", seed, query.SeedLHS, 2)
 	reader := mkTxn(2, rq)
-	cands := snapshotCandidates([]*Txn{reader}, 1)
+	cands := snapshotCandidatesInto(nil, []*Txn{reader}, 1)
 
 	// Disjoint: writer 1 writes T.
 	_, wT, _, err := st.Insert(1, model.NewTuple("T", model.Const("a")))

@@ -91,6 +91,10 @@ type ParallelScheduler struct {
 	err            error
 	done           bool
 	m              Metrics
+
+	// acks settles the pipelined commit acknowledgments before Run
+	// returns; see ackTracker.
+	acks ackTracker
 }
 
 // readyQueue is the dispatcher's min-heap of candidate transaction
@@ -269,6 +273,7 @@ func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
 	}
 	s.idleLimit = s.cfg.MaxIdleRounds * n
 
+	syncs0 := s.store.SyncCount()
 	var wg sync.WaitGroup
 	for i := 0; i < s.cfg.Workers; i++ {
 		wg.Add(1)
@@ -278,8 +283,17 @@ func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
 		}()
 	}
 	wg.Wait()
+	// Settle the commit pipeline: the workers may have finished with
+	// batch syncs still in flight, and nothing is acknowledged — Run
+	// included — until they land.
+	ackErr := s.acks.wait()
 
 	s.mu.Lock()
+	if ackErr != nil && s.err == nil {
+		s.err = ackErr
+	}
+	s.m.CommitAckP50, s.m.CommitAckP99 = s.acks.percentiles()
+	s.m.WALSyncs = int(s.store.SyncCount() - syncs0)
 	s.m.Runs = s.m.Submitted + s.m.Aborts
 	s.m.WallTime = time.Since(start)
 	m := s.m
@@ -289,8 +303,10 @@ func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
 }
 
 // workerLoop pulls and executes work items until the run completes or
-// fails.
+// fails. Each worker owns a conflict-processing scratch, so
+// steady-state steps allocate nothing on the coordination path.
 func (s *ParallelScheduler) workerLoop() {
+	var scratch stepScratch
 	for {
 		kind, t, ok := s.next()
 		if !ok {
@@ -302,7 +318,7 @@ func (s *ParallelScheduler) workerLoop() {
 		case workCommit:
 			progressed, err = s.execCommit()
 		case workStep:
-			progressed, err = s.execStep(t)
+			progressed, err = s.execStep(t, &scratch)
 		case workPoll:
 			progressed, err = s.execPoll(t)
 		}
@@ -399,14 +415,15 @@ func (s *ParallelScheduler) finish(kind workKind, t *Txn, progressed bool, err e
 }
 
 // execStep runs one chase step for a claimed transaction: the write
-// half under the exclusive phase lock (plus a cheap candidate
-// snapshot), the direct conflict checks under the shared lock, abort
-// application back under the exclusive lock, and finally the read half
-// under the shared lock. If the transaction was aborted between any of
-// the phases (by a lower-priority writer's conflict wave), the
-// remaining phases are abandoned — the storage rollback already
-// happened and the dispatcher will rerun the fresh attempt.
-func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
+// half under the exclusive phase lock (plus an allocation-free
+// candidate snapshot off the published read-prefix records), the
+// direct conflict checks under the shared lock, abort application
+// back under the exclusive lock, and finally the read half under the
+// shared lock. If the transaction was aborted between any of the
+// phases (by a lower-priority writer's conflict wave), the remaining
+// phases are abandoned — the storage rollback already happened and
+// the dispatcher will rerun the fresh attempt.
+func (s *ParallelScheduler) execStep(t *Txn, scratch *stepScratch) (bool, error) {
 	s.gmu.Lock()
 	if st := t.Upd.State(); st != chase.StateReady {
 		s.mu.Lock()
@@ -418,15 +435,18 @@ func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
 	attempt := t.Upd.Attempt
 	res, err := s.engine.StepWrites(t.Upd)
 	var cands []conflictCandidate
-	var relSeqs map[string]int64
+	var relSeqs []relSeq
 	if err != nil {
 		err = fmt.Errorf("cc: update %d: %w", t.Number, err)
 	} else if len(res.Writes) > 0 {
 		// Freeze the victims-to-check and the written stripes' sequence
 		// numbers while still exclusive; the expensive AffectedBy
-		// evaluations then run under the shared lock.
-		cands = snapshotCandidates(s.txns, t.Number)
-		relSeqs = writtenRelSeqs(s.store, res.Writes)
+		// evaluations then run under the shared lock. Both collections
+		// reuse the worker's scratch — zero allocations in steady state.
+		cands = snapshotCandidatesInto(scratch.cands[:0], s.txns, t.Number)
+		scratch.cands = cands
+		relSeqs = writtenRelSeqsInto(scratch.rels[:0], s.store, res.Writes)
+		scratch.rels = relSeqs
 	}
 	s.gmu.Unlock()
 	if err != nil {
@@ -435,7 +455,7 @@ func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
 	s.bump(func(m *Metrics) { m.Steps++; m.Writes += len(res.Writes) })
 
 	if len(cands) > 0 {
-		if err := s.processWritesDeferred(t, attempt, res.Writes, cands, relSeqs); err != nil {
+		if err := s.processWritesDeferred(t, attempt, res.Writes, cands, relSeqs, scratch); err != nil {
 			return true, err
 		}
 	}
@@ -455,26 +475,12 @@ func (s *ParallelScheduler) execStep(t *Txn) (bool, error) {
 	return true, nil
 }
 
-// writtenRelSeqs records, for each relation a write batch touched, the
-// stripe sequence number after the batch landed. Callers hold the
-// exclusive phase lock, so these are exactly the writer's own seqs; a
-// later mismatch proves another writer has since landed in the stripe.
-func writtenRelSeqs(store *storage.Store, writes []storage.WriteRec) map[string]int64 {
-	out := make(map[string]int64)
-	for _, w := range writes {
-		if _, ok := out[w.Rel]; !ok {
-			out[w.Rel] = store.RelSeq(w.Rel)
-		}
-	}
-	return out
-}
-
 // processWritesDeferred is the out-of-lock half of Algorithm 4's
 // conflict processing: the direct AffectedBy checks run under the
 // shared phase lock against the frozen candidates, and only if victims
 // were marked (never in ModeFlag) is the exclusive lock taken to
 // revalidate and execute the abort wave.
-func (s *ParallelScheduler) processWritesDeferred(t *Txn, attempt int, writes []storage.WriteRec, cands []conflictCandidate, relSeqs map[string]int64) error {
+func (s *ParallelScheduler) processWritesDeferred(t *Txn, attempt int, writes []storage.WriteRec, cands []conflictCandidate, relSeqs []relSeq, scratch *stepScratch) error {
 	var delta Metrics
 	var marked []conflictCandidate
 	s.gmu.RLock()
@@ -503,22 +509,26 @@ func (s *ParallelScheduler) processWritesDeferred(t *Txn, attempt int, writes []
 	// Disjoint-relation interim writers leave the seqs untouched and
 	// the shared-phase verdicts stand.
 	stale := false
-	for rel, seq := range relSeqs {
-		if s.store.RelSeq(rel) != seq {
+	for _, rs := range relSeqs {
+		if s.store.RelSeq(rs.rel) != rs.seq {
 			stale = true
 			break
 		}
 	}
 	if stale {
 		delta = Metrics{}
-		marked = directConflicts(s.store, &s.cfg, snapshotCandidates(s.txns, t.Number), writes, &delta)
+		scratch.redo = snapshotCandidatesInto(scratch.redo[:0], s.txns, t.Number)
+		marked = directConflicts(s.store, &s.cfg, scratch.redo, writes, &delta)
 	}
 	// Revalidate: a victim whose attempt counter moved on (or that
 	// committed) restarted after our writes, so its fresh reads already
-	// reflect them and the verdict no longer applies.
+	// reflect them and the verdict no longer applies. The prefix
+	// record's attempt is compared against the live counter the same
+	// way the per-stripe seqs were compared above — an unchanged value
+	// proves the frozen reads are still the victim's reads.
 	victims := make([]*Txn, 0, len(marked))
 	for _, c := range marked {
-		if c.t.Upd.Attempt == c.attempt && !c.t.committed {
+		if c.t.Upd.Attempt == c.prefix.Attempt && !c.t.committed {
 			victims = append(victims, c.t)
 		}
 	}
@@ -580,8 +590,13 @@ func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
 // phase-lock acquisition: the whole terminated prefix is drained in
 // priority order through a single storage group commit, so N
 // back-to-back terminations cost one store-wide lock round instead of
-// N — and, on a durable store, one log append+sync for the whole
-// batch. The first non-terminated update stops the sweep.
+// N — and, on a durable store, one log append for the whole batch.
+// The append's fsync is pipelined: CommitBatchAsync returns once the
+// batch is in the log, the stripe and phase locks are released while
+// the disk works, and the ack tracker waits for the covering sync off
+// the critical path — which is what lets the frontier drain again
+// (and the log coalesce the syncs) while an earlier batch is still
+// syncing. The first non-terminated update stops the sweep.
 func (s *ParallelScheduler) execCommit() (bool, error) {
 	s.gmu.Lock()
 	defer s.gmu.Unlock()
@@ -602,10 +617,13 @@ func (s *ParallelScheduler) execCommit() (bool, error) {
 	for i, t := range batch {
 		numbers[i] = t.Number
 	}
-	if err := s.store.CommitBatch(numbers); err != nil {
+	ackStart := time.Now()
+	ack, err := s.store.CommitBatchAsync(numbers)
+	if err != nil {
 		return false, fmt.Errorf("cc: commit of updates %d..%d: %w",
 			numbers[0], numbers[len(numbers)-1], err)
 	}
+	s.acks.track(ackStart, ack)
 	fr := 0
 	for _, t := range batch {
 		t.committed = true
@@ -618,9 +636,6 @@ func (s *ParallelScheduler) execCommit() (bool, error) {
 	s.m.CommitBatches++
 	if len(batch) > s.m.MaxCommitBatch {
 		s.m.MaxCommitBatch = len(batch)
-	}
-	if s.store.Persistent() {
-		s.m.WALSyncs++
 	}
 	for _, t := range batch {
 		s.status[t.Number-1] = statusCommitted

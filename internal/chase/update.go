@@ -142,17 +142,20 @@ type Update struct {
 	nextGID  int
 
 	// reads are the stored read queries of the current attempt, in the
-	// order performed; concurrency control checks writes against them
-	// (StoredReads). Identical queries are stored once (they denote the
-	// same intensional read). The slice header is guarded by readsMu so
-	// a conflict checker can snapshot it while the owning worker keeps
-	// appending under a shared phase lock; entries are immutable once
-	// published, so a snapshot stays valid after later appends, a
-	// Reset, or a ReleaseReads. Unexported so the unsynchronized access
-	// pattern of the pre-striping schedulers cannot compile.
+	// order performed; concurrency control checks writes against them.
+	// Identical queries are stored once (they denote the same
+	// intensional read). The slice is guarded by readsMu; every change
+	// additionally publishes an immutable ReadPrefix record through
+	// the atomic published pointer, which is how conflict checkers
+	// snapshot the prefix without a lock or a copy — entries are
+	// immutable once published, so a loaded record stays valid after
+	// later appends, a Reset, or a ReleaseReads. Unexported so the
+	// unsynchronized access pattern of the pre-striping schedulers
+	// cannot compile.
 	reads     []query.ReadQuery
 	readsMu   sync.Mutex
-	readsLen  atomic.Int32 // mirrors len(reads); lock-free emptiness checks
+	published atomic.Pointer[ReadPrefix]
+	epoch     uint64 // publication counter; guarded by readsMu
 	readsSeen map[string]bool
 
 	// Trace records every performed write with its provenance cause,
@@ -187,14 +190,14 @@ func (u *Update) Reset() {
 	u.queue = nil
 	u.groups = nil
 	u.nextGID = 0
+	u.Attempt++
 	u.readsMu.Lock()
 	u.reads = nil
-	u.readsLen.Store(0)
 	u.readsSeen = make(map[string]bool)
+	u.publishLocked()
 	u.readsMu.Unlock()
 	u.Trace = nil
 	u.Stats = Stats{}
-	u.Attempt++
 }
 
 // TraceEntry pairs a performed write with the reason the chase
@@ -209,8 +212,47 @@ func (t TraceEntry) String() string {
 	return t.Write.String() + "  <- " + t.Cause
 }
 
-// addRead stores a read query, deduplicating identical ones. It
-// reports whether the query was new.
+// ReadPrefix is the immutable conflict-check record an update
+// publishes whenever its stored reads change: the read prefix as a
+// capacity-clamped slice, the attempt that performed those reads, and
+// a monotone publication epoch. Records are never mutated after
+// publication — later appends publish a longer record, a Reset or
+// ReleaseReads publishes an empty one — so a loaded pointer can be
+// checked lock- and copy-free, and revalidated later by comparing its
+// Attempt against the live counter exactly as the storage layer's
+// per-stripe sequence numbers are compared: an unchanged attempt
+// proves the frozen reads are still the update's reads. Epoch is the
+// finer counter — it moves on every publication, appends included, so
+// it versions individual records (an unchanged epoch means the loaded
+// pointer IS the current record) but is deliberately not what
+// conflict revalidation compares: a grown prefix does not invalidate
+// verdicts computed on its frozen predecessor.
+type ReadPrefix struct {
+	// Attempt is the update attempt the reads belong to; a candidate
+	// whose live attempt moved past it restarted after the snapshot.
+	Attempt int
+	// Epoch counts publications, monotone over the update's lifetime.
+	Epoch uint64
+	// Reads is the immutable prefix (nil when none are stored).
+	Reads []query.ReadQuery
+}
+
+// emptyPrefix backs PublishedReads before the first publication.
+var emptyPrefix = &ReadPrefix{}
+
+// publishLocked publishes the current reads as a fresh immutable
+// record. Callers hold readsMu.
+func (u *Update) publishLocked() {
+	u.epoch++
+	u.published.Store(&ReadPrefix{
+		Attempt: u.Attempt,
+		Epoch:   u.epoch,
+		Reads:   u.reads[:len(u.reads):len(u.reads)],
+	})
+}
+
+// addRead stores a read query, deduplicating identical ones, and
+// publishes the grown prefix. It reports whether the query was new.
 func (u *Update) addRead(q query.ReadQuery) bool {
 	key := q.String()
 	u.readsMu.Lock()
@@ -220,14 +262,27 @@ func (u *Update) addRead(q query.ReadQuery) bool {
 	}
 	u.readsSeen[key] = true
 	u.reads = append(u.reads, q)
-	u.readsLen.Store(int32(len(u.reads)))
+	u.publishLocked()
 	return true
 }
 
 // HasReads reports, without locking, whether any reads are published.
-// Conflict-candidate snapshots use it to skip the locked slice copy
-// for the common not-yet-started transaction.
-func (u *Update) HasReads() bool { return u.readsLen.Load() > 0 }
+// Conflict-candidate snapshots use it to skip the common
+// not-yet-started transaction.
+func (u *Update) HasReads() bool {
+	p := u.published.Load()
+	return p != nil && len(p.Reads) > 0
+}
+
+// PublishedReads returns the current read-prefix record without
+// locking or copying — the allocation-free snapshot the conflict
+// check iterates. It never returns nil.
+func (u *Update) PublishedReads() *ReadPrefix {
+	if p := u.published.Load(); p != nil {
+		return p
+	}
+	return emptyPrefix
+}
 
 // PublishRead stores a read query as if the engine had performed it —
 // the external publication point for tests and custom drivers. It
@@ -238,20 +293,18 @@ func (u *Update) PublishRead(q query.ReadQuery) bool { return u.addRead(q) }
 // later appends reallocate or extend past the returned length and
 // never disturb it, so callers may iterate without further locking.
 func (u *Update) StoredReads() []query.ReadQuery {
-	u.readsMu.Lock()
-	defer u.readsMu.Unlock()
-	return u.reads[:len(u.reads):len(u.reads)]
+	return u.PublishedReads().Reads
 }
 
 // ReleaseReads drops the stored read queries — the commit-time release
 // of Algorithm 4 (a committed update's reads can no longer cause
-// conflicts). Snapshots previously taken via StoredReads stay valid.
+// conflicts). Previously loaded prefix records stay valid.
 func (u *Update) ReleaseReads() {
 	u.readsMu.Lock()
 	defer u.readsMu.Unlock()
 	u.reads = nil
-	u.readsLen.Store(0)
 	u.readsSeen = nil
+	u.publishLocked()
 }
 
 // State returns the update's current lifecycle state.

@@ -259,11 +259,24 @@ func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []c
 		r.store.Abort(number)
 		return stats, u.Trace, err
 	}
-	if err := r.store.Commit(number); err != nil {
-		// The update never became durable; roll it back so the
-		// in-memory state matches the log.
+	ack, err := r.store.CommitBatchAsync([]int{number})
+	if err != nil {
+		// The log vetoed the append: nothing was committed anywhere;
+		// roll back so the in-memory state matches the log.
 		r.store.Abort(number)
 		return stats, u.Trace, fmt.Errorf("core: durable commit of update %d: %w", number, err)
+	}
+	if ack != nil {
+		// Apply is synchronous, so its return IS the acknowledgment:
+		// block until the covering log sync lands. On failure the
+		// update is committed in memory but its durability is unknown
+		// — the log refuses further commits until the directory is
+		// reopened (which recovers exactly the durable prefix), so the
+		// error is surfaced without a rollback (the write log was
+		// already retired; aborting a committed writer is impossible).
+		if err := ack(); err != nil {
+			return stats, u.Trace, fmt.Errorf("core: durable commit of update %d: %w", number, err)
+		}
 	}
 	return stats, u.Trace, nil
 }

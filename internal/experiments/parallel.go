@@ -6,10 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"testing"
 	"time"
 
 	"youtopia/internal/cc"
 	"youtopia/internal/chase"
+	"youtopia/internal/model"
 	"youtopia/internal/simuser"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
@@ -56,11 +58,28 @@ type ParallelPoint struct {
 	WallMillis float64
 	// UpdatesPerSec is committed-update throughput: Submitted / wall.
 	UpdatesPerSec float64
-	// WALSyncs is the mean number of log syncs per run — zero for
-	// in-memory studies; for durable studies (DataDir set) it equals
-	// the commit-batch count, and WALSyncs well below the update count
-	// is the group-commit fsync amortization at work.
+	// WALSyncs is the mean number of log fsyncs per run — zero for
+	// in-memory studies; for durable studies (DataDir set) the sync
+	// pipeline coalesces consecutive commit batches, so WALSyncs below
+	// the commit-batch (and far below the update) count is the group
+	// commit plus pipelined-sync amortization at work.
 	WALSyncs float64 `json:",omitempty"`
+	// CommitBatches is the mean number of commit-frontier drains per
+	// run; WALSyncs/CommitBatches < 1 is observable coalescing.
+	CommitBatches float64 `json:",omitempty"`
+	// AckP50Millis / AckP99Millis are the mean commit-acknowledgment
+	// latency percentiles (frontier drain to covering fsync) per run —
+	// the latency side of the pipelined commit's latency/throughput
+	// trade. Zero for in-memory studies.
+	AckP50Millis float64 `json:",omitempty"`
+	AckP99Millis float64 `json:",omitempty"`
+	// SnapshotAllocsPerOp and CommitMergeAllocsPerOp are steady-state
+	// heap allocations of the two hot coordination steps (conflict-
+	// candidate collection, commit-batch merge), measured once per
+	// study and attached to every point. CheckRegression gates them
+	// alongside throughput; both are expected to be zero.
+	SnapshotAllocsPerOp    float64 `json:"SnapshotAllocsPerOp"`
+	CommitMergeAllocsPerOp float64 `json:"CommitMergeAllocsPerOp"`
 }
 
 // Label names the point's execution mode.
@@ -89,9 +108,14 @@ func ParallelStudy(base workload.Config, workers []int, runs int, dataDir string
 	if err != nil {
 		return nil, err
 	}
+	snapAllocs, mergeAllocs, err := MeasureHotPathAllocs(u)
+	if err != nil {
+		return nil, err
+	}
 	var out []ParallelPoint
 	for _, w := range workers {
-		p := ParallelPoint{Workers: w, Runs: runs}
+		p := ParallelPoint{Workers: w, Runs: runs,
+			SnapshotAllocsPerOp: snapAllocs, CommitMergeAllocsPerOp: mergeAllocs}
 		var updates float64
 		for r := 0; r < runs; r++ {
 			var st *storage.Store
@@ -125,6 +149,9 @@ func ParallelStudy(base workload.Config, workers []int, runs int, dataDir string
 			p.Aborts += float64(m.Aborts)
 			p.WallMillis += float64(elapsed.Milliseconds())
 			p.WALSyncs += float64(m.WALSyncs)
+			p.CommitBatches += float64(m.CommitBatches)
+			p.AckP50Millis += float64(m.CommitAckP50) / float64(time.Millisecond)
+			p.AckP99Millis += float64(m.CommitAckP99) / float64(time.Millisecond)
 			if secs := elapsed.Seconds(); secs > 0 {
 				updates += float64(m.Submitted) / secs
 			}
@@ -133,10 +160,50 @@ func ParallelStudy(base workload.Config, workers []int, runs int, dataDir string
 		p.Aborts /= n
 		p.WallMillis /= n
 		p.WALSyncs /= n
+		p.CommitBatches /= n
+		p.AckP50Millis /= n
+		p.AckP99Millis /= n
 		p.UpdatesPerSec = updates / n
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// MeasureHotPathAllocs measures the steady-state heap allocations per
+// operation of the two hottest coordination steps the ISSUE-4 rework
+// made allocation-free: conflict-candidate collection (published
+// read-prefix records into a reusable scratch) and the commit-batch
+// merge (per-writer log shards into the store's scratch buffer). The
+// numbers ride along in every study point so the CI regression gate
+// catches allocation churn creeping back into either step.
+func MeasureHotPathAllocs(u *workload.Universe) (snapshot, merge float64, err error) {
+	// testing.AllocsPerRun is an ordinary function, fine outside test
+	// binaries (flag registration only happens in testing.Init).
+	snapshot = testing.AllocsPerRun(200, cc.CandidateProbe(64))
+
+	st, err := u.NewStore()
+	if err != nil {
+		return 0, 0, err
+	}
+	// Give a handful of writers live logs to merge: fresh-null tuples
+	// can never collapse onto existing content, so every insert is a
+	// real write.
+	rels := u.Schema.SortedNames()
+	writers := []int{1, 2, 3}
+	for i, w := range writers {
+		for j := 0; j < 8; j++ {
+			rel := rels[(i*8+j)%len(rels)]
+			vals := make([]model.Value, u.Schema.Arity(rel))
+			for k := range vals {
+				vals[k] = st.FreshNull()
+			}
+			if _, _, _, err := st.Insert(w, model.NewTuple(rel, vals...)); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	merge = testing.AllocsPerRun(200, st.CommitMergeProbe(writers))
+	return snapshot, merge, nil
 }
 
 // ParallelJSON renders the study as indented JSON — the
@@ -166,6 +233,13 @@ func LoadParallelJSON(path string) ([]ParallelPoint, error) {
 // serial throughput — the parallel-speedup ratio — making the gate
 // portable across CI runner generations; without a serial point the
 // raw numbers are compared.
+//
+// The hot-path allocation probes are gated alongside throughput:
+// allocs/op, unlike upd/s, is machine-independent, so the comparison
+// is direct — the current number may exceed the baseline by at most
+// tolerancePct percent AND half an allocation (the absolute slack is
+// what keeps a zero-allocation baseline meaningful: 0 -> 0.4 passes,
+// 0 -> 1 fails).
 func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) error {
 	find := func(points []ParallelPoint, workers int) (ParallelPoint, bool) {
 		for _, p := range points {
@@ -200,8 +274,28 @@ func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) er
 				cp.Label(), metric, cur, base, 100*(1-cur/base), tolerancePct))
 		}
 	}
+	// Allocation gate: the probes are attached identically to every
+	// point, so compare them once, off the serial point (or the first
+	// shared mode when no serial point exists).
+	if len(baseline) > 0 {
+		bp := baseline[0]
+		if p, ok := find(baseline, 0); ok {
+			bp = p
+		}
+		if cp, ok := find(current, bp.Workers); ok {
+			checkAllocs := func(name string, cur, base float64) {
+				if cur > base*(1+tolerancePct/100) && cur > base+0.5 {
+					failures = append(failures, fmt.Sprintf(
+						"%s: %.2f allocs/op vs baseline %.2f (tolerance %.0f%% + 0.5)",
+						name, cur, base, tolerancePct))
+				}
+			}
+			checkAllocs("candidate-snapshot", cp.SnapshotAllocsPerOp, bp.SnapshotAllocsPerOp)
+			checkAllocs("commit-merge", cp.CommitMergeAllocsPerOp, bp.CommitMergeAllocsPerOp)
+		}
+	}
 	if len(failures) > 0 {
-		return fmt.Errorf("experiments: throughput regression:\n  %s", strings.Join(failures, "\n  "))
+		return fmt.Errorf("experiments: performance regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }
@@ -209,15 +303,19 @@ func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) er
 // ParallelCSV renders the study as CSV, one row per point.
 func ParallelCSV(points []ParallelPoint) string {
 	var b strings.Builder
-	b.WriteString("mode,workers,runs,aborts,wall_ms,upd_per_sec,wal_syncs\n")
+	b.WriteString("mode,workers,runs,aborts,wall_ms,upd_per_sec,wal_syncs,commit_batches,ack_p50_ms,ack_p99_ms,snapshot_allocs,commit_merge_allocs\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%.2f,%.2f,%.1f\n",
-			p.Label(), p.Workers, p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec, p.WALSyncs)
+		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%.2f,%.2f,%.1f,%.1f,%.3f,%.3f,%.2f,%.2f\n",
+			p.Label(), p.Workers, p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec,
+			p.WALSyncs, p.CommitBatches, p.AckP50Millis, p.AckP99Millis,
+			p.SnapshotAllocsPerOp, p.CommitMergeAllocsPerOp)
 	}
 	return b.String()
 }
 
-// RenderParallel prints the study as an aligned table.
+// RenderParallel prints the study as an aligned table; durable studies
+// additionally show the sync coalescing (wal syncs vs commit batches)
+// and the commit-ack latency percentiles.
 func RenderParallel(points []ParallelPoint) string {
 	var b strings.Builder
 	b.WriteString("parallel-runtime study (COARSE tracker, same seeded workload)\n")
@@ -229,13 +327,13 @@ func RenderParallel(points []ParallelPoint) string {
 	}
 	fmt.Fprintf(&b, "%-12s%10s%12s%12s", "mode", "aborts", "wall(ms)", "upd/s")
 	if durable {
-		fmt.Fprintf(&b, "%12s", "wal syncs")
+		fmt.Fprintf(&b, "%12s%10s%12s%12s", "wal syncs", "batches", "ack-p50(ms)", "ack-p99(ms)")
 	}
 	b.WriteByte('\n')
 	for _, p := range points {
 		fmt.Fprintf(&b, "%-12s%10.1f%12.1f%12.1f", p.Label(), p.Aborts, p.WallMillis, p.UpdatesPerSec)
 		if durable {
-			fmt.Fprintf(&b, "%12.1f", p.WALSyncs)
+			fmt.Fprintf(&b, "%12.1f%10.1f%12.3f%12.3f", p.WALSyncs, p.CommitBatches, p.AckP50Millis, p.AckP99Millis)
 		}
 		b.WriteByte('\n')
 	}

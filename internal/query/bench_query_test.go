@@ -70,6 +70,55 @@ func BenchmarkRHSSatisfied(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinBindingChurn pins the binding-allocation behaviour of
+// the match hot loop (run with -benchmem): an early-stopping join on a
+// warm engine costs 3 allocs/op — the recursion closure plus the one
+// escaping result binding — because the working binding and the
+// per-join frame come from the engine's pools and clones are sized to
+// the mapping's variable count. Production engines are constructed
+// per evaluation, not reused across them, so the first join of an
+// evaluation pays the cold cost the pre-pool code always paid; the
+// pools earn their keep within an evaluation — every violation query
+// runs one LHS join plus one RHS-satisfaction join per match on the
+// same engine, and all joins after the first hit the warm pools this
+// benchmark measures. The companion regression test
+// TestJoinBindingAllocBound turns the number into a gate.
+func BenchmarkJoinBindingChurn(b *testing.B) {
+	st, m := benchWorld(b, 1000)
+	e := NewEngine(st.Snap(1))
+	bnd := Binding{"x": c("a10"), "z": c("z10")}
+	if !e.RHSSatisfied(m, bnd) { // warm the pools
+		b.Fatal("must be satisfied")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.RHSSatisfied(m, bnd) {
+			b.Fatal("must be satisfied")
+		}
+	}
+}
+
+// TestJoinBindingAllocBound is the -benchmem guard in test form: the
+// steady-state early-stopping join must stay within 3 heap
+// allocations (closure + result binding header and buckets). A
+// regression here means binding or frame churn crept back into the
+// hottest loop of the system.
+func TestJoinBindingAllocBound(t *testing.T) {
+	st, m := benchWorld(&testing.B{}, 1000)
+	e := NewEngine(st.Snap(1))
+	bnd := Binding{"x": c("a10"), "z": c("z10")}
+	if !e.RHSSatisfied(m, bnd) { // warm the pools
+		t.Fatal("must be satisfied")
+	}
+	got := testing.AllocsPerRun(200, func() {
+		e.RHSSatisfied(m, bnd)
+	})
+	if got > 3 {
+		t.Fatalf("steady-state join allocates %.1f times per op, want <= 3", got)
+	}
+}
+
 func BenchmarkViolationReadAffectedBy(b *testing.B) {
 	st, m := benchWorld(b, 1000)
 	_, w, _, err := st.Insert(2, model.NewTuple("A", c("fresh"), c("j3")))

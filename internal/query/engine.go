@@ -23,13 +23,23 @@ import (
 // Binding assigns values to mapping variables.
 type Binding map[string]model.Value
 
-// clone copies a binding.
-func (b Binding) clone() Binding {
-	out := make(Binding, len(b)+2)
+// cloneSized copies a binding into a map sized for the given final
+// variable count, so growth reallocations never happen when the caller
+// knows how many variables the mapping can bind.
+func (b Binding) cloneSized(size int) Binding {
+	if size < len(b) {
+		size = len(b)
+	}
+	out := make(Binding, size)
 	for k, v := range b {
 		out[k] = v
 	}
 	return out
+}
+
+// clone copies a binding with headroom for a couple of extensions.
+func (b Binding) clone() Binding {
+	return b.cloneSized(len(b) + 2)
 }
 
 // Restrict returns the binding restricted to the given variables.
@@ -110,9 +120,77 @@ func (v *Violation) String() string {
 	return "violation of " + v.TGD.Name + " at " + v.Binding.String()
 }
 
-// Engine evaluates queries against one snapshot.
+// Engine evaluates queries against one snapshot. It is not safe for
+// concurrent use: the join scratch (pooled working bindings reused
+// across evaluations — the match loop is the hottest code path in the
+// system, and per-join map churn shows up in every chase step) is
+// owned by one goroutine at a time, which is how every caller already
+// uses an engine.
 type Engine struct {
 	snap *storage.Snapshot
+
+	// bindingPool holds cleared scratch maps; joins pop one for their
+	// working binding and push it back when the enumeration finishes.
+	// Nested joins (Satisfied's RHS probe inside an LHS enumeration)
+	// simply pop a second one. framePool does the same for the
+	// per-join bookkeeping slices.
+	bindingPool []Binding
+	framePool   []*joinFrame
+}
+
+// joinFrame is the per-join bookkeeping: the witness under
+// construction, the processed-atom set, and the per-level undo lists.
+type joinFrame struct {
+	witness []storage.TupleID
+	done    []bool
+	undo    [][]string
+}
+
+// getFrame returns a join frame with capacity for n atoms, pooled.
+func (e *Engine) getFrame(n int) *joinFrame {
+	var f *joinFrame
+	if k := len(e.framePool); k > 0 {
+		f = e.framePool[k-1]
+		e.framePool = e.framePool[:k-1]
+	} else {
+		f = &joinFrame{}
+	}
+	if cap(f.witness) < n {
+		f.witness = make([]storage.TupleID, n)
+		f.done = make([]bool, n)
+		f.undo = make([][]string, n)
+	}
+	f.witness = f.witness[:n]
+	f.done = f.done[:n]
+	for i := range f.done {
+		f.done[i] = false
+	}
+	f.undo = f.undo[:n]
+	return f
+}
+
+func (e *Engine) putFrame(f *joinFrame) { e.framePool = append(e.framePool, f) }
+
+// getScratch returns a scratch binding pre-filled with b, drawing from
+// the pool when possible; sizeHint sizes a fresh allocation for the
+// join's full variable count.
+func (e *Engine) getScratch(b Binding, sizeHint int) Binding {
+	n := len(e.bindingPool)
+	if n == 0 {
+		return b.cloneSized(sizeHint)
+	}
+	out := e.bindingPool[n-1]
+	e.bindingPool = e.bindingPool[:n-1]
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// putScratch clears a scratch binding and returns it to the pool.
+func (e *Engine) putScratch(b Binding) {
+	clear(b)
+	e.bindingPool = append(e.bindingPool, b)
 }
 
 // NewEngine returns an engine reading through the given snapshot.
@@ -246,20 +324,35 @@ func undoBinds(b Binding, added []string) {
 // joinAtoms reports whether enumeration ran to completion.
 //
 // Bindings are extended in place with undo lists rather than cloned
-// per candidate: the join is the hottest code path of the whole
-// system (every violation query runs through it).
+// per candidate, the working binding is drawn from the engine's pool,
+// and per-result copies are sized to their exact final variable count:
+// the join is the hottest code path of the whole system (every
+// violation query runs through it), so map churn here is workload-wide
+// allocation churn.
 func (e *Engine) joinAtoms(atoms []tgd.Atom, b Binding, fn func(Binding, []storage.TupleID) bool) bool {
 	n := len(atoms)
-	witness := make([]storage.TupleID, n)
-	done := make([]bool, n)
-	scratch := b.clone()
-	undo := make([][]string, n)
+	frame := e.getFrame(n)
+	defer e.putFrame(frame)
+	witness, done := frame.witness, frame.done
+	// Upper bound on the join's final variable count: every variable
+	// term of every atom could be distinct and unbound.
+	varCap := len(b)
+	for i := range atoms {
+		for _, term := range atoms[i].Terms {
+			if term.IsVar {
+				varCap++
+			}
+		}
+	}
+	scratch := e.getScratch(b, varCap)
+	defer e.putScratch(scratch)
+	undo := frame.undo
 	var rec func(remaining int) bool
 	rec = func(remaining int) bool {
 		if remaining == 0 {
 			w := make([]storage.TupleID, n)
 			copy(w, witness)
-			return fn(scratch.clone(), w)
+			return fn(scratch.cloneSized(len(scratch)), w)
 		}
 		// Greedy: evaluate the most-bound unprocessed atom next.
 		best := -1

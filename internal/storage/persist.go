@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"youtopia/internal/model"
@@ -13,14 +14,30 @@ import (
 // redo application used by recovery. The log format itself lives in
 // internal/wal; storage only exposes the structured state.
 
+// CommitAck blocks until the commit batch that returned it is durable
+// and reports the outcome. The commit pipeline splits a durable commit
+// into append-under-lock and sync-outside: the hook appends the batch
+// to its log while CommitBatch holds every stripe lock, but the fsync
+// happens after the locks are released, and the ack is how a caller
+// waits for it. Callers must not acknowledge a commit to anyone —
+// return from a synchronous apply, completion of a scheduler run —
+// before the ack resolves without error.
+type CommitAck func() error
+
 // CommitHook observes a commit batch before it takes effect. It is
 // called by CommitBatch while every stripe lock is held, with the
 // batch's writers in ascending order and their write records merged in
-// (writer, seq) order — the serialization order of the batch. A
-// non-nil error vetoes the commit: the store is left unchanged and
-// CommitBatch returns the error. The hook must not call back into the
-// store.
-type CommitHook func(writers []int, recs []WriteRec) error
+// (writer, seq) order — the serialization order of the batch. Both
+// slices are only valid for the duration of the call (the record slice
+// is a scratch buffer the store reuses across batches); hooks that
+// retain them must copy.
+//
+// A non-nil error vetoes the commit: the store is left unchanged and
+// CommitBatch returns the error. On success the hook may return a
+// CommitAck that the caller uses to await durability; a nil ack means
+// the batch is durable (or durability is not required) the moment the
+// hook returns. The hook must not call back into the store.
+type CommitHook func(writers []int, recs []WriteRec) (CommitAck, error)
 
 // SetCommitHook installs the durability hook. It must be called before
 // the store sees concurrent use (the field is read without a lock on
@@ -28,8 +45,25 @@ type CommitHook func(writers []int, recs []WriteRec) error
 func (st *Store) SetCommitHook(h CommitHook) { st.commitHook = h }
 
 // Persistent reports whether a durability hook is installed, which is
-// how the schedulers know each commit batch costs one log sync.
+// how the schedulers know each commit batch costs a log append.
 func (st *Store) Persistent() bool { return st.commitHook != nil }
+
+// SetSyncCounter installs a callback reporting how many log fsyncs the
+// durability backend has issued so far. The schedulers diff it across
+// a run to report Metrics.WALSyncs: with the pipelined sync decoupled
+// from the commit lock, consecutive batches coalesce and the count can
+// be strictly below the commit-batch count. Like SetCommitHook it must
+// be installed before the store sees concurrent use.
+func (st *Store) SetSyncCounter(f func() int64) { st.syncCounter = f }
+
+// SyncCount returns the durability backend's fsync count (0 without a
+// counter installed).
+func (st *Store) SyncCount() int64 {
+	if st.syncCounter == nil {
+		return 0
+	}
+	return st.syncCounter()
+}
 
 // sortedWriters returns an ascending copy of a commit batch's writers.
 func sortedWriters(writers []int) []int {
@@ -40,21 +74,52 @@ func sortedWriters(writers []int) []int {
 
 // batchWrites merges the live write logs of a commit batch's writers
 // across all stripes, sorted by (writer, seq) — the order recovery
-// replays them in. Callers hold every stripe lock.
+// replays them in. The result reuses the store's commit scratch buffer
+// (sized exactly from the per-writer shard lengths, so steady-state
+// batches allocate nothing) and is valid only until the next batch;
+// CommitBatch hands it to the hook under that contract. Callers hold
+// every stripe lock, which is also what serializes scratch reuse.
 func (st *Store) batchWrites(writers []int) []WriteRec {
-	var out []WriteRec
+	n := 0
+	for _, s := range st.byIdx {
+		for _, w := range writers {
+			n += len(s.logs[w])
+		}
+	}
+	out := st.commitScratch
+	if cap(out) < n {
+		out = make([]WriteRec, 0, n)
+	}
+	out = out[:0]
 	for _, s := range st.byIdx {
 		for _, w := range writers {
 			out = append(out, s.logs[w]...)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Writer != out[j].Writer {
-			return out[i].Writer < out[j].Writer
+	slices.SortFunc(out, func(a, b WriteRec) int {
+		if a.Writer != b.Writer {
+			return a.Writer - b.Writer
 		}
-		return out[i].Seq < out[j].Seq
+		return int(a.Seq - b.Seq)
 	})
+	st.commitScratch = out
 	return out
+}
+
+// CommitMergeProbe returns a closure performing one commit-batch merge
+// of the writers' live logs — exactly what CommitBatch hands to the
+// durability hook. The closure reuses the store's scratch buffer, so
+// after a warm-up call it exhibits the steady-state allocation
+// behaviour of the commit path; experiments.ParallelStudy publishes
+// its allocs/op into the bench artifacts CI gates. The store must be
+// quiescent while the probe runs.
+func (st *Store) CommitMergeProbe(writers []int) func() {
+	ws := sortedWriters(writers)
+	return func() {
+		st.lockAll()
+		st.batchWrites(ws)
+		st.unlockAll()
+	}
 }
 
 // ApplyRedo replays one committed write record during recovery. The

@@ -208,8 +208,13 @@ type Store struct {
 	// commitHook, when non-nil, makes commits durable: CommitBatch
 	// hands it every batch's write records before marking the writers
 	// committed. Installed once via SetCommitHook before the store sees
-	// concurrent use; see persist.go.
-	commitHook CommitHook
+	// concurrent use; see persist.go. syncCounter reports the backend's
+	// fsync count (SetSyncCounter). commitScratch is the reusable
+	// merged-record buffer batchWrites fills; it is only touched while
+	// every stripe lock is held.
+	commitHook    CommitHook
+	syncCounter   func() int64
+	commitScratch []WriteRec
 
 	// uncommittedCache publishes the memoized UncommittedWrites result
 	// (nil = stale); PRECISE dependency tracking calls it on every
@@ -648,34 +653,57 @@ func (st *Store) Abort(writer int) {
 
 // Commit marks a writer's versions as permanent and retires its write
 // log; a committed writer can no longer abort. With a durability hook
-// installed (SetCommitHook) the error is the hook's: on failure
-// nothing is committed.
+// installed (SetCommitHook) the call blocks until the commit is
+// durable; see CommitBatch for the error contract.
 func (st *Store) Commit(writer int) error {
 	return st.CommitBatch([]int{writer})
 }
 
 // CommitBatch commits a group of writers in one store-wide lock
 // acquisition — the group-commit primitive the scheduler's commit
-// frontier uses to drain a whole terminated prefix at once. Logs and
-// per-relation writer counts are retired for every writer in the
-// batch before the locks are released.
-//
-// With a durability hook installed, the batch's write records are
-// handed to the hook — one call, and therefore one log append and one
-// sync, per commit batch — before the writers are marked committed; a
-// hook failure aborts the commit (the store is unchanged and the
-// error is returned), so a batch is never committed in memory without
-// being durable first.
+// frontier uses to drain a whole terminated prefix at once — and, on a
+// durable store, blocks until the batch's log sync lands. It is
+// CommitBatchAsync followed by the ack wait; an ack failure means the
+// batch is committed in memory but its durability could not be
+// confirmed (the backend refuses further commits until reopened).
 func (st *Store) CommitBatch(writers []int) error {
+	ack, err := st.CommitBatchAsync(writers)
+	if err != nil {
+		return err
+	}
+	if ack != nil {
+		return ack()
+	}
+	return nil
+}
+
+// CommitBatchAsync is the pipelined commit: logs and per-relation
+// writer counts are retired for every writer in the batch and the
+// batch's write records are handed to the durability hook — appended
+// to the log, one call per commit batch — all under one store-wide
+// lock round, but the locks are released *before* any fsync. The
+// returned ack (nil on in-memory stores) blocks until the covering
+// sync lands; callers must not report the commit as durable before
+// the ack resolves.
+//
+// A hook error vetoes the commit: nothing was appended past the
+// failure, the store is unchanged, and the error is returned — the
+// pre-pipeline semantics. Once the hook accepts the append the commit
+// takes effect in memory unconditionally; only acknowledgment waits
+// for the disk.
+func (st *Store) CommitBatchAsync(writers []int) (CommitAck, error) {
 	if len(writers) == 0 {
-		return nil
+		return nil, nil
 	}
 	st.lockAll()
 	defer st.unlockAll()
+	var ack CommitAck
 	if st.commitHook != nil {
-		if err := st.commitHook(sortedWriters(writers), st.batchWrites(writers)); err != nil {
-			return err
+		a, err := st.commitHook(sortedWriters(writers), st.batchWrites(writers))
+		if err != nil {
+			return nil, err
 		}
+		ack = a
 	}
 	st.commitMu.Lock()
 	for _, w := range writers {
@@ -689,7 +717,7 @@ func (st *Store) CommitBatch(writers []int) error {
 		}
 	}
 	st.markUncommittedDirty()
-	return nil
+	return ack, nil
 }
 
 // Committed reports whether the writer has committed.

@@ -158,8 +158,10 @@ func TestParallelCrashRecoveryAtEveryBatchBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.WALSyncs != m.CommitBatches || m.WALSyncs == 0 {
-		t.Fatalf("WALSyncs = %d, CommitBatches = %d", m.WALSyncs, m.CommitBatches)
+	// The pipelined sync coalesces consecutive batches: at least one
+	// fsync covered the run, never more than one per batch.
+	if m.WALSyncs == 0 || m.WALSyncs > m.CommitBatches {
+		t.Fatalf("WALSyncs = %d, CommitBatches = %d: want 0 < syncs <= batches", m.WALSyncs, m.CommitBatches)
 	}
 	final := st.Dump(allSeeing)
 	total := mgr.Batches()

@@ -10,10 +10,40 @@ import (
 )
 
 // These table tests pin down the crash points of the ISSUE: a process
-// killed right after an append, halfway through a checkpoint, or
-// between checkpoint install and segment truncation must always
-// recover to the serial oracle — the state after the last wholly
-// durable commit batch, never anything partial.
+// killed right after an append, between an append and its pipelined
+// sync, between the sync and the acknowledgment, halfway through a
+// checkpoint, or between checkpoint install and segment truncation
+// must always recover to the serial oracle — the state after the last
+// wholly durable commit batch, never anything partial. An
+// acknowledged batch must always be recovered; an appended-but-
+// unacknowledged batch may be recovered fully or cut at a frame
+// boundary, never partially applied.
+
+// crashStop simulates a kill -9 against a live manager: background
+// goroutines are stopped and the segment handle is closed WITHOUT the
+// close-time covering sync, leaving the directory exactly as an OS
+// crash would find the file — except for page-cache loss, which the
+// tests simulate afterwards by truncating or corrupting the tail.
+// Acks that were never waited on stay unacknowledged, which is the
+// point: the invariant under test only protects acknowledged batches.
+func (m *Manager) crashStop() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for m.syncing {
+		m.syncCond.Wait()
+	}
+	if m.f != nil {
+		m.f.Close()
+		m.f = nil
+	}
+	m.syncCond.Broadcast()
+	m.mu.Unlock()
+	m.stopBackground()
+}
 
 // driveWorkload runs a fixed scripted workload covering every write
 // kind (insert, delete, null-replacing modify, a set-semantics
@@ -68,6 +98,7 @@ func TestCrashPoints(t *testing.T) {
 	type env struct {
 		dir   string
 		m     *Manager
+		st    *storage.Store
 		dumps []string
 	}
 	lastSegment := func(t *testing.T, dir string) string {
@@ -94,6 +125,84 @@ func TestCrashPoints(t *testing.T) {
 		{"kill-after-append", func(t *testing.T, e *env) int {
 			// No Close: the manager still holds the segment open, as a
 			// killed process would have. Every batch was synced.
+			return len(e.dumps) - 1
+		}},
+		{"kill-between-append-and-sync-tail-survives", func(t *testing.T, e *env) int {
+			// One more batch committed through the pipeline but never
+			// acknowledged (the ack is dropped), then a kill before any
+			// covering sync is guaranteed. With the page cache intact
+			// the frame survives — recovering the batch fully is one of
+			// the two permitted outcomes.
+			mustInsert(t, e.st, 8, tup("C", c("unacked")))
+			if _, err := e.st.CommitBatchAsync([]int{8}); err != nil {
+				t.Fatal(err)
+			}
+			e.m.crashStop()
+			e.dumps = append(e.dumps, e.st.Dump(allSeeing))
+			return len(e.dumps) - 1
+		}},
+		{"kill-between-append-and-sync-tail-lost", func(t *testing.T, e *env) int {
+			// Same unacknowledged batch, but the unsynced page-cache
+			// tail is lost with the crash: the frame vanishes at its
+			// boundary and recovery lands exactly on the acknowledged
+			// prefix — the other permitted outcome.
+			mustInsert(t, e.st, 8, tup("C", c("unacked")))
+			if _, err := e.st.CommitBatchAsync([]int{8}); err != nil {
+				t.Fatal(err)
+			}
+			e.m.crashStop()
+			seg := lastSegment(t, e.dir)
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ends := batchEndOffsets(t, data)
+			cut := int64(headerLen) // sole frame: the segment empties
+			if len(ends) >= 2 {
+				cut = ends[len(ends)-2]
+			}
+			if err := os.Truncate(seg, cut); err != nil {
+				t.Fatal(err)
+			}
+			return len(e.dumps) - 1
+		}},
+		{"kill-between-append-and-sync-tail-partial", func(t *testing.T, e *env) int {
+			// Only part of the unsynced frame reaches disk: the CRC
+			// cuts the torn frame and the batch vanishes entirely —
+			// never a partial application.
+			mustInsert(t, e.st, 8, tup("C", c("unacked")))
+			if _, err := e.st.CommitBatchAsync([]int{8}); err != nil {
+				t.Fatal(err)
+			}
+			e.m.crashStop()
+			seg := lastSegment(t, e.dir)
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ends := batchEndOffsets(t, data)
+			if err := os.Truncate(seg, ends[len(ends)-1]-3); err != nil {
+				t.Fatal(err)
+			}
+			return len(e.dumps) - 1
+		}},
+		{"kill-between-sync-and-ack", func(t *testing.T, e *env) int {
+			// The covering sync lands (the ack ticket resolves) but the
+			// process dies before anyone observes the acknowledgment:
+			// the batch is durable and MUST be recovered.
+			mustInsert(t, e.st, 8, tup("C", c("synced-unobserved")))
+			ack, err := e.st.CommitBatchAsync([]int{8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ack == nil {
+				t.Fatal("durable store returned no ack")
+			}
+			if err := ack(); err != nil {
+				t.Fatal(err)
+			}
+			e.m.crashStop()
+			e.dumps = append(e.dumps, e.st.Dump(allSeeing))
 			return len(e.dumps) - 1
 		}},
 		{"kill-mid-append-torn-frame", func(t *testing.T, e *env) int {
@@ -180,6 +289,8 @@ func TestCrashPoints(t *testing.T) {
 				t.Fatal(err)
 			}
 			e.m = m
+			e.st = st
+			t.Cleanup(m.crashStop) // reap goroutines of no-Close cases
 			e.dumps = driveWorkload(t, st)
 
 			wantBatch := tc.crash(t, e)

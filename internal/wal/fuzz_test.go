@@ -17,15 +17,27 @@ import (
 // yields exactly the committed prefix the surviving frames cover,
 // never part of a batch, and RecoveryInfo.LastBatch tells the truth
 // about which prefix that is.
+//
+// Bit 1 of cut selects the shutdown: a clean Close (every batch
+// acknowledged), or a crash with the final batch committed through
+// the pipeline but never acknowledged — the kill-between-append-and-
+// sync and kill-between-sync-and-ack windows. The invariant is the
+// same either way (the injury decides how much of the unacknowledged
+// tail survives, and the oracle accepts any whole-batch prefix), but
+// the crash path exercises recovery over a tail whose covering sync
+// was never observed.
 func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint16(0))
 	f.Add([]byte{200, 201, 220, 240, 250, 10, 20, 221, 241}, uint16(7))
 	f.Add([]byte{250, 250, 0, 200, 240, 220, 1, 2, 3, 4, 5, 6, 7, 8}, uint16(33000))
 	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 250, 9, 8, 7}, uint16(999))
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 202, 208}, uint16(2))
+	f.Add([]byte{210, 212, 230, 244, 7, 7, 7}, uint16(6))
 	f.Fuzz(func(t *testing.T, script []byte, cut uint16) {
 		if len(script) == 0 {
 			return
 		}
+		crash := cut&2 != 0
 		dir := t.TempDir()
 		schema := model.NewSchema()
 		schema.MustAddRelation("C", "a")
@@ -47,7 +59,14 @@ func FuzzWALReplay(f *testing.F) {
 			if inBatch == 0 {
 				return
 			}
-			if err := st.CommitBatch([]int{writer}); err != nil {
+			if crash {
+				// Pipelined commit, ack dropped: every batch stays
+				// unacknowledged, as in a process killed between its
+				// appends and their covering syncs.
+				if _, err := st.CommitBatchAsync([]int{writer}); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := st.CommitBatch([]int{writer}); err != nil {
 				t.Fatal(err)
 			}
 			dumps = append(dumps, st.Dump(allSeeing))
@@ -121,7 +140,9 @@ func FuzzWALReplay(f *testing.F) {
 		if total+1 != len(dumps) {
 			t.Fatalf("oracle drift: %d batches, %d dumps", total, len(dumps))
 		}
-		if err := m.Close(); err != nil {
+		if crash {
+			m.crashStop()
+		} else if err := m.Close(); err != nil {
 			t.Fatal(err)
 		}
 

@@ -1,0 +1,249 @@
+package wal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"youtopia/internal/storage"
+)
+
+// These tests pin the sync pipeline of ISSUE 4: appends happen under
+// the commit lock, fsyncs happen behind it, acknowledgment waits for
+// the covering sync, and consecutive batches coalesce into fewer
+// fsyncs than batches.
+
+// parkBackground stops the manager's background goroutines so a test
+// can drive the pipeline by hand; Close still works afterwards (the
+// shutdown is idempotent) and performs the drain itself.
+func parkBackground(m *Manager) { m.stopBackground() }
+
+// TestSyncPendingCoalescesAcks drives the pipeline deterministically:
+// three batches appended with no syncer running, then one manual
+// covering fsync — which must resolve all three acks at the cost of a
+// single sync, the coalescing that makes Syncs() <= Batches().
+func TestSyncPendingCoalescesAcks(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	m, st, err := Open(dir, schema, Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parkBackground(m)
+
+	var acks []storage.CommitAck
+	for i := 1; i <= 3; i++ {
+		mustInsert(t, st, i, tup("C", c(fmt.Sprintf("v%d", i))))
+		ack, err := st.CommitBatchAsync([]int{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack == nil {
+			t.Fatal("durable commit returned no ack")
+		}
+		acks = append(acks, ack)
+	}
+	if got := m.Syncs(); got != 0 {
+		t.Fatalf("Syncs = %d before any covering sync", got)
+	}
+	if got := m.SyncedBatches(); got != 0 {
+		t.Fatalf("SyncedBatches = %d with the syncer parked", got)
+	}
+	m.syncPending()
+	if got := m.Syncs(); got != 1 {
+		t.Fatalf("Syncs = %d, want 1 covering fsync for 3 batches", got)
+	}
+	if got := m.SyncedBatches(); got != 3 {
+		t.Fatalf("SyncedBatches = %d, want 3", got)
+	}
+	for i, ack := range acks {
+		if err := ack(); err != nil {
+			t.Fatalf("ack %d: %v", i+1, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Syncs(); got != 1 {
+		t.Fatalf("Syncs = %d after close, want 1 (nothing left to drain)", got)
+	}
+
+	st2, info, err := Recover(dir, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastBatch != 3 {
+		t.Fatalf("LastBatch = %d, want 3", info.LastBatch)
+	}
+	if got, want := st2.Dump(allSeeing), st.Dump(allSeeing); got != want {
+		t.Fatalf("recovered instance differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCheckpointAcknowledgesPendingBatches: a durable checkpoint
+// reproduces the committed instance through its batch index, so it
+// must resolve the acks of appended-but-unsynced batches without a
+// segment fsync — the checkpoint is their durable copy.
+func TestCheckpointAcknowledgesPendingBatches(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	m, st, err := Open(dir, schema, Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parkBackground(m)
+
+	mustInsert(t, st, 1, tup("C", c("ckpt-covered")))
+	ack, err := st.CommitBatchAsync([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ack(); err != nil {
+		t.Fatalf("ack after covering checkpoint: %v", err)
+	}
+	if got := m.Syncs(); got != 0 {
+		t.Fatalf("Syncs = %d, want 0 (the checkpoint covered the batch)", got)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, info, err := Recover(dir, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastBatch != 1 {
+		t.Fatalf("LastBatch = %d, want 1", info.LastBatch)
+	}
+	if got, want := st2.Dump(allSeeing), st.Dump(allSeeing); got != want {
+		t.Fatalf("recovered instance differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCloseDrainsPipeline: Close must issue the final covering sync
+// for appended-but-unsynced batches and resolve their acks before
+// returning — "repository Close drains the pipeline".
+func TestCloseDrainsPipeline(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	m, st, err := Open(dir, schema, Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parkBackground(m)
+
+	mustInsert(t, st, 1, tup("C", c("drained")))
+	ack, err := st.CommitBatchAsync([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ack() }()
+	// Close performs the covering sync itself (the parked syncer never
+	// will) and wakes the waiter.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ack after close drain: %v", err)
+	}
+	if got := m.Syncs(); got != 1 {
+		t.Fatalf("Syncs = %d, want 1 (the close drain)", got)
+	}
+
+	st2, info, err := Recover(dir, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastBatch != 1 {
+		t.Fatalf("LastBatch = %d, want 1", info.LastBatch)
+	}
+	if got, want := st2.Dump(allSeeing), st.Dump(allSeeing); got != want {
+		t.Fatalf("recovered instance differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPoisonWakesParkedAckWaiters regresses a deadlock: a goroutine
+// parked in an ack ticket (exactly what the schedulers' ackTracker
+// does) must be woken with an error when a LATER batch's append
+// poisons the log — without the wake, scheduler Run and ApplyTraced
+// would block forever on a covering sync that can never come.
+func TestPoisonWakesParkedAckWaiters(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	m, st, err := Open(dir, schema, Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parkBackground(m) // no syncer: batch 1's ack can only end via the poison
+
+	mustInsert(t, st, 1, tup("C", c("parked")))
+	ack, err := st.CommitBatchAsync([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() { parked <- ack() }()
+
+	// Yank the segment: batch 2's append fails and poisons the log.
+	m.mu.Lock()
+	m.f.Close()
+	m.mu.Unlock()
+	mustInsert(t, st, 2, tup("C", c("fails")))
+	if err := st.CommitBatch([]int{2}); err == nil {
+		t.Fatal("commit over a dead segment succeeded")
+	}
+
+	select {
+	case err := <-parked:
+		if err == nil {
+			t.Fatal("parked ack resolved without an error on a poisoned log")
+		}
+		if !strings.Contains(err.Error(), "not durable") {
+			t.Fatalf("parked ack error = %v, want a not-durable report", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked ack waiter never woken by the poison")
+	}
+	m.mu.Lock()
+	m.closed = true
+	m.f = nil
+	m.mu.Unlock()
+}
+
+// TestSyncNeverNeedsNoAck: under SyncNever the append is all the
+// durability asked for — the commit returns no ack and no fsyncs are
+// ever counted.
+func TestSyncNeverNeedsNoAck(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	m, st, err := Open(dir, schema, Options{Sync: SyncNever, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, st, 1, tup("C", c("lazy")))
+	ack, err := st.CommitBatchAsync([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != nil {
+		t.Fatal("SyncNever commit returned an ack")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Syncs(); got != 0 {
+		t.Fatalf("Syncs = %d under SyncNever", got)
+	}
+	st2, _, err := Recover(dir, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st2.Dump(allSeeing), st.Dump(allSeeing); got != want {
+		t.Fatalf("recovered instance differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

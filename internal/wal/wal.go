@@ -8,13 +8,24 @@
 // value sides — so the log needs no format of its own beyond framing.
 // Second, the schedulers' commit frontier drains whole terminated
 // prefixes through single storage.CommitBatch calls, so the group
-// commit doubles as the fsync batch boundary: one log append and one
-// sync cover every update in the batch, and batches reach the log in
-// priority order. Recovery therefore replays a strictly ordered
-// stream of committed writes, collapsing them onto writer 0 (the
-// committed initial database) — which both reproduces the committed
-// instance byte-for-byte and frees the whole update-number space for
-// the next run.
+// commit doubles as the log batch boundary: one append covers every
+// update in the batch, and batches reach the log in priority order.
+// Recovery therefore replays a strictly ordered stream of committed
+// writes, collapsing them onto writer 0 (the committed initial
+// database) — which both reproduces the committed instance
+// byte-for-byte and frees the whole update-number space for the next
+// run.
+//
+// Syncing is pipelined (append → coalesced sync → ack): the append
+// happens under the store's commit lock, but the fsync does not — a
+// dedicated syncer goroutine issues covering fsyncs and resolves the
+// ack tickets appendBatch hands out, so batches committed while a
+// sync is in flight share the next one (Syncs() <= Batches()).
+// Acknowledgment — a CommitBatch return, a scheduler run completing,
+// Close — still waits for the covering sync, so anything reported
+// durable is durable; a batch that was appended but never
+// acknowledged may recover fully or be cut at a frame boundary by
+// the CRCs, never partially.
 //
 // A directory holds at most one checkpoint lineage and a contiguous
 // run of segments:
@@ -48,8 +59,10 @@ import (
 type SyncPolicy uint8
 
 const (
-	// SyncAlways fsyncs after every commit batch (the default): a
-	// crash loses nothing that was reported committed.
+	// SyncAlways (the default) makes every commit batch's
+	// acknowledgment wait for a covering fsync; the sync pipeline
+	// coalesces consecutive batches into fewer fsyncs, and a crash
+	// loses nothing that was acknowledged.
 	SyncAlways SyncPolicy = iota
 	// SyncNever leaves flushing to the OS: group commit still bounds
 	// the write rate, but a crash may lose the most recent batches
@@ -77,10 +90,12 @@ type Options struct {
 	// disables background checkpointing — Checkpoint can still be
 	// called explicitly).
 	CheckpointBytes int64
-	// Observer, when non-nil, is called after every durable append
-	// with the batch index and the appended batch. It runs under the
-	// manager's and the store's commit locks and must not call back
-	// into either; tests and metrics collectors use it.
+	// Observer, when non-nil, is called after every append with the
+	// batch index and the appended batch (the batch may not be synced
+	// yet — acknowledgment is the ack ticket's business). It runs
+	// under the manager's and the store's commit locks and must not
+	// call back into either or retain the record slice; tests and
+	// metrics collectors use it.
 	Observer func(batch int64, writers []int, recs []storage.WriteRec)
 }
 
@@ -116,15 +131,53 @@ type Manager struct {
 	batches   int64    // index of the last appended commit batch
 	lastCkpt  int64    // batch index of the last durable checkpoint
 	sinceCkpt int64    // log bytes since the last durable checkpoint
-	syncs     int64    // fsyncs issued for appends
+	syncs     int64    // fsyncs that covered appended batches
 	closed    bool
 	ioErr     error // sticky append-path I/O failure; see appendBatch
 	bgErr     error // first background-checkpoint failure
 
-	// ckptCh wakes the background checkpointer; nil when disabled.
-	ckptCh chan struct{}
-	done   chan struct{}
-	wg     sync.WaitGroup
+	// Sync pipeline state (SyncAlways): appendBatch writes the frame
+	// under mu and returns an ack ticket; the syncer goroutine fsyncs
+	// outside every lock and advances syncedBatch, waking ticket
+	// waiters through syncCond. Consecutive appends that land while a
+	// sync is in flight are covered by the next one — that coalescing
+	// is what makes syncs <= batches. syncing marks an fsync in
+	// flight; segment rotation and Close wait it out before touching
+	// the file handle.
+	syncCond    *sync.Cond // on mu
+	syncedBatch int64      // highest batch index covered by a durable sync (or checkpoint)
+	syncing     bool
+
+	// ckptCh wakes the background checkpointer (nil when disabled);
+	// syncCh wakes the syncer (nil under SyncNever). stopOnce makes
+	// the goroutine shutdown idempotent across Close and the test
+	// helpers that simulate crashes.
+	ckptCh   chan struct{}
+	syncCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// stopBackground stops the syncer and checkpointer goroutines, once.
+func (m *Manager) stopBackground() {
+	m.stopOnce.Do(func() {
+		close(m.done)
+		m.wg.Wait()
+	})
+}
+
+// poisonLocked records the first append-path I/O failure and wakes
+// every parked ack waiter — they must observe the poison and surface
+// the error rather than sleep forever waiting for a covering sync
+// that will never come. Callers hold m.mu; the sticky error is
+// returned for convenience.
+func (m *Manager) poisonLocked(err error) error {
+	if m.ioErr == nil {
+		m.ioErr = err
+	}
+	m.syncCond.Broadcast()
+	return m.ioErr
 }
 
 func segName(first int64) string {
@@ -156,15 +209,24 @@ func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.St
 		batches:  rec.info.LastBatch,
 		lastCkpt: rec.info.CheckpointBatch,
 	}
+	m.syncCond = sync.NewCond(&m.mu)
+	// Everything recovered is durable by definition.
+	m.syncedBatch = m.batches
 	if err := m.repair(rec); err != nil {
 		return nil, nil, err
 	}
 	rec.st.SetCommitHook(m.appendBatch)
+	rec.st.SetSyncCounter(m.Syncs)
+	m.done = make(chan struct{})
 	if m.opts.CheckpointBytes > 0 {
-		m.done = make(chan struct{})
 		m.ckptCh = make(chan struct{}, 1)
 		m.wg.Add(1)
 		go m.checkpointLoop(m.ckptCh)
+	}
+	if m.opts.Sync == SyncAlways {
+		m.syncCh = make(chan struct{}, 1)
+		m.wg.Add(1)
+		go m.syncLoop(m.syncCh)
 	}
 	return m, rec.st, nil
 }
@@ -229,11 +291,24 @@ func (m *Manager) Batches() int64 {
 	return m.batches
 }
 
-// Syncs returns the number of fsyncs issued for batch appends.
+// Syncs returns the number of fsyncs that covered appended batches —
+// pipeline syncs, rotation syncs over pending batches, and the
+// close-time drain. With the sync pipeline coalescing consecutive
+// batches this is at most Batches(), and strictly below it whenever
+// commits arrive faster than the disk syncs.
 func (m *Manager) Syncs() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.syncs
+}
+
+// SyncedBatches returns the index of the last commit batch covered by
+// a durable sync or checkpoint; batches above it are appended but not
+// yet acknowledged.
+func (m *Manager) SyncedBatches() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncedBatch
 }
 
 // LastCheckpoint returns the batch index of the last durable
@@ -244,10 +319,13 @@ func (m *Manager) LastCheckpoint() int64 {
 	return m.lastCkpt
 }
 
-// appendBatch is the storage.CommitHook: one frame append (and, under
-// SyncAlways, one fsync) per commit batch. It runs while the store
-// holds every stripe lock, which is what makes the log order the
-// commit order.
+// appendBatch is the storage.CommitHook: one frame append per commit
+// batch, written while the store holds every stripe lock — which is
+// what makes the log order the commit order — but *not* fsynced
+// there. Under SyncAlways the returned ack ticket blocks until the
+// syncer goroutine's next covering fsync lands (or a checkpoint
+// supersedes it), so the expensive disk wait happens after the stripe
+// locks are released and concurrent batches share syncs.
 //
 // Any I/O failure on the append path poisons the manager: the commit
 // it vetoed may have left a torn frame (or pages in an unknown sync
@@ -256,34 +334,29 @@ func (m *Manager) LastCheckpoint() int64 {
 // an acknowledged commit lost. Refusing every subsequent append keeps
 // the acknowledged prefix exactly equal to the durable one; the
 // operator reopens the directory (which repairs the torn tail) to
-// resume.
-func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) error {
+// resume. A *sync* failure poisons the same way, but the batches it
+// stranded were already committed in memory — their acks report the
+// error, and the acknowledged-to-anyone prefix still ends at the last
+// successful sync.
+func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) (storage.CommitAck, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return fmt.Errorf("wal: append to closed log")
+		return nil, fmt.Errorf("wal: append to closed log")
 	}
 	if m.ioErr != nil {
-		return fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
+		return nil, fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
 	}
 	payload, err := m.cdc.encodeBatch(m.batches+1, writers, recs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	frame := appendFrame(nil, payload)
 	if err := m.ensureSegmentLocked(int64(len(frame))); err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := m.f.Write(frame); err != nil {
-		m.ioErr = fmt.Errorf("wal: append: %w", err)
-		return m.ioErr
-	}
-	if m.opts.Sync == SyncAlways {
-		if err := m.f.Sync(); err != nil {
-			m.ioErr = fmt.Errorf("wal: sync: %w", err)
-			return m.ioErr
-		}
-		m.syncs++
+		return nil, m.poisonLocked(fmt.Errorf("wal: append: %w", err))
 	}
 	m.batches++
 	m.size += int64(len(frame))
@@ -297,22 +370,116 @@ func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) error {
 		default:
 		}
 	}
-	return nil
+	if m.opts.Sync != SyncAlways {
+		// SyncNever: flushing is the OS's business; the append is all
+		// the durability the caller asked for.
+		return nil, nil
+	}
+	batch := m.batches
+	select {
+	case m.syncCh <- struct{}{}:
+	default:
+	}
+	return func() error { return m.waitSynced(batch) }, nil
+}
+
+// waitSynced blocks until the given batch index is covered by a
+// durable sync or checkpoint.
+func (m *Manager) waitSynced(batch int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.syncedBatch < batch && m.ioErr == nil && !m.closed {
+		m.syncCond.Wait()
+	}
+	if m.syncedBatch >= batch {
+		return nil
+	}
+	if m.ioErr != nil {
+		return fmt.Errorf("wal: commit batch %d not durable: %w", batch, m.ioErr)
+	}
+	return fmt.Errorf("wal: closed before commit batch %d was synced", batch)
+}
+
+// syncLoop is the dedicated syncer: woken after appends, it fsyncs the
+// active segment outside every lock and advances the synced frontier
+// to whatever had been appended when the fsync started. Appends that
+// land during an fsync are picked up by the next round — one fsync per
+// wake, however many batches accumulated.
+func (m *Manager) syncLoop(ch <-chan struct{}) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ch:
+			m.syncPending()
+		}
+	}
+}
+
+// syncPending performs one covering fsync if any appended batch awaits
+// one. Close drains the tail itself, so a closed manager is left
+// alone.
+func (m *Manager) syncPending() {
+	m.mu.Lock()
+	if m.closed || m.ioErr != nil || m.f == nil || m.syncedBatch >= m.batches {
+		m.mu.Unlock()
+		return
+	}
+	target := m.batches
+	f := m.f
+	m.syncing = true
+	m.mu.Unlock()
+	err := f.Sync()
+	m.mu.Lock()
+	m.syncing = false
+	if err != nil {
+		m.poisonLocked(fmt.Errorf("wal: sync: %w", err))
+	} else {
+		if target > m.syncedBatch {
+			m.syncedBatch = target
+		}
+		m.syncs++
+	}
+	m.syncCond.Broadcast()
+	m.mu.Unlock()
 }
 
 // ensureSegmentLocked rotates a full segment and lazily creates the
 // next one. Callers hold m.mu. Failures that may have left bytes in
 // an unknown state poison the manager (see appendBatch); a failure to
 // create the next segment leaves nothing written and stays retryable.
+//
+// Rotation is a natural sync point: the outgoing segment is fsynced
+// before it is closed, which covers every batch appended so far (the
+// pipeline never leaves unsynced batches behind in a rotated-away
+// segment — the syncer only ever needs the active one). An in-flight
+// pipeline fsync is waited out first so the handle is not closed
+// under it.
 func (m *Manager) ensureSegmentLocked(frameLen int64) error {
 	if m.f != nil && m.size > headerLen && m.size+frameLen > m.opts.SegmentBytes {
+		for m.syncing {
+			m.syncCond.Wait()
+		}
+		// The wait released m.mu: a concurrent Close may have drained
+		// and released the handle in the interim — re-check before
+		// touching it (a nil-file Sync would spuriously poison the log).
+		if m.closed || m.f == nil {
+			return fmt.Errorf("wal: append to closed log")
+		}
+		if m.ioErr != nil {
+			return fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
+		}
 		if err := m.f.Sync(); err != nil {
-			m.ioErr = fmt.Errorf("wal: sync on rotation: %w", err)
-			return m.ioErr
+			return m.poisonLocked(fmt.Errorf("wal: sync on rotation: %w", err))
+		}
+		if m.syncedBatch < m.batches {
+			m.syncedBatch = m.batches
+			m.syncs++
+			m.syncCond.Broadcast()
 		}
 		if err := m.f.Close(); err != nil {
-			m.ioErr = fmt.Errorf("wal: close on rotation: %w", err)
-			return m.ioErr
+			return m.poisonLocked(fmt.Errorf("wal: close on rotation: %w", err))
 		}
 		m.f = nil
 	}
@@ -326,13 +493,11 @@ func (m *Manager) ensureSegmentLocked(frameLen int64) error {
 	}
 	if _, err := f.Write(segmentHeader(m.cdc.hash, m.batches+1)); err != nil {
 		f.Close()
-		m.ioErr = fmt.Errorf("wal: segment header: %w", err)
-		return m.ioErr
+		return m.poisonLocked(fmt.Errorf("wal: segment header: %w", err))
 	}
 	if err := syncDir(m.dir); err != nil {
 		f.Close()
-		m.ioErr = err
-		return err
+		return m.poisonLocked(err)
 	}
 	m.f = f
 	m.size = headerLen
@@ -406,6 +571,14 @@ func (m *Manager) Checkpoint() error {
 		m.lastCkpt = k
 	}
 	m.sinceCkpt = 0
+	// The checkpoint file is durable and reproduces the committed
+	// instance through batch k, so it acknowledges every batch up to k
+	// even if their segment frames were never fsynced — a crash now
+	// recovers them from the checkpoint.
+	if k > m.syncedBatch {
+		m.syncedBatch = k
+		m.syncCond.Broadcast()
+	}
 	var active string
 	if m.f != nil {
 		active = m.f.Name()
@@ -446,9 +619,11 @@ func (m *Manager) retire(k int64, keepCkpt, activeSeg string) error {
 	return nil
 }
 
-// Close stops the background checkpointer and releases the active
-// segment, syncing it first. It returns the first background
-// checkpoint failure, if any. Close is idempotent.
+// Close drains the sync pipeline (a final covering fsync for any
+// appended-but-unsynced batches, waking their ack waiters), stops the
+// background checkpointer and syncer, and releases the active
+// segment. It returns the first background checkpoint failure, if
+// any. Close is idempotent.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -456,23 +631,41 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	m.closed = true
-	m.mu.Unlock()
-	if m.done != nil {
-		close(m.done)
-		m.wg.Wait()
+	// Let an in-flight pipeline fsync settle before touching the file.
+	for m.syncing {
+		m.syncCond.Wait()
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var err error
 	if m.f != nil {
-		if serr := m.f.Sync(); serr != nil {
-			err = serr
+		poisoned := m.ioErr != nil
+		serr := m.f.Sync()
+		switch {
+		case serr != nil:
+			m.poisonLocked(fmt.Errorf("wal: sync on close: %w", serr))
+			if !poisoned {
+				err = serr
+			}
+		case poisoned:
+			// A failed fsync may have dropped dirty pages; a later
+			// successful one proves nothing about them. The stranded
+			// batches stay unacknowledged.
+		case m.opts.Sync == SyncAlways && m.syncedBatch < m.batches:
+			// The drain covered pending batches; under SyncNever the
+			// same close-time sync is just tidiness, not an
+			// acknowledgment, and stays uncounted.
+			m.syncedBatch = m.batches
+			m.syncs++
 		}
-		if cerr := m.f.Close(); cerr != nil && err == nil {
+		if cerr := m.f.Close(); cerr != nil && err == nil && !poisoned {
 			err = cerr
 		}
 		m.f = nil
 	}
+	m.syncCond.Broadcast()
+	m.mu.Unlock()
+	m.stopBackground()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.bgErr != nil {
 		return m.bgErr
 	}
