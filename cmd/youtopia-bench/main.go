@@ -10,13 +10,18 @@
 // sweep of worker counts, reporting wall time and committed-update
 // throughput; with -data-dir the runs execute against a write-ahead-
 // logged store (one fsync per commit batch), measuring durable
-// throughput and the group-commit sync amortization.
+// throughput and the group-commit sync amortization. -figure sharded
+// sweeps the relation-partition count of the sharded store instead
+// (fixed workers, per-shard WAL directories under -data-dir),
+// reporting the aggregated commit batches, WAL syncs, and commit-ack
+// percentiles per shard count.
 //
 // Usage:
 //
 //	youtopia-bench -figure both -preset paper -runs 3
 //	youtopia-bench -figure parallel -preset quick -workers 0,2,4
 //	youtopia-bench -figure parallel -preset quick -data-dir /tmp/ybench
+//	youtopia-bench -figure sharded -preset quick -shards 1,2,4 -data-dir /tmp/yshard
 //
 // Presets:
 //
@@ -40,11 +45,13 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, latency (the §5.2 user-latency extension study), or parallel (serial vs goroutine-parallel throughput)")
+	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, latency (the §5.2 user-latency extension study), parallel (serial vs goroutine-parallel throughput), or sharded (relation-partition sweep over the sharded store)")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for -figure parallel (0 = serial reference; default 0,1,2,4,8)")
-	dataDir := flag.String("data-dir", "", "back each -figure parallel run with a write-ahead log under this directory (one fsync per commit batch); empty = in-memory, the unchanged default")
-	jsonPath := flag.String("json", "", "write the -figure parallel study as JSON to this file (the CI bench artifact)")
-	baseline := flag.String("baseline", "", "compare the -figure parallel study against this committed JSON baseline and exit nonzero on regression")
+	shardsFlag := flag.String("shards", "", "shard counts: a comma-separated sweep for -figure sharded (default 1,2,4), or a single relation-partition count every -figure parallel run uses")
+	shardWorkers := flag.Int("shard-workers", 4, "worker count the -figure sharded sweep runs each shard point on")
+	dataDir := flag.String("data-dir", "", "back each -figure parallel/sharded run with a write-ahead log under this directory (one per shard for sharded stores); empty = in-memory, the unchanged default")
+	jsonPath := flag.String("json", "", "write the -figure parallel/sharded study as JSON to this file (the CI bench artifact)")
+	baseline := flag.String("baseline", "", "compare the -figure parallel/sharded study against this committed JSON baseline and exit nonzero on regression")
 	regressPct := flag.Float64("regress", 20, "tolerated throughput regression vs -baseline, in percent")
 	preset := flag.String("preset", "moderate", "parameter preset: quick, moderate or paper")
 	runs := flag.Int("runs", 3, "runs averaged per data point (paper: 100)")
@@ -79,16 +86,36 @@ func main() {
 			fail(fmt.Errorf("bad -sweep: %w", err))
 		}
 	}
-	if *figure == "parallel" {
-		var workers []int
-		if *workersFlag != "" {
-			ws, err := parseInts(*workersFlag, 0)
-			if err != nil {
-				fail(fmt.Errorf("bad -workers: %w", err))
+	if *figure == "parallel" || *figure == "sharded" {
+		var points []experiments.ParallelPoint
+		var err error
+		if *figure == "parallel" {
+			var workers []int
+			if *workersFlag != "" {
+				if workers, err = parseInts(*workersFlag, 0); err != nil {
+					fail(fmt.Errorf("bad -workers: %w", err))
+				}
 			}
-			workers = ws
+			if *shardsFlag != "" {
+				sc, err := parseInts(*shardsFlag, 1)
+				if err != nil {
+					fail(fmt.Errorf("bad -shards: %w", err))
+				}
+				if len(sc) != 1 {
+					fail(fmt.Errorf("-figure parallel takes a single -shards value (use -figure sharded for a sweep)"))
+				}
+				base.Shards = sc[0]
+			}
+			points, err = experiments.ParallelStudy(base, workers, *runs, *dataDir)
+		} else {
+			var shardCounts []int
+			if *shardsFlag != "" {
+				if shardCounts, err = parseInts(*shardsFlag, 1); err != nil {
+					fail(fmt.Errorf("bad -shards: %w", err))
+				}
+			}
+			points, err = experiments.ShardStudy(base, shardCounts, *shardWorkers, *runs, *dataDir)
 		}
-		points, err := experiments.ParallelStudy(base, workers, *runs, *dataDir)
 		if err != nil {
 			fail(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"youtopia/internal/chase"
+	"youtopia/internal/query"
 	"youtopia/internal/storage"
 )
 
@@ -79,7 +80,7 @@ func snapshotCandidatesInto(dst []conflictCandidate, txns []*Txn, writer int) []
 // into m; in ModeFlag conflicts are only counted and nothing is
 // returned. Candidates whose attempt counter moved on since the
 // snapshot are skipped — their restarted reads postdate the writes.
-func directConflicts(store *storage.Store, cfg *Config, cands []conflictCandidate, writes []storage.WriteRec, m *Metrics) []conflictCandidate {
+func directConflicts(store storage.Backend, cfg *Config, cands []conflictCandidate, writes []storage.WriteRec, m *Metrics) []conflictCandidate {
 	if len(writes) == 0 {
 		return nil
 	}
@@ -113,37 +114,132 @@ func directConflicts(store *storage.Store, cfg *Config, cands []conflictCandidat
 	return marked
 }
 
-// cascadeClosure closes the direct abort set transitively through read
-// dependencies (the tracker) and returns the consolidated set in
-// ascending priority order, for deterministic execution. Callers hold
-// whatever lock makes other updates' dependency sets stable (the
-// parallel scheduler's exclusive phase lock).
-func cascadeClosure(store *storage.Store, cfg *Config, txns []*Txn, direct []*Txn, m *Metrics) []int {
-	marked := make(map[int]bool, len(direct))
-	var worklist []*Txn
-	for _, t := range direct {
-		if !marked[t.Number] {
-			marked[t.Number] = true
-			worklist = append(worklist, t)
+// removalCandidate pairs a surviving transaction with its published
+// violation reads — the prefixes the abort-side drift check can act
+// on.
+type removalCandidate struct {
+	t     *Txn
+	reads []*query.ViolationRead
+}
+
+// removalCandidates collects, under the exclusive phase lock, the
+// uncommitted transactions outside the current wave whose live attempt
+// has published violation reads. This one filter feeds both the
+// should-we-snapshot-the-log decision and the drift checks themselves,
+// so the two can never drift apart. Empty in ModeFlag (nothing
+// aborts there). Only violation queries matter: structural queries are
+// covered by their state-independent write-side checks and the
+// dependencies the trackers record.
+func removalCandidates(cfg *Config, txns []*Txn, marked map[int]bool) []removalCandidate {
+	if cfg.Mode == ModeFlag {
+		return nil
+	}
+	var out []removalCandidate
+	for _, t := range txns {
+		if t.committed || marked[t.Number] {
+			continue
+		}
+		p := t.Upd.PublishedReads()
+		if t.Upd.Attempt != p.Attempt || len(p.Reads) == 0 {
+			continue
+		}
+		var reads []*query.ViolationRead
+		for _, q := range p.Reads {
+			if vq, ok := q.(*query.ViolationRead); ok {
+				reads = append(reads, vq)
+			}
+		}
+		if len(reads) > 0 {
+			out = append(out, removalCandidate{t: t, reads: reads})
 		}
 	}
-	for len(worklist) > 0 {
-		a := worklist[0]
-		worklist = worklist[1:]
-		for _, t := range cfg.Tracker.Cascade(store, a, txns) {
-			m.CascadingAbortRequests++
-			if !marked[t.Number] {
-				marked[t.Number] = true
-				worklist = append(worklist, t)
+	return out
+}
+
+// abortConflicts is the abort-side half of conflict detection: after a
+// writer's rollback removed its writes, every candidate read prefix is
+// re-checked for drift (ViolationRead.AffectedByRemoval). A removal
+// can flip verdicts that write-side checks delivered honestly — the
+// check of a write evaluates the interference that existed at that
+// moment, and an abort takes part of it back without any later write
+// re-asking the question — so the removal itself must be processed as
+// a conflict event. Callers hold the exclusive phase lock; victims
+// marked since the candidates were collected are filtered by the
+// wave's enqueue.
+func abortConflicts(store storage.Backend, cands []removalCandidate, removed []storage.WriteRec, m *Metrics) []*Txn {
+	if len(removed) == 0 {
+		return nil
+	}
+	var out []*Txn
+	for _, c := range cands {
+		for _, vq := range c.reads {
+			if vq.AffectedByRemoval(store, removed) {
+				m.RemovalAbortRequests++
+				out = append(out, c.t)
+				break
 			}
 		}
 	}
-	numbers := make([]int, 0, len(marked))
-	for n := range marked {
-		numbers = append(numbers, n)
+	return out
+}
+
+// executeAbortWave executes a consolidated abort wave: the direct
+// victims, their transitive read-dependency cascade (the tracker), and
+// the victims of abort-side drift checks — each rollback's removed
+// writes are checked against the remaining prefixes via
+// abortConflicts, and newly marked txns join the wave. Victims are
+// rolled back in ascending priority order (the queue is kept sorted),
+// so executions are deterministic given the same wave. The rollback
+// callback performs the actual rollback plus any scheduler-specific
+// bookkeeping; callers hold the exclusive phase lock, where dependency
+// sets and read prefixes are stable between rollbacks.
+func executeAbortWave(store storage.Backend, cfg *Config, txns []*Txn, direct []*Txn, m *Metrics, rollback func(*Txn) error) error {
+	if len(direct) == 0 {
+		return nil
 	}
-	sort.Ints(numbers)
-	return numbers
+	marked := make(map[int]bool, len(direct))
+	var queue []int
+	enqueue := func(t *Txn) {
+		if t.committed || marked[t.Number] {
+			return
+		}
+		marked[t.Number] = true
+		i := sort.SearchInts(queue, t.Number)
+		queue = append(queue, 0)
+		copy(queue[i+1:], queue[i:])
+		queue[i] = t.Number
+	}
+	for _, t := range direct {
+		enqueue(t)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n < 1 || n > len(txns) {
+			continue
+		}
+		t := txns[n-1]
+		// One level of dependency cascade; transitivity comes from the
+		// wave (cascaded victims enqueue and cascade in turn).
+		for _, v := range cfg.Tracker.Cascade(store, t, txns) {
+			m.CascadingAbortRequests++
+			enqueue(v)
+		}
+		// The victim's log is only worth snapshotting (a store-wide
+		// read-lock round) when some surviving prefix could act on it.
+		cands := removalCandidates(cfg, txns, marked)
+		var removed []storage.WriteRec
+		if len(cands) > 0 {
+			removed = store.WritesOf(n)
+		}
+		if err := rollback(t); err != nil {
+			return err
+		}
+		for _, v := range abortConflicts(store, cands, removed, m) {
+			enqueue(v)
+		}
+	}
+	return nil
 }
 
 // stepScratch holds the reusable buffers of one conflict-processing
@@ -169,7 +265,7 @@ type relSeq struct {
 // the stripe sequence number after the batch landed, appending into
 // dst (a scratch buffer reset by the caller). Callers hold the
 // exclusive phase lock, so these are exactly the writer's own seqs.
-func writtenRelSeqsInto(dst []relSeq, store *storage.Store, writes []storage.WriteRec) []relSeq {
+func writtenRelSeqsInto(dst []relSeq, store storage.Backend, writes []storage.WriteRec) []relSeq {
 	for _, w := range writes {
 		seen := false
 		for i := range dst {
@@ -185,13 +281,14 @@ func writtenRelSeqsInto(dst []relSeq, store *storage.Store, writes []storage.Wri
 	return dst
 }
 
-// collectConflicts is the single-threaded composition of the three
+// collectDirect is the single-threaded composition of the detection
 // phases: it checks one batch of writes against the stored read
-// queries of higher-numbered uncommitted updates, closes the
-// dependency cascade, and returns the consolidated abort set in
-// ascending priority order (Algorithm 4). The cooperative scheduler
-// calls it from its one goroutine, reusing its scratch across steps.
-func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []storage.WriteRec, m *Metrics, scratch *stepScratch) []int {
+// queries of higher-numbered uncommitted updates and returns the
+// directly affected victims (Algorithm 4's detection half). The
+// cooperative scheduler calls it from its one goroutine, reusing its
+// scratch across steps, and hands the victims to executeAbortWave for
+// the cascade and the rollbacks.
+func collectDirect(store storage.Backend, cfg *Config, txns []*Txn, writes []storage.WriteRec, m *Metrics, scratch *stepScratch) []*Txn {
 	if len(writes) == 0 {
 		return nil
 	}
@@ -204,7 +301,7 @@ func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []s
 	for i, c := range direct {
 		victims[i] = c.t
 	}
-	return cascadeClosure(store, cfg, txns, victims, m)
+	return victims
 }
 
 // rollbackTxn aborts one update at the storage level and requeues it
@@ -214,7 +311,7 @@ func collectConflicts(store *storage.Store, cfg *Config, txns []*Txn, writes []s
 // commits). The parallel scheduler calls it under the exclusive phase
 // lock; bumping the attempt counter there is what tells a concurrent
 // claimant to abandon its stale phase.
-func rollbackTxn(store *storage.Store, cfg *Config, t *Txn, m *Metrics) error {
+func rollbackTxn(store storage.Backend, cfg *Config, t *Txn, m *Metrics) error {
 	if t.committed {
 		return fmt.Errorf("cc: attempt to abort committed update %d", t.Number)
 	}

@@ -64,7 +64,7 @@ import (
 // that had claimed the aborted transaction notices the bumped attempt
 // counter at its next lock acquisition and abandons the stale phase.
 type ParallelScheduler struct {
-	store  *storage.Store
+	store  storage.Backend
 	engine *chase.Engine
 	cfg    Config
 
@@ -184,7 +184,7 @@ const (
 // mapping set. Config.Workers selects the goroutine count; zero means
 // GOMAXPROCS. The Policy field is ignored — goroutine scheduling
 // replaces the cooperative interleaving policies.
-func NewParallelScheduler(store *storage.Store, set *tgd.Set, cfg Config) *ParallelScheduler {
+func NewParallelScheduler(store storage.Backend, set *tgd.Set, cfg Config) *ParallelScheduler {
 	if cfg.Tracker == nil {
 		cfg.Tracker = Coarse{}
 	}
@@ -532,14 +532,9 @@ func (s *ParallelScheduler) processWritesDeferred(t *Txn, attempt int, writes []
 			victims = append(victims, c.t)
 		}
 	}
-	numbers := cascadeClosure(s.store, &s.cfg, s.txns, victims, &delta)
+	err := executeAbortWave(s.store, &s.cfg, s.txns, victims, &delta, s.abortLocked)
 	s.bumpConflictMetrics(delta)
-	for _, n := range numbers {
-		if err := s.abortLocked(s.txn(n)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return err
 }
 
 // bumpConflictMetrics merges a conflict-processing metrics delta.
@@ -550,6 +545,7 @@ func (s *ParallelScheduler) bumpConflictMetrics(delta Metrics) {
 	s.bump(func(m *Metrics) {
 		m.DirectAbortRequests += delta.DirectAbortRequests
 		m.CascadingAbortRequests += delta.CascadingAbortRequests
+		m.RemovalAbortRequests += delta.RemovalAbortRequests
 		m.Flagged += delta.Flagged
 	})
 }

@@ -122,6 +122,14 @@ type Config struct {
 	// constructing a ParallelScheduler directly does 0 default to
 	// GOMAXPROCS. The cooperative Scheduler itself ignores the field.
 	Workers int
+	// Shards is the relation-partition count of the storage backend
+	// the workload should run against (0 or 1 = one store). The
+	// schedulers themselves are backend-agnostic — they drive whatever
+	// Backend they were built over — so this knob is read by the
+	// harnesses that construct the store from the config (workload
+	// setup, experiments, the benches), keeping one configuration
+	// struct across the stack.
+	Shards int
 }
 
 // Metrics aggregates a run's outcome — the quantities of §6.
@@ -141,6 +149,12 @@ type Metrics struct {
 	// the paper notes updates are frequently marked multiple times
 	// before the scheduler consolidates.
 	CascadingAbortRequests int
+	// RemovalAbortRequests counts abort requests raised by the
+	// abort-side drift check: a rollback removed interference writes
+	// that an earlier write-side verdict depended on, and the victim's
+	// guarded violation-query answer no longer matches its read-time
+	// state run forward over the surviving interference.
+	RemovalAbortRequests int
 	// Flagged counts conflicts observed in ModeFlag.
 	Flagged int
 	// Steps, Writes, FrontierRequests and FrontierOps aggregate chase
@@ -186,7 +200,7 @@ func (m Metrics) PerUpdateTime() time.Duration {
 // Scheduler drives a workload of updates to termination under
 // optimistic concurrency control (Algorithms 3 and 4).
 type Scheduler struct {
-	store   *storage.Store
+	store   storage.Backend
 	engine  *chase.Engine
 	cfg     Config
 	txns    []*Txn
@@ -196,7 +210,7 @@ type Scheduler struct {
 }
 
 // NewScheduler builds a scheduler over a store and mapping set.
-func NewScheduler(store *storage.Store, set *tgd.Set, cfg Config) *Scheduler {
+func NewScheduler(store storage.Backend, set *tgd.Set, cfg Config) *Scheduler {
 	if cfg.Tracker == nil {
 		cfg.Tracker = Coarse{}
 	}
@@ -429,14 +443,12 @@ func (s *Scheduler) pollUser(t *Txn) (bool, error) {
 	return ok, err
 }
 
-// processWrites runs Algorithm 4's conflict processing
-// (collectConflicts) on one step's writes and executes the
-// consolidated abort set.
+// processWrites runs Algorithm 4's conflict processing on one step's
+// writes: direct detection (collectDirect) followed by the abort wave
+// — dependency cascade, rollbacks, and abort-side drift rechecks.
 func (s *Scheduler) processWrites(writes []storage.WriteRec) error {
-	for _, n := range collectConflicts(s.store, &s.cfg, s.txns, writes, &s.m, &s.scratch) {
-		if err := rollbackTxn(s.store, &s.cfg, s.txn(n), &s.m); err != nil {
-			return err
-		}
-	}
-	return nil
+	direct := collectDirect(s.store, &s.cfg, s.txns, writes, &s.m, &s.scratch)
+	return executeAbortWave(s.store, &s.cfg, s.txns, direct, &s.m, func(t *Txn) error {
+		return rollbackTxn(s.store, &s.cfg, t, &s.m)
+	})
 }

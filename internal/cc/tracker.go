@@ -27,12 +27,12 @@ type Tracker interface {
 	Name() string
 	// OnRead is invoked when txn u performs read query q; the tracker
 	// records u's dependencies on uncommitted lower-numbered writers.
-	OnRead(st *storage.Store, u *Txn, q query.ReadQuery)
+	OnRead(st storage.Backend, u *Txn, q query.ReadQuery)
 	// Cascade returns, among active, the txns that must abort because
 	// they (transitively directly) read from the aborted txn. The
 	// scheduler computes the transitive closure; Cascade returns one
 	// level.
-	Cascade(st *storage.Store, aborted *Txn, active []*Txn) []*Txn
+	Cascade(st storage.Backend, aborted *Txn, active []*Txn) []*Txn
 }
 
 // Naive is the strawman of §5.1: when update i aborts, every active
@@ -43,10 +43,10 @@ type Naive struct{}
 func (Naive) Name() string { return "NAIVE" }
 
 // OnRead implements Tracker: NAIVE records nothing.
-func (Naive) OnRead(*storage.Store, *Txn, query.ReadQuery) {}
+func (Naive) OnRead(storage.Backend, *Txn, query.ReadQuery) {}
 
 // Cascade implements Tracker.
-func (Naive) Cascade(_ *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+func (Naive) Cascade(_ storage.Backend, aborted *Txn, active []*Txn) []*Txn {
 	var out []*Txn
 	for _, t := range active {
 		if t.Number > aborted.Number && !t.committed {
@@ -68,7 +68,7 @@ type Coarse struct{}
 func (Coarse) Name() string { return "COARSE" }
 
 // OnRead implements Tracker.
-func (Coarse) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
+func (Coarse) OnRead(st storage.Backend, u *Txn, q query.ReadQuery) {
 	if q.Kind() == query.KindViolation {
 		for _, rel := range q.Relations() {
 			for _, w := range st.UncommittedWritersOf(rel) {
@@ -90,7 +90,7 @@ func (Coarse) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
 // into those relations, so only the matching stripes' log shards are
 // scanned; relation-less queries (null occurrence) fall back to the
 // full memoized list.
-func relevantUncommitted(st *storage.Store, q query.ReadQuery) []storage.WriteRec {
+func relevantUncommitted(st storage.Backend, q query.ReadQuery) []storage.WriteRec {
 	rels := q.Relations()
 	if rels == nil {
 		return st.UncommittedWrites()
@@ -107,7 +107,7 @@ func relevantUncommitted(st *storage.Store, q query.ReadQuery) []storage.WriteRe
 
 // Cascade implements Tracker: txns whose recorded dependencies include
 // the aborted update.
-func (Coarse) Cascade(_ *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+func (Coarse) Cascade(_ storage.Backend, aborted *Txn, active []*Txn) []*Txn {
 	return depCascade(aborted, active)
 }
 
@@ -122,7 +122,7 @@ type Precise struct{}
 func (Precise) Name() string { return "PRECISE" }
 
 // OnRead implements Tracker.
-func (Precise) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
+func (Precise) OnRead(st storage.Backend, u *Txn, q query.ReadQuery) {
 	for _, w := range relevantUncommitted(st, q) {
 		if w.Writer == u.Number {
 			continue
@@ -137,7 +137,7 @@ func (Precise) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
 }
 
 // Cascade implements Tracker.
-func (Precise) Cascade(_ *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+func (Precise) Cascade(_ storage.Backend, aborted *Txn, active []*Txn) []*Txn {
 	return depCascade(aborted, active)
 }
 
@@ -172,7 +172,7 @@ type Hybrid struct {
 func (h *Hybrid) Name() string { return "HYBRID" }
 
 // OnRead implements Tracker.
-func (h *Hybrid) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
+func (h *Hybrid) OnRead(st storage.Backend, u *Txn, q query.ReadQuery) {
 	if h.usePrecise(u) {
 		h.precise.OnRead(st, u, q)
 		return
@@ -181,7 +181,7 @@ func (h *Hybrid) OnRead(st *storage.Store, u *Txn, q query.ReadQuery) {
 }
 
 // Cascade implements Tracker.
-func (h *Hybrid) Cascade(st *storage.Store, aborted *Txn, active []*Txn) []*Txn {
+func (h *Hybrid) Cascade(st storage.Backend, aborted *Txn, active []*Txn) []*Txn {
 	return depCascade(aborted, active)
 }
 

@@ -18,7 +18,7 @@ type ReadObserver func(u *Update, q query.ReadQuery)
 // is driven from outside (package cc's scheduler, or the single-user
 // Runner below) and performs no scheduling of its own.
 type Engine struct {
-	store *storage.Store
+	store storage.Backend
 	tgds  *tgd.Set
 	// observer may be nil.
 	observer ReadObserver
@@ -28,7 +28,7 @@ type Engine struct {
 }
 
 // NewEngine creates a chase engine.
-func NewEngine(store *storage.Store, set *tgd.Set) *Engine {
+func NewEngine(store storage.Backend, set *tgd.Set) *Engine {
 	return &Engine{store: store, tgds: set}
 }
 
@@ -36,7 +36,7 @@ func NewEngine(store *storage.Store, set *tgd.Set) *Engine {
 func (e *Engine) SetReadObserver(obs ReadObserver) { e.observer = obs }
 
 // Store returns the underlying store.
-func (e *Engine) Store() *storage.Store { return e.store }
+func (e *Engine) Store() storage.Backend { return e.store }
 
 // Mappings returns the mapping set.
 func (e *Engine) Mappings() *tgd.Set { return e.tgds }
@@ -259,12 +259,14 @@ func (e *Engine) discoverViolations(u *Update, w storage.WriteRec) {
 }
 
 // enqueue adds a violation to the update's queue unless an entry with
-// the same key is already present.
+// the same key is already present, recording its canonical witness
+// signature for content-ordered processing (see nextPending).
 func (e *Engine) enqueue(u *Update, v query.Violation, isLHS bool) {
 	if u.findQueued(v.Key()) != nil {
 		return
 	}
-	u.queue = append(u.queue, &queuedViolation{v: v, isLHS: isLHS})
+	sig := e.engineFor(u).WitnessSig(&v)
+	u.queue = append(u.queue, &queuedViolation{v: v, isLHS: isLHS, sig: sig})
 }
 
 // recheckQueue removes queue entries whose violation no longer holds —
@@ -318,14 +320,28 @@ func (e *Engine) violationHolds(qe *query.Engine, v *query.Violation) (bool, que
 	return true, b
 }
 
-// nextPending returns the first pending violation in queue order.
+// nextPending returns the pending violation with the smallest
+// canonical witness signature (ties keep queue order). Signature
+// order, unlike queue (discovery) order, is a function of database
+// content alone: discovery enumerates join candidates in tuple-ID
+// order, and IDs are minted in execution-schedule order, so queue
+// order silently differs between serial and concurrent runs of the
+// same workload — and the violation processed first decides which
+// frontier group opens first, which context the user answers first,
+// and therefore which of several self-consistent final instances the
+// chase converges to. Processing by signature pins that choice to
+// content, which the serial-equivalence batteries rely on.
 func (e *Engine) nextPending(u *Update) *queuedViolation {
+	var best *queuedViolation
 	for _, qv := range u.queue {
-		if qv.state == ViolPending {
-			return qv
+		if qv.state != ViolPending {
+			continue
+		}
+		if best == nil || qv.sig < best.sig {
+			best = qv
 		}
 	}
-	return nil
+	return best
 }
 
 // planRepair processes one violation (the second half of Algorithm 2):

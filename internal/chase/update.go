@@ -30,6 +30,12 @@ type queuedViolation struct {
 	// isLHS records the repair direction: LHS-violations chase forward,
 	// RHS-violations backward (§2.1).
 	isLHS bool
+	// sig is the violation's canonical witness signature at enqueue
+	// time (query.Engine.WitnessSig): pending violations are processed
+	// in ascending signature order, so repair order — and with it the
+	// frontier contexts users see — is a function of database content,
+	// not of the physical tuple IDs the execution schedule minted.
+	sig   string
 	group *FrontierGroup // open frontier group, if any
 }
 

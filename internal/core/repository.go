@@ -39,6 +39,25 @@ type Options struct {
 	// defaults). Ignored when DataDir is empty.
 	CheckpointBytes int64
 	SegmentBytes    int64
+	// Shards partitions the repository's relations across this many
+	// fully independent store partitions (0 or 1 keeps the single
+	// store — the pre-sharding behaviour). Each partition owns its own
+	// stripe set and group-commit frontier; with DataDir set, each
+	// additionally owns its own write-ahead log under
+	// DataDir/shard-<k>. A data directory remembers its partition
+	// count: reopening with a different Shards value is refused, since
+	// the relation assignment would change.
+	Shards int
+}
+
+// durableBacking is the slice of the write-ahead-log surface the
+// repository drives: one wal.Manager, or a wal.ShardGroup holding one
+// manager per store partition.
+type durableBacking interface {
+	Close() error
+	Checkpoint() error
+	Fresh() bool
+	Recovery() wal.RecoveryInfo
 }
 
 // Repository is a Youtopia repository.
@@ -46,9 +65,9 @@ type Repository struct {
 	mu       sync.Mutex
 	schema   *model.Schema
 	mappings *tgd.Set
-	store    *storage.Store
+	store    storage.Backend
 	engine   *chase.Engine
-	wal      *wal.Manager // nil for in-memory repositories
+	wal      durableBacking // nil for in-memory repositories
 
 	nextUpdate int
 	protected  map[string]bool
@@ -74,14 +93,25 @@ func NewWithOptions(schema *model.Schema, mappings *tgd.Set, opts Options) (*Rep
 		protected:  make(map[string]bool),
 		nextUpdate: 1,
 	}
-	if opts.DataDir == "" {
+	wopts := wal.Options{
+		Sync:            opts.Durability,
+		CheckpointBytes: opts.CheckpointBytes,
+		SegmentBytes:    opts.SegmentBytes,
+	}
+	switch {
+	case opts.DataDir == "" && opts.Shards > 1:
+		r.store = storage.NewSharded(schema, opts.Shards)
+	case opts.DataDir == "":
 		r.store = storage.NewStore(schema)
-	} else {
-		mgr, st, err := wal.Open(opts.DataDir, schema, wal.Options{
-			Sync:            opts.Durability,
-			CheckpointBytes: opts.CheckpointBytes,
-			SegmentBytes:    opts.SegmentBytes,
-		})
+	case opts.Shards > 1:
+		grp, st, err := wal.OpenSharded(opts.DataDir, schema, opts.Shards, wopts)
+		if err != nil {
+			return nil, err
+		}
+		r.wal = grp
+		r.store = st
+	default:
+		mgr, st, err := wal.Open(opts.DataDir, schema, wopts)
 		if err != nil {
 			return nil, err
 		}
@@ -211,8 +241,10 @@ func (r *Repository) Schema() *model.Schema { return r.schema }
 // Mappings returns the repository's mapping set.
 func (r *Repository) Mappings() *tgd.Set { return r.mappings }
 
-// Store exposes the underlying versioned store (read-mostly use).
-func (r *Repository) Store() *storage.Store { return r.store }
+// Store exposes the underlying versioned storage backend (read-mostly
+// use): a single store, or the relation-partitioned sharded router
+// when Options.Shards asked for one.
+func (r *Repository) Store() storage.Backend { return r.store }
 
 // FreshNull mints a labeled null unused in the repository.
 func (r *Repository) FreshNull() model.Value { return r.store.FreshNull() }

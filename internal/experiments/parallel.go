@@ -35,7 +35,7 @@ func ModeLabel(workers int) string {
 // metrics together with the scheduler's wall time (setup excluded).
 // The benches and examples share it so the serial-vs-parallel
 // comparison stays on one convention.
-func RunMode(st *storage.Store, set *tgd.Set, cfg cc.Config, ops []chase.Op) (cc.Metrics, time.Duration, error) {
+func RunMode(st storage.Backend, set *tgd.Set, cfg cc.Config, ops []chase.Op) (cc.Metrics, time.Duration, error) {
 	start := time.Now()
 	var m cc.Metrics
 	var err error
@@ -52,7 +52,11 @@ func RunMode(st *storage.Store, set *tgd.Set, cfg cc.Config, ops []chase.Op) (cc
 type ParallelPoint struct {
 	// Workers is the goroutine count; 0 denotes the serial reference
 	// execution (PolicySerial on the cooperative scheduler).
-	Workers    int
+	Workers int
+	// Shards is the relation-partition count of the storage backend
+	// the point ran against (0 and 1 both mean the single store; the
+	// zero value keeps pre-sharding artifacts comparable).
+	Shards     int `json:",omitempty"`
 	Runs       int
 	Aborts     float64
 	WallMillis float64
@@ -82,8 +86,14 @@ type ParallelPoint struct {
 	CommitMergeAllocsPerOp float64 `json:"CommitMergeAllocsPerOp"`
 }
 
-// Label names the point's execution mode.
-func (p ParallelPoint) Label() string { return ModeLabel(p.Workers) }
+// Label names the point's execution mode, including the partition
+// count when the point ran sharded.
+func (p ParallelPoint) Label() string {
+	if p.Shards > 1 {
+		return fmt.Sprintf("shards=%d,%s", p.Shards, ModeLabel(p.Workers))
+	}
+	return ModeLabel(p.Workers)
+}
 
 // ParallelStudy compares the serial reference execution against the
 // goroutine-parallel scheduler across a sweep of worker counts on the
@@ -97,6 +107,10 @@ func (p ParallelPoint) Label() string { return ModeLabel(p.Workers) }
 // batch), so the study measures durable throughput; the wall time
 // includes the syncs but not the one-off seed build. Empty keeps the
 // pre-durability in-memory measurement.
+//
+// base.Shards selects the storage backend every point runs against: 0
+// or 1 is the single store, N > 1 the relation-partitioned sharded
+// store (durable runs then keep one WAL directory per shard).
 func ParallelStudy(base workload.Config, workers []int, runs int, dataDir string) ([]ParallelPoint, error) {
 	if len(workers) == 0 {
 		workers = []int{0, 1, 2, 4, 8}
@@ -114,59 +128,119 @@ func ParallelStudy(base workload.Config, workers []int, runs int, dataDir string
 	}
 	var out []ParallelPoint
 	for _, w := range workers {
-		p := ParallelPoint{Workers: w, Runs: runs,
+		p := ParallelPoint{Workers: w, Shards: base.Shards, Runs: runs,
 			SnapshotAllocsPerOp: snapAllocs, CommitMergeAllocsPerOp: mergeAllocs}
-		var updates float64
-		for r := 0; r < runs; r++ {
-			var st *storage.Store
-			var mgr *wal.Manager
-			if dataDir == "" {
-				if st, err = u.NewStore(); err != nil {
-					return nil, err
-				}
-			} else {
-				dir := filepath.Join(dataDir, fmt.Sprintf("w%d-r%d", w, r))
-				if st, mgr, err = u.OpenDurableStore(dir, wal.Options{}); err != nil {
-					return nil, err
-				}
-			}
-			cfg := cc.Config{
-				Tracker:            cc.Coarse{},
-				User:               simuser.New(uint64(base.Seed)*31 + uint64(r)),
-				MaxAbortsPerUpdate: 10000,
-				Workers:            w,
-			}
-			ops := u.GenOpsSeeded(base.Seed*6151 + int64(r))
-			m, elapsed, err := RunMode(st, u.Mappings, cfg, ops)
-			if mgr != nil {
-				if cerr := mgr.Close(); cerr != nil && err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s run %d: %w", p.Label(), r, err)
-			}
-			p.Aborts += float64(m.Aborts)
-			p.WallMillis += float64(elapsed.Milliseconds())
-			p.WALSyncs += float64(m.WALSyncs)
-			p.CommitBatches += float64(m.CommitBatches)
-			p.AckP50Millis += float64(m.CommitAckP50) / float64(time.Millisecond)
-			p.AckP99Millis += float64(m.CommitAckP99) / float64(time.Millisecond)
-			if secs := elapsed.Seconds(); secs > 0 {
-				updates += float64(m.Submitted) / secs
-			}
+		if err := measurePoint(u, base, &p, runs, dataDir); err != nil {
+			return nil, err
 		}
-		n := float64(runs)
-		p.Aborts /= n
-		p.WallMillis /= n
-		p.WALSyncs /= n
-		p.CommitBatches /= n
-		p.AckP50Millis /= n
-		p.AckP99Millis /= n
-		p.UpdatesPerSec = updates / n
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// ShardStudy sweeps the relation-partition count on a fixed worker
+// count: the scaling axis the sharded store adds. The first point is
+// the serial single-store reference (workers 0, one shard), so the
+// regression gate can normalize the sharded points by the run's own
+// serial throughput exactly as the worker study does; each sharded
+// point then reports the aggregated commit batches, WAL syncs, and
+// commit-ack percentiles across its shards. With a dataDir every run
+// is durable with one WAL directory per shard.
+func ShardStudy(base workload.Config, shards []int, workers, runs int, dataDir string) ([]ParallelPoint, error) {
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4}
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	u, err := workload.Build(base)
+	if err != nil {
+		return nil, err
+	}
+	snapAllocs, mergeAllocs, err := MeasureHotPathAllocs(u)
+	if err != nil {
+		return nil, err
+	}
+	points := []ParallelPoint{{Workers: 0, Shards: 1}}
+	for _, s := range shards {
+		if s < 1 {
+			return nil, fmt.Errorf("experiments: shard count %d out of range", s)
+		}
+		points = append(points, ParallelPoint{Workers: workers, Shards: s})
+	}
+	var out []ParallelPoint
+	for _, p := range points {
+		p.Runs = runs
+		p.SnapshotAllocsPerOp = snapAllocs
+		p.CommitMergeAllocsPerOp = mergeAllocs
+		if err := measurePoint(u, base, &p, runs, dataDir); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// measurePoint runs one study point — a (workers, shards) mode — runs
+// times and folds the means into p. The universe is shared across
+// points; each run gets a fresh backend (and, durable, a fresh WAL
+// directory tree).
+func measurePoint(u *workload.Universe, base workload.Config, p *ParallelPoint, runs int, dataDir string) error {
+	shardedU := *u
+	shardedU.Config.Shards = p.Shards
+	var updates float64
+	for r := 0; r < runs; r++ {
+		var st storage.Backend
+		var backing workload.DurableBacking
+		var err error
+		if dataDir == "" {
+			st, err = shardedU.NewBackend()
+		} else {
+			dir := filepath.Join(dataDir, fmt.Sprintf("s%d-w%d-r%d", p.Shards, p.Workers, r))
+			st, backing, err = shardedU.OpenDurableBackend(dir, wal.Options{})
+		}
+		if err != nil {
+			return err
+		}
+		cfg := cc.Config{
+			Tracker:            cc.Coarse{},
+			User:               simuser.New(uint64(base.Seed)*31 + uint64(r)),
+			MaxAbortsPerUpdate: 10000,
+			Workers:            p.Workers,
+			Shards:             p.Shards,
+		}
+		ops := u.GenOpsSeeded(base.Seed*6151 + int64(r))
+		m, elapsed, err := RunMode(st, u.Mappings, cfg, ops)
+		if backing != nil {
+			if cerr := backing.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("experiments: %s run %d: %w", p.Label(), r, err)
+		}
+		p.Aborts += float64(m.Aborts)
+		p.WallMillis += float64(elapsed.Milliseconds())
+		p.WALSyncs += float64(m.WALSyncs)
+		p.CommitBatches += float64(m.CommitBatches)
+		p.AckP50Millis += float64(m.CommitAckP50) / float64(time.Millisecond)
+		p.AckP99Millis += float64(m.CommitAckP99) / float64(time.Millisecond)
+		if secs := elapsed.Seconds(); secs > 0 {
+			updates += float64(m.Submitted) / secs
+		}
+	}
+	n := float64(runs)
+	p.Aborts /= n
+	p.WallMillis /= n
+	p.WALSyncs /= n
+	p.CommitBatches /= n
+	p.AckP50Millis /= n
+	p.AckP99Millis /= n
+	p.UpdatesPerSec = updates / n
+	return nil
 }
 
 // MeasureHotPathAllocs measures the steady-state heap allocations per
@@ -241,6 +315,24 @@ func LoadParallelJSON(path string) ([]ParallelPoint, error) {
 // what keeps a zero-allocation baseline meaningful: 0 -> 0.4 passes,
 // 0 -> 1 fails).
 func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) error {
+	// A mode is a (workers, shards) pair; shard counts 0 and 1 are the
+	// same single-store mode, so pre-sharding baselines keep matching.
+	shardsOf := func(p ParallelPoint) int {
+		if p.Shards < 1 {
+			return 1
+		}
+		return p.Shards
+	}
+	findMode := func(points []ParallelPoint, workers, shards int) (ParallelPoint, bool) {
+		for _, p := range points {
+			if p.Workers == workers && shardsOf(p) == shards {
+				return p, true
+			}
+		}
+		return ParallelPoint{}, false
+	}
+	// The serial reference is matched on workers alone: a study carries
+	// at most one, whatever backend it ran against.
 	find := func(points []ParallelPoint, workers int) (ParallelPoint, bool) {
 		for _, p := range points {
 			if p.Workers == workers {
@@ -254,7 +346,7 @@ func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) er
 	normalized := cs && bs && curSerial.UpdatesPerSec > 0 && baseSerial.UpdatesPerSec > 0
 	var failures []string
 	for _, bp := range baseline {
-		cp, ok := find(current, bp.Workers)
+		cp, ok := findMode(current, bp.Workers, shardsOf(bp))
 		if !ok || bp.UpdatesPerSec <= 0 {
 			continue
 		}
@@ -303,10 +395,10 @@ func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) er
 // ParallelCSV renders the study as CSV, one row per point.
 func ParallelCSV(points []ParallelPoint) string {
 	var b strings.Builder
-	b.WriteString("mode,workers,runs,aborts,wall_ms,upd_per_sec,wal_syncs,commit_batches,ack_p50_ms,ack_p99_ms,snapshot_allocs,commit_merge_allocs\n")
+	b.WriteString("mode,workers,shards,runs,aborts,wall_ms,upd_per_sec,wal_syncs,commit_batches,ack_p50_ms,ack_p99_ms,snapshot_allocs,commit_merge_allocs\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%.2f,%.2f,%.1f,%.1f,%.3f,%.3f,%.2f,%.2f\n",
-			p.Label(), p.Workers, p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec,
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.2f,%.2f,%.2f,%.1f,%.1f,%.3f,%.3f,%.2f,%.2f\n",
+			p.Label(), p.Workers, max(p.Shards, 1), p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec,
 			p.WALSyncs, p.CommitBatches, p.AckP50Millis, p.AckP99Millis,
 			p.SnapshotAllocsPerOp, p.CommitMergeAllocsPerOp)
 	}

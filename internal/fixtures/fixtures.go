@@ -52,7 +52,7 @@ func TravelMappings() *tgd.Set {
 // TravelData loads Figure 2's example instance into a store. The
 // labeled nulls x1 (the unknown Niagara Falls tour company) and x2
 // (its unknown review) match the figure.
-func TravelData(st *storage.Store) error {
+func TravelData(st storage.Backend) error {
 	c := model.Const
 	x1, x2 := model.Null(1), model.Null(2)
 	rows := []model.Tuple{

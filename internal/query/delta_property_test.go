@@ -147,6 +147,7 @@ func TestAffectedByAgreesWithRecomputation(t *testing.T) {
 		if !ins {
 			continue
 		}
+		readSeq := st.CurrentSeq()
 		q, _ := NewViolationRead(st, m, w5.Rel, w5.After, SeedLHS, 5)
 
 		// Writer 2 performs a later write.
@@ -165,8 +166,13 @@ func TestAffectedByAgreesWithRecomputation(t *testing.T) {
 		}
 
 		got := q.AffectedBy(st, w2)
-		// Brute force: answer as of read time + interference window.
-		want := q.answerCanon(st.Snap(5).WithWindow(q.ReadSeq, w2.Seq)) != q.Answer
+		// Brute force: answer as of read time + interference window,
+		// with the read time expressed as one global ceiling captured
+		// independently of the query's per-relation vector. This
+		// execution is single-threaded, so the two reconstructions must
+		// agree — which checks the vector capture and the structural
+		// prefilters at once.
+		want := q.answerCanon(st.Snap(5).WithWindow(readSeq, w2.Seq)) != q.Answer
 		if got != want {
 			t.Fatalf("seed %d: AffectedBy = %v, brute force = %v (write %v)", seed, got, want, w2)
 		}

@@ -120,6 +120,49 @@ func (v *Violation) String() string {
 	return "violation of " + v.TGD.Name + " at " + v.Binding.String()
 }
 
+// WitnessSig renders a violation's identity canonically: the mapping
+// name plus the witness tuples' current contents in atom order, with
+// labeled nulls numbered by first occurrence across the whole
+// sequence. Unlike Key it contains no tuple IDs, so two executions in
+// equivalent states (equal up to null renaming and physical tuple
+// identity) assign equal signatures to corresponding violations. The
+// chase orders its violation processing by signature, which is what
+// keeps the frontier — the order repairs are planned and decision
+// contexts reach users — identical across serial, parallel, and
+// sharded executions: tuple IDs are minted in schedule order and would
+// otherwise leak the interleaving into repair order and, through it,
+// into the final instance.
+func (e *Engine) WitnessSig(v *Violation) string {
+	var b strings.Builder
+	b.WriteString(v.TGD.Name)
+	ren := make(map[model.Value]int)
+	for _, id := range v.Witness {
+		b.WriteByte('|')
+		t, ok := e.snap.GetTuple(id)
+		if !ok {
+			b.WriteByte('?')
+			continue
+		}
+		b.WriteString(t.Rel)
+		for _, val := range t.Vals {
+			b.WriteByte(0x1f)
+			if val.IsNull() {
+				n, seen := ren[val]
+				if !seen {
+					n = len(ren) + 1
+					ren[val] = n
+				}
+				b.WriteString("?")
+				b.WriteString(storageIDString(storage.TupleID(n)))
+			} else {
+				b.WriteString("c")
+				b.WriteString(val.ConstValue())
+			}
+		}
+	}
+	return b.String()
+}
+
 // Engine evaluates queries against one snapshot. It is not safe for
 // concurrent use: the join scratch (pooled working bindings reused
 // across evaluations — the match loop is the hottest code path in the

@@ -72,17 +72,23 @@ type ReadQuery interface {
 	// the store, retroactively changes this query's answer as seen by
 	// the reader. Writes that are invisible to the reader never affect
 	// the answer.
-	AffectedBy(st *storage.Store, w storage.WriteRec) bool
+	AffectedBy(st storage.Backend, w storage.WriteRec) bool
 	// String renders the query for diagnostics.
 	String() string
 }
 
 // ViolationRead stores a seeded violation query: "which violations of
 // TGD did the write of SeedVals into SeedRel create?" (Example 4.1).
-// Besides the intensional query it records the canonical answer and
-// the store sequence number at read time, so conflict checks can ask
-// whether a later write retroactively changes what was read — even
-// after the reader's own repairs have moved the current answer on.
+// Besides the intensional query it records the canonical answer and a
+// per-relation read vector — each of the mapping's relations paired
+// with its stripe sequence number at read time — so conflict checks
+// can ask whether a later write retroactively changes what was read,
+// even after the reader's own repairs have moved the current answer
+// on. The vector replaces an earlier single global read sequence: a
+// read's validity boundary is judged per stripe, which stays exact
+// when stripes advance independently (relation-partitioned backends,
+// or any evaluation that observed different stripes at different
+// moments).
 type ViolationRead struct {
 	TGD      *tgd.TGD
 	SeedRel  string
@@ -93,25 +99,51 @@ type ViolationRead struct {
 	ReaderNo int
 	// Answer is the canonical rendering of the violations read.
 	Answer string
-	// ReadSeq is the store's sequence number when the read happened.
-	ReadSeq int64
+	// ReadSeqs is the per-relation read vector: for every relation the
+	// mapping ranges over, the relation's stripe sequence number when
+	// the read happened. Two reads of the same seeded query with equal
+	// vectors observed identical relevant state (the answer depends on
+	// no other relations), so the vector doubles as the read's identity
+	// in String.
+	ReadSeqs []storage.RelSeq
 }
 
 // NewViolationRead evaluates the seeded violation query on the
 // reader's snapshot and returns both the stored read descriptor and
-// the violations it found.
-func NewViolationRead(st *storage.Store, t *tgd.TGD, seedRel string, seedVals []model.Value, side Side, reader int) (*ViolationRead, []Violation) {
+// the violations it found. The read vector is captured before the
+// evaluation: per stripe, everything at or below the captured
+// sequence is already applied (stripe sequences publish under the
+// stripe lock), so the vector lower-bounds what the evaluation saw in
+// each relation and is exact whenever no writer runs during the read
+// — which the schedulers' phase locking guarantees.
+func NewViolationRead(st storage.Backend, t *tgd.TGD, seedRel string, seedVals []model.Value, side Side, reader int) (*ViolationRead, []Violation) {
+	rels := t.Relations()
+	seqs := make([]storage.RelSeq, len(rels))
+	for i, rel := range rels {
+		seqs[i] = storage.RelSeq{Rel: rel, Seq: st.RelSeq(rel)}
+	}
 	q := &ViolationRead{
 		TGD:      t,
 		SeedRel:  seedRel,
 		SeedVals: append([]model.Value(nil), seedVals...),
 		SeedSide: side,
 		ReaderNo: reader,
-		ReadSeq:  st.CurrentSeq(),
+		ReadSeqs: seqs,
 	}
 	vs := q.eval(NewEngine(st.Snap(reader)))
 	q.Answer = canonViolations(vs)
 	return q, vs
+}
+
+// readCeil returns the read vector's boundary for a relation (0 when
+// the relation is outside the mapping, which callers pre-filter).
+func (q *ViolationRead) readCeil(rel string) int64 {
+	for i := range q.ReadSeqs {
+		if q.ReadSeqs[i].Rel == rel {
+			return q.ReadSeqs[i].Seq
+		}
+	}
+	return 0
 }
 
 // canonViolations renders a violation set canonically.
@@ -134,11 +166,23 @@ func (q *ViolationRead) Reader() int { return q.ReaderNo }
 func (q *ViolationRead) Relations() []string { return q.TGD.Relations() }
 
 // String implements ReadQuery. It identifies the read, including its
-// read time: the same intensional query read at different moments
-// guards different answers, so both instances are kept.
+// read-time vector: the same intensional query read at different
+// moments guards different answers, so both instances are kept —
+// unless the vectors are equal, in which case no write landed in any
+// relation the answer depends on and the reads are genuinely the
+// same.
 func (q *ViolationRead) String() string {
-	return fmt.Sprintf("violation-query[%s seeded %s by %s @%d]", q.TGD.Name, q.SeedSide,
-		model.Tuple{Rel: q.SeedRel, Vals: q.SeedVals}, q.ReadSeq)
+	var b strings.Builder
+	fmt.Fprintf(&b, "violation-query[%s seeded %s by %s @", q.TGD.Name, q.SeedSide,
+		model.Tuple{Rel: q.SeedRel, Vals: q.SeedVals})
+	for i := range q.ReadSeqs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", q.ReadSeqs[i].Seq)
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // mayTouch is a cheap structural prefilter: can values unify with any
@@ -176,18 +220,24 @@ func (q *ViolationRead) eval(e *Engine) []Violation {
 }
 
 // AffectedBy implements ReadQuery: does the write change what was read
-// at read time? For a write performed after the read, the answer is
-// re-evaluated on the read-time state augmented with the interference
-// window — every write up to and including w by writers other than
-// the reader (the reader's own later repairs must not hide the
-// change). For a write that preceded the read (the dependency
-// direction of §5.1), the read-time answer is re-evaluated with that
-// single write masked. Either way a difference from the recorded
-// answer means the write influences the read. This is the "single
-// query combining the original violation query with information about
-// the new tuple" of §5; modifications are delete-then-insert records,
-// exactly as the paper prescribes.
-func (q *ViolationRead) AffectedBy(st *storage.Store, w storage.WriteRec) bool {
+// at read time? Whether the write precedes or follows the read is
+// judged against the read vector's boundary for the write's own
+// relation — the per-stripe validity window — not a global sequence.
+// For a write past its relation's boundary, the answer is re-evaluated
+// on the read-time state (each relation cut at its own boundary)
+// augmented with the interference window — every write up to and
+// including w, in any relation, by writers other than the reader (the
+// reader's own later repairs must not hide the change; the global
+// upper bound is meaningful because sequence numbers are totally
+// ordered backend-wide, shards included). For a write at or below its
+// relation's boundary (the dependency direction of §5.1), the
+// read-time state is re-evaluated with that single write masked.
+// Either way a difference from the recorded answer means the write
+// influences the read. This is the "single query combining the
+// original violation query with information about the new tuple" of
+// §5; modifications are delete-then-insert records, exactly as the
+// paper prescribes.
+func (q *ViolationRead) AffectedBy(st storage.Backend, w storage.WriteRec) bool {
 	if w.Writer > q.ReaderNo {
 		return false // invisible to the reader
 	}
@@ -199,11 +249,54 @@ func (q *ViolationRead) AffectedBy(st *storage.Store, w storage.WriteRec) bool {
 	}
 	base := st.Snap(q.ReaderNo)
 	var snap *storage.Snapshot
-	if w.Seq > q.ReadSeq {
-		snap = base.WithWindow(q.ReadSeq, w.Seq)
+	if w.Seq > q.readCeil(w.Rel) {
+		snap = base.WithRelWindow(q.ReadSeqs, w.Seq)
 	} else {
-		snap = base.WithCeiling(q.ReadSeq).WithMask(w.Writer, w.Seq)
+		snap = base.WithRelCeilings(q.ReadSeqs).WithMask(w.Writer, w.Seq)
 	}
+	return q.answerCanon(snap) != q.Answer
+}
+
+// AffectedByRemoval reports whether undoing the given writes — an
+// aborted writer's removed log, already taken out of the store —
+// retroactively changes this query's answer as seen by the reader.
+//
+// This is the abort-side counterpart of AffectedBy, and it exists
+// because an abort can invalidate verdicts that earlier write-side
+// checks delivered honestly: a check of write w evaluates the
+// read-time state plus the interference up to w, and if part of that
+// interference is later rolled back — and its writer's rerun takes a
+// different path — no subsequent write ever re-asks the question,
+// leaving the reader's guarded answer stale against the state it will
+// actually commit over. Structural queries never have the problem
+// (their write-side checks are state-independent, so a matching write
+// either already aborted the reader or already recorded the
+// dependency that cascades it); only the violation query's
+// database-evaluated check can have its verdict flipped by a removal.
+// The re-evaluation therefore runs the read-time state forward over
+// ALL currently live interference (window open to the present) — if
+// that drifted from the recorded answer, the reader must abort and
+// rerun.
+//
+// The removed records only gate the evaluation: a removal is relevant
+// when some removed write was visible to the reader and could touch
+// the mapping. Irrelevant removals return false without touching the
+// database.
+func (q *ViolationRead) AffectedByRemoval(st storage.Backend, removed []storage.WriteRec) bool {
+	relevant := false
+	for _, w := range removed {
+		if w.Writer > q.ReaderNo || !q.TGD.UsesRelation(w.Rel) {
+			continue
+		}
+		if mayTouch(q.TGD, w.Rel, w.After) || mayTouch(q.TGD, w.Rel, w.Before) {
+			relevant = true
+			break
+		}
+	}
+	if !relevant {
+		return false
+	}
+	snap := st.Snap(q.ReaderNo).WithRelWindow(q.ReadSeqs, st.CurrentSeq())
 	return q.answerCanon(snap) != q.Answer
 }
 
@@ -232,7 +325,7 @@ func (q *MoreSpecificRead) String() string {
 // AffectedBy implements ReadQuery structurally, without touching the
 // database: a write changes the answer iff it writes or removes a
 // tuple more specific than the pattern.
-func (q *MoreSpecificRead) AffectedBy(_ *storage.Store, w storage.WriteRec) bool {
+func (q *MoreSpecificRead) AffectedBy(_ storage.Backend, w storage.WriteRec) bool {
 	if w.Writer > q.ReaderNo || w.Rel != q.Rel {
 		return false
 	}
@@ -269,7 +362,7 @@ func (q *NullOccRead) String() string {
 // write changes the answer to a correction query either on all
 // databases, or on none" — here, iff the written tuple contains the
 // null (before or after).
-func (q *NullOccRead) AffectedBy(_ *storage.Store, w storage.WriteRec) bool {
+func (q *NullOccRead) AffectedBy(_ storage.Backend, w storage.WriteRec) bool {
 	if w.Writer > q.ReaderNo {
 		return false
 	}
@@ -312,7 +405,7 @@ func (q *ContentRead) String() string {
 
 // AffectedBy implements ReadQuery: a write affects the probe iff it
 // writes or removes exactly this content.
-func (q *ContentRead) AffectedBy(_ *storage.Store, w storage.WriteRec) bool {
+func (q *ContentRead) AffectedBy(_ storage.Backend, w storage.WriteRec) bool {
 	if w.Writer > q.ReaderNo || w.Rel != q.Rel {
 		return false
 	}

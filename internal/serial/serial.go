@@ -21,7 +21,7 @@ import (
 // Execute runs the workload serially — update 1 to termination, then
 // update 2, and so on — against the given store. It is the reference
 // execution that Definition 3.4 compares against.
-func Execute(st *storage.Store, set *tgd.Set, ops []chase.Op, user chase.User) (cc.Metrics, error) {
+func Execute(st storage.Backend, set *tgd.Set, ops []chase.Op, user chase.User) (cc.Metrics, error) {
 	sched := cc.NewScheduler(st, set, cc.Config{
 		Policy:  cc.PolicySerial,
 		Tracker: cc.Precise{},

@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"youtopia/internal/model"
+)
+
+// Backend is the storage surface the update-exchange engine consumes:
+// everything chase execution, concurrency control, stored read
+// queries, and the repository layer need from a store, and nothing
+// they don't. Two implementations exist — *Store, the single
+// multiversion partition, and *ShardedStore, a router that partitions
+// the relations across several independent Stores — and the engine
+// layers are written against this interface so the two are
+// interchangeable (the backend conformance suite holds them to that).
+//
+// The contract, beyond the method comments on *Store:
+//
+//   - Every method is individually atomic and safe for concurrent use
+//     (multi-operation protocols need the concurrency-control layer's
+//     phase locking on top, as with *Store).
+//   - Sequence numbers are totally ordered across the whole backend
+//     (sharded deployments share one counter), per-relation sequences
+//     are monotone, and labeled nulls are unique backend-wide.
+//   - CommitBatchAsync hands the durability hook only batches with at
+//     least one write record; commits of write-free updates are
+//     memory-only state flips that recovery does not need.
+type Backend interface {
+	// Schema returns the schema the backend was created over.
+	Schema() *model.Schema
+	// FreshNull mints a labeled null unused anywhere in the backend.
+	FreshNull() model.Value
+	// Snap returns a read view at the given reader priority.
+	Snap(reader int) *Snapshot
+
+	// Insert, Delete, DeleteContent and ReplaceNull are the write
+	// operations of §2; Load inserts committed initial (writer 0) data.
+	Insert(writer int, t model.Tuple) (id TupleID, rec WriteRec, inserted bool, err error)
+	Delete(writer int, id TupleID) (rec WriteRec, ok bool, err error)
+	DeleteContent(writer int, t model.Tuple) ([]WriteRec, error)
+	ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error)
+	Load(t model.Tuple) (TupleID, error)
+
+	// Abort rolls a writer back; Commit and CommitBatch make writers
+	// permanent, blocking on durability; CommitBatchAsync is the
+	// pipelined variant whose ack resolves when the batch is durable.
+	Abort(writer int)
+	Commit(writer int) error
+	CommitBatch(writers []int) error
+	CommitBatchAsync(writers []int) (CommitAck, error)
+	Committed(writer int) bool
+
+	// SetCommitHook installs the durability hook (on every partition of
+	// a sharded backend, each partition passing its own slice of the
+	// batch); it must be called before the backend sees concurrent use.
+	// Persistent reports whether a hook is installed anywhere, and
+	// SyncCount the backend's aggregate fsync count.
+	SetCommitHook(h CommitHook)
+	Persistent() bool
+	SyncCount() int64
+
+	// CurrentSeq is the backend-wide sequence high-water mark; RelSeq
+	// the per-relation one concurrency control validates against.
+	CurrentSeq() int64
+	RelSeq(rel string) int64
+
+	// WritesOf, UncommittedWrites, UncommittedWritesOf and
+	// UncommittedWritersOf expose the live write logs the dependency
+	// trackers of §5.1 read.
+	WritesOf(writer int) []WriteRec
+	UncommittedWrites() []WriteRec
+	UncommittedWritesOf(rel string) []WriteRec
+	UncommittedWritersOf(rel string) []int
+
+	// Stats and Dump summarize contents for diagnostics and golden
+	// tests; Dump output is identical across partition layouts.
+	Stats() Stats
+	Dump(reader int) string
+}
+
+// Both implementations are held to the interface at compile time.
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*ShardedStore)(nil)
+)

@@ -1,0 +1,386 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"youtopia/internal/model"
+)
+
+// The backend conformance suite: one shared table of storage-contract
+// tests run against every Backend implementation — the single *Store,
+// the one-shard ShardedStore (which must be behaviorally identical to
+// it), and a multi-shard ShardedStore. The interface cannot drift from
+// the store's semantics without a case here failing on one
+// implementation and passing on another.
+
+// confSchema declares enough relations that a 3-way shard split puts
+// at least two relations in the same shard and at least one alone.
+func confSchema() *model.Schema {
+	s := model.NewSchema()
+	s.MustAddRelation("A", "x", "y")
+	s.MustAddRelation("B", "x")
+	s.MustAddRelation("C", "x", "y", "z")
+	s.MustAddRelation("D", "x")
+	s.MustAddRelation("E", "x", "y")
+	return s
+}
+
+// backendCase builds one Backend implementation under test.
+type backendCase struct {
+	name  string
+	build func(*model.Schema) Backend
+}
+
+func backendCases() []backendCase {
+	return []backendCase{
+		{"store", func(s *model.Schema) Backend { return NewStore(s) }},
+		{"sharded-1", func(s *model.Schema) Backend { return NewSharded(s, 1) }},
+		{"sharded-3", func(s *model.Schema) Backend { return NewSharded(s, 3) }},
+	}
+}
+
+func forEachBackend(t *testing.T, fn func(t *testing.T, b Backend)) {
+	t.Helper()
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			fn(t, bc.build(confSchema()))
+		})
+	}
+}
+
+func cv(s string) model.Value { return model.Const(s) }
+
+func mustInsert(t *testing.T, b Backend, writer int, rel string, vals ...model.Value) (TupleID, WriteRec) {
+	t.Helper()
+	id, rec, ins, err := b.Insert(writer, model.NewTuple(rel, vals...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins {
+		t.Fatalf("insert of %s %v no-op'ed", rel, vals)
+	}
+	return id, rec
+}
+
+// TestConformanceSnapshotIsolation: a higher-numbered writer's
+// versions are invisible to lower-numbered readers; the maximal
+// visible version in (writer, seq) order wins.
+func TestConformanceSnapshotIsolation(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		id3, _ := mustInsert(t, b, 3, "A", cv("u"), cv("v"))
+		if _, ok := b.Snap(2).Get(id3); ok {
+			t.Fatal("writer 3's tuple visible to reader 2")
+		}
+		if _, ok := b.Snap(3).Get(id3); !ok {
+			t.Fatal("writer 3's tuple invisible to reader 3")
+		}
+		// A delete by writer 5 shadows the insert for readers >= 5 only.
+		if _, ok, err := b.Delete(5, id3); err != nil || !ok {
+			t.Fatalf("delete: ok=%v err=%v", ok, err)
+		}
+		if _, ok := b.Snap(4).Get(id3); !ok {
+			t.Fatal("delete by 5 visible to reader 4")
+		}
+		if _, ok := b.Snap(5).Get(id3); ok {
+			t.Fatal("delete by 5 invisible to reader 5")
+		}
+	})
+}
+
+// TestConformanceAbortVisibility: aborting a writer removes every one
+// of its versions atomically, across relations (and shards), and
+// repairs the indexes.
+func TestConformanceAbortVisibility(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		idA, _ := mustInsert(t, b, 2, "A", cv("a"), cv("b"))
+		idB, _ := mustInsert(t, b, 2, "B", cv("a"))
+		idD, _ := mustInsert(t, b, 2, "D", cv("d"))
+		keep, _ := mustInsert(t, b, 1, "B", cv("keep"))
+		if got := len(b.UncommittedWritesOf("B")); got != 2 {
+			t.Fatalf("UncommittedWritesOf(B) = %d records, want 2", got)
+		}
+		b.Abort(2)
+		snap := b.Snap(1 << 30)
+		for _, id := range []TupleID{idA, idB, idD} {
+			if _, ok := snap.Get(id); ok {
+				t.Fatalf("aborted tuple %d still visible", id)
+			}
+		}
+		if _, ok := snap.Get(keep); !ok {
+			t.Fatal("abort of writer 2 removed writer 1's tuple")
+		}
+		if got := b.UncommittedWritersOf("B"); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("UncommittedWritersOf(B) = %v, want [1]", got)
+		}
+		if ws := b.WritesOf(2); len(ws) != 0 {
+			t.Fatalf("aborted writer still has %d logged writes", len(ws))
+		}
+	})
+}
+
+// TestConformanceCommitOrdering: CommitBatch marks every writer
+// committed, retires their logs everywhere, and leaves their versions
+// in place; sequence numbers stay totally ordered across relations.
+func TestConformanceCommitOrdering(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		var lastSeq int64
+		for i, rel := range []string{"A", "E", "C"} {
+			vals := make([]model.Value, b.Schema().Arity(rel))
+			for j := range vals {
+				vals[j] = cv(fmt.Sprintf("w%d-%d", i, j))
+			}
+			_, rec := mustInsert(t, b, i+1, rel, vals...)
+			if rec.Seq <= lastSeq {
+				t.Fatalf("sequence not increasing across relations: %d after %d", rec.Seq, lastSeq)
+			}
+			lastSeq = rec.Seq
+			if b.RelSeq(rel) != rec.Seq {
+				t.Fatalf("RelSeq(%s) = %d, want %d", rel, b.RelSeq(rel), rec.Seq)
+			}
+		}
+		if b.CurrentSeq() != lastSeq {
+			t.Fatalf("CurrentSeq = %d, want %d", b.CurrentSeq(), lastSeq)
+		}
+		if err := b.CommitBatch([]int{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		for w := 1; w <= 3; w++ {
+			if !b.Committed(w) {
+				t.Fatalf("writer %d not committed", w)
+			}
+		}
+		if uw := b.UncommittedWrites(); len(uw) != 0 {
+			t.Fatalf("%d uncommitted writes survive the commit", len(uw))
+		}
+		if got := b.Stats().Visible; got != 3 {
+			t.Fatalf("Visible = %d, want 3", got)
+		}
+	})
+}
+
+// TestConformanceHookMergeOrder: the durability hook receives, per
+// partition, ascending writers and write records merged in
+// (writer, seq) order; batches with no records in a partition are
+// skipped entirely.
+func TestConformanceHookMergeOrder(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		// Interleave two writers across relations so the per-writer
+		// shard merge has real work.
+		mustInsert(t, b, 2, "A", cv("w2a"), cv("x"))
+		mustInsert(t, b, 1, "A", cv("w1a"), cv("x"))
+		mustInsert(t, b, 2, "B", cv("w2b"))
+		mustInsert(t, b, 1, "C", cv("w1c"), cv("y"), cv("z"))
+		var calls [][]WriteRec
+		b.SetCommitHook(func(writers []int, recs []WriteRec) (CommitAck, error) {
+			if len(recs) == 0 {
+				t.Fatal("hook called with an empty batch")
+			}
+			if !reflect.DeepEqual(writers, []int{1, 2}) {
+				t.Fatalf("hook writers = %v, want [1 2]", writers)
+			}
+			calls = append(calls, append([]WriteRec(nil), recs...))
+			return nil, nil
+		})
+		if !b.Persistent() {
+			t.Fatal("Persistent() false with a hook installed")
+		}
+		if err := b.CommitBatch([]int{2, 1}); err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) == 0 {
+			t.Fatal("hook never called")
+		}
+		total := 0
+		for _, recs := range calls {
+			total += len(recs)
+			for i := 1; i < len(recs); i++ {
+				a, b := recs[i-1], recs[i]
+				if a.Writer > b.Writer || (a.Writer == b.Writer && a.Seq >= b.Seq) {
+					t.Fatalf("batch not in (writer, seq) order: %v before %v", a, b)
+				}
+			}
+		}
+		if total != 4 {
+			t.Fatalf("hook saw %d records across %d calls, want 4", total, len(calls))
+		}
+		// A commit of a writer with no writes must not reach the hook.
+		calls = nil
+		if err := b.Commit(7); err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != 0 {
+			t.Fatal("write-free commit reached the durability hook")
+		}
+		if !b.Committed(7) {
+			t.Fatal("write-free commit did not mark the writer committed")
+		}
+	})
+}
+
+// TestConformanceHookVeto: a hook error vetoes the commit — the
+// writers stay uncommitted, their logs stay live.
+func TestConformanceHookVeto(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		mustInsert(t, b, 1, "A", cv("v"), cv("v"))
+		b.SetCommitHook(func([]int, []WriteRec) (CommitAck, error) {
+			return nil, fmt.Errorf("disk on fire")
+		})
+		if err := b.Commit(1); err == nil {
+			t.Fatal("vetoed commit reported success")
+		}
+		if b.Committed(1) {
+			t.Fatal("vetoed writer marked committed")
+		}
+		if len(b.UncommittedWritesOf("A")) != 1 {
+			t.Fatal("vetoed writer's log was retired")
+		}
+	})
+}
+
+// TestConformanceReplaceNullSpansShards: a null replacement rewrites
+// every occurrence across relations in one atomic operation, with
+// set-semantics collapse, identically on every backend.
+func TestConformanceReplaceNullSpansShards(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		x := b.FreshNull()
+		mustInsert(t, b, 1, "A", x, cv("k"))
+		mustInsert(t, b, 1, "B", x)
+		mustInsert(t, b, 1, "D", x)
+		// A already holds the rewritten content: the A-occurrence must
+		// collapse instead of duplicating.
+		mustInsert(t, b, 1, "A", cv("c"), cv("k"))
+		recs, err := b.ReplaceNull(1, x, cv("c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := map[Op]int{}
+		for _, r := range recs {
+			ops[r.Op]++
+		}
+		if ops[OpModify] != 2 || ops[OpDelete] != 1 || len(recs) != 3 {
+			t.Fatalf("ReplaceNull records = %v (modify %d, delete %d)", recs, ops[OpModify], ops[OpDelete])
+		}
+		snap := b.Snap(1 << 30)
+		if ids := snap.TuplesWithNull(x); len(ids) != 0 {
+			t.Fatalf("null %s survives in %v", x, ids)
+		}
+		if !snap.ContainsContent(model.NewTuple("B", cv("c"))) {
+			t.Fatal("B-occurrence not rewritten")
+		}
+	})
+}
+
+// TestConformanceSnapshotFilters: per-relation ceilings and windows
+// behave identically across backends — the reconstruction machinery
+// the conflict checks rely on.
+func TestConformanceSnapshotFilters(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		idA, _ := mustInsert(t, b, 1, "A", cv("early"), cv("x"))
+		ceils := []RelSeq{{Rel: "A", Seq: b.RelSeq("A")}, {Rel: "B", Seq: b.RelSeq("B")}}
+		idB, recB := mustInsert(t, b, 2, "B", cv("late"))
+		idA2, _ := mustInsert(t, b, 2, "A", cv("later"), cv("y"))
+
+		past := b.Snap(1 << 30).WithRelCeilings(ceils)
+		if _, ok := past.Get(idA); !ok {
+			t.Fatal("ceiling hides a pre-ceiling version")
+		}
+		if _, ok := past.Get(idB); ok {
+			t.Fatal("ceiling admits a post-ceiling version")
+		}
+		if _, ok := past.Get(idA2); ok {
+			t.Fatal("ceiling admits a post-ceiling version in a ceilinged relation")
+		}
+
+		// The window admits other writers' post-ceiling writes up to the
+		// bound, in every relation, but never the reader's own.
+		reader3 := b.Snap(3).WithRelWindow(ceils, recB.Seq)
+		if _, ok := reader3.Get(idB); !ok {
+			t.Fatal("window excludes an admitted interference write")
+		}
+		if _, ok := reader3.Get(idA2); ok {
+			t.Fatal("window admits a write past its upper bound")
+		}
+	})
+}
+
+// TestConformanceDumpIdentity: the same operation sequence leaves a
+// byte-identical Dump on every backend, including after aborts and
+// replacements — the behavioral-identity oracle.
+func TestConformanceDumpIdentity(t *testing.T) {
+	run := func(b Backend) string {
+		x := b.FreshNull()
+		if _, err := b.Load(model.NewTuple("A", cv("base"), cv("b"))); err != nil {
+			panic(err)
+		}
+		mustInsertP(b, 1, "A", cv("one"), cv("b"))
+		mustInsertP(b, 1, "B", cv("one"))
+		mustInsertP(b, 2, "C", x, cv("c"), cv("d"))
+		mustInsertP(b, 2, "E", x, cv("e"))
+		mustInsertP(b, 3, "D", cv("gone"))
+		if _, err := b.ReplaceNull(2, x, cv("fix")); err != nil {
+			panic(err)
+		}
+		b.Abort(3)
+		if err := b.CommitBatch([]int{1, 2}); err != nil {
+			panic(err)
+		}
+		return b.Dump(1 << 30)
+	}
+	var dumps []string
+	for _, bc := range backendCases() {
+		dumps = append(dumps, run(bc.build(confSchema())))
+	}
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i] != dumps[0] {
+			t.Fatalf("%s dump differs from %s:\n%s\nvs\n%s",
+				backendCases()[i].name, backendCases()[0].name, dumps[i], dumps[0])
+		}
+	}
+}
+
+func mustInsertP(b Backend, writer int, rel string, vals ...model.Value) {
+	if _, _, ins, err := b.Insert(writer, model.NewTuple(rel, vals...)); err != nil || !ins {
+		panic(fmt.Sprintf("insert %s: ins=%v err=%v", rel, ins, err))
+	}
+}
+
+// TestConformanceShardRouting pins the shard assignment contract: a
+// relation's shard is its schema stripe index modulo the shard count,
+// stable across instances, and tuple IDs resolve to the same shard as
+// their relation.
+func TestConformanceShardRouting(t *testing.T) {
+	schema := confSchema()
+	ss := NewSharded(schema, 3)
+	ss2 := NewSharded(schema, 3)
+	seen := map[int]bool{}
+	for _, rel := range schema.SortedNames() {
+		k := ss.ShardForRelation(rel)
+		if k < 0 || k >= 3 {
+			t.Fatalf("ShardForRelation(%s) = %d", rel, k)
+		}
+		if k != ss2.ShardForRelation(rel) {
+			t.Fatalf("shard assignment for %s not stable across instances", rel)
+		}
+		seen[k] = true
+		id, _ := mustInsert(t, ss, 1, rel, makeVals(schema, rel)...)
+		if got := ss.shardForID(id); got != ss.shards[k] {
+			t.Fatalf("tuple ID of %s routed to a different shard than its relation", rel)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("5 relations over 3 shards hit only shards %v", seen)
+	}
+	if ss.ShardForRelation("nope") != -1 {
+		t.Fatal("undeclared relation got a shard")
+	}
+}
+
+func makeVals(schema *model.Schema, rel string) []model.Value {
+	vals := make([]model.Value, schema.Arity(rel))
+	for i := range vals {
+		vals[i] = cv(fmt.Sprintf("%s%d", rel, i))
+	}
+	return vals
+}

@@ -1,26 +1,55 @@
 package storage
 
 import (
+	"sort"
+
 	"youtopia/internal/model"
 )
 
-// Snapshot is a read view of the store at a reader priority: versions
+// RelSeq pairs a relation with a stripe sequence number: one entry of
+// a per-relation read vector. Conflict checks capture such vectors at
+// read time and snapshots replay them as per-relation visibility
+// ceilings, so a read's validity window is judged stripe by stripe
+// instead of against one global sequence number.
+type RelSeq struct {
+	Rel string
+	Seq int64
+}
+
+// seqOf returns the vector's entry for rel, or ok == false when the
+// relation is not part of the vector. Vectors are tiny (a mapping's
+// relation set), so lookup is a linear scan without allocation.
+func seqOf(vec []RelSeq, rel string) (int64, bool) {
+	for i := range vec {
+		if vec[i].Rel == rel {
+			return vec[i].Seq, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot is a read view of a backend at a reader priority: versions
 // written by updates with priority number ≤ reader are visible, the
 // maximal one in (writer, seq) order winning. A snapshot may carry a
 // mask excluding one specific version; PRECISE dependency analysis
 // uses masks to compare query answers with and without a single write.
 //
 // Snapshots are cheap descriptors over live store state, not frozen
-// copies: results reflect the store at call time. Single-relation
-// methods take that relation's stripe read lock for their own
-// duration, so individual calls are atomic and safe to issue from any
-// goroutine; methods that span relations (TuplesWithNull,
-// VisibleFacts) lock stripe-by-stripe and are atomic per relation
-// only. Two successive calls may observe different store states if a
-// writer runs in between — multi-call protocols need external phase
-// locking.
+// copies: results reflect the store at call time. A snapshot routes
+// over the backend's partition list — a single store, or every shard
+// of a ShardedStore — resolving each relation (or tuple ID) to its
+// owning partition. Single-relation methods take that relation's
+// stripe read lock for their own duration, so individual calls are
+// atomic and safe to issue from any goroutine; methods that span
+// relations (TuplesWithNull, VisibleFacts) lock stripe-by-stripe and
+// are atomic per relation only. Two successive calls may observe
+// different store states if a writer runs in between — multi-call
+// protocols need external phase locking.
 type Snapshot struct {
-	st     *Store
+	// stores is the partition list: relation (stripe) index i lives in
+	// stores[i % len(stores)]. A plain store's snapshots carry its own
+	// one-element list.
+	stores []*Store
 	reader int
 
 	// noLock marks snapshots handed out by store code that already
@@ -42,6 +71,27 @@ type Snapshot struct {
 	ceilSeq   int64
 	hasWindow bool
 	windowSeq int64
+
+	// relCeils, when hasRelCeil is set, replaces the single global
+	// ceiling with a per-relation vector: a version in relation R is
+	// within the ceiling iff its seq is at most the vector's entry for
+	// R. Relations absent from the vector are unconstrained — a read
+	// vector always covers every relation its query ranges over, so
+	// missing entries can only belong to relations the query ignores.
+	// The window semantics compose exactly as with the global ceiling.
+	hasRelCeil bool
+	relCeils   []RelSeq
+}
+
+// stripeFor resolves a relation to its owning partition and stripe
+// over the snapshot's partition list.
+func (sn *Snapshot) stripeFor(rel string) (*Store, *stripe) {
+	return partitionForRel(sn.stores, rel)
+}
+
+// stripeForID resolves a tuple ID to its owning partition and stripe.
+func (sn *Snapshot) stripeForID(id TupleID) (*Store, *stripe) {
+	return partitionForID(sn.stores, id)
 }
 
 // rlock acquires a stripe's read lock unless this snapshot was minted
@@ -94,16 +144,50 @@ func (sn *Snapshot) WithWindow(ceil, upto int64) *Snapshot {
 	return &out
 }
 
-// admits reports whether a version is visible under all of the
-// snapshot's filters.
-func (sn *Snapshot) admits(v *version) bool {
+// WithRelCeilings returns a snapshot restricted, per relation, to
+// versions with sequence numbers at most the vector's entry — the
+// state a read observed judged stripe by stripe. Relations absent
+// from the vector are unrestricted. The caller must keep the vector
+// immutable for the snapshot's lifetime.
+func (sn *Snapshot) WithRelCeilings(ceils []RelSeq) *Snapshot {
+	out := *sn
+	out.hasRelCeil = true
+	out.relCeils = ceils
+	return &out
+}
+
+// WithRelWindow returns a snapshot of the state as of the per-relation
+// ceiling vector, augmented with the writes other writers performed
+// past their relation's ceiling up to sequence upto — the reader's own
+// post-ceiling writes stay hidden. It is WithWindow with the read
+// boundary judged per stripe.
+func (sn *Snapshot) WithRelWindow(ceils []RelSeq, upto int64) *Snapshot {
+	out := *sn
+	out.hasRelCeil = true
+	out.relCeils = ceils
+	out.hasWindow = true
+	out.windowSeq = upto
+	return &out
+}
+
+// admits reports whether a version of a tuple in rel is visible under
+// all of the snapshot's filters.
+func (sn *Snapshot) admits(v *version, rel string) bool {
 	if v.writer > sn.reader {
 		return false
 	}
 	if sn.masked && v.writer == sn.maskWriter && v.seq == sn.maskSeq {
 		return false
 	}
-	if sn.hasCeil && v.seq > sn.ceilSeq {
+	ceil, haveCeil := int64(0), false
+	if sn.hasRelCeil {
+		if c, ok := seqOf(sn.relCeils, rel); ok {
+			ceil, haveCeil = c, true
+		}
+	} else if sn.hasCeil {
+		ceil, haveCeil = sn.ceilSeq, true
+	}
+	if haveCeil && v.seq > ceil {
 		if !sn.hasWindow {
 			return false
 		}
@@ -119,7 +203,7 @@ func (sn *Snapshot) admits(v *version) bool {
 func (sn *Snapshot) versionOf(rec *tupleRec) *version {
 	for i := len(rec.versions) - 1; i >= 0; i-- {
 		v := &rec.versions[i]
-		if sn.admits(v) {
+		if sn.admits(v, rec.rel) {
 			return v
 		}
 	}
@@ -130,7 +214,7 @@ func (sn *Snapshot) versionOf(rec *tupleRec) *version {
 // ok == false when the tuple does not exist, is not yet visible, or is
 // deleted. The returned slice is shared; callers must not modify it.
 func (sn *Snapshot) Get(id TupleID) ([]model.Value, bool) {
-	s := sn.st.stripeOf(id)
+	_, s := sn.stripeForID(id)
 	if s == nil {
 		return nil, false
 	}
@@ -142,7 +226,7 @@ func (sn *Snapshot) Get(id TupleID) ([]model.Value, bool) {
 // getLocked resolves a tuple under already-held locks (the caller
 // holds the owning stripe's lock, directly or via lockAll).
 func (sn *Snapshot) getLocked(id TupleID) ([]model.Value, bool) {
-	s := sn.st.stripeOf(id)
+	_, s := sn.stripeForID(id)
 	if s == nil {
 		return nil, false
 	}
@@ -163,7 +247,7 @@ func (sn *Snapshot) getInStripe(s *stripe, id TupleID) ([]model.Value, bool) {
 
 // GetTuple is Get returning a model.Tuple.
 func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
-	s := sn.st.stripeOf(id)
+	_, s := sn.stripeForID(id)
 	if s == nil {
 		return model.Tuple{}, false
 	}
@@ -179,7 +263,7 @@ func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
 // Rel returns the relation a tuple ID belongs to, regardless of
 // visibility.
 func (sn *Snapshot) Rel(id TupleID) (string, bool) {
-	s := sn.st.stripeOf(id)
+	_, s := sn.stripeForID(id)
 	if s == nil {
 		return "", false
 	}
@@ -196,7 +280,7 @@ func (sn *Snapshot) Rel(id TupleID) (string, bool) {
 // must not modify the slice; it is the cheapest candidate source for
 // unconstrained scans.
 func (sn *Snapshot) RelIDs(rel string) []TupleID {
-	s := sn.st.stripes[rel]
+	_, s := sn.stripeFor(rel)
 	if s == nil {
 		return nil
 	}
@@ -209,7 +293,7 @@ func (sn *Snapshot) RelIDs(rel string) []TupleID {
 // order; fn returning false stops the scan. The stripe's read lock is
 // held across the whole scan, so fn must not call back into the store.
 func (sn *Snapshot) ScanRel(rel string, fn func(id TupleID, vals []model.Value) bool) {
-	s := sn.st.stripes[rel]
+	_, s := sn.stripeFor(rel)
 	if s == nil {
 		return
 	}
@@ -240,7 +324,7 @@ func (sn *Snapshot) CountRel(rel string) int {
 // must verify candidates against the snapshot via Get; the index
 // over-approximates across versions.
 func (sn *Snapshot) CandidatesByValue(rel string, col int, v model.Value) []TupleID {
-	s := sn.st.stripes[rel]
+	_, s := sn.stripeFor(rel)
 	if s == nil {
 		return nil
 	}
@@ -260,7 +344,7 @@ func (sn *Snapshot) candidatesByValueInStripe(s *stripe, col int, v model.Value)
 // t, in ascending order (at most one unless duplicate content slipped
 // in through concurrent writers).
 func (sn *Snapshot) LookupContent(t model.Tuple) []TupleID {
-	s := sn.st.stripes[t.Rel]
+	_, s := sn.stripeFor(t.Rel)
 	if s == nil {
 		return nil
 	}
@@ -281,33 +365,54 @@ func (sn *Snapshot) ContainsContent(t model.Tuple) bool {
 	return len(sn.LookupContent(t)) > 0
 }
 
+// nullCandidates unions the partitions' null-index entries for x, in
+// ascending tuple-ID order (which clusters IDs by stripe). Each
+// partition's index has its own leaf mutex unless the snapshot was
+// minted under already-held locks.
+func (sn *Snapshot) nullCandidates(x model.Value) []TupleID {
+	if len(sn.stores) == 1 {
+		st := sn.stores[0]
+		if sn.noLock {
+			return st.nullIdx[x].ids()
+		}
+		st.nullMu.Lock()
+		defer st.nullMu.Unlock()
+		return st.nullIdx[x].ids()
+	}
+	var cands []TupleID
+	for _, st := range sn.stores {
+		if sn.noLock {
+			cands = append(cands, st.nullIdx[x].ids()...)
+			continue
+		}
+		st.nullMu.Lock()
+		cands = append(cands, st.nullIdx[x].ids()...)
+		st.nullMu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	return cands
+}
+
 // TuplesWithNull returns, in ascending order, the IDs of visible
 // tuples containing the labeled null x. The null index spans
-// relations, so visibility is verified stripe-by-stripe (IDs cluster
-// by stripe, so consecutive hits share one lock acquisition).
+// relations (and partitions), so visibility is verified
+// stripe-by-stripe; consecutive hits cluster by stripe and share one
+// lock acquisition.
 func (sn *Snapshot) TuplesWithNull(x model.Value) []TupleID {
-	var cands []TupleID
-	if sn.noLock {
-		cands = sn.st.nullIdx[x].ids()
-		return sn.filterNullCands(x, cands)
-	}
-	sn.st.nullMu.Lock()
-	cands = sn.st.nullIdx[x].ids()
-	sn.st.nullMu.Unlock()
-	return sn.filterNullCands(x, cands)
+	return sn.filterNullCands(x, sn.nullCandidates(x))
 }
 
 // tuplesWithNullLocked is TuplesWithNull for callers holding every
 // stripe lock (ReplaceNull).
 func (sn *Snapshot) tuplesWithNullLocked(x model.Value) []TupleID {
-	return sn.filterNullCands(x, sn.st.nullIdx[x].ids())
+	return sn.filterNullCands(x, sn.nullCandidates(x))
 }
 
 func (sn *Snapshot) filterNullCands(x model.Value, cands []TupleID) []TupleID {
 	var out []TupleID
 	var cur *stripe
 	for _, id := range cands {
-		s := sn.st.stripeOf(id)
+		_, s := sn.stripeForID(id)
 		if s == nil {
 			continue
 		}
@@ -343,7 +448,7 @@ func (sn *Snapshot) filterNullCands(x model.Value, cands []TupleID) []TupleID {
 // Candidate narrowing uses the most selective constant position of t;
 // if t has no constants the relation is scanned.
 func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
-	s := sn.st.stripes[t.Rel]
+	_, s := sn.stripeFor(t.Rel)
 	if s == nil {
 		return nil
 	}
@@ -386,8 +491,8 @@ func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
 // serializability checker compares these across executions.
 func (sn *Snapshot) VisibleFacts() map[string][]model.Tuple {
 	out := make(map[string][]model.Tuple)
-	for _, rel := range sn.st.relsByIdx {
-		s := sn.st.stripes[rel]
+	for _, rel := range sn.stores[0].relsByIdx {
+		_, s := sn.stripeFor(rel)
 		seen := make(map[string]bool)
 		var ts []model.Tuple
 		sn.rlock(s)

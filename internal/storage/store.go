@@ -183,17 +183,33 @@ func (s *stripe) newID() TupleID {
 	return TupleID(int64(s.idx)<<localIDBits | s.nextLocal)
 }
 
-// Store is the versioned repository storage.
+// Store is the versioned repository storage: the single-partition
+// Backend implementation. A ShardedStore composes several of these
+// into a relation-partitioned deployment; in that composition every
+// partition shares one sequence counter and one null factory (see
+// adoptShared), so sequence numbers and labeled nulls stay globally
+// unique and comparable across partitions.
 type Store struct {
 	schema *model.Schema
-	nulls  model.NullFactory
+	// nulls is shared across the partitions of a sharded deployment: a
+	// null minted in one partition can reach tuples of another through
+	// chase repairs, so uniqueness must be global.
+	nulls *model.NullFactory
 
-	nextSeq atomic.Int64
+	// nextSeq is likewise shared across partitions, which keeps
+	// sequence numbers totally ordered store-wide — the property the
+	// cross-relation interference windows of the conflict checks rely
+	// on (see query.ViolationRead.AffectedBy).
+	nextSeq *atomic.Int64
 
 	// stripes is fixed at construction: one per schema relation.
 	stripes   map[string]*stripe
 	byIdx     []*stripe
 	relsByIdx []string // sorted relation names, aligned with byIdx
+
+	// self is the one-element partition list this store's snapshots
+	// route over; a ShardedStore's snapshots carry the full list.
+	self []*Store
 
 	// nullMu guards nullIdx; see the package comment for lock order.
 	nullMu sync.Mutex
@@ -230,12 +246,15 @@ func NewStore(schema *model.Schema) *Store {
 	names := schema.SortedNames()
 	st := &Store{
 		schema:    schema,
+		nulls:     new(model.NullFactory),
+		nextSeq:   new(atomic.Int64),
 		stripes:   make(map[string]*stripe, len(names)),
 		byIdx:     make([]*stripe, 0, len(names)),
 		relsByIdx: names,
 		nullIdx:   make(map[model.Value]*bucket),
 		committed: map[int]bool{0: true},
 	}
+	st.self = []*Store{st}
 	for i, name := range names {
 		cols := make([]map[model.Value]*bucket, schema.Arity(name))
 		for j := range cols {
@@ -542,18 +561,37 @@ func (st *Store) DeleteContent(writer int, t model.Tuple) ([]WriteRec, error) {
 // The replacement spans relations, so it holds every stripe lock for
 // its duration — the one mutator that still serializes store-wide.
 func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) {
-	if !x.IsNull() {
-		return nil, fmt.Errorf("storage: ReplaceNull target %s is not a labeled null", x)
-	}
-	if x == to {
-		return nil, fmt.Errorf("storage: ReplaceNull of %s with itself", x)
+	if err := checkReplaceNull(x, to); err != nil {
+		return nil, err
 	}
 	if to.IsNull() {
 		st.nulls.SetFloor(to.NullID())
 	}
 	st.lockAll()
 	defer st.unlockAll()
-	snap := st.snapLocked(writer)
+	return replaceNullLocked(st.self, writer, x, to), nil
+}
+
+// checkReplaceNull validates a null-replacement's arguments.
+func checkReplaceNull(x, to model.Value) error {
+	if !x.IsNull() {
+		return fmt.Errorf("storage: ReplaceNull target %s is not a labeled null", x)
+	}
+	if x == to {
+		return fmt.Errorf("storage: ReplaceNull of %s with itself", x)
+	}
+	return nil
+}
+
+// replaceNullLocked is ReplaceNull's body, generalized over a
+// partition list so a ShardedStore can run one replacement across all
+// of its shards. Callers hold every stripe lock of every listed store;
+// hits are processed in ascending tuple-ID order, which is identical
+// whatever the partition count — the partition of a stripe never
+// changes its IDs — so executions are byte-for-byte reproducible
+// across shard layouts.
+func replaceNullLocked(stores []*Store, writer int, x, to model.Value) []WriteRec {
+	snap := &Snapshot{stores: stores, reader: writer, noLock: true}
 	// Collect affected tuples first: rewriting mutates the null index.
 	type hit struct {
 		id   TupleID
@@ -570,7 +608,7 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 	sub := model.Subst{x: to}
 	out := make([]WriteRec, 0, len(hits))
 	for _, h := range hits {
-		s := st.stripeOf(h.id)
+		owner, s := snap.stripeForID(h.id)
 		tr := s.tuples[h.id]
 		newVals := sub.Apply(h.vals)
 		// Set-semantics collapse (§2.2 "collapsed into one"): if the
@@ -588,20 +626,20 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 				break
 			}
 		}
-		seq := st.nextSeq.Add(1)
+		seq := owner.nextSeq.Add(1)
 		if collapsed {
 			w := WriteRec{Writer: writer, Seq: seq, ID: h.id, Rel: tr.rel, Op: OpDelete,
 				Before: h.vals}
-			st.addVersion(s, tr, version{writer: writer, seq: seq, deleted: true}, w)
+			owner.addVersion(s, tr, version{writer: writer, seq: seq, deleted: true}, w)
 			out = append(out, w)
 			continue
 		}
 		w := WriteRec{Writer: writer, Seq: seq, ID: h.id, Rel: tr.rel, Op: OpModify,
 			Before: h.vals, After: newVals}
-		st.addVersion(s, tr, version{writer: writer, seq: seq, vals: newVals}, w)
+		owner.addVersion(s, tr, version{writer: writer, seq: seq, vals: newVals}, w)
 		out = append(out, w)
 	}
-	return out, nil
+	return out
 }
 
 // Load inserts a tuple as part of the committed initial database
@@ -609,6 +647,23 @@ func (st *Store) ReplaceNull(writer int, x, to model.Value) ([]WriteRec, error) 
 func (st *Store) Load(t model.Tuple) (TupleID, error) {
 	id, _, _, err := st.Insert(0, t)
 	return id, err
+}
+
+// adoptShared repoints the store at a shared sequence counter and
+// null factory — the cross-partition identity a ShardedStore needs.
+// It must run before the store is shared between goroutines; both
+// replacements carry the store's current floor forward, so values
+// already minted stay unique under the shared allocators.
+func (st *Store) adoptShared(seq *atomic.Int64, nulls *model.NullFactory) {
+	for {
+		cur := seq.Load()
+		if have := st.nextSeq.Load(); have <= cur || seq.CompareAndSwap(cur, have) {
+			break
+		}
+	}
+	nulls.SetFloor(st.nulls.Peek() - 1)
+	st.nextSeq = seq
+	st.nulls = nulls
 }
 
 // Abort removes every version written by the given writer, restoring
@@ -621,6 +676,13 @@ func (st *Store) Abort(writer int) {
 	}
 	st.lockAll()
 	defer st.unlockAll()
+	st.abortLocked(writer)
+}
+
+// abortLocked is Abort's body; callers hold every stripe lock (a
+// ShardedStore holds every partition's locks so the abort is atomic
+// across shards).
+func (st *Store) abortLocked(writer int) {
 	for _, s := range st.byIdx {
 		log := s.logs[writer]
 		if len(log) == 0 {
@@ -699,11 +761,18 @@ func (st *Store) CommitBatchAsync(writers []int) (CommitAck, error) {
 	defer st.unlockAll()
 	var ack CommitAck
 	if st.commitHook != nil {
-		a, err := st.commitHook(sortedWriters(writers), st.batchWrites(writers))
-		if err != nil {
-			return nil, err
+		// A batch with no live writes in this store has nothing to make
+		// durable — recovery replays write records, not commit-status
+		// flips — so the log append is skipped. In a relation-partitioned
+		// deployment this is what keeps a commit out of the logs of
+		// partitions the batch never wrote to.
+		if recs := st.batchWrites(writers); len(recs) > 0 {
+			a, err := st.commitHook(sortedWriters(writers), recs)
+			if err != nil {
+				return nil, err
+			}
+			ack = a
 		}
-		ack = a
 	}
 	st.commitMu.Lock()
 	for _, w := range writers {
@@ -817,14 +886,14 @@ func (st *Store) UncommittedWritersOf(rel string) []int {
 // The snapshot locks internally per call and is safe for concurrent
 // use.
 func (st *Store) Snap(reader int) *Snapshot {
-	return &Snapshot{st: st, reader: reader}
+	return &Snapshot{stores: st.self, reader: reader}
 }
 
 // snapLocked returns a read view for use by code already holding the
 // locks its calls will need (a single stripe for relation-local use,
 // or every stripe for cross-relation operations).
 func (st *Store) snapLocked(reader int) *Snapshot {
-	return &Snapshot{st: st, reader: reader, noLock: true}
+	return &Snapshot{stores: st.self, reader: reader, noLock: true}
 }
 
 // Stats summarizes store contents for diagnostics.

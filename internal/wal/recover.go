@@ -97,6 +97,15 @@ func scanDir(dir string) ([]ckptFile, []segFile, error) {
 // tail. An empty or absent directory recovers to an empty store with
 // Fresh set.
 func Recover(dir string, schema *model.Schema) (*storage.Store, RecoveryInfo, error) {
+	// A sharded deployment must be inspected shard-aware: with no
+	// top-level segments this scan would otherwise report an empty
+	// fresh instance beside the committed shard data.
+	if existing, _, err := scanShardDirs(dir); err != nil {
+		return nil, RecoveryInfo{}, err
+	} else if len(existing) > 0 {
+		return nil, RecoveryInfo{}, fmt.Errorf("wal: %s holds a sharded log (%d shard subdirectories); use RecoverSharded with the matching shard count",
+			dir, len(existing))
+	}
 	rec, err := recoverDir(dir, schema)
 	if err != nil {
 		return nil, RecoveryInfo{}, err

@@ -1,0 +1,310 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+)
+
+// This file layers the write-ahead log under a relation-partitioned
+// storage.ShardedStore: one completely independent Manager — its own
+// directory, segments, checkpoints, syncer, and checkpointer — per
+// store partition, under <dir>/shard-<k>/. Nothing about the log
+// format or recovery changes; the group commit of a sharded backend
+// fans out per shard, so each shard's log receives exactly the writes
+// of its own relations and recovers on its own. The union of the
+// recovered shards is the committed instance.
+
+// shardDirPrefix names the per-shard subdirectories.
+const shardDirPrefix = "shard-"
+
+func shardDirName(k int) string { return fmt.Sprintf("%s%d", shardDirPrefix, k) }
+
+// ShardGroup owns the per-shard WAL managers of a sharded store: the
+// durable counterpart of storage.ShardedStore, with the aggregate
+// close/checkpoint/recovery surface the repository layer drives.
+type ShardGroup struct {
+	dir  string
+	mgrs []*Manager
+	st   *storage.ShardedStore
+}
+
+// checkShardLayout validates a sharded directory against a requested
+// shard count: a single-store log is refused, as is any existing shard
+// set other than exactly shard-0..shard-(shards-1) — opening a
+// directory always creates every shard subdirectory, so a reopen with
+// a different count (larger or smaller) necessarily mismatches, and
+// the relation assignment (stripe index mod count) would silently
+// scatter relations across the wrong logs.
+//
+// One exception keeps an interrupted FIRST open recoverable: shard
+// subdirectories that hold no durable state at all (no checkpoints,
+// no segments — the leftovers of a crash between directory creations)
+// never pinned a relation assignment, so a mismatched but entirely
+// empty layout is accepted; the stale empty directories are returned
+// for the caller to prune, which keeps a later open at yet another
+// count from mistaking them for a pinned layout.
+func checkShardLayout(dir string, shards int) (prune []string, err error) {
+	existing, single, err := scanShardDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if single {
+		return nil, fmt.Errorf("wal: %s holds a single-store log; it cannot be opened as a sharded directory", dir)
+	}
+	if len(existing) == 0 {
+		return nil, nil
+	}
+	prev := 0
+	seen := make(map[int]bool, len(existing))
+	for _, k := range existing {
+		seen[k] = true
+		if k+1 > prev {
+			prev = k + 1
+		}
+	}
+	if prev == shards && len(seen) == shards {
+		return nil, nil
+	}
+	for _, k := range existing {
+		path := filepath.Join(dir, shardDirName(k))
+		ckpts, segs, err := scanDir(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(ckpts) > 0 || len(segs) > 0 {
+			return nil, fmt.Errorf("wal: %s was written with %d shard(s), not %d; the relation assignment depends on the shard count, refusing to reopen with a different one",
+				dir, prev, shards)
+		}
+		if k >= shards {
+			prune = append(prune, path)
+		}
+	}
+	return prune, nil
+}
+
+// scanShardDirs returns the shard subdirectories a sharded WAL
+// directory holds, and whether the directory instead carries a
+// single-store log (top-level segments or checkpoints).
+func scanShardDirs(dir string) (shards []int, single bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() && strings.HasPrefix(name, shardDirPrefix) {
+			if k, perr := strconv.Atoi(strings.TrimPrefix(name, shardDirPrefix)); perr == nil {
+				shards = append(shards, k)
+			}
+			continue
+		}
+		if strings.HasPrefix(name, segPrefix) || strings.HasPrefix(name, ckptPrefix) {
+			single = true
+		}
+	}
+	return shards, single, nil
+}
+
+// OpenSharded recovers (or initializes) a sharded WAL directory into a
+// fresh relation-partitioned store: each shard's subdirectory is
+// opened exactly as Open would, the recovered partitions are assembled
+// into one storage.ShardedStore sharing a sequence counter and null
+// factory, and every shard's manager is installed as its partition's
+// durability hook. The directory remembers its shard count — the
+// relation assignment is the schema stripe index modulo the count, so
+// reopening with a different count would silently scatter relations
+// across the wrong logs and is refused instead. A directory that holds
+// a single-store log (top-level segments) is likewise refused.
+func OpenSharded(dir string, schema *model.Schema, shards int, opts Options) (*ShardGroup, *storage.ShardedStore, error) {
+	return OpenShardedWith(dir, schema, shards, func(int) Options { return opts })
+}
+
+// OpenShardedWith is OpenSharded with per-shard options — tests use it
+// to install shard-identifying observers; every other knob normally
+// stays uniform across shards.
+func OpenShardedWith(dir string, schema *model.Schema, shards int, optsFor func(shard int) Options) (*ShardGroup, *storage.ShardedStore, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	prune, err := checkShardLayout(dir, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, stale := range prune {
+		// Only ever empty leftovers of an interrupted first open;
+		// os.Remove refuses non-empty directories as a last backstop.
+		if err := os.Remove(stale); err != nil && !os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("wal: pruning stale %s: %w", filepath.Base(stale), err)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	// Create every shard directory before opening any: an interruption
+	// can then only leave empty directories behind, which the layout
+	// check above accepts and prunes on the next open.
+	for k := 0; k < shards; k++ {
+		if err := os.MkdirAll(filepath.Join(dir, shardDirName(k)), 0o755); err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	g := &ShardGroup{dir: dir, mgrs: make([]*Manager, 0, shards)}
+	stores := make([]*storage.Store, 0, shards)
+	for k := 0; k < shards; k++ {
+		mgr, st, err := Open(filepath.Join(dir, shardDirName(k)), schema, optsFor(k))
+		if err != nil {
+			g.Close()
+			return nil, nil, fmt.Errorf("wal: shard %d: %w", k, err)
+		}
+		g.mgrs = append(g.mgrs, mgr)
+		stores = append(stores, st)
+	}
+	ss, err := storage.NewShardedFromStores(stores)
+	if err != nil {
+		g.Close()
+		return nil, nil, err
+	}
+	g.st = ss
+	return g, ss, nil
+}
+
+// Store returns the sharded store the group persists.
+func (g *ShardGroup) Store() *storage.ShardedStore { return g.st }
+
+// Dir returns the group's root directory.
+func (g *ShardGroup) Dir() string { return g.dir }
+
+// Managers returns the per-shard managers, shard 0 first. Callers must
+// not mutate the slice.
+func (g *ShardGroup) Managers() []*Manager { return g.mgrs }
+
+// Close closes every shard's log and returns the first failure.
+func (g *ShardGroup) Close() error {
+	var first error
+	for _, m := range g.mgrs {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Checkpoint checkpoints every shard and returns the first failure.
+// Shard checkpoints are independent cuts — each shard's checkpoint is
+// consistent with its own log, which is all recovery needs, since the
+// committed instance is the union of the per-shard recoveries.
+func (g *ShardGroup) Checkpoint() error {
+	var first error
+	for _, m := range g.mgrs {
+		if err := m.Checkpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Fresh reports whether the directory needs its bootstrap: true when
+// ANY shard held no durable state. Bootstrap (seed load plus the
+// per-shard checkpoints that make it durable) is not atomic across
+// shard directories — a crash between shard checkpoints leaves some
+// shards bootstrapped and others empty — and writer-0 seed loads are
+// set-semantics idempotent, so the any-fresh reading lets a reopen
+// simply re-run the bootstrap and heal the partial install. Once a
+// bootstrap completed, every shard carries a checkpoint and Fresh is
+// false exactly as on a single store.
+func (g *ShardGroup) Fresh() bool {
+	for _, m := range g.mgrs {
+		if m.Fresh() {
+			return true
+		}
+	}
+	return false
+}
+
+// Batches returns the total number of durably appended commit batches
+// across all shards. A commit batch that wrote into w shards counts w
+// times — it cost one log append per involved shard.
+func (g *ShardGroup) Batches() int64 {
+	var n int64
+	for _, m := range g.mgrs {
+		n += m.Batches()
+	}
+	return n
+}
+
+// Syncs returns the total number of covering fsyncs across all shards.
+func (g *ShardGroup) Syncs() int64 {
+	var n int64
+	for _, m := range g.mgrs {
+		n += m.Syncs()
+	}
+	return n
+}
+
+// absorb folds one shard's recovery report into an aggregate: counts
+// sum (LastBatch and CheckpointBatch included, so they read as
+// per-shard log totals, not one log's indexes), Repaired is true if
+// any shard's tail needed repair, and Fresh only if every shard was.
+// The receiver must start with Fresh set.
+func (r *RecoveryInfo) absorb(info RecoveryInfo) {
+	r.CheckpointBatch += info.CheckpointBatch
+	r.CheckpointTuples += info.CheckpointTuples
+	r.LastBatch += info.LastBatch
+	r.BatchesReplayed += info.BatchesReplayed
+	r.RecordsReplayed += info.RecordsReplayed
+	r.Repaired = r.Repaired || info.Repaired
+	r.Fresh = r.Fresh && info.Fresh
+}
+
+// Recovery aggregates the shards' recovery reports (see absorb).
+func (g *ShardGroup) Recovery() RecoveryInfo {
+	out := RecoveryInfo{Fresh: true}
+	for _, m := range g.mgrs {
+		out.absorb(m.Recovery())
+	}
+	return out
+}
+
+// RecoverSharded rebuilds the committed instance a sharded WAL
+// directory holds into a fresh relation-partitioned store, without
+// modifying anything — the multi-directory counterpart of Recover.
+// Each shard subdirectory recovers independently (newest decodable
+// checkpoint plus complete tail batches) and the union is assembled
+// into one ShardedStore; the aggregate info follows ShardGroup
+// conventions. The directory's shard layout must match the requested
+// count exactly (see checkShardLayout) — a mismatched count would
+// silently present committed relations as empty; an entirely absent
+// or empty directory recovers as fresh empty partitions, exactly as
+// Recover treats an absent directory.
+func RecoverSharded(dir string, schema *model.Schema, shards int) (*storage.ShardedStore, RecoveryInfo, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if _, err := checkShardLayout(dir, shards); err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	stores := make([]*storage.Store, 0, shards)
+	agg := RecoveryInfo{Fresh: true}
+	for k := 0; k < shards; k++ {
+		st, info, err := Recover(filepath.Join(dir, shardDirName(k)), schema)
+		if err != nil {
+			return nil, RecoveryInfo{}, fmt.Errorf("wal: shard %d: %w", k, err)
+		}
+		stores = append(stores, st)
+		agg.absorb(info)
+	}
+	ss, err := storage.NewShardedFromStores(stores)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	return ss, agg, nil
+}

@@ -1,0 +1,521 @@
+// Acceptance tests of the sharded durability layout: a relation-
+// partitioned store over per-shard WAL directories, crash-killed at
+// every commit-batch boundary of a parallel workload, must recover a
+// union byte-identical to an independently maintained oracle; a torn
+// shard tail must cut only that shard back to its own durable prefix.
+package wal_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/model"
+	"youtopia/internal/simuser"
+	"youtopia/internal/storage"
+	"youtopia/internal/wal"
+	"youtopia/internal/workload"
+)
+
+const nShards = 3
+
+// shardEvent is one per-shard log append as the observers saw it.
+type shardEvent struct {
+	shard   int
+	writers string // rendered writer set: identifies the global batch
+	recs    []storage.WriteRec
+}
+
+// runShardedWorkload drives a parallel workload over an nShards-wide
+// durable backend, recording every shard append, and returns the live
+// dump, the event stream, the sharded store, and the open group.
+func runShardedWorkload(t *testing.T, u *workload.Universe, dir string) (string, []shardEvent, *storage.ShardedStore, *wal.ShardGroup) {
+	t.Helper()
+	var mu sync.Mutex
+	var events []shardEvent
+	grp, st, err := wal.OpenShardedWith(dir, u.Schema, nShards, func(shard int) wal.Options {
+		return wal.Options{
+			CheckpointBytes: -1, // keep every batch on disk for the prefixes
+			Observer: func(batch int64, writers []int, recs []storage.WriteRec) {
+				mu.Lock()
+				events = append(events, shardEvent{
+					shard:   shard,
+					writers: fmt.Sprint(writers),
+					recs:    append([]storage.WriteRec(nil), recs...),
+				})
+				mu.Unlock()
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grp.Fresh() {
+		t.Fatal("expected a fresh sharded directory")
+	}
+	for _, tup := range u.Initial {
+		if _, err := st.Load(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := grp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := u.GenOpsSeeded(99)
+	sched := cc.NewParallelScheduler(st, u.Mappings, cc.Config{
+		Workers:            4,
+		Tracker:            cc.Coarse{},
+		User:               simuser.New(5),
+		MaxAbortsPerUpdate: 10000,
+		Shards:             nShards,
+	})
+	m, err := sched.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WALSyncs == 0 {
+		t.Fatalf("sharded run recorded no WAL syncs: %+v", m)
+	}
+	return st.Dump(allSeeing), events, st, grp
+}
+
+// groupEvents splits the event stream into global commit batches: the
+// scheduler serializes commits and the sharded store appends to its
+// shards in order within one commit, so events of one global batch are
+// contiguous and share their writer set.
+func groupEvents(events []shardEvent) [][]shardEvent {
+	var groups [][]shardEvent
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].writers == events[i].writers {
+			j++
+		}
+		groups = append(groups, events[i:j])
+		i = j
+	}
+	return groups
+}
+
+func shardedWorkloadConfig() workload.Config {
+	return workload.Config{
+		Relations:       12,
+		MinArity:        1,
+		MaxArity:        3,
+		Constants:       10,
+		Mappings:        14,
+		MaxAtomsPerSide: 2,
+		InitialTuples:   120,
+		Updates:         30,
+		InsertPct:       80,
+		Seed:            7,
+		Shards:          nShards,
+	}
+}
+
+func TestShardedCrashRecoveryAtEveryBatchBoundary(t *testing.T) {
+	u, err := workload.Build(shardedWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "swal")
+	final, events, _, grp := runShardedWorkload(t, u, dir)
+	if err := grp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted recovery is byte-identical to the live instance.
+	stFull, info, err := wal.RecoverSharded(dir, u.Schema, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stFull.Dump(allSeeing); got != final {
+		t.Fatalf("full sharded recovery is not byte-identical:\n got:\n%s\nwant:\n%s", got, final)
+	}
+	if info.Fresh {
+		t.Fatal("recovery of a used directory reported fresh")
+	}
+
+	// Kill at every global commit-batch boundary: clone each shard's
+	// log up to its own prefix for that boundary and compare the
+	// recovered union against the global oracle.
+	groups := groupEvents(events)
+	oracle := newBatchOracle(u.Initial)
+	dumps := []string{oracle.dump()}
+	for _, g := range groups {
+		for _, ev := range g {
+			oracle.apply(ev.recs)
+		}
+		dumps = append(dumps, oracle.dump())
+	}
+	if dumps[len(groups)] != final {
+		t.Fatalf("oracle disagrees with the live instance at the end:\n got:\n%s\nwant:\n%s",
+			dumps[len(groups)], final)
+	}
+	for g := 0; g <= len(groups); g++ {
+		// Per-shard prefix = number of that shard's appends in the
+		// first g global batches (shard batch indexes are 1..n in
+		// append order).
+		cuts := make([]int64, nShards)
+		for _, grp := range groups[:g] {
+			for _, ev := range grp {
+				cuts[ev.shard]++
+			}
+		}
+		clone := filepath.Join(t.TempDir(), fmt.Sprintf("cut-%d", g))
+		if err := os.Mkdir(clone, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < nShards; k++ {
+			src := filepath.Join(dir, fmt.Sprintf("shard-%d", k))
+			dst := filepath.Join(clone, fmt.Sprintf("shard-%d", k))
+			if err := wal.ClonePrefix(src, dst, cuts[k]); err != nil {
+				t.Fatalf("boundary %d shard %d: %v", g, k, err)
+			}
+		}
+		stG, infoG, err := wal.RecoverSharded(clone, u.Schema, nShards)
+		if err != nil {
+			t.Fatalf("boundary %d: %v", g, err)
+		}
+		var wantLast int64
+		for _, c := range cuts {
+			wantLast += c
+		}
+		if infoG.LastBatch != wantLast {
+			t.Fatalf("boundary %d: recovered %d shard batches, want %d", g, infoG.LastBatch, wantLast)
+		}
+		if got := stG.Dump(allSeeing); got != dumps[g] {
+			t.Fatalf("boundary %d: recovered union differs from oracle:\n got:\n%s\nwant:\n%s",
+				g, got, dumps[g])
+		}
+	}
+}
+
+// TestShardedTornTailRecoversPerShardPrefix injures one shard's tail
+// segment at a time (torn mid-frame) and asserts recovery cuts exactly
+// that shard back to a whole-batch prefix while the other shards keep
+// their full logs — the multi-directory extension of the crash-point
+// tables.
+func TestShardedTornTailRecoversPerShardPrefix(t *testing.T) {
+	u, err := workload.Build(shardedWorkloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "swal")
+	_, events, st, grp := runShardedWorkload(t, u, dir)
+
+	// Per-shard oracles need the shard assignment of every relation.
+	shardOf := func(rel string) int { return st.ShardForRelation(rel) }
+	if err := grp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the initial database and the event stream per shard.
+	initialOf := make([][]model.Tuple, nShards)
+	for _, tup := range u.Initial {
+		k := shardOf(tup.Rel)
+		initialOf[k] = append(initialOf[k], tup)
+	}
+	perShard := make([][][]storage.WriteRec, nShards) // shard -> batch -> recs
+	for _, ev := range events {
+		perShard[ev.shard] = append(perShard[ev.shard], ev.recs)
+	}
+	// shardDump(k, n) renders shard k's oracle instance after its first
+	// n batches.
+	shardDump := func(k int, n int) string {
+		o := newBatchOracle(initialOf[k])
+		for _, recs := range perShard[k][:n] {
+			o.apply(recs)
+		}
+		return o.dump()
+	}
+	union := func(parts []string) string {
+		var lines []string
+		for _, p := range parts {
+			if p != "" {
+				lines = append(lines, strings.Split(p, "\n")...)
+			}
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+
+	for victim := 0; victim < nShards; victim++ {
+		if len(perShard[victim]) == 0 {
+			continue
+		}
+		clone := filepath.Join(t.TempDir(), fmt.Sprintf("torn-%d", victim))
+		if err := os.Mkdir(clone, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < nShards; k++ {
+			src := filepath.Join(dir, fmt.Sprintf("shard-%d", k))
+			dst := filepath.Join(clone, fmt.Sprintf("shard-%d", k))
+			if err := wal.ClonePrefix(src, dst, int64(len(perShard[k]))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Tear the victim's last segment: drop the final 3 bytes, which
+		// truncates its last frame mid-record.
+		segs, err := filepath.Glob(filepath.Join(clone, fmt.Sprintf("shard-%d", victim), "wal-*.seg"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no segments for shard %d: %v", victim, err)
+		}
+		sort.Strings(segs)
+		last := segs[len(segs)-1]
+		data, err := os.ReadFile(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(last, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		stT, infoT, err := wal.RecoverSharded(clone, u.Schema, nShards)
+		if err != nil {
+			t.Fatalf("victim %d: %v", victim, err)
+		}
+		if !infoT.Repaired {
+			t.Fatalf("victim %d: torn tail not reported as repaired", victim)
+		}
+		// The victim loses exactly its final batch; the others keep all.
+		parts := make([]string, nShards)
+		for k := 0; k < nShards; k++ {
+			n := len(perShard[k])
+			if k == victim {
+				n--
+			}
+			parts[k] = shardDump(k, n)
+		}
+		if got, want := stT.Dump(allSeeing), union(parts); got != want {
+			t.Fatalf("victim %d: recovered union differs from per-shard prefixes:\n got:\n%s\nwant:\n%s",
+				victim, got, want)
+		}
+	}
+}
+
+// TestOpenShardedLayoutGuards pins the directory-layout contract:
+// reopening with a smaller shard count is refused, as is opening a
+// single-store log as sharded, and a sharded reopen resumes the exact
+// committed instance.
+func TestOpenShardedLayoutGuards(t *testing.T) {
+	schema := model.NewSchema()
+	schema.MustAddRelation("A", "x")
+	schema.MustAddRelation("B", "x")
+	schema.MustAddRelation("C", "x")
+
+	dir := filepath.Join(t.TempDir(), "dir")
+	grp, st, err := wal.OpenSharded(dir, schema, 3, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rel := range []string{"A", "B", "C"} {
+		if _, _, _, err := st.Insert(i+1, model.NewTuple(rel, model.Const("v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CommitBatch([]int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Dump(allSeeing)
+	if err := grp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any other shard count than the directory holds: refused in both
+	// directions — a grown count would silently re-route relations to
+	// empty shards and present committed data as absent.
+	if _, _, err := wal.OpenSharded(dir, schema, 2, wal.Options{}); err == nil {
+		t.Fatal("reopen with a smaller shard count was not refused")
+	}
+	if _, _, err := wal.OpenSharded(dir, schema, 4, wal.Options{}); err == nil {
+		t.Fatal("reopen with a larger shard count was not refused")
+	}
+	if _, _, err := wal.RecoverSharded(dir, schema, 4); err == nil {
+		t.Fatal("RecoverSharded with a larger shard count was not refused")
+	}
+	if _, _, err := wal.RecoverSharded(dir, schema, 2); err == nil {
+		t.Fatal("RecoverSharded with a smaller shard count was not refused")
+	}
+	// The exact count reopens and resumes.
+	grp2, st2, err := wal.OpenSharded(dir, schema, 3, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grp2.Close()
+	if grp2.Fresh() {
+		t.Fatal("used sharded directory reported fresh")
+	}
+	if got := st2.Dump(allSeeing); got != want {
+		t.Fatalf("sharded reopen lost state:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// ...and a sharded directory cannot be opened as a single store
+	// (which would silently boot an empty repository beside it).
+	if _, _, err := wal.Open(dir, schema, wal.Options{}); err == nil {
+		t.Fatal("sharded layout opened as a single store")
+	}
+
+	// Empty shard directories — the leftovers of a first open that was
+	// interrupted before any shard held durable state — never pinned a
+	// relation assignment: a different count is accepted and the stale
+	// empties are pruned.
+	interrupted := filepath.Join(t.TempDir(), "interrupted")
+	for k := 0; k < 4; k++ {
+		if err := os.MkdirAll(filepath.Join(interrupted, fmt.Sprintf("shard-%d", k)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grp3, st3, err := wal.OpenSharded(interrupted, schema, 2, wal.Options{})
+	if err != nil {
+		t.Fatalf("interrupted first open not recoverable: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(interrupted, "shard-3")); !os.IsNotExist(err) {
+		t.Fatal("stale empty shard directory not pruned")
+	}
+	if _, _, _, err := st3.Insert(1, model.NewTuple("A", model.Const("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st3.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := grp3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Once data landed, the count is pinned as usual.
+	if _, _, err := wal.OpenSharded(interrupted, schema, 4, wal.Options{}); err == nil {
+		t.Fatal("data-bearing layout reopened at a different count")
+	}
+
+	// A single-store log cannot be opened as a sharded directory.
+	single := filepath.Join(t.TempDir(), "single")
+	mgr, sst, err := wal.Open(single, schema, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sst.Insert(1, model.NewTuple("A", model.Const("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := sst.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wal.OpenSharded(single, schema, 2, wal.Options{}); err == nil {
+		t.Fatal("single-store layout opened as sharded")
+	}
+}
+
+// TestShardedPartialBootstrapHeals: the per-shard bootstrap (seed
+// load + checkpoints) is not atomic across shard directories; a crash
+// after only some shards checkpointed must read as Fresh on reopen so
+// the idempotent seed build re-runs and completes the install.
+func TestShardedPartialBootstrapHeals(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.Relations = 8
+	cfg.Mappings = 8
+	cfg.InitialTuples = 60
+	cfg.Updates = 0
+	cfg.Shards = nShards
+	u, err := workload.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "boot")
+
+	// Simulate the crash: load the seed, checkpoint only shard 0.
+	grp, st, err := wal.OpenSharded(dir, u.Schema, nShards, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range u.Initial {
+		if _, err := st.Load(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := st.Dump(allSeeing)
+	if err := grp.Managers()[0].Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := grp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen through the seed-build path: any-fresh must re-run the
+	// bootstrap and recover the complete initial database.
+	st2, backing, err := u.OpenDurableBackend(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Dump(allSeeing); got != want {
+		t.Fatalf("healed bootstrap differs from the full seed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := backing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A third open sees a completed bootstrap.
+	st3, backing3, err := u.OpenDurableBackend(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backing3.Close()
+	if backing3.Fresh() {
+		t.Fatal("completed bootstrap still reads as fresh")
+	}
+	if got := st3.Dump(allSeeing); got != want {
+		t.Fatalf("reopen after healing lost state:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestShardedDurableSeedBuildResumes is the sharded counterpart of
+// TestDurableSeedBuildResumes: a universe seeded into a sharded
+// directory reloads byte-identically, including workload commits on
+// top.
+func TestShardedDurableSeedBuildResumes(t *testing.T) {
+	cfg := workload.Quick()
+	cfg.Relations = 8
+	cfg.Mappings = 8
+	cfg.InitialTuples = 60
+	cfg.Updates = 12
+	cfg.Shards = nShards
+	u, err := workload.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "seed")
+	st, backing, err := u.OpenDurableBackend(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !backing.Fresh() {
+		t.Fatal("first open not fresh")
+	}
+	sch := cc.NewScheduler(st, u.Mappings, cc.Config{
+		Policy: cc.PolicySerial, User: simuser.New(3), MaxAbortsPerUpdate: 10000,
+	})
+	if _, err := sch.Run(u.GenOpsSeeded(4)); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Dump(allSeeing)
+	if err := backing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, backing2, err := u.OpenDurableBackend(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backing2.Close()
+	if backing2.Fresh() {
+		t.Fatal("reopen reported fresh")
+	}
+	if got := st2.Dump(allSeeing); got != want {
+		t.Fatalf("sharded durable seed build lost state:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -193,6 +193,15 @@ func ckptName(batch int64) string {
 // The directory is created if absent. The returned store is ready for
 // use; Close releases the log.
 func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.Store, error) {
+	// A directory holding shard subdirectories is a sharded deployment
+	// (OpenSharded); opening it as a single store would silently boot
+	// an empty repository beside the committed shard data.
+	if existing, _, err := scanShardDirs(dir); err != nil {
+		return nil, nil, err
+	} else if len(existing) > 0 {
+		return nil, nil, fmt.Errorf("wal: %s holds a sharded log (%d shard subdirectories); open it with the matching shard count",
+			dir, len(existing))
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}

@@ -153,8 +153,18 @@ func ReplaceNull(x, with Value) Op { return chase.ReplaceNull(x, with) }
 // frontier makes that one fsync for a whole batch of updates), and
 // reopening the directory recovers the committed instance exactly —
 // a crash at any point loses at most un-committed work, never part of
-// a committed batch. Call Repository.Close when done with a durable
-// repository.
+// a committed batch. Options.Shards additionally partitions the
+// relations across that many independent store shards, each with its
+// own stripe set, group-commit frontier, and (durable) write-ahead
+// log under DataDir/shard-<k>; a data directory remembers its shard
+// count. One qualification on sharded durability: a commit batch
+// spanning several shards is appended to their logs one shard at a
+// time, so a crash between those appends recovers the batch
+// per-shard-prefix — each shard is exactly consistent with its own
+// log, but the batch is not all-or-nothing across shards (the
+// acknowledgment, which is what callers may rely on, still only
+// resolves once every involved shard is durable). Call
+// Repository.Close when done with a durable repository.
 type (
 	// Options selects how a repository is backed; the zero value is
 	// the in-memory default.
