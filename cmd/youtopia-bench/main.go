@@ -39,13 +39,16 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"youtopia/internal/experiments"
 	"youtopia/internal/workload"
 )
 
 func main() {
-	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, latency (the §5.2 user-latency extension study), parallel (serial vs goroutine-parallel throughput), or sharded (relation-partition sweep over the sharded store)")
+	figure := flag.String("figure", "both", "which figure to reproduce: 3, 4, both, latency (the §5.2 user-latency extension study), parallel (serial vs goroutine-parallel throughput), sharded (relation-partition sweep over the sharded store), or inbox (busy-repoll vs decision-inbox park/answer/resume)")
+	inboxWorkers := flag.Int("inbox-workers", 4, "worker count the -figure inbox study runs both modes on (0 = cooperative serial)")
+	inboxLatency := flag.Int("inbox-latency", 200, "per-answer think time of the -figure inbox asynchronous answerer, in microseconds")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for -figure parallel (0 = serial reference; default 0,1,2,4,8)")
 	shardsFlag := flag.String("shards", "", "shard counts: a comma-separated sweep for -figure sharded (default 1,2,4), or a single relation-partition count every -figure parallel run uses")
 	shardWorkers := flag.Int("shard-workers", 4, "worker count the -figure sharded sweep runs each shard point on")
@@ -145,6 +148,41 @@ func main() {
 				fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "throughput within %.0f%% of %s\n", *regressPct, *baseline)
+		}
+		return
+	}
+	if *figure == "inbox" {
+		points, err := experiments.InboxStudy(base, *inboxWorkers, *runs,
+			time.Duration(*inboxLatency)*time.Microsecond, *dataDir)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderInbox(points))
+		if *csvPath != "" {
+			if err := os.WriteFile(*csvPath, []byte(experiments.InboxCSV(points)), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		}
+		if *jsonPath != "" {
+			data, err := experiments.InboxJSON(points)
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+		if *baseline != "" {
+			base, err := experiments.LoadInboxJSON(*baseline)
+			if err != nil {
+				fail(err)
+			}
+			if err := experiments.CheckInboxRegression(points, base, *regressPct); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "inbox throughput and poll counts within %.0f%% of %s\n", *regressPct, *baseline)
 		}
 		return
 	}

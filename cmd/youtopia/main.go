@@ -25,10 +25,28 @@
 //	               directory remembers its shard count)
 //	-dump          print the full repository contents at the end
 //	-skip-ops      load the repository but do not run its operations
+//
+// Decision-inbox flags (the asynchronous curator workflow): with -park
+// the document's operations run without a live user, so updates that
+// block on a frontier question park in the durable decision inbox
+// instead of prompting; a later invocation on the same -data-dir lists
+// the open questions with -inbox and settles them with -claim,
+// -answer, or -cancel — the parked update resumes where it stopped,
+// across process restarts.
+//
+//	-park            park blocked updates in the inbox instead of
+//	                 prompting (ignored with -auto)
+//	-inbox           list the parked decisions and exit status 3 if any
+//	                 remain open
+//	-claim id:name   mark an entry as taken by a curator
+//	-answer id:opt   answer an entry with one of its option indexes and
+//	                 resume the parked update
+//	-cancel id       abort a parked update for good
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +66,11 @@ func main() {
 	dump := flag.Bool("dump", false, "print repository contents at the end")
 	skipOps := flag.Bool("skip-ops", false, "do not run the document's operations")
 	trace := flag.Bool("trace", false, "print each update's write provenance")
+	park := flag.Bool("park", false, "park blocked updates in the decision inbox instead of prompting")
+	listInbox := flag.Bool("inbox", false, "list the parked decisions")
+	claim := flag.String("claim", "", "claim an inbox entry: id:curator-name")
+	answer := flag.String("answer", "", "answer an inbox entry: id:option-index")
+	cancel := flag.Int64("cancel", 0, "cancel a parked update by inbox entry ID")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -86,9 +109,12 @@ func main() {
 	}
 
 	var user youtopia.User
-	if *auto != 0 {
+	switch {
+	case *auto != 0:
 		user = youtopia.RandomUser(*auto)
-	} else {
+	case *park:
+		user = youtopia.SilentUser()
+	default:
 		user = &terminalUser{repo: repo, in: bufio.NewReader(os.Stdin)}
 	}
 
@@ -96,6 +122,12 @@ func main() {
 		for i, op := range ops {
 			fmt.Printf("\n== update %d: %s\n", i+1, op)
 			stats, entries, err := repo.ApplyTraced(op, user)
+			var parked *youtopia.ParkedError
+			if errors.As(err, &parked) {
+				fmt.Printf("   parked as inbox entry %d (answer it with -answer %d:<option>)\n",
+					parked.ID, parked.ID)
+				continue
+			}
 			if err != nil {
 				fail(fmt.Errorf("update %d: %w", i+1, err))
 			}
@@ -105,6 +137,58 @@ func main() {
 				for _, entry := range entries {
 					fmt.Printf("   %s\n", entry)
 				}
+			}
+		}
+	}
+
+	if *claim != "" {
+		id, who, err := splitIDArg(*claim)
+		if err != nil {
+			fail(fmt.Errorf("-claim: %w", err))
+		}
+		if err := repo.ClaimInbox(id, who); err != nil {
+			fail(err)
+		}
+		fmt.Printf("inbox entry %d claimed by %s\n", id, who)
+	}
+	if *answer != "" {
+		id, optStr, err := splitIDArg(*answer)
+		if err != nil {
+			fail(fmt.Errorf("-answer: %w", err))
+		}
+		opt, err := strconv.Atoi(optStr)
+		if err != nil {
+			fail(fmt.Errorf("-answer: option index %q: %w", optStr, err))
+		}
+		resolved, err := repo.AnswerInbox(id, opt)
+		if err != nil {
+			fail(err)
+		}
+		if resolved {
+			fmt.Printf("inbox entry %d answered; the parked update resumed and committed\n", id)
+		} else {
+			fmt.Printf("inbox entry %d answered; the update advanced but blocked on a new question (see -inbox)\n", id)
+		}
+	}
+	if *cancel != 0 {
+		if err := repo.CancelInbox(*cancel); err != nil {
+			fail(err)
+		}
+		fmt.Printf("inbox entry %d cancelled; its update is aborted\n", *cancel)
+	}
+	openEntries := 0
+	if *listInbox {
+		entries := repo.Inbox()
+		openEntries = len(entries)
+		fmt.Printf("\n== decision inbox (%d open)\n", len(entries))
+		for _, e := range entries {
+			fmt.Printf("[%d] prio %d, %s", e.ID, e.Priority, e.Status)
+			if e.Claimant != "" {
+				fmt.Printf(" by %s", e.Claimant)
+			}
+			fmt.Printf(": %s\n", e.Question)
+			for i, opt := range e.Options {
+				fmt.Printf("    %2d) %s\n", i, opt)
 			}
 		}
 	}
@@ -139,11 +223,28 @@ func main() {
 		fmt.Println("\n== repository contents")
 		fmt.Println(repo.Dump())
 	}
+	if *listInbox && openEntries > 0 {
+		repo.Close()
+		os.Exit(3)
+	}
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "youtopia:", err)
 	os.Exit(1)
+}
+
+// splitIDArg parses an "id:rest" flag value.
+func splitIDArg(s string) (int64, string, error) {
+	idStr, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, "", fmt.Errorf("expected id:value, got %q", s)
+	}
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("entry ID %q: %w", idStr, err)
+	}
+	return id, rest, nil
 }
 
 // terminalUser prompts on the terminal for frontier operations,

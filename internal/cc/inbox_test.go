@@ -1,0 +1,268 @@
+package cc_test
+
+import (
+	"testing"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/chase"
+	"youtopia/internal/fixtures"
+	"youtopia/internal/inbox"
+	"youtopia/internal/serial"
+	"youtopia/internal/simuser"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+	"youtopia/internal/workload"
+)
+
+// genealogyFixture returns the cyclic §2.2 universe preloaded with a
+// unification target, so every inserted person raises a run of
+// frontier questions — the workload that exercises parking.
+func genealogyFixture(t *testing.T) (*storage.Store, *tgd.Set) {
+	t.Helper()
+	_, set, st, err := fixtures.Genealogy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(tup("Person", c("Mary"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(tup("Father", c("Mary"), c("Mary"))); err != nil {
+		t.Fatal(err)
+	}
+	return st, set
+}
+
+func genealogyOps() []chase.Op {
+	return []chase.Op{
+		chase.Insert(tup("Person", c("John"))),
+		chase.Insert(tup("Person", c("Sue"))),
+		chase.Insert(tup("Person", c("Ravi"))),
+	}
+}
+
+const inboxTestSeed = 11
+
+func inboxTestUser() *simuser.User {
+	u := simuser.New(inboxTestSeed)
+	u.ForceUnifyAfter = 4
+	return u
+}
+
+// runInboxMode executes the genealogy workload with blocked updates
+// parked in a decision inbox and answered by the asynchronous
+// answerer; runInlineMode answers the same questions inline through
+// the legacy polling path. Both make identical choices
+// (simuser.ChooseOption), so the final instances must be equivalent.
+func runInboxMode(t *testing.T, workers int) (cc.Metrics, *inbox.Box, *storage.Store) {
+	t.Helper()
+	st, set := genealogyFixture(t)
+	box := inbox.NewBox()
+	cfg := cc.Config{
+		Tracker:            cc.Coarse{},
+		User:               inboxTestUser(),
+		Inbox:              box,
+		Workers:            workers,
+		MaxAbortsPerUpdate: 10000,
+	}
+	ans := &workload.Answerer{Box: box, Seed: inboxTestSeed, ForceUnifyAfter: 4}
+	ans.Start()
+	var m cc.Metrics
+	var err error
+	if workers >= 1 {
+		m, err = cc.NewParallelScheduler(st, set, cfg).Run(genealogyOps())
+	} else {
+		m, err = cc.NewScheduler(st, set, cfg).Run(genealogyOps())
+	}
+	ans.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, box, st
+}
+
+func runInlineMode(t *testing.T, latency int) (cc.Metrics, *storage.Store) {
+	t.Helper()
+	st, set := genealogyFixture(t)
+	user := inboxTestUser()
+	user.Latency = latency
+	cfg := cc.Config{Tracker: cc.Coarse{}, User: user, MaxAbortsPerUpdate: 10000}
+	m, err := cc.NewScheduler(st, set, cfg).Run(genealogyOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+// TestInboxModeZeroRepolls pins the bounded-polls property: a txn
+// waiting in the inbox costs zero chase.User.Decide calls — every
+// decision arrives through the answer hook — while the legacy path
+// with a slow user repolls every scheduler round.
+func TestInboxModeZeroRepolls(t *testing.T) {
+	m, box, st := runInboxMode(t, 0)
+	if m.UserPolls != 0 {
+		t.Fatalf("inbox mode made %d live user polls, want 0 (blocked txns must wait in the inbox)", m.UserPolls)
+	}
+	parked, answered, resolved, _, _ := box.Counters()
+	if parked == 0 || answered == 0 || resolved == 0 {
+		t.Fatalf("workload never exercised the inbox: parked=%d answered=%d resolved=%d",
+			parked, answered, resolved)
+	}
+	if box.Len() != 0 {
+		t.Fatalf("%d entries left in the inbox after the run", box.Len())
+	}
+
+	mi, sti := runInlineMode(t, 3)
+	if mi.UserPolls == 0 {
+		t.Fatal("legacy mode with a slow user reported zero polls — the metric is not counting")
+	}
+	if mi.UserPolls <= int(answered) {
+		t.Fatalf("legacy polls (%d) should exceed the decisions taken (%d): slow users are repolled",
+			mi.UserPolls, answered)
+	}
+
+	// Same choices either way: the final instances are equivalent.
+	eq, err := serial.Equivalent(st.Snap(1<<30).VisibleFacts(), sti.Snap(1<<30).VisibleFacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("inbox-mode instance differs from inline:\n%s",
+			serial.Explain(st.Snap(1<<30).VisibleFacts(), sti.Snap(1<<30).VisibleFacts()))
+	}
+	_ = m
+}
+
+func TestParallelInboxZeroRepolls(t *testing.T) {
+	m, box, st := runInboxMode(t, 4)
+	if m.UserPolls != 0 {
+		t.Fatalf("parallel inbox mode made %d live user polls, want 0", m.UserPolls)
+	}
+	parked, answered, resolved, _, _ := box.Counters()
+	if parked == 0 || answered == 0 || resolved == 0 {
+		t.Fatalf("workload never exercised the inbox: parked=%d answered=%d resolved=%d",
+			parked, answered, resolved)
+	}
+	if box.Len() != 0 {
+		t.Fatalf("%d entries left in the inbox after the run", box.Len())
+	}
+
+	// Serializability holds through the parking indirection.
+	st2, set2 := genealogyFixture(t)
+	if _, err := serial.Execute(st2, set2, genealogyOps(), inboxTestUser()); err != nil {
+		t.Fatal(err)
+	}
+	eq, err := serial.Equivalent(st.Snap(1<<30).VisibleFacts(), st2.Snap(1<<30).VisibleFacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("parallel inbox instance not serializable:\n%s",
+			serial.Explain(st.Snap(1<<30).VisibleFacts(), st2.Snap(1<<30).VisibleFacts()))
+	}
+}
+
+// TestSchedulerDeadlineAutoAnswer: no answerer at all — parked txns
+// are settled by the deadline policy consulting cfg.User, so the run
+// completes with exactly as many polls as decisions taken.
+func TestSchedulerDeadlineAutoAnswer(t *testing.T) {
+	st, set := genealogyFixture(t)
+	box := inbox.NewBox()
+	cfg := cc.Config{
+		Tracker:            cc.Coarse{},
+		User:               inboxTestUser(),
+		Inbox:              box,
+		InboxPolicy:        inbox.Policy{Deadline: 2, OnDeadline: inbox.DeadlineAutoAnswer},
+		MaxAbortsPerUpdate: 10000,
+	}
+	m, err := cc.NewScheduler(st, set, cfg).Run(genealogyOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cancelled != 0 {
+		t.Fatalf("auto-answer policy cancelled %d updates", m.Cancelled)
+	}
+	if m.UserPolls == 0 {
+		t.Fatal("deadline auto-answers never consulted the fallback user")
+	}
+	parked, _, resolved, _, _ := box.Counters()
+	if parked == 0 || resolved != parked {
+		t.Fatalf("parked=%d resolved=%d, want every parked entry resolved by the deadline", parked, resolved)
+	}
+}
+
+func TestParallelDeadlineAutoAnswer(t *testing.T) {
+	st, set := genealogyFixture(t)
+	box := inbox.NewBox()
+	cfg := cc.Config{
+		Tracker:            cc.Coarse{},
+		User:               inboxTestUser(),
+		Inbox:              box,
+		InboxPolicy:        inbox.Policy{Deadline: 2, OnDeadline: inbox.DeadlineAutoAnswer},
+		Workers:            2,
+		MaxAbortsPerUpdate: 10000,
+	}
+	m, err := cc.NewParallelScheduler(st, set, cfg).Run(genealogyOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cancelled != 0 {
+		t.Fatalf("auto-answer policy cancelled %d updates", m.Cancelled)
+	}
+	if m.UserPolls == 0 {
+		t.Fatal("deadline auto-answers never consulted the fallback user")
+	}
+}
+
+// TestSchedulerDeadlineAbort: absent curators and an abort policy —
+// blocked updates are cancelled at the deadline instead of wedging the
+// scheduler, and updates with no frontier questions still commit.
+func TestSchedulerDeadlineAbort(t *testing.T) {
+	st, set := genealogyFixture(t)
+	box := inbox.NewBox()
+	cfg := cc.Config{
+		Tracker:            cc.Coarse{},
+		User:               inboxTestUser(),
+		Inbox:              box,
+		InboxPolicy:        inbox.Policy{Deadline: 1, OnDeadline: inbox.DeadlineAbort},
+		MaxAbortsPerUpdate: 10000,
+	}
+	m, err := cc.NewScheduler(st, set, cfg).Run(genealogyOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cancelled == 0 {
+		t.Fatal("no parked update was cancelled by the abort deadline")
+	}
+	if m.Cancelled > m.Submitted {
+		t.Fatalf("cancelled %d of %d submitted", m.Cancelled, m.Submitted)
+	}
+	if box.Len() != 0 {
+		t.Fatalf("%d entries left after abort deadlines", box.Len())
+	}
+}
+
+func TestParallelDeadlineAbort(t *testing.T) {
+	st, set := genealogyFixture(t)
+	box := inbox.NewBox()
+	cfg := cc.Config{
+		Tracker:            cc.Coarse{},
+		User:               inboxTestUser(),
+		Inbox:              box,
+		InboxPolicy:        inbox.Policy{Deadline: 1, OnDeadline: inbox.DeadlineAbort},
+		Workers:            2,
+		MaxAbortsPerUpdate: 10000,
+	}
+	m, err := cc.NewParallelScheduler(st, set, cfg).Run(genealogyOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cancelled == 0 {
+		t.Fatal("no parked update was cancelled by the abort deadline")
+	}
+	if m.Cancelled > m.Submitted {
+		t.Fatalf("cancelled %d of %d submitted", m.Cancelled, m.Submitted)
+	}
+	if box.Len() != 0 {
+		t.Fatalf("%d entries left after abort deadlines", box.Len())
+	}
+}

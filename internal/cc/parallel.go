@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"youtopia/internal/chase"
+	"youtopia/internal/inbox"
 	"youtopia/internal/query"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
@@ -92,6 +93,19 @@ type ParallelScheduler struct {
 	done           bool
 	m              Metrics
 
+	// Inbox-mode state (cfg.Inbox != nil), guarded by mu. A parked txn
+	// (statusParked) is out of the dispatchable set entirely — no worker
+	// polls it — until the box's answer hook or the policy ticker moves
+	// it back to statusAwaiting.
+	parkID     []int64       // txn index -> inbox entry ID (0 = not parked)
+	applied    []int         // txn index -> recorded answers consumed
+	autoAnswer []bool        // deadline auto-answer due (policy ticker)
+	cancelReq  []bool        // deadline abort due (policy ticker)
+	byPark     map[int64]int // inbox entry ID -> txn index
+	parked     int           // txns currently in statusParked
+	parkedIdle int           // consecutive policy ticks with only parked work
+	tickStop   chan struct{}
+
 	// acks settles the pipelined commit acknowledgments before Run
 	// returns; see ackTracker.
 	acks ackTracker
@@ -158,6 +172,11 @@ const (
 	statusAwaiting
 	statusTerminated
 	statusCommitted
+	// statusParked is inbox mode's blocked state: the txn waits in the
+	// decision inbox and is not dispatchable (finish never requeues it);
+	// the answer hook or the policy ticker transitions it back to
+	// statusAwaiting, which is what bounds polls of blocked txns.
+	statusParked
 )
 
 func mirrorOf(st chase.State) txnStatus {
@@ -272,6 +291,16 @@ func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
 		n = 1
 	}
 	s.idleLimit = s.cfg.MaxIdleRounds * n
+	s.parkID = make([]int64, len(ops))
+	s.applied = make([]int, len(ops))
+	s.autoAnswer = make([]bool, len(ops))
+	s.cancelReq = make([]bool, len(ops))
+	if s.cfg.Inbox != nil {
+		s.byPark = make(map[int64]int)
+		s.cfg.Inbox.SetOnAnswer(s.onAnswer)
+		s.tickStop = make(chan struct{})
+		go s.tickLoop()
+	}
 
 	syncs0 := s.store.SyncCount()
 	var wg sync.WaitGroup
@@ -283,6 +312,9 @@ func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
 		}()
 	}
 	wg.Wait()
+	if s.tickStop != nil {
+		close(s.tickStop)
+	}
 	// Settle the commit pipeline: the workers may have finished with
 	// batch syncs still in flight, and nothing is acknowledged — Run
 	// included — until they land.
@@ -372,10 +404,13 @@ func (s *ParallelScheduler) next() (workKind, *Txn, bool) {
 				return workPoll, s.txns[i], true
 			}
 		}
-		if s.inflight == 0 {
+		if s.inflight == 0 && s.parked == 0 {
 			// Unreachable by construction (ready/awaiting txns are always
 			// dispatchable and terminated ones feed the commit frontier);
-			// fail rather than hang if an invariant breaks.
+			// fail rather than hang if an invariant breaks. Parked txns
+			// are the legitimate exception: they wait on inbox answers
+			// (the answer hook or the policy ticker wakes us), with the
+			// ticker's own idle counter bounding a silent inbox.
 			s.err = fmt.Errorf("cc: parallel dispatch stalled with no work in flight")
 			s.cond.Broadcast()
 			return 0, nil, false
@@ -405,6 +440,7 @@ func (s *ParallelScheduler) finish(kind workKind, t *Txn, progressed bool, err e
 	}
 	if progressed {
 		s.idle = 0
+		s.parkedIdle = 0
 	} else {
 		s.idle++
 		if s.err == nil && s.idle >= s.idleLimit {
@@ -427,7 +463,7 @@ func (s *ParallelScheduler) execStep(t *Txn, scratch *stepScratch) (bool, error)
 	s.gmu.Lock()
 	if st := t.Upd.State(); st != chase.StateReady {
 		s.mu.Lock()
-		s.status[t.Number-1] = mirrorOf(st)
+		s.setStatusLocked(t.Number-1, mirrorOf(st))
 		s.mu.Unlock()
 		s.gmu.Unlock()
 		return false, nil
@@ -468,7 +504,7 @@ func (s *ParallelScheduler) execStep(t *Txn, scratch *stepScratch) (bool, error)
 		}
 		st := t.Upd.State()
 		s.mu.Lock()
-		s.status[t.Number-1] = mirrorOf(st)
+		s.setStatusLocked(t.Number-1, mirrorOf(st))
 		s.mu.Unlock()
 	}
 	s.gmu.RUnlock()
@@ -550,10 +586,113 @@ func (s *ParallelScheduler) bumpConflictMetrics(delta Metrics) {
 	})
 }
 
+// setStatusLocked updates a txn's dispatch mirror, maintaining the
+// parked count and resolving the txn's inbox entry when it reaches a
+// terminal state. Callers hold mu.
+func (s *ParallelScheduler) setStatusLocked(i int, st txnStatus) {
+	old := s.status[i]
+	if old == statusParked && st != statusParked {
+		s.parked--
+	} else if st == statusParked && old != statusParked {
+		s.parked++
+	}
+	s.status[i] = st
+	if s.cfg.Inbox != nil && (st == statusTerminated || st == statusCommitted) {
+		if pid := s.parkID[i]; pid != 0 {
+			s.cfg.Inbox.Resolve(pid)
+			delete(s.byPark, pid)
+			s.parkID[i] = 0
+		}
+	}
+}
+
+// dropEntryLocked aborts a txn's inbox entry (the txn restarted or was
+// cancelled; its question is void). Callers hold mu.
+func (s *ParallelScheduler) dropEntryLocked(i int) {
+	if s.cfg.Inbox == nil {
+		return
+	}
+	if pid := s.parkID[i]; pid != 0 {
+		s.cfg.Inbox.Abort(pid)
+		delete(s.byPark, pid)
+		s.parkID[i] = 0
+		s.applied[i] = 0
+	}
+}
+
+// onAnswer is the inbox's answer hook: an answer was recorded for a
+// parked txn, so move it back into the dispatchable set and wake a
+// worker to consume it. Runs outside the box lock.
+func (s *ParallelScheduler) onAnswer(id int64) {
+	s.mu.Lock()
+	if i, ok := s.byPark[id]; ok && s.status[i] == statusParked {
+		s.setStatusLocked(i, statusAwaiting)
+		if !s.claimed[i] {
+			s.ready.push(i)
+		}
+		s.parkedIdle = 0
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// tickLoop drives the inbox's policy clock while the run lasts: every
+// millisecond of wall time is one inbox tick, and due deadline actions
+// (auto-answers, aborts) are marked on their txns and dispatched. It
+// also bounds a silent inbox: if only parked work exists for
+// MaxIdleRounds consecutive ticks, the run fails like the legacy
+// absent-users stall instead of hanging.
+func (s *ParallelScheduler) tickLoop() {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.tickStop:
+			return
+		case <-tick.C:
+		}
+		for _, d := range s.cfg.Inbox.Tick(1) {
+			if d.Kind == inbox.DueEscalate {
+				continue // priority bump already applied by the box
+			}
+			s.mu.Lock()
+			if i, ok := s.byPark[d.ID]; ok && s.status[i] == statusParked {
+				switch d.Kind {
+				case inbox.DueAutoAnswer:
+					s.autoAnswer[i] = true
+				case inbox.DueAbort:
+					s.cancelReq[i] = true
+				}
+				s.setStatusLocked(i, statusAwaiting)
+				if !s.claimed[i] {
+					s.ready.push(i)
+				}
+				s.parkedIdle = 0
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		}
+		s.mu.Lock()
+		if s.parked > 0 && s.inflight == 0 && s.err == nil && !s.done {
+			s.parkedIdle++
+			if s.parkedIdle >= s.cfg.MaxIdleRounds {
+				s.err = fmt.Errorf("cc: no inbox answers after %d idle ticks (curators absent and no deadline policy?)", s.parkedIdle)
+				s.cond.Broadcast()
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // execPoll offers one frontier decision opportunity to a blocked
 // transaction, under the shared phase lock (frontier operations only
-// plan writes; the planned writes are performed by the next step).
+// plan writes; the planned writes are performed by the next step). In
+// inbox mode the opportunity consumes recorded answers instead of
+// polling the user live.
 func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
+	if s.cfg.Inbox != nil {
+		return s.execInboxPoll(t)
+	}
 	if s.cfg.User == nil {
 		return false, nil
 	}
@@ -563,7 +702,7 @@ func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
 		// Stale dispatch; resync the mirror so the dispatcher stops
 		// offering poll opportunities to a transaction that moved on.
 		s.mu.Lock()
-		s.status[t.Number-1] = mirrorOf(st)
+		s.setStatusLocked(t.Number-1, mirrorOf(st))
 		s.mu.Unlock()
 		return false, nil
 	}
@@ -571,15 +710,139 @@ func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
 		func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
 			s.userMu.Lock()
 			defer s.userMu.Unlock()
+			s.bump(func(m *Metrics) { m.UserPolls++ })
 			return s.cfg.User.Decide(t.Upd, g, opts, ctx)
 		})
 	if ok {
 		s.mu.Lock()
 		s.m.FrontierOps++
-		s.status[t.Number-1] = statusReady
+		s.setStatusLocked(t.Number-1, statusReady)
 		s.mu.Unlock()
 	}
 	return ok, err
+}
+
+// execInboxPoll is a blocked transaction's scheduling opportunity in
+// inbox mode: park on first block, consume recorded answers when woken,
+// execute deadline actions the ticker marked. Between answers the txn
+// sits in statusParked and costs zero polls.
+func (s *ParallelScheduler) execInboxPoll(t *Txn) (bool, error) {
+	i := t.Number - 1
+	s.mu.Lock()
+	doCancel, doAuto := s.cancelReq[i], s.autoAnswer[i]
+	s.cancelReq[i], s.autoAnswer[i] = false, false
+	pid := s.parkID[i]
+	s.mu.Unlock()
+
+	if doCancel {
+		return true, s.cancelTxn(t)
+	}
+
+	s.gmu.RLock()
+	defer s.gmu.RUnlock()
+	if st := t.Upd.State(); st != chase.StateAwaitingUser {
+		s.mu.Lock()
+		s.setStatusLocked(i, mirrorOf(st))
+		s.mu.Unlock()
+		return false, nil
+	}
+
+	if doAuto && s.cfg.User != nil {
+		// Deadline auto-answer: one live consultation of the configured
+		// (fallback) user, the graceful-degradation path.
+		ok, err := pollFrontier(s.engine, t.Upd,
+			func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
+				s.userMu.Lock()
+				defer s.userMu.Unlock()
+				s.bump(func(m *Metrics) { m.UserPolls++ })
+				return s.cfg.User.Decide(t.Upd, g, opts, ctx)
+			})
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			s.mu.Lock()
+			s.m.FrontierOps++
+			s.setStatusLocked(i, statusReady)
+			s.mu.Unlock()
+			return true, nil
+		}
+		// The fallback had no answer either; fall through to re-park.
+	}
+
+	if pid == 0 {
+		id, ok := parkEntry(s.engine, s.cfg.Inbox, t.Upd, s.cfg.InboxPolicy)
+		if !ok {
+			return false, nil
+		}
+		s.mu.Lock()
+		s.parkID[i] = id
+		s.applied[i] = 0
+		s.byPark[id] = i
+		// An answer may have landed between Park and this registration
+		// (the hook found no byPark entry and could not wake us); only
+		// park if none did.
+		if e, ok := s.cfg.Inbox.Get(id); ok && len(e.Answers) == 0 {
+			if s.status[i] == statusAwaiting {
+				s.setStatusLocked(i, statusParked)
+			}
+		}
+		s.mu.Unlock()
+		return true, nil
+	}
+
+	e, ok := s.cfg.Inbox.Get(pid)
+	if !ok {
+		// The entry was aborted out from under the txn; cancel it.
+		return true, s.cancelTxn(t)
+	}
+	s.mu.Lock()
+	ap := s.applied[i]
+	s.mu.Unlock()
+	applied, err := consumeAnswers(s.engine, t.Upd, e.Answers, &ap)
+	s.mu.Lock()
+	s.applied[i] = ap
+	s.mu.Unlock()
+	if err != nil {
+		return false, fmt.Errorf("cc: update %d inbox answer: %w", t.Number, err)
+	}
+	if applied {
+		s.mu.Lock()
+		s.m.FrontierOps++
+		s.setStatusLocked(i, statusReady)
+		s.mu.Unlock()
+		return true, nil
+	}
+	// No applicable answer. Refresh the question if it went stale, then
+	// park again — unless yet another answer landed while we polled, in
+	// which case stay dispatchable to consume it.
+	reaskIfStale(s.engine, s.cfg.Inbox, t.Upd, pid, &e)
+	s.mu.Lock()
+	if cur, ok := s.cfg.Inbox.Get(pid); ok && s.applied[i] >= len(cur.Answers) &&
+		s.status[i] == statusAwaiting && !s.cancelReq[i] && !s.autoAnswer[i] {
+		s.setStatusLocked(i, statusParked)
+	}
+	s.mu.Unlock()
+	return false, nil
+}
+
+// cancelTxn aborts a parked update for good: its writes roll back, the
+// update becomes an empty terminated commit (preserving commit order),
+// and its inbox entry is dropped.
+func (s *ParallelScheduler) cancelTxn(t *Txn) error {
+	s.gmu.Lock()
+	if !t.committed && t.Upd.State() != chase.StateTerminated {
+		s.store.Abort(t.Number)
+		t.Upd.Cancel()
+	}
+	s.gmu.Unlock()
+	s.mu.Lock()
+	i := t.Number - 1
+	s.dropEntryLocked(i)
+	s.setStatusLocked(i, statusTerminated)
+	s.m.Cancelled++
+	s.mu.Unlock()
+	return nil
 }
 
 // execCommit advances the commit frontier under one exclusive
@@ -627,6 +890,7 @@ func (s *ParallelScheduler) execCommit() (bool, error) {
 		// Released stored queries can no longer cause conflicts.
 		t.Upd.ReleaseReads()
 	}
+	forgetCommitted(s.cfg.User, batch)
 	s.mu.Lock()
 	s.m.FrontierRequests += fr
 	s.m.CommitBatches++
@@ -634,7 +898,7 @@ func (s *ParallelScheduler) execCommit() (bool, error) {
 		s.m.MaxCommitBatch = len(batch)
 	}
 	for _, t := range batch {
-		s.status[t.Number-1] = statusCommitted
+		s.setStatusLocked(t.Number-1, statusCommitted)
 	}
 	s.committedUpTo += len(batch)
 	s.mu.Unlock()
@@ -653,7 +917,10 @@ func (s *ParallelScheduler) abortLocked(t *Txn) error {
 	s.m.FrontierRequests += delta.FrontierRequests
 	if err == nil {
 		i := t.Number - 1
-		s.status[i] = statusReady
+		// A parked victim's question is void — its attempt restarts from
+		// scratch — so the inbox entry goes with the rollback.
+		s.dropEntryLocked(i)
+		s.setStatusLocked(i, statusReady)
 		if !s.claimed[i] {
 			// The victim may belong to no worker right now; requeue it
 			// ourselves (a claimant's finish re-queues otherwise).

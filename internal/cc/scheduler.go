@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"youtopia/internal/chase"
+	"youtopia/internal/inbox"
 	"youtopia/internal/query"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
@@ -122,6 +123,15 @@ type Config struct {
 	// constructing a ParallelScheduler directly does 0 default to
 	// GOMAXPROCS. The cooperative Scheduler itself ignores the field.
 	Workers int
+	// Inbox switches the schedulers from busy-repolling blocked updates
+	// to parking them: a blocked update files its question in the box
+	// once and leaves the dispatchable set until an answer is recorded
+	// (by an asynchronous answerer, a curator, or a deadline policy).
+	// Nil keeps the legacy repoll behaviour, whose per-wait poll counts
+	// simuser.Latency relies on.
+	Inbox *inbox.Box
+	// InboxPolicy is stamped on every entry parked in inbox mode.
+	InboxPolicy inbox.Policy
 	// Shards is the relation-partition count of the storage backend
 	// the workload should run against (0 or 1 = one store). The
 	// schedulers themselves are backend-agnostic — they drive whatever
@@ -163,6 +173,16 @@ type Metrics struct {
 	Writes           int
 	FrontierRequests int
 	FrontierOps      int
+	// UserPolls counts chase.User.Decide invocations. In legacy mode a
+	// blocked update is repolled every scheduling round, so this grows
+	// with wait time; in inbox mode parked updates are never polled —
+	// the counter stays at the decisions actually taken (deadline
+	// auto-answers included), which is the bounded-polls property the
+	// inbox exists to provide.
+	UserPolls int
+	// Cancelled counts updates aborted for good by a DeadlineAbort
+	// inbox policy (they commit empty, preserving commit order).
+	Cancelled int
 	// CommitBatches counts commit-frontier drains that committed at
 	// least one update, and MaxCommitBatch the largest prefix drained
 	// in one acquisition — both 1 per group commit, so CommitBatches
@@ -207,6 +227,12 @@ type Scheduler struct {
 	m       Metrics
 	scratch stepScratch
 	acks    ackTracker
+
+	// Inbox-mode bookkeeping, indexed like txns: the entry a blocked txn
+	// parked under (0 = not parked) and how many of its recorded answers
+	// were consumed.
+	parkID  []int64
+	applied []int
 }
 
 // NewScheduler builds a scheduler over a store and mapping set.
@@ -278,6 +304,8 @@ func (s *Scheduler) Run(ops []chase.Op) (Metrics, error) {
 		s.txns[i] = &Txn{Upd: u, Number: i + 1, deps: make(map[int]bool)}
 	}
 	s.m.Submitted = len(ops)
+	s.parkID = make([]int64, len(ops))
+	s.applied = make([]int, len(ops))
 
 	idle := 0
 	var runErr error
@@ -298,6 +326,22 @@ func (s *Scheduler) Run(ops []chase.Op) (Metrics, error) {
 		if progressed {
 			idle = 0
 			continue
+		}
+		if s.cfg.Inbox != nil && s.anyParked() {
+			// Parked updates wait on external answers or policy
+			// deadlines, not on scheduler rounds: advance the inbox
+			// clock, execute what came due, and pace the wait. The idle
+			// limit still applies, bounding a silent inbox with no
+			// deadline policy.
+			acted, err := s.inboxIdle()
+			if err != nil {
+				runErr = err
+				break
+			}
+			if acted {
+				idle = 0
+				continue
+			}
 		}
 		idle++
 		if idle >= s.cfg.MaxIdleRounds {
@@ -358,7 +402,12 @@ func (s *Scheduler) commitReady() (bool, error) {
 			s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
 			// Released stored queries can no longer cause conflicts.
 			t.Upd.ReleaseReads()
+			if pid := s.parkID[t.Number-1]; pid != 0 {
+				s.cfg.Inbox.Resolve(pid)
+				s.parkID[t.Number-1] = 0
+			}
 		}
+		forgetCommitted(s.cfg.User, batch)
 		s.m.CommitBatches++
 		if len(batch) > s.m.MaxCommitBatch {
 			s.m.MaxCommitBatch = len(batch)
@@ -428,13 +477,19 @@ func (s *Scheduler) runSteps(t *Txn) error {
 	}
 }
 
-// pollUser offers one frontier decision opportunity to a blocked txn.
+// pollUser offers one frontier decision opportunity to a blocked txn —
+// or, in inbox mode, parks it / consumes its recorded answers instead
+// of repolling.
 func (s *Scheduler) pollUser(t *Txn) (bool, error) {
+	if s.cfg.Inbox != nil {
+		return s.inboxPoll(t)
+	}
 	if s.cfg.User == nil {
 		return false, nil
 	}
 	ok, err := pollFrontier(s.engine, t.Upd,
 		func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
+			s.m.UserPolls++
 			return s.cfg.User.Decide(t.Upd, g, opts, ctx)
 		})
 	if ok {
@@ -443,12 +498,137 @@ func (s *Scheduler) pollUser(t *Txn) (bool, error) {
 	return ok, err
 }
 
+// inboxPoll is a blocked txn's scheduling opportunity in inbox mode:
+// park on first block, then consume recorded answers as they arrive —
+// never a live user poll, so waiting costs zero Decide calls.
+func (s *Scheduler) inboxPoll(t *Txn) (bool, error) {
+	i := t.Number - 1
+	if s.parkID[i] == 0 {
+		id, ok := parkEntry(s.engine, s.cfg.Inbox, t.Upd, s.cfg.InboxPolicy)
+		if !ok {
+			return false, nil
+		}
+		s.parkID[i] = id
+		s.applied[i] = 0
+		return true, nil
+	}
+	e, ok := s.cfg.Inbox.Get(s.parkID[i])
+	if !ok {
+		// The entry was aborted out from under the txn; cancel it.
+		return true, s.cancelTxn(t)
+	}
+	applied, err := consumeAnswers(s.engine, t.Upd, e.Answers, &s.applied[i])
+	if err != nil {
+		return false, fmt.Errorf("cc: update %d inbox answer: %w", t.Number, err)
+	}
+	if applied {
+		s.m.FrontierOps++
+		return true, nil
+	}
+	if t.Upd.State() == chase.StateAwaitingUser {
+		reaskIfStale(s.engine, s.cfg.Inbox, t.Upd, e.ID, &e)
+	}
+	return false, nil
+}
+
+// anyParked reports whether any live txn is parked in the inbox.
+func (s *Scheduler) anyParked() bool {
+	for i, t := range s.txns {
+		if s.parkID[i] != 0 && !t.committed {
+			return true
+		}
+	}
+	return false
+}
+
+// inboxIdle runs when a round made no progress and parked txns exist:
+// it advances the inbox clock one tick, executes due policy actions
+// (deadline auto-answers and aborts), and — when nothing was due —
+// briefly sleeps to pace the wait for external answers. It reports
+// whether a policy action made progress.
+func (s *Scheduler) inboxIdle() (bool, error) {
+	acted := false
+	for _, d := range s.cfg.Inbox.Tick(1) {
+		i := s.indexOfPark(d.ID)
+		if i < 0 {
+			continue
+		}
+		t := s.txns[i]
+		switch d.Kind {
+		case inbox.DueAutoAnswer:
+			if s.cfg.User == nil || t.Upd.State() != chase.StateAwaitingUser {
+				continue
+			}
+			ok, err := pollFrontier(s.engine, t.Upd,
+				func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
+					s.m.UserPolls++
+					return s.cfg.User.Decide(t.Upd, g, opts, ctx)
+				})
+			if err != nil {
+				return acted, err
+			}
+			if ok {
+				s.m.FrontierOps++
+				acted = true
+			}
+		case inbox.DueAbort:
+			if err := s.cancelTxn(t); err != nil {
+				return acted, err
+			}
+			acted = true
+		}
+	}
+	if !acted {
+		time.Sleep(100 * time.Microsecond)
+	}
+	return acted, nil
+}
+
+// indexOfPark maps an inbox entry ID back to its txn index (-1 when
+// the entry is not one of ours or already resolved).
+func (s *Scheduler) indexOfPark(id int64) int {
+	for i := range s.parkID {
+		if s.parkID[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// cancelTxn aborts a parked update for good: its writes roll back, the
+// update becomes an empty terminated commit (preserving commit order),
+// and the inbox entry is dropped.
+func (s *Scheduler) cancelTxn(t *Txn) error {
+	if t.committed {
+		return fmt.Errorf("cc: cancel of committed update %d", t.Number)
+	}
+	if t.Upd.State() != chase.StateTerminated {
+		s.store.Abort(t.Number)
+		t.Upd.Cancel()
+	}
+	if pid := s.parkID[t.Number-1]; pid != 0 {
+		s.cfg.Inbox.Abort(pid)
+		s.parkID[t.Number-1] = 0
+	}
+	s.m.Cancelled++
+	return nil
+}
+
 // processWrites runs Algorithm 4's conflict processing on one step's
 // writes: direct detection (collectDirect) followed by the abort wave
 // — dependency cascade, rollbacks, and abort-side drift rechecks.
 func (s *Scheduler) processWrites(writes []storage.WriteRec) error {
 	direct := collectDirect(s.store, &s.cfg, s.txns, writes, &s.m, &s.scratch)
 	return executeAbortWave(s.store, &s.cfg, s.txns, direct, &s.m, func(t *Txn) error {
+		// A parked victim's question is void — its attempt restarts from
+		// scratch — so the inbox entry goes with the rollback.
+		if s.cfg.Inbox != nil {
+			if pid := s.parkID[t.Number-1]; pid != 0 {
+				s.cfg.Inbox.Abort(pid)
+				s.parkID[t.Number-1] = 0
+				s.applied[t.Number-1] = 0
+			}
+		}
 		return rollbackTxn(s.store, &s.cfg, t, &s.m)
 	})
 }

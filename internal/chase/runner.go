@@ -13,6 +13,14 @@ type User interface {
 	Decide(u *Update, g *FrontierGroup, opts []Decision, context string) (Decision, bool)
 }
 
+// Forgetter is implemented by stateful users (simuser.User) that keep
+// per-update bookkeeping: schedulers call Forget when an update
+// reaches a terminal state so long runs do not accumulate state for
+// updates that can never be consulted again.
+type Forgetter interface {
+	Forget(number int)
+}
+
 // UserFunc adapts a function to the User interface.
 type UserFunc func(u *Update, g *FrontierGroup, opts []Decision, context string) (Decision, bool)
 

@@ -206,6 +206,19 @@ func (u *Update) Reset() {
 	u.Stats = Stats{}
 }
 
+// Cancel terminates the update without completing its chase: pending
+// writes, queued violations, and open frontier groups are discarded
+// and the update reports StateTerminated with nothing left to do. The
+// caller must roll the update's storage writes back first — Cancel
+// only settles the in-memory chase state, turning the update into an
+// empty commit (the deadline-abort path of the decision inbox).
+func (u *Update) Cancel() {
+	u.state = StateTerminated
+	u.writeSet = nil
+	u.queue = nil
+	u.groups = nil
+}
+
 // TraceEntry pairs a performed write with the reason the chase
 // performed it.
 type TraceEntry struct {

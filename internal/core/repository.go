@@ -14,6 +14,7 @@ import (
 
 	"youtopia/internal/cc"
 	"youtopia/internal/chase"
+	"youtopia/internal/inbox"
 	"youtopia/internal/model"
 	"youtopia/internal/parse"
 	"youtopia/internal/query"
@@ -52,12 +53,26 @@ type Options struct {
 
 // durableBacking is the slice of the write-ahead-log surface the
 // repository drives: one wal.Manager, or a wal.ShardGroup holding one
-// manager per store partition.
+// manager per store partition. The control-record methods persist the
+// decision inbox (parks, answers, resumes).
 type durableBacking interface {
 	Close() error
 	Checkpoint() error
 	Fresh() bool
 	Recovery() wal.RecoveryInfo
+	AppendPark(op chase.Op) (int64, error)
+	AppendAnswer(id int64, ctx string, option int) error
+	AppendResume(id int64, aborted bool) error
+	Parked() []wal.ParkedUpdate
+}
+
+// nullRewinder is the null-counter capture/restore surface both
+// storage backends provide; the park path uses it so a rolled-back
+// parked attempt does not consume null IDs (which would make the
+// resumed replay mint different nulls than an inline execution).
+type nullRewinder interface {
+	NullMark() int64
+	RewindNulls(mark int64)
 }
 
 // Repository is a Youtopia repository.
@@ -71,6 +86,13 @@ type Repository struct {
 
 	nextUpdate int
 	protected  map[string]bool
+
+	// Decision-inbox state: the shared box of parked frontier
+	// questions, the default policy stamped on new entries, and the
+	// fallback user deadline auto-answers consult.
+	box         *inbox.Box
+	inboxPolicy inbox.Policy
+	fallback    chase.User
 }
 
 // New creates an in-memory repository over a schema and mapping set.
@@ -120,6 +142,13 @@ func NewWithOptions(schema *model.Schema, mappings *tgd.Set, opts Options) (*Rep
 	}
 	r.engine = chase.NewEngine(r.store, mappings)
 	r.engine.MaxStepsPerAttempt = 100000
+	r.box = inbox.NewBox()
+	if r.wal != nil {
+		if err := r.recoverParked(); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -280,13 +309,42 @@ func (r *Repository) Apply(op chase.Op, user chase.User) (chase.Stats, error) {
 // ApplyTraced is Apply returning, additionally, the update's write
 // provenance trace: every performed write paired with the violation
 // repair or frontier operation that caused it.
+//
+// When the chase blocks and the (non-nil) user has no answer yet —
+// the "caller retries later" half of the chase.User contract — the
+// update is not failed: its writes are rolled back, the open question
+// is parked in the decision inbox (durably, with a data directory),
+// and a *ParkedError carrying the entry ID is returned. The update
+// completes later, when the entry is answered through AnswerInbox (or
+// a deadline policy settles it). A nil user keeps the historical
+// fail-fast behaviour: there is no one to retry, so the update rolls
+// back with chase.ErrNoDecision.
 func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []chase.TraceEntry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	number := r.nextUpdate
 	r.nextUpdate++
+	var mark int64
+	rew, canRewind := r.store.(nullRewinder)
+	if canRewind {
+		mark = rew.NullMark()
+	}
 	u := chase.NewUpdate(number, op)
 	stats, err := r.runSingle(u, user)
+	if errors.Is(err, errNoAnswer) {
+		id, perr := r.parkLocked(u, op)
+		r.store.Abort(number)
+		if canRewind {
+			// The attempt's writes are gone; returning its minted null
+			// IDs keeps the resumed replay byte-identical to an inline
+			// execution.
+			rew.RewindNulls(mark)
+		}
+		if perr != nil {
+			return stats, u.Trace, perr
+		}
+		return stats, u.Trace, &ParkedError{ID: id}
+	}
 	if err != nil {
 		r.store.Abort(number)
 		return stats, u.Trace, err
@@ -338,6 +396,13 @@ func (r *Repository) runSingle(u *chase.Update, user chase.User) (chase.Stats, e
 	}
 }
 
+// errNoAnswer distinguishes "the user has no answer yet" (the chase
+// parks and resumes later) from "no user is configured"
+// (chase.ErrNoDecision: the update fails and rolls back). The
+// chase.User doc contract promises the caller retries on the former;
+// parking is how the synchronous path keeps that promise.
+var errNoAnswer = errors.New("core: user has no frontier answer yet")
+
 // decideOne obtains one frontier operation from the user.
 func (r *Repository) decideOne(u *chase.Update, user chase.User) error {
 	if user == nil {
@@ -356,7 +421,7 @@ func (r *Repository) decideOne(u *chase.Update, user chase.User) error {
 		}
 		return r.engine.Apply(u, g.ID, d)
 	}
-	return chase.ErrNoDecision
+	return errNoAnswer
 }
 
 // RunConcurrent executes a workload of updates under the optimistic

@@ -1,0 +1,391 @@
+// Package inbox implements the durable decision inbox: pending
+// frontier decisions as first-class, addressable objects. When a chase
+// blocks on a frontier group and its user has no answer, the update
+// parks and the open question becomes an inbox Entry a curator can
+// list, claim, and answer later — possibly after a process restart
+// (the durability is the wal package's park/answer/resume records; the
+// Box here is the in-memory index both the repository and the
+// schedulers share). Per-entry policies cover the curator who never
+// answers: a deadline that auto-answers through a fallback user or
+// aborts the parked update, and periodic priority escalation (the
+// selfish-curator mitigation of the related mechanism-design work).
+//
+// Time is a logical tick counter advanced by the owner (the cc
+// ticker goroutine, or explicit Repository.InboxTick calls), so tests
+// and deterministic replays control it exactly; wall-clock time is
+// recorded alongside purely for reporting (time-to-resume metrics).
+package inbox
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"youtopia/internal/chase"
+)
+
+// Status is an entry's lifecycle state.
+type Status uint8
+
+const (
+	// Pending means the question awaits a curator.
+	Pending Status = iota
+	// Claimed means a curator took the question (still unanswered).
+	Claimed
+	// Answered means an answer was recorded and the parked update is
+	// being resumed; if the resumed chase blocks again the entry
+	// returns to Pending with a fresh question.
+	Answered
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Claimed:
+		return "claimed"
+	case Answered:
+		return "answered"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// DeadlineAction selects what happens when an entry's answer deadline
+// expires.
+type DeadlineAction uint8
+
+const (
+	// DeadlineNone lets the entry wait indefinitely (escalation, if
+	// configured, still raises its priority).
+	DeadlineNone DeadlineAction = iota
+	// DeadlineAutoAnswer answers the question through the fallback
+	// user — graceful degradation when curators go silent.
+	DeadlineAutoAnswer
+	// DeadlineAbort cancels the parked update entirely.
+	DeadlineAbort
+)
+
+// Policy is a per-entry timeout/escalation policy, in ticks.
+type Policy struct {
+	// Deadline is the number of ticks an entry may wait unanswered
+	// before OnDeadline fires (0 = no deadline).
+	Deadline int64
+	// OnDeadline is the action taken when the deadline expires.
+	OnDeadline DeadlineAction
+	// EscalateEvery bumps the entry's priority by one every this many
+	// ticks spent waiting (0 = no escalation).
+	EscalateEvery int64
+}
+
+// Answer is one recorded frontier answer: the canonical decision
+// context it addressed and the index into that context's deterministic
+// option enumeration.
+type Answer struct {
+	Context string
+	Option  int
+}
+
+// Entry is one parked decision: the question a curator sees, the
+// parked update's identity, and the answer history.
+type Entry struct {
+	// ID addresses the entry; durable deployments use the WAL park ID.
+	ID int64
+	// Update is the parked update's number (scheduler-scoped).
+	Update int
+	// Op is the parked update's initial operation, replayed on resume.
+	Op chase.Op
+	// Question describes the open frontier group; Options are the
+	// renderings of its enumerable decisions, OptionKinds their kinds,
+	// Context the canonical decision context an answer is recorded
+	// against, Positive the group's polarity, and FrontierOps the
+	// update's frontier-operation count when it blocked (the decision
+	// ordinal deterministic answerers hash on).
+	Question    string
+	Options     []string
+	OptionKinds []chase.DecisionKind
+	Context     string
+	Positive    bool
+	FrontierOps int
+	// Priority orders the inbox listing; escalation raises it.
+	Priority int
+	// Status, Claimant: lifecycle.
+	Status   Status
+	Claimant string
+	// ParkedAt is the tick the entry (re-)entered Pending; ParkedWall
+	// the wall-clock time it was first parked (reporting only).
+	ParkedAt   int64
+	ParkedWall time.Time
+	// Answers are the answers recorded so far, oldest first.
+	Answers []Answer
+	// Policy is the entry's timeout/escalation policy.
+	Policy Policy
+
+	lastEscalate int64
+	deadlineDone bool
+}
+
+// DueKind classifies what Tick found due.
+type DueKind uint8
+
+const (
+	// DueAutoAnswer means the entry's deadline expired under
+	// DeadlineAutoAnswer: the owner answers it via the fallback user.
+	DueAutoAnswer DueKind = iota
+	// DueAbort means the deadline expired under DeadlineAbort: the
+	// owner cancels the parked update.
+	DueAbort
+	// DueEscalate reports a priority bump (already applied).
+	DueEscalate
+)
+
+// Due is one policy action Tick surfaced for the owner to execute.
+type Due struct {
+	ID   int64
+	Kind DueKind
+}
+
+// Box is the shared in-memory decision inbox. All methods are safe for
+// concurrent use.
+type Box struct {
+	mu      sync.Mutex
+	entries map[int64]*Entry
+	nextID  int64
+	now     int64
+
+	// onAnswer, when set, runs after every recorded answer (outside the
+	// box lock) — the scheduler's wake-up hook.
+	onAnswer func(id int64)
+
+	parked    int64
+	answered  int64
+	resolved  int64
+	aborted   int64
+	escalated int64
+	latencies []time.Duration
+}
+
+// NewBox returns an empty inbox.
+func NewBox() *Box {
+	return &Box{entries: make(map[int64]*Entry), nextID: 1}
+}
+
+// SetOnAnswer installs the answer hook. It must be set before the box
+// sees concurrent use; the hook runs outside the box lock.
+func (b *Box) SetOnAnswer(fn func(id int64)) { b.onAnswer = fn }
+
+// Park files a new pending entry and returns its ID. A zero e.ID mints
+// the next local ID; a positive one (the WAL park ID) is kept, so
+// durable and in-memory IDs coincide.
+func (b *Box) Park(e Entry) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e.ID <= 0 {
+		e.ID = b.nextID
+	}
+	if e.ID >= b.nextID {
+		b.nextID = e.ID + 1
+	}
+	e.Status = Pending
+	e.Claimant = ""
+	e.ParkedAt = b.now
+	if e.ParkedWall.IsZero() {
+		e.ParkedWall = time.Now()
+	}
+	e.lastEscalate = b.now
+	stored := e
+	b.entries[e.ID] = &stored
+	b.parked++
+	return e.ID
+}
+
+// Get returns a copy of an entry.
+func (b *Box) Get(id int64) (Entry, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// List returns copies of all entries, highest priority first (ties by
+// ascending ID — oldest first).
+func (b *Box) List() []Entry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Entry, 0, len(b.entries))
+	for _, e := range b.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of live entries.
+func (b *Box) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// Claim marks a pending entry as taken by a curator.
+func (b *Box) Claim(id int64, who string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok {
+		return fmt.Errorf("inbox: no entry %d", id)
+	}
+	if e.Status == Answered {
+		return fmt.Errorf("inbox: entry %d is already answered", id)
+	}
+	e.Status = Claimed
+	e.Claimant = who
+	return nil
+}
+
+// Answer records one answer on a pending or claimed entry and runs the
+// answer hook. The caller chooses the option index against the entry's
+// current Options enumeration; recording it against the canonical
+// Context is what lets the answer re-resolve after restarts.
+func (b *Box) Answer(id int64, a Answer) error {
+	b.mu.Lock()
+	e, ok := b.entries[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("inbox: no entry %d", id)
+	}
+	if e.Status == Answered {
+		b.mu.Unlock()
+		return fmt.Errorf("inbox: entry %d is already answered and resuming", id)
+	}
+	e.Status = Answered
+	e.Answers = append(e.Answers, a)
+	b.answered++
+	hook := b.onAnswer
+	b.mu.Unlock()
+	if hook != nil {
+		hook(id)
+	}
+	return nil
+}
+
+// Requeue returns an answered entry to Pending with a fresh question:
+// the resumed chase consumed the answer(s) and blocked again. The
+// answer history is preserved — answers recorded concurrently with the
+// requeue stay visible to the resuming consumer.
+func (b *Box) Requeue(id int64, question string, options []string, kinds []chase.DecisionKind, context string, positive bool, frontierOps int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok {
+		return fmt.Errorf("inbox: no entry %d", id)
+	}
+	e.Status = Pending
+	e.Claimant = ""
+	e.Question = question
+	e.Options = options
+	e.OptionKinds = kinds
+	e.Context = context
+	e.Positive = positive
+	e.FrontierOps = frontierOps
+	e.ParkedAt = b.now
+	e.deadlineDone = false
+	return nil
+}
+
+// Resolve removes a completed entry (its update committed) and records
+// its time-to-resume.
+func (b *Box) Resolve(id int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[id]; ok {
+		b.latencies = append(b.latencies, time.Since(e.ParkedWall))
+		b.resolved++
+		delete(b.entries, id)
+	}
+}
+
+// Abort removes an entry whose update was cancelled.
+func (b *Box) Abort(id int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.entries[id]; ok {
+		b.aborted++
+		delete(b.entries, id)
+	}
+}
+
+// Tick advances logical time by n ticks and returns the policy actions
+// now due, deterministically ordered by entry ID. Escalations are
+// applied internally (priority bumps) and reported; deadline actions
+// are reported once per pending spell for the owner to execute.
+func (b *Box) Tick(n int64) []Due {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now += n
+	var due []Due
+	ids := make([]int64, 0, len(b.entries))
+	for id := range b.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := b.entries[id]
+		if e.Status == Answered {
+			continue // resuming; policies apply to waiting questions
+		}
+		if ev := e.Policy.EscalateEvery; ev > 0 {
+			for b.now-e.lastEscalate >= ev {
+				e.lastEscalate += ev
+				e.Priority++
+				b.escalated++
+				due = append(due, Due{ID: id, Kind: DueEscalate})
+			}
+		}
+		if d := e.Policy.Deadline; d > 0 && !e.deadlineDone && b.now-e.ParkedAt >= d {
+			switch e.Policy.OnDeadline {
+			case DeadlineAutoAnswer:
+				e.deadlineDone = true
+				due = append(due, Due{ID: id, Kind: DueAutoAnswer})
+			case DeadlineAbort:
+				e.deadlineDone = true
+				due = append(due, Due{ID: id, Kind: DueAbort})
+			}
+		}
+	}
+	return due
+}
+
+// Now returns the current logical tick.
+func (b *Box) Now() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.now
+}
+
+// Counters reports lifetime counts: parked entries, recorded answers,
+// resolved entries, aborted entries, and escalations.
+func (b *Box) Counters() (parked, answered, resolved, aborted, escalated int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.parked, b.answered, b.resolved, b.aborted, b.escalated
+}
+
+// ResumeLatencies returns the wall-clock park-to-resolve durations of
+// every resolved entry, in resolution order (the bench's
+// time-to-resume distribution).
+func (b *Box) ResumeLatencies() []time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]time.Duration(nil), b.latencies...)
+}

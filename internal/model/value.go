@@ -108,6 +108,15 @@ func (f *NullFactory) Fresh() Value {
 // without consuming it. It is intended for diagnostics and tests.
 func (f *NullFactory) Peek() int64 { return f.next.Load() + 1 }
 
+// Mark returns the counter value for a later Rewind.
+func (f *NullFactory) Mark() int64 { return f.next.Load() }
+
+// Rewind lowers the counter back to a previously captured Mark. It is
+// only sound when every null minted after the mark has been discarded
+// everywhere (a rolled-back update attempt whose writes were aborted);
+// callers must exclude concurrent minting for the capture/rewind span.
+func (f *NullFactory) Rewind(mark int64) { f.next.Store(mark) }
+
 // SetFloor ensures future identifiers are strictly greater than id.
 // It is used when loading a database that already contains nulls.
 func (f *NullFactory) SetFloor(id int64) {

@@ -1,0 +1,57 @@
+package simuser
+
+import (
+	"testing"
+
+	"youtopia/internal/chase"
+)
+
+// TestForgetBoundsState is the memory-leak regression: the user's
+// per-update bookkeeping maps grow with every update seen and must be
+// released when the scheduler reports the update terminal, keeping the
+// maps bounded by the number of live updates on long runs.
+func TestForgetBoundsState(t *testing.T) {
+	_, g, opts := testGroup()
+	s := New(3)
+	s.Latency = 1 // leaves a polls entry for every declined first ask
+	const updates = 50
+	for n := 1; n <= updates; n++ {
+		u := chase.NewUpdate(n, chase.Insert(tup("C", c("x"))))
+		if _, ok := s.Decide(u, g, opts, "ctx"); ok {
+			t.Fatalf("update %d: first poll must be declined at latency 1", n)
+		}
+		if _, ok := s.Decide(u, g, opts, "ctx"); !ok {
+			t.Fatalf("update %d: second poll must answer", n)
+		}
+		// A second open decision left mid-poll: its polls entry must be
+		// cleaned up by Forget too, not just the answered ones.
+		if _, ok := s.Decide(u, g, opts, "ctx"); ok {
+			t.Fatalf("update %d: fresh ordinal must be declined once", n)
+		}
+	}
+	attempts, ordinals, polls := s.stateSizes()
+	if attempts != updates || ordinals != updates || polls != updates {
+		t.Fatalf("pre-Forget sizes = (%d, %d, %d), want (%d, %d, %d)",
+			attempts, ordinals, polls, updates, updates, updates)
+	}
+
+	for n := 1; n <= updates; n++ {
+		s.Forget(n)
+	}
+	attempts, ordinals, polls = s.stateSizes()
+	if attempts != 0 || ordinals != 0 || polls != 0 {
+		t.Fatalf("post-Forget sizes = (%d, %d, %d), want all zero — the maps leak",
+			attempts, ordinals, polls)
+	}
+
+	// Interleaved lifecycle: forgetting one update leaves others intact.
+	for n := 1; n <= 3; n++ {
+		u := chase.NewUpdate(n, chase.Insert(tup("C", c("x"))))
+		s.Decide(u, g, opts, "ctx")
+	}
+	s.Forget(2)
+	attempts, _, _ = s.stateSizes()
+	if attempts != 2 {
+		t.Fatalf("selective Forget kept %d attempts, want 2", attempts)
+	}
+}

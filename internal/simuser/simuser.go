@@ -76,19 +76,66 @@ func (s *User) Decide(u *chase.Update, g *chase.FrontierGroup, opts []chase.Deci
 	}
 	s.ordinal[u.Number] = ord + 1
 
-	pool := opts
-	if s.ForceUnifyAfter > 0 && u.Stats.FrontierOps >= s.ForceUnifyAfter && g.Positive {
-		var unifies []chase.Decision
-		for _, d := range opts {
-			if d.Kind == chase.DecideUnify {
-				unifies = append(unifies, d)
-			}
-		}
-		if len(unifies) > 0 {
-			pool = unifies
+	kinds := make([]chase.DecisionKind, len(opts))
+	for i, d := range opts {
+		kinds[i] = d.Kind
+	}
+	idx := ChooseOption(s.Seed, u.Number, ord, context, kinds,
+		u.Stats.FrontierOps, s.ForceUnifyAfter, g.Positive)
+	return opts[idx], true
+}
+
+// Forget implements chase.Forgetter: per-update bookkeeping is dropped
+// once the update reaches a terminal state, keeping the maps bounded
+// by the number of live updates on long runs.
+func (s *User) Forget(number int) {
+	delete(s.attempt, number)
+	delete(s.ordinal, number)
+	for k := range s.polls {
+		if k.number == number {
+			delete(s.polls, k)
 		}
 	}
+}
 
+// stateSizes reports the bookkeeping map sizes (regression tests).
+func (s *User) stateSizes() (attempts, ordinals, polls int) {
+	return len(s.attempt), len(s.ordinal), len(s.polls)
+}
+
+// ChooseOption is the deterministic choice function both the inline
+// simulated user and the asynchronous inbox answerer share: given the
+// kinds of a decision context's enumerable options, it returns the
+// index of the chosen one. The choice is a pure function of (seed,
+// update number, decision ordinal, canonical context) — attempts are
+// deliberately excluded, so a restarted or parked-and-resumed update
+// facing the same situation repeats the same choice, which is what
+// makes inline and inbox executions converge on the same instance.
+//
+// The decision ordinal is the update's frontier-operation count at the
+// moment the question is asked: every answered question is followed by
+// exactly one frontier operation, so Stats.FrontierOps IS the ordinal
+// — the property that lets an answerer working from an inbox entry
+// (which records FrontierOps) hash identically to the inline user
+// counting ordinals itself.
+//
+// ForceUnifyAfter narrows the pool to unification options (when any
+// exist, on positive groups past the threshold), exactly as the
+// inline user always has.
+func ChooseOption(seed uint64, number, ord int, context string, kinds []chase.DecisionKind, frontierOps, forceUnifyAfter int, positive bool) int {
+	poolIdx := make([]int, 0, len(kinds))
+	if forceUnifyAfter > 0 && frontierOps >= forceUnifyAfter && positive {
+		for i, k := range kinds {
+			if k == chase.DecideUnify {
+				poolIdx = append(poolIdx, i)
+			}
+		}
+	}
+	if len(poolIdx) == 0 {
+		for i := range kinds {
+			poolIdx = append(poolIdx, i)
+		}
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v uint64) {
@@ -97,12 +144,11 @@ func (s *User) Decide(u *chase.Update, g *chase.FrontierGroup, opts []chase.Deci
 		}
 		_, _ = h.Write(buf[:])
 	}
-	put(s.Seed)
-	put(uint64(u.Number))
+	put(seed)
+	put(uint64(number))
 	put(uint64(ord))
 	put(model.CanonHash(context))
-	idx := int(h.Sum64() % uint64(len(pool)))
-	return pool[idx], true
+	return poolIdx[int(h.Sum64()%uint64(len(poolIdx)))]
 }
 
 // ExpandAlways is a user that always expands the first frontier tuple

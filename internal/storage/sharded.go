@@ -184,6 +184,11 @@ func (ss *ShardedStore) Schema() *model.Schema { return ss.schema }
 // unique across every shard.
 func (ss *ShardedStore) FreshNull() model.Value { return ss.nulls.Fresh() }
 
+// NullMark and RewindNulls capture and restore the shared null
+// counter; see Store.RewindNulls for the soundness conditions.
+func (ss *ShardedStore) NullMark() int64        { return ss.nulls.Mark() }
+func (ss *ShardedStore) RewindNulls(mark int64) { ss.nulls.Rewind(mark) }
+
 // Snap implements Backend: the snapshot routes over all shards.
 func (ss *ShardedStore) Snap(reader int) *Snapshot {
 	return &Snapshot{stores: ss.shards, reader: reader}

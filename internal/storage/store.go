@@ -320,6 +320,16 @@ func (st *Store) Schema() *model.Schema { return st.schema }
 // safe to call concurrently (the factory is atomic) and takes no lock.
 func (st *Store) FreshNull() model.Value { return st.nulls.Fresh() }
 
+// NullMark captures the null-factory counter for RewindNulls.
+func (st *Store) NullMark() int64 { return st.nulls.Mark() }
+
+// RewindNulls lowers the null counter back to a NullMark capture. Only
+// sound when every null minted after the mark was rolled back with its
+// update attempt and no concurrent update is minting — the repository's
+// single-update mode under its own lock. It keeps a parked-and-resumed
+// update's replay minting the same null IDs the inline execution would.
+func (st *Store) RewindNulls(mark int64) { st.nulls.Rewind(mark) }
+
 // noteNulls raises the null-factory floor past any null in vals, so
 // loading data with explicit nulls cannot collide with fresh ones.
 func (st *Store) noteNulls(vals []model.Value) {

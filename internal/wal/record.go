@@ -284,8 +284,11 @@ func decodeBatch(payload []byte, rels []string) (batchRecord, error) {
 	return out, nil
 }
 
-// encodeCheckpoint renders a checkpoint frame payload.
-func (c *codec) encodeCheckpoint(batchIdx, nullFloor int64, tuples []storage.CommittedTuple) ([]byte, error) {
+// encodeCheckpoint renders a checkpoint frame payload. The parked
+// section — next park ID plus the live parked updates with their
+// recorded answers — trails the tuple section; decode tolerates its
+// absence, so pre-inbox checkpoints keep recovering.
+func (c *codec) encodeCheckpoint(batchIdx, nullFloor int64, tuples []storage.CommittedTuple, nextParkID int64, parked []ParkedUpdate) ([]byte, error) {
 	var b bytes.Buffer
 	putUvarint(&b, uint64(batchIdx))
 	putUvarint(&b, uint64(nullFloor))
@@ -304,14 +307,30 @@ func (c *codec) encodeCheckpoint(batchIdx, nullFloor int64, tuples []storage.Com
 		}
 		encodeVals(&b, t.Vals)
 	}
+	putUvarint(&b, uint64(nextParkID))
+	putUvarint(&b, uint64(len(parked)))
+	for _, p := range parked {
+		putUvarint(&b, uint64(p.ID))
+		if err := c.encodeOp(&b, p.Op); err != nil {
+			return nil, err
+		}
+		putUvarint(&b, uint64(len(p.Answers)))
+		for _, a := range p.Answers {
+			putUvarint(&b, uint64(len(a.Context)))
+			b.WriteString(a.Context)
+			putUvarint(&b, uint64(a.Option))
+		}
+	}
 	return b.Bytes(), nil
 }
 
 // checkpointRecord is one decoded checkpoint payload.
 type checkpointRecord struct {
-	idx       int64
-	nullFloor int64
-	tuples    []storage.CommittedTuple
+	idx        int64
+	nullFloor  int64
+	tuples     []storage.CommittedTuple
+	nextParkID int64
+	parked     []ParkedUpdate
 }
 
 func decodeCheckpoint(payload []byte, rels []string) (checkpointRecord, error) {
@@ -356,6 +375,54 @@ func decodeCheckpoint(payload []byte, rels []string) (checkpointRecord, error) {
 		t.Deleted = del != 0
 		if t.Vals, err = r.vals(); err != nil {
 			return checkpointRecord{}, err
+		}
+	}
+	out.nextParkID = 1
+	if len(r.b) == 0 {
+		// Pre-inbox checkpoint: no parked section.
+		return out, nil
+	}
+	next, err := r.uvarint()
+	if err != nil {
+		return checkpointRecord{}, err
+	}
+	if int64(next) > out.nextParkID {
+		out.nextParkID = int64(next)
+	}
+	np, err := r.uvarint()
+	if err != nil {
+		return checkpointRecord{}, err
+	}
+	out.parked = make([]ParkedUpdate, np)
+	for i := range out.parked {
+		p := &out.parked[i]
+		id, err := r.uvarint()
+		if err != nil {
+			return checkpointRecord{}, err
+		}
+		p.ID = int64(id)
+		if p.Op, err = r.op(rels); err != nil {
+			return checkpointRecord{}, err
+		}
+		na, err := r.uvarint()
+		if err != nil {
+			return checkpointRecord{}, err
+		}
+		p.Answers = make([]ParkedAnswer, na)
+		for j := range p.Answers {
+			cl, err := r.uvarint()
+			if err != nil {
+				return checkpointRecord{}, err
+			}
+			ctx, err := r.bytes(cl)
+			if err != nil {
+				return checkpointRecord{}, err
+			}
+			opt, err := r.uvarint()
+			if err != nil {
+				return checkpointRecord{}, err
+			}
+			p.Answers[j] = ParkedAnswer{Context: string(ctx), Option: int(opt)}
 		}
 	}
 	if len(r.b) != 0 {

@@ -33,14 +33,20 @@ type RecoveryInfo struct {
 	Repaired bool
 	// Fresh reports that the directory held no durable state at all.
 	Fresh bool
+	// Parked are the updates that were durably parked awaiting frontier
+	// answers when the process stopped, sorted by park ID: the
+	// checkpoint's parked section plus the replayed control frames. The
+	// repository re-parks them in its decision inbox on open.
+	Parked []ParkedUpdate
 }
 
 // recovery is the full result of a directory scan: the rebuilt store,
 // the info, and the repair plan Open executes (Recover itself never
 // mutates the directory).
 type recovery struct {
-	st   *storage.Store
-	info RecoveryInfo
+	st     *storage.Store
+	info   RecoveryInfo
+	parked *parkedSet
 
 	truncFile   string // segment to truncate ("" = none)
 	truncAt     int64
@@ -115,7 +121,7 @@ func Recover(dir string, schema *model.Schema) (*storage.Store, RecoveryInfo, er
 
 func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
 	cdc := newCodec(schema)
-	rec := &recovery{st: storage.NewStore(schema)}
+	rec := &recovery{st: storage.NewStore(schema), parked: newParkedSet()}
 	ckpts, segs, err := scanDir(dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -146,6 +152,7 @@ func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
 		haveCkpt = true
 		rec.info.CheckpointBatch = ck.idx
 		rec.info.CheckpointTuples = len(ck.tuples)
+		rec.parked.seed(ck.nextParkID, ck.parked)
 		break
 	}
 	if !haveCkpt && len(ckpts) > 0 {
@@ -216,6 +223,23 @@ func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
 				}
 				break
 			}
+			if len(payload) > 0 && payload[0] != kindBatch {
+				// Control frame (park/answer/resume): replayed onto the
+				// parked set — idempotently against the checkpoint's
+				// parked section — without touching the batch sequence.
+				if cerr := rec.parked.applyControl(payload, cdc.rels); cerr != nil {
+					rec.info.Repaired = true
+					rec.truncFile = sf.path
+					rec.truncAt = off
+					rec.orphans = append(rec.orphans, segPaths(segs[si+1:])...)
+					stopped = true
+					break
+				}
+				rec.info.RecordsReplayed++
+				off += int64(8 + len(payload))
+				body = rest
+				continue
+			}
 			batch, err := decodeBatch(payload, cdc.rels)
 			if err != nil || batch.idx != prev+1 {
 				rec.info.Repaired = true
@@ -246,6 +270,7 @@ func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
 	}
 	rec.info.LastBatch = last
 	rec.info.Fresh = !haveCkpt && len(segs) == 0
+	rec.info.Parked = rec.parked.snapshot()
 	return rec, nil
 }
 
@@ -319,6 +344,13 @@ func ClonePrefix(src, dst string, upTo int64) error {
 			payload, rest, ok := nextFrame(body)
 			if !ok {
 				break
+			}
+			if len(payload) > 0 && payload[0] != kindBatch {
+				// Control frames carry no batch index; they ride along
+				// until the batch cut stops the copy.
+				keep += int64(8 + len(payload))
+				body = rest
+				continue
 			}
 			batch, err := decodeBatch(payload, nil)
 			if err != nil || batch.idx > upTo {

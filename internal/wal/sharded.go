@@ -263,6 +263,9 @@ func (r *RecoveryInfo) absorb(info RecoveryInfo) {
 	r.RecordsReplayed += info.RecordsReplayed
 	r.Repaired = r.Repaired || info.Repaired
 	r.Fresh = r.Fresh && info.Fresh
+	// Control records live in shard 0's log only, so this appends at
+	// most one shard's parked set.
+	r.Parked = append(r.Parked, info.Parked...)
 }
 
 // Recovery aggregates the shards' recovery reports (see absorb).

@@ -136,6 +136,16 @@ type Manager struct {
 	ioErr     error // sticky append-path I/O failure; see appendBatch
 	bgErr     error // first background-checkpoint failure
 
+	// Decision-inbox control state (see control.go): the live parked
+	// updates, a monotone control-append counter, and the last control
+	// sequence appended into each segment. Checkpoints capture the
+	// parked set and the counter at the snapshot moment; retire keeps
+	// any segment holding control frames appended after that moment,
+	// since the checkpoint's parked section does not cover them.
+	parked  *parkedSet
+	ctrlSeq int64
+	segCtrl map[string]int64
+
 	// Sync pipeline state (SyncAlways): appendBatch writes the frame
 	// under mu and returns an ack ticket; the syncer goroutine fsyncs
 	// outside every lock and advances syncedBatch, waking ticket
@@ -217,6 +227,8 @@ func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.St
 		info:     rec.info,
 		batches:  rec.info.LastBatch,
 		lastCkpt: rec.info.CheckpointBatch,
+		parked:   rec.parked,
+		segCtrl:  make(map[string]int64),
 	}
 	m.syncCond = sync.NewCond(&m.mu)
 	// Everything recovered is durable by definition.
@@ -548,13 +560,17 @@ func (m *Manager) Checkpoint() error {
 	}
 	m.mu.Unlock()
 
-	var k int64
+	var k, ctrlAt, nextParkID int64
+	var parkedSnap []ParkedUpdate
 	tuples, floor := m.st.CommittedSnapshot(func() {
 		m.mu.Lock()
 		k = m.batches
+		ctrlAt = m.ctrlSeq
+		nextParkID = m.parked.nextID
+		parkedSnap = m.parked.snapshot()
 		m.mu.Unlock()
 	})
-	payload, err := m.cdc.encodeCheckpoint(k, floor, tuples)
+	payload, err := m.cdc.encodeCheckpoint(k, floor, tuples, nextParkID, parkedSnap)
 	if err != nil {
 		return err
 	}
@@ -593,17 +609,28 @@ func (m *Manager) Checkpoint() error {
 		active = m.f.Name()
 	}
 	m.mu.Unlock()
-	return m.retire(k, final, active)
+	return m.retire(k, ctrlAt, final, active)
 }
 
 // retire deletes checkpoints older than the one just installed and
-// every segment whose batches it wholly covers.
-func (m *Manager) retire(k int64, keepCkpt, activeSeg string) error {
+// every segment whose batches it wholly covers. A segment holding a
+// control frame appended after the checkpoint's snapshot moment
+// (ctrlAt) is kept regardless — the checkpoint's parked section does
+// not reflect that frame yet, so deleting the segment would lose a
+// durable park or answer.
+func (m *Manager) retire(k, ctrlAt int64, keepCkpt, activeSeg string) error {
 	ckpts, segs, err := scanDir(m.dir)
 	if err != nil {
 		return err
 	}
+	m.mu.Lock()
+	ctrlIn := make(map[string]int64, len(m.segCtrl))
+	for path, seq := range m.segCtrl {
+		ctrlIn[path] = seq
+	}
+	m.mu.Unlock()
 	removed := false
+	var removedSegs []string
 	for _, c := range ckpts {
 		if c.path != keepCkpt && c.idx <= k {
 			if err := os.Remove(c.path); err != nil {
@@ -615,12 +642,20 @@ func (m *Manager) retire(k int64, keepCkpt, activeSeg string) error {
 	for i := 0; i+1 < len(segs); i++ {
 		// Segment i holds batches [first_i, first_{i+1}); all covered
 		// by the checkpoint iff first_{i+1} <= k+1.
-		if segs[i].path != activeSeg && segs[i+1].first <= k+1 {
+		if segs[i].path != activeSeg && segs[i+1].first <= k+1 && ctrlIn[segs[i].path] <= ctrlAt {
 			if err := os.Remove(segs[i].path); err != nil {
 				return fmt.Errorf("wal: retiring segment: %w", err)
 			}
 			removed = true
+			removedSegs = append(removedSegs, segs[i].path)
 		}
+	}
+	if len(removedSegs) > 0 {
+		m.mu.Lock()
+		for _, path := range removedSegs {
+			delete(m.segCtrl, path)
+		}
+		m.mu.Unlock()
 	}
 	if removed {
 		return syncDir(m.dir)

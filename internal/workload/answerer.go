@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"time"
+
+	"youtopia/internal/inbox"
+	"youtopia/internal/simuser"
+)
+
+// Answerer is the asynchronous counterpart of simuser.User: a driver
+// goroutine that watches a decision inbox and answers pending entries
+// after a configurable think time, the way a (fast) curator would. It
+// makes exactly the choices the inline simulated user makes — both
+// share simuser.ChooseOption, keyed on the entry's recorded update
+// number, frontier-operation ordinal, and canonical decision context —
+// so a workload driven through the inbox converges on the same
+// committed instance as the same workload answered inline.
+type Answerer struct {
+	// Box is the inbox to watch.
+	Box *inbox.Box
+	// Seed drives the choices; pair it with the workload's user seed.
+	Seed uint64
+	// ForceUnifyAfter mirrors simuser.User's safeguard (0 = none; the
+	// workloads use 64).
+	ForceUnifyAfter int
+	// Latency is the per-answer think time (0 answers immediately).
+	Latency time.Duration
+	// Poll is the inbox polling interval (0 = 200µs).
+	Poll time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches the answering goroutine.
+func (a *Answerer) Start() {
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.loop()
+}
+
+// Stop terminates the answering goroutine and waits for it.
+func (a *Answerer) Stop() {
+	close(a.stop)
+	<-a.done
+}
+
+func (a *Answerer) loop() {
+	defer close(a.done)
+	poll := a.Poll
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-tick.C:
+		}
+		for _, e := range a.Box.List() {
+			if e.Status == inbox.Answered || len(e.Options) == 0 {
+				continue
+			}
+			if a.Latency > 0 {
+				select {
+				case <-a.stop:
+					return
+				case <-time.After(a.Latency):
+				}
+			}
+			opt := simuser.ChooseOption(a.Seed, e.Update, e.FrontierOps, e.Context,
+				e.OptionKinds, e.FrontierOps, a.ForceUnifyAfter, e.Positive)
+			// A lost race with another answerer (or a requeue) just
+			// errors; the entry will be listed again if still open.
+			_ = a.Box.Answer(e.ID, inbox.Answer{Context: e.Context, Option: opt})
+		}
+	}
+}

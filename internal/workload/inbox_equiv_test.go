@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"youtopia/internal/cc"
+	"youtopia/internal/inbox"
+	"youtopia/internal/model"
+	"youtopia/internal/simuser"
+)
+
+// TestInboxRunMatchesInline pins the equivalence the inbox bench and
+// the concurrent schedulers rely on: the same seeded workload, once
+// answered inline by the simulated user and once parked in a decision
+// inbox and answered asynchronously, converges on the same committed
+// instance — the Answerer and the inline user share
+// simuser.ChooseOption keyed on (update, frontier ordinal, context),
+// and canonicalizeNulls erases the null-allocation differences.
+func TestInboxRunMatchesInline(t *testing.T) {
+	cfg := Quick()
+	cfg.InitialTuples = 60
+	cfg.Updates = 25
+	u, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := u.GenOpsSeeded(99)
+
+	run := func(withInbox bool) ([]model.Tuple, cc.Metrics) {
+		st, err := u.NewStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccCfg := cc.Config{
+			Tracker:            cc.Coarse{},
+			User:               simuser.New(7),
+			MaxAbortsPerUpdate: 10000,
+		}
+		var ans *Answerer
+		if withInbox {
+			ccCfg.Inbox = inbox.NewBox()
+			ans = &Answerer{Box: ccCfg.Inbox, Seed: 7, ForceUnifyAfter: 64}
+			ans.Start()
+		}
+		m, err := cc.NewScheduler(st, u.Mappings, ccCfg).Run(ops)
+		if ans != nil {
+			ans.Stop()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts := st.Snap(1 << 30).VisibleFacts()
+		var out []model.Tuple
+		for _, rel := range u.Schema.SortedNames() {
+			out = append(out, facts[rel]...)
+		}
+		return canonicalizeNulls(out), m
+	}
+
+	inline, _ := run(false)
+	parked, m := run(true)
+	if m.UserPolls != 0 {
+		t.Fatalf("inbox run made %d live user polls, want 0", m.UserPolls)
+	}
+	if got, want := model.CanonTuples(parked), model.CanonTuples(inline); got != want {
+		t.Fatalf("inbox-driven workload diverged from inline:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

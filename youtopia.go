@@ -46,6 +46,7 @@ import (
 	"youtopia/internal/cc"
 	"youtopia/internal/chase"
 	"youtopia/internal/core"
+	"youtopia/internal/inbox"
 	"youtopia/internal/model"
 	"youtopia/internal/parse"
 	"youtopia/internal/query"
@@ -233,6 +234,11 @@ func RandomUser(seed uint64) User { return simuser.New(seed) }
 // knowledgeable human who short-circuits infinite cascades (§2.2).
 func UnifyFirstUser() User { return simuser.UnifyFirst() }
 
+// SilentUser returns a user that never answers: updates that block on
+// a frontier question park in the decision inbox (ErrParked) instead
+// of completing inline — the asynchronous curator workflow.
+func SilentUser() User { return simuser.Silent() }
+
 // Cascading-abort trackers (§5.1).
 var (
 	// Naive aborts every lower-priority update when any update aborts.
@@ -246,3 +252,56 @@ var (
 // ErrProtectedCascade is returned by Repository.Apply when a deletion
 // would cascade into a protected relation (§2.1).
 var ErrProtectedCascade = core.ErrProtectedCascade
+
+// Decision-inbox surface. When an update's chase blocks on a frontier
+// question its user cannot answer yet, Repository.Apply parks the
+// update instead of failing: the open question becomes an addressable
+// InboxEntry that can be listed, claimed, and answered later — on a
+// durable repository, after a process restart too (parks and answers
+// are write-ahead-logged, and reopening the data directory restores
+// the inbox and resumes what the recorded answers already complete).
+// Per-entry policies cover curators who never answer: a deadline that
+// auto-answers via a fallback user or aborts the parked update, and
+// periodic priority escalation.
+type (
+	// InboxEntry is one parked decision.
+	InboxEntry = inbox.Entry
+	// InboxPolicy is a per-entry timeout/escalation policy, in logical
+	// ticks (advanced by Repository.InboxTick).
+	InboxPolicy = inbox.Policy
+	// InboxStatus is an entry's lifecycle state.
+	InboxStatus = inbox.Status
+	// InboxBox is the shared in-memory decision inbox; hand one to
+	// SchedulerConfig.Inbox to make the concurrent schedulers park
+	// blocked updates instead of busy-repolling their users.
+	InboxBox = inbox.Box
+)
+
+// Inbox entry statuses and deadline actions.
+const (
+	// InboxPending means the question awaits a curator.
+	InboxPending = inbox.Pending
+	// InboxClaimed means a curator took the question.
+	InboxClaimed = inbox.Claimed
+	// InboxAnswered means an answer was recorded and the update is
+	// resuming.
+	InboxAnswered = inbox.Answered
+	// DeadlineNone lets entries wait indefinitely.
+	DeadlineNone = inbox.DeadlineNone
+	// DeadlineAutoAnswer answers expired entries via the fallback user.
+	DeadlineAutoAnswer = inbox.DeadlineAutoAnswer
+	// DeadlineAbort cancels expired entries' updates.
+	DeadlineAbort = inbox.DeadlineAbort
+)
+
+// NewInbox returns an empty decision inbox for SchedulerConfig.Inbox.
+func NewInbox() *InboxBox { return inbox.NewBox() }
+
+// ErrParked matches (via errors.Is) the error Repository.Apply returns
+// when it parked the update in the decision inbox; the error is a
+// *ParkedError carrying the entry ID.
+var ErrParked = core.ErrParked
+
+// ParkedError reports that Apply parked its update; answer the entry
+// with Repository.AnswerInbox.
+type ParkedError = core.ParkedError
