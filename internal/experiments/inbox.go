@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -55,6 +56,10 @@ type InboxPoint struct {
 	// only) — the time a decision spends suspended in the inbox.
 	ResumeP50Millis float64 `json:",omitempty"`
 	ResumeP99Millis float64 `json:",omitempty"`
+	// NumCPU and GoMaxProcs record the hardware the point ran on, so
+	// published artifacts are attributable to a runner generation.
+	NumCPU     int `json:",omitempty"`
+	GoMaxProcs int `json:",omitempty"`
 }
 
 // Label names the point.
@@ -92,6 +97,8 @@ func InboxStudy(base workload.Config, workers int, runs int, latency time.Durati
 
 // measureInboxPoint folds `runs` executions of one mode into p.
 func measureInboxPoint(u *workload.Universe, base workload.Config, p *InboxPoint, runs int, latency time.Duration, dataDir string) error {
+	p.NumCPU = runtime.NumCPU()
+	p.GoMaxProcs = runtime.GOMAXPROCS(0)
 	var updates float64
 	var resumes []time.Duration
 	for r := 0; r < runs; r++ {

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -84,15 +87,35 @@ type ParallelPoint struct {
 	// alongside throughput; both are expected to be zero.
 	SnapshotAllocsPerOp    float64 `json:"SnapshotAllocsPerOp"`
 	CommitMergeAllocsPerOp float64 `json:"CommitMergeAllocsPerOp"`
+	// Cpus is the GOMAXPROCS cap the point was pinned to; 0 means the
+	// point ran at the process default (pre-multicore artifacts and the
+	// plain worker/shard studies). CheckRegression treats 0 and 1 as
+	// the same mode so old baselines keep matching.
+	Cpus int `json:",omitempty"`
+	// NumCPU and GoMaxProcs record the hardware the point actually ran
+	// on — runtime.NumCPU and the effective GOMAXPROCS — so published
+	// artifacts are attributable to a runner generation.
+	NumCPU     int `json:",omitempty"`
+	GoMaxProcs int `json:",omitempty"`
+	// Readers is the count of concurrent epoch-snapshot reader
+	// goroutines the point ran beside the writers; ReadsPerSec is their
+	// aggregate full-database read-pass throughput. Both zero outside
+	// the multicore study.
+	Readers     int     `json:",omitempty"`
+	ReadsPerSec float64 `json:",omitempty"`
 }
 
 // Label names the point's execution mode, including the partition
 // count when the point ran sharded.
 func (p ParallelPoint) Label() string {
+	label := ModeLabel(p.Workers)
 	if p.Shards > 1 {
-		return fmt.Sprintf("shards=%d,%s", p.Shards, ModeLabel(p.Workers))
+		label = fmt.Sprintf("shards=%d,%s", p.Shards, label)
 	}
-	return ModeLabel(p.Workers)
+	if p.Cpus > 0 {
+		label = fmt.Sprintf("%s,cpus=%d", label, p.Cpus)
+	}
+	return label
 }
 
 // ParallelStudy compares the serial reference execution against the
@@ -191,7 +214,14 @@ func ShardStudy(base workload.Config, shards []int, workers, runs int, dataDir s
 func measurePoint(u *workload.Universe, base workload.Config, p *ParallelPoint, runs int, dataDir string) error {
 	shardedU := *u
 	shardedU.Config.Shards = p.Shards
-	var updates float64
+	p.NumCPU = runtime.NumCPU()
+	if p.Cpus > 0 {
+		prev := runtime.GOMAXPROCS(p.Cpus)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	p.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rels := u.Schema.SortedNames()
+	var updates, readPasses float64
 	for r := 0; r < runs; r++ {
 		var st storage.Backend
 		var backing workload.DurableBacking
@@ -199,7 +229,7 @@ func measurePoint(u *workload.Universe, base workload.Config, p *ParallelPoint, 
 		if dataDir == "" {
 			st, err = shardedU.NewBackend()
 		} else {
-			dir := filepath.Join(dataDir, fmt.Sprintf("s%d-w%d-r%d", p.Shards, p.Workers, r))
+			dir := filepath.Join(dataDir, fmt.Sprintf("s%d-w%d-c%d-r%d", p.Shards, p.Workers, p.Cpus, r))
 			st, backing, err = shardedU.OpenDurableBackend(dir, wal.Options{})
 		}
 		if err != nil {
@@ -213,7 +243,39 @@ func measurePoint(u *workload.Universe, base workload.Config, p *ParallelPoint, 
 			Shards:             p.Shards,
 		}
 		ops := u.GenOpsSeeded(base.Seed*6151 + int64(r))
+		// The read-heavy side: p.Readers goroutines loop wait-free
+		// epoch-snapshot passes over the whole database while the
+		// writers run, counting completed passes. Their throughput is
+		// the quantity the multicore study expects to scale with cores.
+		var passes atomic.Int64
+		var stopReaders chan struct{}
+		var readerWG sync.WaitGroup
+		if p.Readers > 0 {
+			stopReaders = make(chan struct{})
+			for i := 0; i < p.Readers; i++ {
+				readerWG.Add(1)
+				go func() {
+					defer readerWG.Done()
+					for {
+						select {
+						case <-stopReaders:
+							return
+						default:
+						}
+						sn := st.EpochSnap()
+						for _, rel := range rels {
+							sn.CountRel(rel)
+						}
+						passes.Add(1)
+					}
+				}()
+			}
+		}
 		m, elapsed, err := RunMode(st, u.Mappings, cfg, ops)
+		if stopReaders != nil {
+			close(stopReaders)
+			readerWG.Wait()
+		}
 		if backing != nil {
 			if cerr := backing.Close(); cerr != nil && err == nil {
 				err = cerr
@@ -230,6 +292,7 @@ func measurePoint(u *workload.Universe, base workload.Config, p *ParallelPoint, 
 		p.AckP99Millis += float64(m.CommitAckP99) / float64(time.Millisecond)
 		if secs := elapsed.Seconds(); secs > 0 {
 			updates += float64(m.Submitted) / secs
+			readPasses += float64(passes.Load()) / secs
 		}
 	}
 	n := float64(runs)
@@ -240,6 +303,9 @@ func measurePoint(u *workload.Universe, base workload.Config, p *ParallelPoint, 
 	p.AckP50Millis /= n
 	p.AckP99Millis /= n
 	p.UpdatesPerSec = updates / n
+	if p.Readers > 0 {
+		p.ReadsPerSec = readPasses / n
+	}
 	return nil
 }
 
@@ -315,24 +381,31 @@ func LoadParallelJSON(path string) ([]ParallelPoint, error) {
 // what keeps a zero-allocation baseline meaningful: 0 -> 0.4 passes,
 // 0 -> 1 fails).
 func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) error {
-	// A mode is a (workers, shards) pair; shard counts 0 and 1 are the
-	// same single-store mode, so pre-sharding baselines keep matching.
+	// A mode is a (workers, shards, cpus) triple; shard and cpu counts
+	// 0 and 1 both mean "single store" / "default cap", so pre-sharding
+	// and pre-multicore baselines keep matching.
 	shardsOf := func(p ParallelPoint) int {
 		if p.Shards < 1 {
 			return 1
 		}
 		return p.Shards
 	}
-	findMode := func(points []ParallelPoint, workers, shards int) (ParallelPoint, bool) {
+	cpusOf := func(p ParallelPoint) int {
+		if p.Cpus < 1 {
+			return 1
+		}
+		return p.Cpus
+	}
+	findMode := func(points []ParallelPoint, workers, shards, cpus int) (ParallelPoint, bool) {
 		for _, p := range points {
-			if p.Workers == workers && shardsOf(p) == shards {
+			if p.Workers == workers && shardsOf(p) == shards && cpusOf(p) == cpus {
 				return p, true
 			}
 		}
 		return ParallelPoint{}, false
 	}
 	// The serial reference is matched on workers alone: a study carries
-	// at most one, whatever backend it ran against.
+	// at most one, whatever backend or cpu cap it ran against.
 	find := func(points []ParallelPoint, workers int) (ParallelPoint, bool) {
 		for _, p := range points {
 			if p.Workers == workers {
@@ -344,26 +417,45 @@ func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) er
 	curSerial, cs := find(current, 0)
 	baseSerial, bs := find(baseline, 0)
 	normalized := cs && bs && curSerial.UpdatesPerSec > 0 && baseSerial.UpdatesPerSec > 0
+	readNormalized := cs && bs && curSerial.ReadsPerSec > 0 && baseSerial.ReadsPerSec > 0
 	var failures []string
 	for _, bp := range baseline {
-		cp, ok := findMode(current, bp.Workers, shardsOf(bp))
-		if !ok || bp.UpdatesPerSec <= 0 {
+		cp, ok := findMode(current, bp.Workers, shardsOf(bp), cpusOf(bp))
+		if !ok {
 			continue
 		}
-		cur, base := cp.UpdatesPerSec, bp.UpdatesPerSec
-		metric := "upd/s"
-		if normalized {
-			if bp.Workers == 0 {
-				continue // the serial point normalizes to 1 by definition
+		if bp.UpdatesPerSec > 0 && !(normalized && bp.Workers == 0) {
+			cur, base := cp.UpdatesPerSec, bp.UpdatesPerSec
+			metric := "upd/s"
+			if normalized {
+				cur /= curSerial.UpdatesPerSec
+				base /= baseSerial.UpdatesPerSec
+				metric = "speedup-vs-serial"
 			}
-			cur /= curSerial.UpdatesPerSec
-			base /= baseSerial.UpdatesPerSec
-			metric = "speedup-vs-serial"
+			if cur < base*(1-tolerancePct/100) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s %.2f vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+					cp.Label(), metric, cur, base, 100*(1-cur/base), tolerancePct))
+			}
 		}
-		if cur < base*(1-tolerancePct/100) {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %s %.2f vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
-				cp.Label(), metric, cur, base, 100*(1-cur/base), tolerancePct))
+		// Read throughput is gated exactly like update throughput:
+		// normalized by the run's own serial reader rate when both
+		// sides carry one, raw otherwise. The gate is one-sided (only
+		// a drop below baseline fails), so a baseline generated on a
+		// smaller machine is a safe floor for a bigger runner.
+		if bp.ReadsPerSec > 0 && cp.ReadsPerSec > 0 && !(readNormalized && bp.Workers == 0) {
+			cur, base := cp.ReadsPerSec, bp.ReadsPerSec
+			metric := "reads/s"
+			if readNormalized {
+				cur /= curSerial.ReadsPerSec
+				base /= baseSerial.ReadsPerSec
+				metric = "read-speedup-vs-serial"
+			}
+			if cur < base*(1-tolerancePct/100) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s %.2f vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+					cp.Label(), metric, cur, base, 100*(1-cur/base), tolerancePct))
+			}
 		}
 	}
 	// Allocation gate: the probes are attached identically to every
@@ -395,10 +487,11 @@ func CheckRegression(current, baseline []ParallelPoint, tolerancePct float64) er
 // ParallelCSV renders the study as CSV, one row per point.
 func ParallelCSV(points []ParallelPoint) string {
 	var b strings.Builder
-	b.WriteString("mode,workers,shards,runs,aborts,wall_ms,upd_per_sec,wal_syncs,commit_batches,ack_p50_ms,ack_p99_ms,snapshot_allocs,commit_merge_allocs\n")
+	b.WriteString("mode,workers,shards,cpus,runs,aborts,wall_ms,upd_per_sec,reads_per_sec,wal_syncs,commit_batches,ack_p50_ms,ack_p99_ms,snapshot_allocs,commit_merge_allocs\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%.2f,%.2f,%.2f,%.1f,%.1f,%.3f,%.3f,%.2f,%.2f\n",
-			p.Label(), p.Workers, max(p.Shards, 1), p.Runs, p.Aborts, p.WallMillis, p.UpdatesPerSec,
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%.1f,%.1f,%.3f,%.3f,%.2f,%.2f\n",
+			p.Label(), p.Workers, max(p.Shards, 1), max(p.Cpus, 1), p.Runs, p.Aborts, p.WallMillis,
+			p.UpdatesPerSec, p.ReadsPerSec,
 			p.WALSyncs, p.CommitBatches, p.AckP50Millis, p.AckP99Millis,
 			p.SnapshotAllocsPerOp, p.CommitMergeAllocsPerOp)
 	}
@@ -411,19 +504,28 @@ func ParallelCSV(points []ParallelPoint) string {
 func RenderParallel(points []ParallelPoint) string {
 	var b strings.Builder
 	b.WriteString("parallel-runtime study (COARSE tracker, same seeded workload)\n")
-	durable := false
+	durable, reads := false, false
 	for _, p := range points {
 		if p.WALSyncs > 0 {
 			durable = true
 		}
+		if p.Readers > 0 {
+			reads = true
+		}
 	}
-	fmt.Fprintf(&b, "%-12s%10s%12s%12s", "mode", "aborts", "wall(ms)", "upd/s")
+	fmt.Fprintf(&b, "%-20s%10s%12s%12s", "mode", "aborts", "wall(ms)", "upd/s")
+	if reads {
+		fmt.Fprintf(&b, "%12s", "reads/s")
+	}
 	if durable {
 		fmt.Fprintf(&b, "%12s%10s%12s%12s", "wal syncs", "batches", "ack-p50(ms)", "ack-p99(ms)")
 	}
 	b.WriteByte('\n')
 	for _, p := range points {
-		fmt.Fprintf(&b, "%-12s%10.1f%12.1f%12.1f", p.Label(), p.Aborts, p.WallMillis, p.UpdatesPerSec)
+		fmt.Fprintf(&b, "%-20s%10.1f%12.1f%12.1f", p.Label(), p.Aborts, p.WallMillis, p.UpdatesPerSec)
+		if reads {
+			fmt.Fprintf(&b, "%12.1f", p.ReadsPerSec)
+		}
 		if durable {
 			fmt.Fprintf(&b, "%12.1f%10.1f%12.3f%12.3f", p.WALSyncs, p.CommitBatches, p.AckP50Millis, p.AckP99Millis)
 		}

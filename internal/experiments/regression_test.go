@@ -52,6 +52,67 @@ func TestCheckRegressionRawFallback(t *testing.T) {
 	}
 }
 
+func TestCheckRegressionCpusDimension(t *testing.T) {
+	// Two matrix points share (workers, shards) and differ only in the
+	// cpu cap; the mode key must keep them apart.
+	baseline := []ParallelPoint{
+		{Workers: 0, Cpus: 1, UpdatesPerSec: 100},
+		{Workers: 4, Cpus: 1, UpdatesPerSec: 120},
+		{Workers: 4, Cpus: 4, UpdatesPerSec: 360},
+	}
+	// The cpus=4 point collapsed to the cpus=1 rate. If cpus were not
+	// part of the key, the cpus=4 baseline row would happily match the
+	// healthy cpus=1 current row and the regression would pass.
+	current := []ParallelPoint{
+		{Workers: 0, Cpus: 1, UpdatesPerSec: 100},
+		{Workers: 4, Cpus: 1, UpdatesPerSec: 120},
+		{Workers: 4, Cpus: 4, UpdatesPerSec: 120},
+	}
+	err := CheckRegression(current, baseline, 20)
+	if err == nil {
+		t.Fatal("collapsed cpus=4 scaling not flagged")
+	}
+	if !strings.Contains(err.Error(), "cpus=4") {
+		t.Fatalf("failure not attributed to the cpus=4 mode: %v", err)
+	}
+	// Healthy scaling passes.
+	if err := CheckRegression(baseline, baseline, 20); err != nil {
+		t.Fatalf("self-comparison flagged: %v", err)
+	}
+	// Legacy baselines without a Cpus field (zero value) keep matching
+	// cpus=1 current points.
+	legacy := pts(0, 100, 4, 120)
+	if err := CheckRegression(current[:2], legacy, 20); err != nil {
+		t.Fatalf("legacy baseline no longer matches cpus=1 points: %v", err)
+	}
+}
+
+func TestCheckRegressionReadThroughput(t *testing.T) {
+	mk := func(serialReads, parReads float64) []ParallelPoint {
+		return []ParallelPoint{
+			{Workers: 0, Cpus: 1, Readers: 4, UpdatesPerSec: 100, ReadsPerSec: serialReads},
+			{Workers: 4, Cpus: 4, Readers: 4, UpdatesPerSec: 300, ReadsPerSec: parReads},
+		}
+	}
+	// Baseline read scaling 3x; current machine slower but same ratio.
+	baseline := mk(1000, 3000)
+	if err := CheckRegression(mk(500, 1500), baseline, 20); err != nil {
+		t.Fatalf("proportional read slowdown flagged: %v", err)
+	}
+	// Read scaling collapses to 1x while update throughput holds.
+	err := CheckRegression(mk(500, 500), baseline, 20)
+	if err == nil {
+		t.Fatal("collapsed read scaling not flagged")
+	}
+	if !strings.Contains(err.Error(), "read-speedup-vs-serial") {
+		t.Fatalf("expected normalized read comparison, got: %v", err)
+	}
+	// Baselines without read numbers gate nothing on the read axis.
+	if err := CheckRegression(mk(500, 500), pts(0, 100, 4, 300), 20); err != nil {
+		t.Fatalf("read gate fired against a readless baseline: %v", err)
+	}
+}
+
 func TestParallelJSONRoundTrip(t *testing.T) {
 	points := []ParallelPoint{
 		{Workers: 0, Runs: 2, Aborts: 1.5, WallMillis: 12.5, UpdatesPerSec: 80},

@@ -31,6 +31,13 @@ type Backend interface {
 	FreshNull() model.Value
 	// Snap returns a read view at the given reader priority.
 	Snap(reader int) *Snapshot
+	// EpochSnap returns a wait-free committed-state snapshot: a frozen
+	// view of the backend's last published commit epoch whose reads
+	// acquire no stripe lock and never change under the caller. On a
+	// sharded backend each shard's slice of the view is internally
+	// consistent; the cross-shard assembly is per-shard atomic only,
+	// the same relaxation live cross-shard reads have.
+	EpochSnap() *Snapshot
 
 	// Insert, Delete, DeleteContent and ReplaceNull are the write
 	// operations of §2; Load inserts committed initial (writer 0) data.

@@ -1,0 +1,340 @@
+package storage
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"youtopia/internal/model"
+)
+
+// This file is the epoch-snapshot layer: every commit batch publishes
+// an immutable copy-on-write record of each touched relation's
+// committed contents through one atomic pointer, so committed-state
+// readers — snapshot reads, the background checkpointer, read-replica
+// feeds — never acquire a stripe RWMutex. It is the PR 4 ReadPrefix
+// pattern (immutable records behind atomic.Pointer) applied to the
+// relation data itself, the paper's push-updates-to-readers framing
+// realized in-process: writers hand readers a finished snapshot
+// instead of letting readers contend for the writers' locks.
+//
+// # Staleness and the commitMut counters
+//
+// Rebuilding every record on every writer-0 bootstrap insert would be
+// quadratic, so publication is lazy: each stripe carries a commitMut
+// counter bumped (under the stripe's write lock) whenever its
+// committed-visible content changes — a committed writer's version
+// landing via insertVersion, or a commit batch flipping a writer with
+// live writes in the stripe. A published record remembers the counter
+// value it was built at; record fresh ⇔ counters match, checked with
+// two atomic loads and no lock.
+//
+// CommitBatchAsync publishes eagerly (it already holds every stripe
+// lock, so the rebuild is free of extra synchronization and the epoch
+// it stores is authoritative). Writer-0 mutations — bootstrap loads,
+// recovery replay, checkpoint restore — only bump counters; the next
+// Epoch call rebuilds the stale stripes under their read locks and
+// re-publishes via compare-and-swap. Steady-state reads between
+// commits therefore take zero locks, which TestSnapshotReadLockFree
+// pins with the lock probe below.
+//
+// # Why the refresh must CAS
+//
+// A refresher rebuilds stale stripes one read lock at a time, so a
+// commit batch landing mid-refresh could leave it holding records
+// from both sides of the commit — a torn epoch. Commits always
+// publish with a plain Store while holding every write lock, so any
+// commit that lands between the refresher's Load and its
+// CompareAndSwap changes the pointer and fails the CAS, forcing a
+// retry. The one cross-stripe committed-content mutator that does NOT
+// publish is ReplaceNull — which the engine only ever runs for live
+// uncommitted writers (committed writers cannot acquire new writes),
+// so its versions never carry committed visibility at write time.
+//
+// # Pairing with the write-ahead log
+//
+// CommittedEpoch carries the count of commit batches the store's
+// durability hook accepted since construction, advanced in the same
+// critical section as the hook append. wal.Manager.Checkpoint matches
+// that count against its own batch counter to pair a published epoch
+// with the exact log position it reflects — and then serializes the
+// checkpoint entirely outside the store's locks, so checkpointing
+// never stalls commits.
+
+// maxReader is the all-seeing reader priority epoch snapshots use:
+// every record they serve is already committed-only.
+const maxReader = int(^uint(0) >> 1)
+
+// relEpoch is one stripe's immutable committed snapshot: for every
+// tuple with at least one committed version, the maximal committed
+// version in (writer, seq) order. Value slices are shared with the
+// store's version chains, which never mutate a slice in place, so
+// publication copies only the spine. A per-column value index is
+// built lazily on first use and published through its own pointer.
+type relEpoch struct {
+	mut   int64 // stripe.commitMut value the record was built at
+	rel   string
+	arity int
+
+	ids  []TupleID       // ascending
+	vals [][]model.Value // aligned with ids
+	dead []bool          // aligned; true = committed tombstone
+	live int             // count of non-tombstone entries
+
+	// valIdx[col][value] lists the live tuple IDs (ascending) whose
+	// committed-visible value in col equals value — exact, unlike the
+	// live store's version-multiset index.
+	valIdx atomic.Pointer[[]map[model.Value][]TupleID]
+}
+
+// find binary-searches the record for a tuple ID.
+func (e *relEpoch) find(id TupleID) (int, bool) {
+	i := sort.Search(len(e.ids), func(i int) bool { return e.ids[i] >= id })
+	return i, i < len(e.ids) && e.ids[i] == id
+}
+
+// get returns the committed-visible values of a tuple, or ok == false
+// for unknown or tombstoned tuples.
+func (e *relEpoch) get(id TupleID) ([]model.Value, bool) {
+	i, ok := e.find(id)
+	if !ok || e.dead[i] {
+		return nil, false
+	}
+	return e.vals[i], true
+}
+
+// scan calls fn for every live (non-tombstone) tuple in ascending ID
+// order; fn returning false stops the scan.
+func (e *relEpoch) scan(fn func(id TupleID, vals []model.Value) bool) {
+	for i, id := range e.ids {
+		if e.dead[i] {
+			continue
+		}
+		if !fn(id, e.vals[i]) {
+			return
+		}
+	}
+}
+
+// valIndex returns the lazy per-column value index, building and
+// publishing it on first use. Concurrent builders race benignly: the
+// first CAS wins and the record is immutable, so every build is
+// identical.
+func (e *relEpoch) valIndex() []map[model.Value][]TupleID {
+	if p := e.valIdx.Load(); p != nil {
+		return *p
+	}
+	idx := make([]map[model.Value][]TupleID, e.arity)
+	for c := range idx {
+		idx[c] = make(map[model.Value][]TupleID)
+	}
+	for i, id := range e.ids {
+		if e.dead[i] {
+			continue
+		}
+		for c, v := range e.vals[i] {
+			idx[c][v] = append(idx[c][v], id)
+		}
+	}
+	e.valIdx.CompareAndSwap(nil, &idx)
+	return *e.valIdx.Load()
+}
+
+// CommittedEpoch is a store-wide consistent committed snapshot: one
+// relEpoch per stripe plus the commit-batch count it reflects. It is
+// immutable; the store publishes successive epochs through one atomic
+// pointer.
+type CommittedEpoch struct {
+	store   *Store
+	commits int64
+	rels    []*relEpoch // aligned with store.byIdx
+}
+
+// Commits returns the number of commit batches the store's durability
+// hook accepted (appended) up to this epoch — the pairing token the
+// checkpointer matches against its own batch counter. Batches without
+// write records never reach the hook and are not counted, mirroring
+// the log exactly.
+func (ep *CommittedEpoch) Commits() int64 { return ep.commits }
+
+// Serialize renders the epoch as checkpoint tuples in deterministic
+// (stripe, tuple ID) order, together with the store's current
+// labeled-null floor. It reads only immutable records plus one atomic
+// counter, so it runs without any lock — commits proceed while a
+// checkpoint serializes. The floor is read live rather than at
+// capture time; it only ever grows, and any null inside the records
+// was minted before publication, so the floor always covers them.
+func (ep *CommittedEpoch) Serialize() ([]CommittedTuple, int64) {
+	n := 0
+	for _, e := range ep.rels {
+		n += len(e.ids)
+	}
+	out := make([]CommittedTuple, 0, n)
+	for _, e := range ep.rels {
+		for i, id := range e.ids {
+			ct := CommittedTuple{ID: id, Rel: e.rel, Deleted: e.dead[i]}
+			if !e.dead[i] {
+				ct.Vals = append([]model.Value(nil), e.vals[i]...)
+			}
+			out = append(out, ct)
+		}
+	}
+	return out, ep.store.nulls.Peek() - 1
+}
+
+// buildRelEpoch snapshots one stripe's committed contents. Callers
+// hold the stripe's lock (read or write).
+func (st *Store) buildRelEpoch(s *stripe) *relEpoch {
+	e := &relEpoch{
+		mut:   s.commitMut.Load(),
+		rel:   s.rel,
+		arity: st.schema.Arity(s.rel),
+	}
+	ids := s.ids.ids()
+	e.ids = make([]TupleID, 0, len(ids))
+	e.vals = make([][]model.Value, 0, len(ids))
+	e.dead = make([]bool, 0, len(ids))
+	for _, id := range ids {
+		tr := s.tuples[id]
+		for i := len(tr.versions) - 1; i >= 0; i-- {
+			v := &tr.versions[i]
+			if !st.isCommitted(v.writer) {
+				continue
+			}
+			e.ids = append(e.ids, id)
+			e.vals = append(e.vals, v.vals)
+			e.dead = append(e.dead, v.deleted)
+			if !v.deleted {
+				e.live++
+			}
+			break
+		}
+	}
+	return e
+}
+
+// initEpoch publishes the empty epoch a fresh store starts from.
+func (st *Store) initEpoch() {
+	rels := make([]*relEpoch, len(st.byIdx))
+	for i, s := range st.byIdx {
+		rels[i] = &relEpoch{rel: s.rel, arity: st.schema.Arity(s.rel)}
+	}
+	st.epoch.Store(&CommittedEpoch{store: st, rels: rels})
+}
+
+// publishEpochLocked builds and stores the post-commit epoch. Callers
+// hold every stripe's write lock (CommitBatchAsync); stripes whose
+// commitMut still matches the published record are reused untouched,
+// so the cost is proportional to the stripes the batch (or earlier
+// writer-0 mutations) actually changed.
+func (st *Store) publishEpochLocked() {
+	old := st.epoch.Load()
+	rels := make([]*relEpoch, len(st.byIdx))
+	for i, s := range st.byIdx {
+		if e := old.rels[i]; e.mut == s.commitMut.Load() {
+			rels[i] = e
+			continue
+		}
+		rels[i] = st.buildRelEpoch(s)
+	}
+	st.epoch.Store(&CommittedEpoch{store: st, commits: old.commits + 1, rels: rels})
+}
+
+// Epoch returns the store's current committed epoch. When every
+// stripe's published record is fresh — always the case between a
+// commit and the next writer-0 mutation — this is a single atomic
+// load plus one counter comparison per stripe and takes no lock. A
+// stripe dirtied outside the commit path (bootstrap loads, recovery
+// replay, checkpoint restore) is rebuilt under its read lock and the
+// repaired epoch re-published via compare-and-swap; a commit landing
+// mid-refresh changes the pointer, fails the CAS, and the refresh
+// retries from the new authoritative epoch — which is what keeps
+// every returned epoch a consistent cross-stripe cut.
+func (st *Store) Epoch() *CommittedEpoch {
+	for {
+		ep := st.epoch.Load()
+		var fresh *CommittedEpoch
+		for i, s := range st.byIdx {
+			if ep.rels[i].mut == s.commitMut.Load() {
+				continue
+			}
+			if fresh == nil {
+				fresh = &CommittedEpoch{
+					store:   st,
+					commits: ep.commits,
+					rels:    append([]*relEpoch(nil), ep.rels...),
+				}
+			}
+			s.rlock()
+			fresh.rels[i] = st.buildRelEpoch(s)
+			s.runlock()
+		}
+		if fresh == nil {
+			return ep
+		}
+		if st.epoch.CompareAndSwap(ep, fresh) {
+			return fresh
+		}
+	}
+}
+
+// EpochSnap returns a wait-free committed-state snapshot: a frozen
+// view of the last published epoch. Unlike Snap's live views it never
+// changes under the caller — later commits publish new epochs without
+// touching this one — and its reads acquire no stripe RWMutex.
+func (st *Store) EpochSnap() *Snapshot {
+	return &Snapshot{stores: st.self, reader: maxReader, epoch: st.Epoch().rels}
+}
+
+// EpochSnap implements Backend for the sharded store: each stripe's
+// record is taken from its owning shard's epoch. Every shard's epoch
+// is internally consistent; the cross-shard assembly is per-shard
+// atomic only, the same relaxation live cross-shard reads have.
+func (ss *ShardedStore) EpochSnap() *Snapshot {
+	n := len(ss.shards[0].byIdx)
+	rels := make([]*relEpoch, n)
+	for k, sh := range ss.shards {
+		ep := sh.Epoch()
+		for i := k; i < n; i += len(ss.shards) {
+			rels[i] = ep.rels[i]
+		}
+	}
+	return &Snapshot{stores: ss.shards, reader: maxReader, epoch: rels}
+}
+
+// Lock probe: test instrumentation pinning the wait-free contract.
+// While armed, every stripe-mutex acquisition (read or write, any
+// path) increments the counter; the epoch read path must leave it at
+// zero. Disarmed — the production state — the probe is one shared
+// atomic load per acquisition. Arming is global, so probing tests
+// must not run in parallel with other store activity.
+var (
+	lockProbeArmed atomic.Bool
+	lockProbeCount atomic.Int64
+)
+
+// LockProbeArm zeroes and arms the stripe-lock acquisition counter.
+func LockProbeArm() {
+	lockProbeCount.Store(0)
+	lockProbeArmed.Store(true)
+}
+
+// LockProbeDisarm disarms the probe and returns the number of stripe
+// mutex acquisitions observed since LockProbeArm.
+func LockProbeDisarm() int64 {
+	lockProbeArmed.Store(false)
+	return lockProbeCount.Load()
+}
+
+func lockProbeNote() {
+	if lockProbeArmed.Load() {
+		lockProbeCount.Add(1)
+	}
+}
+
+// lock / rlock are the stripe's probed mutex entry points; every
+// acquisition in the package goes through them so the probe's count
+// is sound.
+func (s *stripe) lock()    { lockProbeNote(); s.mu.Lock() }
+func (s *stripe) unlock()  { s.mu.Unlock() }
+func (s *stripe) rlock()   { lockProbeNote(); s.mu.RLock() }
+func (s *stripe) runlock() { s.mu.RUnlock() }

@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+
+	"youtopia/internal/model"
+)
+
+// seedCommitted loads writer-0 base data and commits a two-writer
+// batch, leaving one uncommitted writer (9) and one tombstone behind —
+// the mixed state every epoch test wants under its snapshot.
+func seedCommitted(t *testing.T, b Backend) (x model.Value, deleted TupleID) {
+	t.Helper()
+	x = b.FreshNull()
+	if _, err := b.Load(model.NewTuple("A", cv("base"), cv("b"))); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, b, 1, "A", cv("one"), cv("b"))
+	mustInsert(t, b, 1, "B", cv("one"))
+	mustInsert(t, b, 2, "C", x, cv("c"), cv("d"))
+	id, _ := mustInsert(t, b, 2, "D", cv("gone"))
+	if _, ok, err := b.Delete(2, id); err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	mustInsert(t, b, 9, "E", cv("pending"), cv("p"))
+	if err := b.CommitBatch([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	return x, id
+}
+
+// TestSnapshotReadLockFree pins the tentpole contract: once the store
+// is quiescent, minting an epoch snapshot and serving every read
+// method from it acquires zero stripe mutexes. The probe counts every
+// acquisition in the package, so the assertion is structural, not
+// statistical. The live-snapshot phase at the end proves the probe
+// actually counts.
+func TestSnapshotReadLockFree(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		x, deleted := seedCommitted(t, b)
+		// Settle: the writer-0 Load dirtied a stripe after the commit's
+		// publication; the first Epoch call repairs and re-publishes.
+		warm := b.EpochSnap()
+		if warm.CountRel("A") != 2 {
+			t.Fatalf("warm epoch CountRel(A) = %d, want 2", warm.CountRel("A"))
+		}
+
+		LockProbeArm()
+		sn := b.EpochSnap()
+		ids := sn.RelIDs("A")
+		if len(ids) != 2 {
+			t.Fatalf("RelIDs(A) = %v, want 2 IDs", ids)
+		}
+		for _, id := range ids {
+			if _, ok := sn.Get(id); !ok {
+				t.Fatalf("committed tuple %d invisible to epoch snapshot", id)
+			}
+			if _, ok := sn.GetTuple(id); !ok {
+				t.Fatalf("GetTuple(%d) failed", id)
+			}
+			if rel, ok := sn.Rel(id); !ok || rel != "A" {
+				t.Fatalf("Rel(%d) = %q, %v", id, rel, ok)
+			}
+		}
+		if _, ok := sn.Get(deleted); ok {
+			t.Fatal("tombstoned tuple visible to epoch snapshot")
+		}
+		n := 0
+		sn.ScanRel("A", func(TupleID, []model.Value) bool { n++; return true })
+		if n != 2 || sn.CountRel("A") != 2 {
+			t.Fatalf("ScanRel saw %d, CountRel %d, want 2", n, sn.CountRel("A"))
+		}
+		if got := sn.CandidatesByValue("A", 1, cv("b")); len(got) != 2 {
+			t.Fatalf("CandidatesByValue = %v, want 2 hits", got)
+		}
+		if !sn.ContainsContent(model.NewTuple("B", cv("one"))) {
+			t.Fatal("LookupContent missed a committed tuple")
+		}
+		if got := sn.TuplesWithNull(x); len(got) != 1 {
+			t.Fatalf("TuplesWithNull = %v, want 1 hit", got)
+		}
+		if got := sn.MoreSpecific(model.NewTuple("C", b.FreshNull(), cv("c"), cv("d"))); len(got) != 1 {
+			t.Fatalf("MoreSpecific = %v, want 1 hit", got)
+		}
+		if sn.CountRel("E") != 0 {
+			t.Fatal("uncommitted write visible to epoch snapshot")
+		}
+		facts := sn.VisibleFacts()
+		if len(facts["A"]) != 2 || len(facts["E"]) != 0 {
+			t.Fatalf("VisibleFacts = %v", facts)
+		}
+		if got := LockProbeDisarm(); got != 0 {
+			t.Fatalf("epoch snapshot reads acquired %d stripe mutexes, want 0", got)
+		}
+
+		// Control: the same reads through a live snapshot must trip the
+		// probe, or the zero above proves nothing.
+		LockProbeArm()
+		live := b.Snap(1 << 30)
+		if live.CountRel("A") != 2 {
+			t.Fatal("live snapshot lost data")
+		}
+		if got := LockProbeDisarm(); got == 0 {
+			t.Fatal("lock probe counted nothing on the live read path")
+		}
+	})
+}
+
+// TestEpochSnapshotFrozen: an epoch snapshot is a frozen view — later
+// commits publish new epochs without changing it — while a fresh
+// snapshot sees the new state.
+func TestEpochSnapshotFrozen(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		seedCommitted(t, b)
+		old := b.EpochSnap()
+		oldA := old.CountRel("A")
+
+		mustInsert(t, b, 11, "A", cv("newer"), cv("n"))
+		if err := b.CommitBatch([]int{11}); err != nil {
+			t.Fatal(err)
+		}
+		if got := old.CountRel("A"); got != oldA {
+			t.Fatalf("frozen snapshot changed: CountRel(A) %d -> %d", oldA, got)
+		}
+		if old.ContainsContent(model.NewTuple("A", cv("newer"), cv("n"))) {
+			t.Fatal("post-snapshot commit visible in the frozen view")
+		}
+		fresh := b.EpochSnap()
+		if got := fresh.CountRel("A"); got != oldA+1 {
+			t.Fatalf("fresh epoch CountRel(A) = %d, want %d", got, oldA+1)
+		}
+	})
+}
+
+// TestEpochSnapshotFilterPanics: the visibility filter builders are
+// live-snapshot machinery; on an epoch snapshot they must fail loudly
+// instead of silently returning committed-only answers.
+func TestEpochSnapshotFilterPanics(t *testing.T) {
+	b := NewStore(confSchema())
+	sn := b.EpochSnap()
+	for name, fn := range map[string]func(){
+		"WithMask":        func() { sn.WithMask(1, 1) },
+		"WithCeiling":     func() { sn.WithCeiling(1) },
+		"WithWindow":      func() { sn.WithWindow(1, 2) },
+		"WithRelCeilings": func() { sn.WithRelCeilings(nil) },
+		"WithRelWindow":   func() { sn.WithRelWindow(nil, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on an epoch snapshot did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCommittedSnapshotMatchesLockedOracle: the epoch-serialized
+// checkpoint extraction must stay byte-identical to the locked
+// version-chain walk it replaced — same tuples, same order, same
+// tombstones, same null floor.
+func TestCommittedSnapshotMatchesLockedOracle(t *testing.T) {
+	st := NewStore(confSchema())
+	seedCommitted(t, st)
+
+	got, gotFloor := st.CommittedSnapshot()
+
+	// The oracle re-derives the committed instance the pre-epoch way:
+	// every stripe's tuples in ID order, topmost committed version.
+	var want []CommittedTuple
+	st.rlockAll()
+	for _, s := range st.byIdx {
+		for _, id := range s.ids.ids() {
+			tr := s.tuples[id]
+			for i := len(tr.versions) - 1; i >= 0; i-- {
+				v := &tr.versions[i]
+				if !st.isCommitted(v.writer) {
+					continue
+				}
+				ct := CommittedTuple{ID: id, Rel: s.rel, Deleted: v.deleted}
+				if !v.deleted {
+					ct.Vals = append([]model.Value(nil), v.vals...)
+				}
+				want = append(want, ct)
+				break
+			}
+		}
+	}
+	st.runlockAll()
+	wantFloor := st.nulls.Peek() - 1
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CommittedSnapshot diverged from locked oracle:\n%v\nvs\n%v", got, want)
+	}
+	if gotFloor != wantFloor {
+		t.Fatalf("null floor = %d, want %d", gotFloor, wantFloor)
+	}
+}
+
+// TestEpochCommitCounterPairsWithHook: the epoch's Commits counter
+// advances exactly once per commit batch the durability hook sees —
+// the invariant the WAL checkpointer's batch pairing stands on.
+// Write-free batches reach neither the hook nor the counter.
+func TestEpochCommitCounterPairsWithHook(t *testing.T) {
+	st := NewStore(confSchema())
+	hookCalls := 0
+	st.SetCommitHook(func([]int, []WriteRec) (CommitAck, error) {
+		hookCalls++
+		return nil, nil
+	})
+	check := func(stage string) {
+		if got := st.Epoch().Commits(); got != int64(hookCalls) {
+			t.Fatalf("%s: epoch Commits = %d, hook saw %d batches", stage, got, hookCalls)
+		}
+	}
+	check("fresh store")
+	mustInsert(t, st, 1, "A", cv("a"), cv("b"))
+	if err := st.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	check("after first batch")
+	// A write-free commit: no hook call, no counter advance.
+	if err := st.Commit(7); err != nil {
+		t.Fatal(err)
+	}
+	check("after write-free batch")
+	mustInsert(t, st, 2, "B", cv("x"))
+	mustInsert(t, st, 3, "C", cv("1"), cv("2"), cv("3"))
+	if err := st.CommitBatch([]int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	check("after two-writer batch")
+}
+
+// TestEpochRefreshAfterLoad: writer-0 mutations (bootstrap loads,
+// recovery replay) dirty stripes without publishing; the next Epoch
+// call must repair the published record on demand.
+func TestEpochRefreshAfterLoad(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		if _, err := b.Load(model.NewTuple("A", cv("l1"), cv("x"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Load(model.NewTuple("B", cv("l2"))); err != nil {
+			t.Fatal(err)
+		}
+		sn := b.EpochSnap()
+		if sn.CountRel("A") != 1 || sn.CountRel("B") != 1 {
+			t.Fatalf("epoch missed writer-0 loads: A=%d B=%d", sn.CountRel("A"), sn.CountRel("B"))
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"youtopia/internal/model"
+)
+
+// FuzzEpochSnapshot hammers the wait-free read path: per-relation
+// mutator goroutines apply fuzz-decoded operation streams (inserts,
+// content deletes, commits of batch-numbered writer generations) while
+// reader goroutines continuously mint epoch snapshots and read through
+// every lock-free method. Under -race this is the memory-safety proof
+// for the publish/CAS protocol; the final-state check proves no
+// interleaving can publish a wrong epoch — after quiescing and
+// aborting the uncommitted writers, the last epoch's contents must
+// equal a serial locked oracle that applied the same streams.
+//
+// Writers are (relation index + 1) + 100*generation, a fresh writer
+// per commit so committed data accretes across the run and epochs have
+// real churn to track.
+func FuzzEpochSnapshot(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x13, 0x57, 0x9b, 0xdf, 0x31, 0x75})
+	f.Add([]byte{0x01, 0x42, 0x83, 0xc4, 0x05, 0x46, 0x87, 0xc8, 0x09, 0x4a, 0x3f, 0x7f})
+	seed := make([]byte, 96)
+	for i := range seed {
+		seed[i] = byte(i*53 + 7)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nRels = 4
+		schema := model.NewSchema()
+		for i := 0; i < nRels; i++ {
+			schema.MustAddRelation(fmt.Sprintf("F%d", i), "a", "b")
+		}
+		rels := make([]string, nRels)
+		for i := range rels {
+			rels[i] = fmt.Sprintf("F%d", i)
+		}
+
+		type op struct {
+			action byte // 0 insert, 1 delete content, 2 commit current writer
+			val    byte
+		}
+		streams := make([][]op, nRels)
+		for _, b := range data {
+			rel := int(b>>6) % nRels
+			streams[rel] = append(streams[rel], op{action: (b >> 4) & 0x3, val: b & 0xf})
+		}
+
+		// apply runs one relation's stream; each commit op commits the
+		// relation's current writer generation and starts the next.
+		apply := func(st *Store, rel int, ops []op) error {
+			gen := 0
+			relName := rels[rel]
+			for _, o := range ops {
+				writer := rel + 1 + 100*gen
+				a := model.Const(fmt.Sprintf("v%d", o.val))
+				var err error
+				switch o.action % 3 {
+				case 0:
+					_, _, _, err = st.Insert(writer, model.NewTuple(relName, a, model.Const("k")))
+				case 1:
+					_, err = st.DeleteContent(writer, model.NewTuple(relName, a, model.Const("k")))
+				case 2:
+					err = st.Commit(writer)
+					gen++
+				}
+				if err != nil {
+					return err
+				}
+			}
+			// Leave the last generation uncommitted: the epoch must
+			// exclude it, the oracle aborts it.
+			return nil
+		}
+
+		abortTails := func(st *Store) {
+			for rel := 0; rel < nRels; rel++ {
+				gens := 0
+				for _, o := range streams[rel] {
+					if o.action%3 == 2 {
+						gens++
+					}
+				}
+				st.Abort(rel + 1 + 100*gens)
+			}
+		}
+
+		conc := NewStore(schema)
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		// Readers: mint epoch snapshots and read through the lock-free
+		// methods the whole time the mutators run. Every result must be
+		// internally consistent; -race checks the rest.
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					sn := conc.EpochSnap()
+					for _, rel := range rels {
+						n := 0
+						sn.ScanRel(rel, func(id TupleID, vals []model.Value) bool {
+							if got, ok := sn.Get(id); !ok || len(got) != 2 {
+								t.Errorf("epoch Get(%d) inconsistent with ScanRel", id)
+								return false
+							}
+							n++
+							return true
+						})
+						if c := sn.CountRel(rel); c != n {
+							t.Errorf("epoch CountRel(%s) = %d, scan saw %d", rel, c, n)
+						}
+						sn.CandidatesByValue(rel, 0, model.Const("v1"))
+					}
+					sn.VisibleFacts()
+				}
+			}()
+		}
+		errs := make([]error, nRels)
+		var mwg sync.WaitGroup
+		for rel := 0; rel < nRels; rel++ {
+			mwg.Add(1)
+			go func(rel int) {
+				defer mwg.Done()
+				errs[rel] = apply(conc, rel, streams[rel])
+			}(rel)
+		}
+		mwg.Wait()
+		stop.Store(true)
+		wg.Wait()
+		for rel, err := range errs {
+			if err != nil {
+				t.Fatalf("concurrent relation %d: %v", rel, err)
+			}
+		}
+
+		serial := NewStore(schema)
+		for rel := 0; rel < nRels; rel++ {
+			if err := apply(serial, rel, streams[rel]); err != nil {
+				t.Fatalf("serial relation %d: %v", rel, err)
+			}
+		}
+
+		// The final epoch (tails still uncommitted) must equal the
+		// oracle's committed instance with its tails aborted — committed
+		// content only, regardless of interleaving.
+		abortTails(serial)
+		got := conc.EpochSnap().VisibleFacts()
+		want := serial.Snap(1 << 30).VisibleFacts()
+		if len(got) != len(want) {
+			t.Fatalf("epoch relations %d, oracle %d\n%v\nvs\n%v", len(got), len(want), got, want)
+		}
+		for rel, ts := range want {
+			seen := make(map[string]bool, len(got[rel]))
+			for _, tu := range got[rel] {
+				seen[tu.Key()] = true
+			}
+			if len(got[rel]) != len(ts) {
+				t.Fatalf("relation %s: epoch %d tuples, oracle %d", rel, len(got[rel]), len(ts))
+			}
+			for _, tu := range ts {
+				if !seen[tu.Key()] {
+					t.Fatalf("relation %s: oracle tuple %s missing from epoch", rel, tu.Key())
+				}
+			}
+		}
+	})
+}

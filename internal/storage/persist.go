@@ -141,8 +141,8 @@ func (st *Store) ApplyRedo(rec WriteRec) error {
 	}
 	st.noteNulls(rec.Before)
 	st.noteNulls(rec.After)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	if local := int64(rec.ID) & (1<<localIDBits - 1); local > s.nextLocal {
 		s.nextLocal = local
 	}
@@ -185,36 +185,14 @@ type CommittedTuple struct {
 // CommittedSnapshot extracts the committed instance — for every tuple,
 // the maximal version in (writer, seq) order among committed writers —
 // together with the labeled-null floor, in deterministic (stripe,
-// tuple ID) order. It holds every stripe's read lock for the duration,
-// so the cut is consistent: commit batches (which take every write
-// lock) cannot land halfway through. The observe callback, if non-nil,
-// runs while the locks are held, letting the caller pair the snapshot
-// with its own commit-batch bookkeeping.
-func (st *Store) CommittedSnapshot(observe func()) ([]CommittedTuple, int64) {
-	st.rlockAll()
-	defer st.runlockAll()
-	if observe != nil {
-		observe()
-	}
-	var out []CommittedTuple
-	for _, s := range st.byIdx {
-		for _, id := range s.ids.ids() {
-			tr := s.tuples[id]
-			for i := len(tr.versions) - 1; i >= 0; i-- {
-				v := &tr.versions[i]
-				if !st.isCommitted(v.writer) {
-					continue
-				}
-				ct := CommittedTuple{ID: id, Rel: s.rel, Deleted: v.deleted}
-				if !v.deleted {
-					ct.Vals = append([]model.Value(nil), v.vals...)
-				}
-				out = append(out, ct)
-				break
-			}
-		}
-	}
-	return out, st.nulls.Peek() - 1
+// tuple ID) order. It serializes the store's published commit epoch,
+// so it takes no stripe lock: the cut is the last published epoch
+// (repaired on demand if writer-0 mutations dirtied it), and commits
+// proceed while it renders. Callers that need to pair the cut with
+// commit-batch bookkeeping match Epoch().Commits() against their own
+// batch counter (see wal.Manager.Checkpoint).
+func (st *Store) CommittedSnapshot() ([]CommittedTuple, int64) {
+	return st.Epoch().Serialize()
 }
 
 // RestoreSnapshot loads a checkpointed committed instance into a fresh
@@ -230,9 +208,9 @@ func (st *Store) RestoreSnapshot(tuples []CommittedTuple, nullFloor int64) error
 		if got := st.stripeOf(ct.ID); got != s {
 			return fmt.Errorf("storage: checkpoint tuple for %s carries ID %d of another stripe", ct.Rel, ct.ID)
 		}
-		s.mu.Lock()
+		s.lock()
 		if _, dup := s.tuples[ct.ID]; dup {
-			s.mu.Unlock()
+			s.unlock()
 			return fmt.Errorf("storage: checkpoint declares tuple %d of %s twice", ct.ID, ct.Rel)
 		}
 		if local := int64(ct.ID) & (1<<localIDBits - 1); local > s.nextLocal {
@@ -247,7 +225,7 @@ func (st *Store) RestoreSnapshot(tuples []CommittedTuple, nullFloor int64) error
 			v.vals = append([]model.Value(nil), ct.Vals...)
 		}
 		st.insertVersion(s, tr, v)
-		s.mu.Unlock()
+		s.unlock()
 	}
 	st.nulls.SetFloor(nullFloor)
 	return nil

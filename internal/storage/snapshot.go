@@ -45,6 +45,12 @@ func seqOf(vec []RelSeq, rel string) (int64, bool) {
 // are atomic per relation only. Two successive calls may observe
 // different store states if a writer runs in between — multi-call
 // protocols need external phase locking.
+//
+// Epoch snapshots (Backend.EpochSnap) are the exception to all of the
+// above: they carry a frozen committed epoch, serve every read from
+// its immutable records without acquiring any stripe RWMutex, and
+// never change under the caller. They see committed state only, so
+// the visibility filters below do not apply to them.
 type Snapshot struct {
 	// stores is the partition list: relation (stripe) index i lives in
 	// stores[i % len(stores)]. A plain store's snapshots carry its own
@@ -56,6 +62,11 @@ type Snapshot struct {
 	// holds the locks the snapshot's calls need; their methods must not
 	// re-lock.
 	noLock bool
+
+	// epoch, when non-nil, makes this a wait-free committed-state
+	// snapshot: every read is served from these immutable per-stripe
+	// records (aligned with the stripe index space) and takes no lock.
+	epoch []*relEpoch
 
 	masked     bool
 	maskWriter int
@@ -98,14 +109,34 @@ func (sn *Snapshot) stripeForID(id TupleID) (*Store, *stripe) {
 // under already-held locks.
 func (sn *Snapshot) rlock(s *stripe) {
 	if !sn.noLock {
-		s.mu.RLock()
+		s.rlock()
 	}
 }
 
 func (sn *Snapshot) runlock(s *stripe) {
 	if !sn.noLock {
-		s.mu.RUnlock()
+		s.runlock()
 	}
+}
+
+// epochFor resolves a relation to its epoch record, or nil for an
+// unknown relation. Only called when sn.epoch is non-nil.
+func (sn *Snapshot) epochFor(rel string) *relEpoch {
+	s, ok := sn.stores[0].stripes[rel]
+	if !ok {
+		return nil
+	}
+	return sn.epoch[s.idx]
+}
+
+// epochForID resolves a tuple ID to its epoch record, or nil for an
+// ID outside the schema's stripe space.
+func (sn *Snapshot) epochForID(id TupleID) *relEpoch {
+	idx := int(int64(id) >> localIDBits)
+	if idx < 0 || idx >= len(sn.epoch) {
+		return nil
+	}
+	return sn.epoch[idx]
 }
 
 // Reader returns the snapshot's reader priority.
@@ -115,6 +146,7 @@ func (sn *Snapshot) Reader() int { return sn.reader }
 // (writer, seq) hidden. Used to answer "what would this query return
 // had that write not happened?".
 func (sn *Snapshot) WithMask(writer int, seq int64) *Snapshot {
+	sn.requireLive("WithMask")
 	out := *sn
 	out.masked = true
 	out.maskWriter = writer
@@ -126,6 +158,7 @@ func (sn *Snapshot) WithMask(writer int, seq int64) *Snapshot {
 // numbers at most seq: the state as of that moment (modulo versions
 // since removed by aborts, whose readers are cascaded independently).
 func (sn *Snapshot) WithCeiling(seq int64) *Snapshot {
+	sn.requireLive("WithCeiling")
 	out := *sn
 	out.hasCeil = true
 	out.ceilSeq = seq
@@ -136,6 +169,7 @@ func (sn *Snapshot) WithCeiling(seq int64) *Snapshot {
 // augmented with the writes that other writers performed in
 // (ceil, upto] — the reader's own post-ceiling writes stay hidden.
 func (sn *Snapshot) WithWindow(ceil, upto int64) *Snapshot {
+	sn.requireLive("WithWindow")
 	out := *sn
 	out.hasCeil = true
 	out.ceilSeq = ceil
@@ -150,6 +184,7 @@ func (sn *Snapshot) WithWindow(ceil, upto int64) *Snapshot {
 // from the vector are unrestricted. The caller must keep the vector
 // immutable for the snapshot's lifetime.
 func (sn *Snapshot) WithRelCeilings(ceils []RelSeq) *Snapshot {
+	sn.requireLive("WithRelCeilings")
 	out := *sn
 	out.hasRelCeil = true
 	out.relCeils = ceils
@@ -162,12 +197,23 @@ func (sn *Snapshot) WithRelCeilings(ceils []RelSeq) *Snapshot {
 // post-ceiling writes stay hidden. It is WithWindow with the read
 // boundary judged per stripe.
 func (sn *Snapshot) WithRelWindow(ceils []RelSeq, upto int64) *Snapshot {
+	sn.requireLive("WithRelWindow")
 	out := *sn
 	out.hasRelCeil = true
 	out.relCeils = ceils
 	out.hasWindow = true
 	out.windowSeq = upto
 	return &out
+}
+
+// requireLive panics when a visibility filter is requested on an epoch
+// snapshot: epoch records collapse version history to the committed
+// top, so mask/ceiling semantics cannot be honored there. Dependency
+// analysis and conflict checks always run on live snapshots.
+func (sn *Snapshot) requireLive(op string) {
+	if sn.epoch != nil {
+		panic("storage: " + op + " on an epoch snapshot")
+	}
 }
 
 // admits reports whether a version of a tuple in rel is visible under
@@ -214,6 +260,13 @@ func (sn *Snapshot) versionOf(rec *tupleRec) *version {
 // ok == false when the tuple does not exist, is not yet visible, or is
 // deleted. The returned slice is shared; callers must not modify it.
 func (sn *Snapshot) Get(id TupleID) ([]model.Value, bool) {
+	if sn.epoch != nil {
+		e := sn.epochForID(id)
+		if e == nil {
+			return nil, false
+		}
+		return e.get(id)
+	}
 	_, s := sn.stripeForID(id)
 	if s == nil {
 		return nil, false
@@ -247,6 +300,17 @@ func (sn *Snapshot) getInStripe(s *stripe, id TupleID) ([]model.Value, bool) {
 
 // GetTuple is Get returning a model.Tuple.
 func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
+	if sn.epoch != nil {
+		e := sn.epochForID(id)
+		if e == nil {
+			return model.Tuple{}, false
+		}
+		vals, ok := e.get(id)
+		if !ok {
+			return model.Tuple{}, false
+		}
+		return model.Tuple{Rel: e.rel, Vals: vals}, true
+	}
 	_, s := sn.stripeForID(id)
 	if s == nil {
 		return model.Tuple{}, false
@@ -263,6 +327,16 @@ func (sn *Snapshot) GetTuple(id TupleID) (model.Tuple, bool) {
 // Rel returns the relation a tuple ID belongs to, regardless of
 // visibility.
 func (sn *Snapshot) Rel(id TupleID) (string, bool) {
+	if sn.epoch != nil {
+		e := sn.epochForID(id)
+		if e == nil {
+			return "", false
+		}
+		if _, ok := e.find(id); !ok {
+			return "", false
+		}
+		return e.rel, true
+	}
 	_, s := sn.stripeForID(id)
 	if s == nil {
 		return "", false
@@ -278,8 +352,17 @@ func (sn *Snapshot) Rel(id TupleID) (string, bool) {
 // RelIDs returns the IDs of every tuple of the relation (visible or
 // not) in ascending order. Callers must verify visibility via Get and
 // must not modify the slice; it is the cheapest candidate source for
-// unconstrained scans.
+// unconstrained scans. On an epoch snapshot the slice covers only
+// tuples with some committed version — exactly the ones any epoch
+// read could resolve.
 func (sn *Snapshot) RelIDs(rel string) []TupleID {
+	if sn.epoch != nil {
+		e := sn.epochFor(rel)
+		if e == nil {
+			return nil
+		}
+		return e.ids
+	}
 	_, s := sn.stripeFor(rel)
 	if s == nil {
 		return nil
@@ -293,6 +376,12 @@ func (sn *Snapshot) RelIDs(rel string) []TupleID {
 // order; fn returning false stops the scan. The stripe's read lock is
 // held across the whole scan, so fn must not call back into the store.
 func (sn *Snapshot) ScanRel(rel string, fn func(id TupleID, vals []model.Value) bool) {
+	if sn.epoch != nil {
+		if e := sn.epochFor(rel); e != nil {
+			e.scan(fn)
+		}
+		return
+	}
 	_, s := sn.stripeFor(rel)
 	if s == nil {
 		return
@@ -312,8 +401,15 @@ func (sn *Snapshot) scanStripe(s *stripe, fn func(id TupleID, vals []model.Value
 	}
 }
 
-// CountRel returns the number of visible tuples in the relation.
+// CountRel returns the number of visible tuples in the relation. On
+// an epoch snapshot this is O(1): the record carries its live count.
 func (sn *Snapshot) CountRel(rel string) int {
+	if sn.epoch != nil {
+		if e := sn.epochFor(rel); e != nil {
+			return e.live
+		}
+		return 0
+	}
 	n := 0
 	sn.ScanRel(rel, func(TupleID, []model.Value) bool { n++; return true })
 	return n
@@ -324,6 +420,13 @@ func (sn *Snapshot) CountRel(rel string) int {
 // must verify candidates against the snapshot via Get; the index
 // over-approximates across versions.
 func (sn *Snapshot) CandidatesByValue(rel string, col int, v model.Value) []TupleID {
+	if sn.epoch != nil {
+		e := sn.epochFor(rel)
+		if e == nil || col < 0 || col >= e.arity {
+			return nil
+		}
+		return e.valIndex()[col][v]
+	}
 	_, s := sn.stripeFor(rel)
 	if s == nil {
 		return nil
@@ -344,6 +447,9 @@ func (sn *Snapshot) candidatesByValueInStripe(s *stripe, col int, v model.Value)
 // t, in ascending order (at most one unless duplicate content slipped
 // in through concurrent writers).
 func (sn *Snapshot) LookupContent(t model.Tuple) []TupleID {
+	if sn.epoch != nil {
+		return sn.epochLookupContent(t)
+	}
 	_, s := sn.stripeFor(t.Rel)
 	if s == nil {
 		return nil
@@ -353,6 +459,34 @@ func (sn *Snapshot) LookupContent(t model.Tuple) []TupleID {
 	var out []TupleID
 	for _, id := range s.contentIdx[contentKey(t.Vals)].ids() {
 		if vals, ok := sn.getInStripe(s, id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// epochLookupContent resolves content lookups against the epoch's
+// value index, narrowing by the first column (every column of an
+// exact-content match constrains equally) and falling back to a live
+// scan only for zero-arity relations.
+func (sn *Snapshot) epochLookupContent(t model.Tuple) []TupleID {
+	e := sn.epochFor(t.Rel)
+	if e == nil {
+		return nil
+	}
+	var out []TupleID
+	if e.arity == 0 {
+		e.scan(func(id TupleID, _ []model.Value) bool {
+			out = append(out, id)
+			return true
+		})
+		return out
+	}
+	if len(t.Vals) != e.arity {
+		return nil
+	}
+	for _, id := range e.valIndex()[0][t.Vals[0]] {
+		if vals, ok := e.get(id); ok && (model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
 			out = append(out, id)
 		}
 	}
@@ -399,6 +533,25 @@ func (sn *Snapshot) nullCandidates(x model.Value) []TupleID {
 // stripe-by-stripe; consecutive hits cluster by stripe and share one
 // lock acquisition.
 func (sn *Snapshot) TuplesWithNull(x model.Value) []TupleID {
+	if sn.epoch != nil {
+		// Epoch records are in stripe order and each record's IDs are
+		// ascending, and stripe index occupies a TupleID's high bits —
+		// so a record-order scan yields globally ascending IDs with no
+		// lock at all (the live path's null index has a leaf mutex).
+		var out []TupleID
+		for _, e := range sn.epoch {
+			e.scan(func(id TupleID, vals []model.Value) bool {
+				for _, v := range vals {
+					if v == x {
+						out = append(out, id)
+						break
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
 	return sn.filterNullCands(x, sn.nullCandidates(x))
 }
 
@@ -448,6 +601,9 @@ func (sn *Snapshot) filterNullCands(x model.Value, cands []TupleID) []TupleID {
 // Candidate narrowing uses the most selective constant position of t;
 // if t has no constants the relation is scanned.
 func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
+	if sn.epoch != nil {
+		return sn.epochMoreSpecific(t)
+	}
 	_, s := sn.stripeFor(t.Rel)
 	if s == nil {
 		return nil
@@ -486,10 +642,73 @@ func (sn *Snapshot) MoreSpecific(t model.Tuple) []TupleID {
 	return out
 }
 
+// epochMoreSpecific mirrors MoreSpecific over an epoch record: narrow
+// by the most selective constant column of t via the exact committed
+// value index, or scan the record when t has no constants.
+func (sn *Snapshot) epochMoreSpecific(t model.Tuple) []TupleID {
+	e := sn.epochFor(t.Rel)
+	if e == nil {
+		return nil
+	}
+	var idx []map[model.Value][]TupleID
+	bestCol := -1
+	bestSize := -1
+	for i, v := range t.Vals {
+		if !v.IsConst() {
+			continue
+		}
+		if idx == nil {
+			idx = e.valIndex()
+		}
+		size := len(idx[i][v])
+		if bestCol == -1 || size < bestSize {
+			bestCol, bestSize = i, size
+		}
+	}
+	var out []TupleID
+	check := func(id TupleID, vals []model.Value) {
+		if model.MoreSpecificVals(vals, t.Vals) && !(model.Tuple{Rel: t.Rel, Vals: vals}).Equal(t) {
+			out = append(out, id)
+		}
+	}
+	if bestCol >= 0 {
+		for _, id := range idx[bestCol][t.Vals[bestCol]] {
+			if vals, ok := e.get(id); ok {
+				check(id, vals)
+			}
+		}
+		return out
+	}
+	e.scan(func(id TupleID, vals []model.Value) bool {
+		check(id, vals)
+		return true
+	})
+	return out
+}
+
 // VisibleFacts returns the distinct visible tuple contents of every
 // relation, as canonical sets keyed by relation name. The
 // serializability checker compares these across executions.
 func (sn *Snapshot) VisibleFacts() map[string][]model.Tuple {
+	if sn.epoch != nil {
+		out := make(map[string][]model.Tuple)
+		for _, e := range sn.epoch {
+			seen := make(map[string]bool)
+			var ts []model.Tuple
+			e.scan(func(id TupleID, vals []model.Value) bool {
+				t := model.Tuple{Rel: e.rel, Vals: append([]model.Value(nil), vals...)}
+				if k := t.Key(); !seen[k] {
+					seen[k] = true
+					ts = append(ts, t)
+				}
+				return true
+			})
+			if len(ts) > 0 {
+				out[e.rel] = ts
+			}
+		}
+		return out
+	}
 	out := make(map[string][]model.Tuple)
 	for _, rel := range sn.stores[0].relsByIdx {
 		_, s := sn.stripeFor(rel)

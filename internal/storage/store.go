@@ -175,6 +175,13 @@ type stripe struct {
 	// to validate conflict checks performed outside its exclusive phase
 	// lock.
 	seq atomic.Int64
+
+	// commitMut counts committed-visible content changes: bumped under
+	// mu whenever a committed writer's version lands (insertVersion)
+	// and at commit time for every stripe the batch wrote to. The
+	// epoch-snapshot layer compares it against the published record's
+	// build counter to detect staleness without locks; see epoch.go.
+	commitMut atomic.Int64
 }
 
 // newID mints the next tuple ID of the stripe. Callers hold s.mu.
@@ -239,6 +246,12 @@ type Store struct {
 	// read lock for a consistent cross-stripe view.
 	cacheMu          sync.Mutex
 	uncommittedCache atomic.Pointer[[]WriteRec]
+
+	// epoch publishes the committed-state snapshot wait-free reads and
+	// the checkpointer consume: rebuilt and stored by every commit
+	// batch with writes (under all stripe locks), refreshed by Epoch
+	// via CAS when writer-0 mutations dirtied stripes. See epoch.go.
+	epoch atomic.Pointer[CommittedEpoch]
 }
 
 // NewStore creates an empty store over a schema.
@@ -273,6 +286,7 @@ func NewStore(schema *model.Schema) *Store {
 		st.stripes[name] = s
 		st.byIdx = append(st.byIdx, s)
 	}
+	st.initEpoch()
 	return st
 }
 
@@ -290,26 +304,26 @@ func (st *Store) stripeOf(id TupleID) *stripe {
 // caller then owns the whole store. unlockAll releases them.
 func (st *Store) lockAll() {
 	for _, s := range st.byIdx {
-		s.mu.Lock()
+		s.lock()
 	}
 }
 
 func (st *Store) unlockAll() {
 	for _, s := range st.byIdx {
-		s.mu.Unlock()
+		s.unlock()
 	}
 }
 
 // rlockAll / runlockAll are the shared-mode counterparts of lockAll.
 func (st *Store) rlockAll() {
 	for _, s := range st.byIdx {
-		s.mu.RLock()
+		s.rlock()
 	}
 }
 
 func (st *Store) runlockAll() {
 	for _, s := range st.byIdx {
-		s.mu.RUnlock()
+		s.runlock()
 	}
 }
 
@@ -436,6 +450,12 @@ func (st *Store) insertVersion(s *stripe, rec *tupleRec, v version) {
 	rec.versions[i] = v
 	st.indexVersion(s, rec.id, v.vals, +1)
 	s.seq.Store(v.seq)
+	// A version that is committed-visible the moment it lands — live
+	// writer-0 writes, recovery replay, checkpoint restore — dirties
+	// the stripe's published epoch record.
+	if v.writer == 0 || st.isCommitted(v.writer) {
+		s.commitMut.Add(1)
+	}
 }
 
 // addVersion appends a version to a tuple's chain, keeping the chain
@@ -479,8 +499,8 @@ func (st *Store) Insert(writer int, t model.Tuple) (id TupleID, rec WriteRec, in
 	}
 	st.noteNulls(t.Vals)
 	s := st.stripes[t.Rel]
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return st.insertLocked(s, writer, t)
 }
 
@@ -511,8 +531,8 @@ func (st *Store) Delete(writer int, id TupleID) (rec WriteRec, ok bool, err erro
 	if s == nil {
 		return WriteRec{}, false, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return st.deleteLocked(s, writer, id)
 }
 
@@ -540,8 +560,8 @@ func (st *Store) DeleteContent(writer int, t model.Tuple) ([]WriteRec, error) {
 		return nil, err
 	}
 	s := st.stripes[t.Rel]
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	snap := st.snapLocked(writer)
 	var ids []TupleID
 	for _, id := range s.contentIdx[contentKey(t.Vals)].ids() {
@@ -769,8 +789,24 @@ func (st *Store) CommitBatchAsync(writers []int) (CommitAck, error) {
 	}
 	st.lockAll()
 	defer st.unlockAll()
+	// Stripes the batch wrote to, identified before the logs retire:
+	// their committed-visible content is about to change, so their
+	// epoch records must be rebuilt (and their commitMut bumped — a
+	// refresher that rebuilt a record just before this commit must not
+	// be able to pass it off as current afterwards).
+	touched := make([]bool, len(st.byIdx))
+	hasWrites := false
+	for i, s := range st.byIdx {
+		for _, w := range writers {
+			if len(s.logs[w]) > 0 {
+				touched[i] = true
+				hasWrites = true
+				break
+			}
+		}
+	}
 	var ack CommitAck
-	if st.commitHook != nil {
+	if st.commitHook != nil && hasWrites {
 		// A batch with no live writes in this store has nothing to make
 		// durable — recovery replays write records, not commit-status
 		// flips — so the log append is skipped. In a relation-partitioned
@@ -796,6 +832,14 @@ func (st *Store) CommitBatchAsync(writers []int) (CommitAck, error) {
 		}
 	}
 	st.markUncommittedDirty()
+	if hasWrites {
+		for i, s := range st.byIdx {
+			if touched[i] {
+				s.commitMut.Add(1)
+			}
+		}
+		st.publishEpochLocked()
+	}
 	return ack, nil
 }
 
@@ -862,8 +906,8 @@ func (st *Store) UncommittedWritesOf(rel string) []WriteRec {
 	if s == nil {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	var out []WriteRec
 	for w, log := range s.logs {
 		if !st.isCommitted(w) {
@@ -882,8 +926,8 @@ func (st *Store) UncommittedWritersOf(rel string) []int {
 	if s == nil {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlock()
+	defer s.runlock()
 	out := make([]int, 0, len(s.relWriters))
 	for w := range s.relWriters {
 		out = append(out, w)

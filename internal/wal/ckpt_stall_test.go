@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCheckpointDoesNotStallCommits pins the wait-free checkpoint
+// contract: a checkpoint held mid-serialization (after it paired its
+// epoch with a batch index, while it renders the instance) must not
+// block a concurrent durable commit — append, sync, and ack all
+// complete while the checkpointer is frozen. The old implementation
+// held every stripe read lock across serialization, which made this
+// exact schedule deadlock.
+func TestCheckpointDoesNotStallCommits(t *testing.T) {
+	dir := t.TempDir()
+	m, st, err := Open(dir, testSchema(), Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustInsert(t, st, 1, tup("C", c("before")))
+	if err := st.CommitBatch([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	testCkptSerialize = func() {
+		close(entered)
+		<-release
+	}
+	defer func() { testCkptSerialize = nil }()
+
+	ckptErr := make(chan error, 1)
+	go func() { ckptErr <- m.Checkpoint() }()
+	<-entered
+
+	// The checkpoint is frozen mid-serialization. A full durable commit
+	// — insert, append, covering fsync, ack — must run to completion
+	// before the checkpoint is released; this is an ordering proof, not
+	// a timing one (the timeout only bounds the failure mode).
+	committed := make(chan error, 1)
+	go func() {
+		if _, _, _, err := st.Insert(2, tup("C", c("during"))); err != nil {
+			committed <- err
+			return
+		}
+		committed <- st.CommitBatch([]int{2})
+	}()
+	select {
+	case err := <-committed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("durable commit stalled behind an in-flight checkpoint serialization")
+	}
+
+	close(release)
+	if err := <-ckptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint paired with batch 1: the commit that landed during
+	// serialization is not inside it, it is in the surviving segment.
+	m.mu.Lock()
+	lastCkpt, batches := m.lastCkpt, m.batches
+	m.mu.Unlock()
+	if lastCkpt != 1 || batches != 2 {
+		t.Fatalf("lastCkpt = %d, batches = %d; want checkpoint at 1 of 2", lastCkpt, batches)
+	}
+	want := st.Dump(allSeeing)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery composes the frozen checkpoint with the redo of the
+	// mid-checkpoint batch, byte-identically.
+	st2, info, err := Recover(dir, testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastBatch != 2 || info.CheckpointBatch != 1 {
+		t.Fatalf("recovered LastBatch = %d, CheckpointBatch = %d; want 2 and 1", info.LastBatch, info.CheckpointBatch)
+	}
+	if got := st2.Dump(allSeeing); got != want {
+		t.Fatalf("recovered instance differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCheckpointPairsWithInFlightCommit drives the pairing retry: the
+// checkpointer observes a batch counter ahead of the store's published
+// epoch (a commit between its append and its epoch publication) and
+// must wait for the epoch to catch up rather than pair a stale epoch
+// with a newer batch index.
+func TestCheckpointPairsWithInFlightCommit(t *testing.T) {
+	dir := t.TempDir()
+	m, st, err := Open(dir, testSchema(), Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Commits racing checkpoints: every checkpoint must pair cleanly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 8; i++ {
+			if _, _, _, err := st.Insert(i, tup("C", c("r"+string(rune('a'+i))))); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+			if err := st.CommitBatch([]int{i}); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for j := 0; j < 4; j++ {
+		if err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+
+	// After quiescing, the epoch counter and batch counter agree.
+	m.mu.Lock()
+	batches := m.batches
+	m.mu.Unlock()
+	if got := st.Epoch().Commits(); got != batches {
+		t.Fatalf("epoch Commits = %d, manager batches = %d", got, batches)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 
 	"youtopia/internal/model"
@@ -129,6 +130,7 @@ type Manager struct {
 	f         *os.File // active segment (nil until the first append)
 	size      int64    // bytes written to the active segment
 	batches   int64    // index of the last appended commit batch
+	batchBase int64    // batches value at Open; the store's epoch Commits counter starts at 0 there
 	lastCkpt  int64    // batch index of the last durable checkpoint
 	sinceCkpt int64    // log bytes since the last durable checkpoint
 	syncs     int64    // fsyncs that covered appended batches
@@ -220,15 +222,16 @@ func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.St
 		return nil, nil, err
 	}
 	m := &Manager{
-		dir:      dir,
-		cdc:      newCodec(schema),
-		opts:     opts.withDefaults(),
-		st:       rec.st,
-		info:     rec.info,
-		batches:  rec.info.LastBatch,
-		lastCkpt: rec.info.CheckpointBatch,
-		parked:   rec.parked,
-		segCtrl:  make(map[string]int64),
+		dir:       dir,
+		cdc:       newCodec(schema),
+		opts:      opts.withDefaults(),
+		st:        rec.st,
+		info:      rec.info,
+		batches:   rec.info.LastBatch,
+		batchBase: rec.info.LastBatch,
+		lastCkpt:  rec.info.CheckpointBatch,
+		parked:    rec.parked,
+		segCtrl:   make(map[string]int64),
 	}
 	m.syncCond = sync.NewCond(&m.mu)
 	// Everything recovered is durable by definition.
@@ -544,32 +547,54 @@ func (m *Manager) checkpointLoop(ch <-chan struct{}) {
 	}
 }
 
+// testCkptSerialize, when non-nil, runs after the checkpoint's epoch
+// is paired with its batch index and before serialization. Tests use
+// it to hold a checkpoint mid-flight and prove commits proceed.
+var testCkptSerialize func()
+
 // Checkpoint serializes the committed instance, installs it with a
 // temp-file rename, and deletes segments (and older checkpoints) the
-// new checkpoint wholly covers. Safe to call concurrently with
-// commits: the snapshot takes every stripe read lock, so it lands
-// exactly between two commit batches, and the batch index it is
-// paired with is read inside that critical section.
+// new checkpoint wholly covers. It never stalls commits: the instance
+// is the store's published commit epoch, serialized entirely outside
+// both the manager's mutex and the store's stripe locks. The epoch is
+// paired with the exact batch index it reflects by matching its
+// Commits counter — advanced in the same critical section as the
+// hook's log append — against the manager's batch counter: observing
+// an epoch with Commits == c implies the first batchBase+c appends
+// are complete, and a batch counter still at batchBase+c implies no
+// further append has started, so the epoch is the committed instance
+// as of exactly batch k = batchBase+c. A mismatch means a commit is
+// in flight between its append and its epoch publication; the loop
+// yields and re-pairs.
 func (m *Manager) Checkpoint() error {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return fmt.Errorf("wal: checkpoint of closed log")
-	}
-	m.mu.Unlock()
 
+	var ep *storage.CommittedEpoch
 	var k, ctrlAt, nextParkID int64
 	var parkedSnap []ParkedUpdate
-	tuples, floor := m.st.CommittedSnapshot(func() {
+	for {
+		ep = m.st.Epoch()
 		m.mu.Lock()
-		k = m.batches
-		ctrlAt = m.ctrlSeq
-		nextParkID = m.parked.nextID
-		parkedSnap = m.parked.snapshot()
+		if m.closed {
+			m.mu.Unlock()
+			return fmt.Errorf("wal: checkpoint of closed log")
+		}
+		if m.batches == m.batchBase+ep.Commits() {
+			k = m.batches
+			ctrlAt = m.ctrlSeq
+			nextParkID = m.parked.nextID
+			parkedSnap = m.parked.snapshot()
+			m.mu.Unlock()
+			break
+		}
 		m.mu.Unlock()
-	})
+		runtime.Gosched()
+	}
+	if testCkptSerialize != nil {
+		testCkptSerialize()
+	}
+	tuples, floor := ep.Serialize()
 	payload, err := m.cdc.encodeCheckpoint(k, floor, tuples, nextParkID, parkedSnap)
 	if err != nil {
 		return err
