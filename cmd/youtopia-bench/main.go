@@ -27,6 +27,13 @@
 //	youtopia-bench -figure sharded -preset quick -shards 1,2,4 -data-dir /tmp/yshard
 //	youtopia-bench -figure multicore -preset quick -cpus 1,2,4 -data-dir /tmp/ymc
 //
+// Observability riders work with every figure: -debug-addr serves
+// /metrics (Prometheus text), /healthz, /debug/vars and /debug/pprof
+// while the study runs and self-scrapes /metrics once at the end (the
+// CI smoke check); -metrics prints a final registry snapshot table;
+// -cpuprofile writes a CPU profile; -trace-out records per-update
+// lifecycle span timelines as JSON.
+//
 // Presets:
 //
 //	quick     small universe, seconds (CI smoke runs)
@@ -40,12 +47,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"youtopia/internal/experiments"
+	"youtopia/internal/obs"
 	"youtopia/internal/workload"
 )
 
@@ -74,7 +85,61 @@ func main() {
 	initial := flag.Int("initial", 0, "override: initial database seed tuples")
 	updates := flag.Int("updates", 0, "override: workload length")
 	quiet := flag.Bool("quiet", false, "suppress per-point progress output")
+	metricsFlag := flag.Bool("metrics", false, "print a final snapshot of the process metrics registry after the study")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address during the study; /metrics is self-scraped once at the end as a smoke check")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the study to this file")
+	traceOut := flag.String("trace-out", "", "record per-update lifecycle spans during the study and write the timelines to this JSON file")
 	flag.Parse()
+
+	// Observability riders around whichever study runs below. They are
+	// torn down by defers because every -figure branch returns from
+	// main directly; LIFO order prints the metrics table before the
+	// debug server is scraped and shut down.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "youtopia-bench:", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
+		}()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s\n", srv.Addr)
+		defer func() {
+			scrapeSelf(srv.Addr)
+			srv.Close()
+		}()
+	}
+	if *traceOut != "" {
+		tr := obs.NewTracer()
+		experiments.SetTrace(tr)
+		defer func() {
+			if err := tr.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "youtopia-bench: writing trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+		}()
+	}
+	if *metricsFlag {
+		defer func() {
+			fmt.Println()
+			fmt.Println("== process metrics")
+			fmt.Print(obs.RenderTable(obs.Default.Snapshot()))
+		}()
+	}
 
 	base, sweep, err := configFor(*preset)
 	if err != nil {
@@ -303,6 +368,28 @@ func parseInts(s string, min int) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// scrapeSelf fetches the bench's own /metrics endpoint over real HTTP
+// — the CI smoke check that the debug server serves a well-formed
+// Prometheus exposition after a study.
+func scrapeSelf(addr string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "youtopia-bench: self-scrape:", err)
+		os.Exit(1)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "youtopia-bench: self-scrape:", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "# TYPE") {
+		fmt.Fprintf(os.Stderr, "youtopia-bench: self-scrape: status %d, %d bytes, no # TYPE line\n", resp.StatusCode, len(body))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "self-scraped /metrics: %d bytes ok\n", len(body))
 }
 
 func fail(err error) {

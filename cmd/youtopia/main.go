@@ -25,6 +25,12 @@
 //	               directory remembers its shard count)
 //	-dump          print the full repository contents at the end
 //	-skip-ops      load the repository but do not run its operations
+//	-debug-addr a  serve the observability endpoints (/metrics in
+//	               Prometheus text format, /healthz, /debug/vars,
+//	               /debug/pprof) on address a
+//	-trace-out f   record each update's lifecycle spans (submit, park,
+//	               answer, resume, commit, ack) and write the
+//	               timelines to f as JSON on exit
 //
 // Decision-inbox flags (the asynchronous curator workflow): with -park
 // the document's operations run without a live user, so updates that
@@ -55,6 +61,7 @@ import (
 
 	"youtopia"
 	"youtopia/internal/chase"
+	"youtopia/internal/obs"
 	"youtopia/internal/parse"
 )
 
@@ -66,6 +73,8 @@ func main() {
 	dump := flag.Bool("dump", false, "print repository contents at the end")
 	skipOps := flag.Bool("skip-ops", false, "do not run the document's operations")
 	trace := flag.Bool("trace", false, "print each update's write provenance")
+	traceOut := flag.String("trace-out", "", "write per-update lifecycle span timelines (submit/park/answer/resume/commit/ack) to this JSON file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	park := flag.Bool("park", false, "park blocked updates in the decision inbox instead of prompting")
 	listInbox := flag.Bool("inbox", false, "list the parked decisions")
 	claim := flag.String("claim", "", "claim an inbox entry: id:curator-name")
@@ -82,11 +91,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (/metrics, /healthz, /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
 	repo, doc, err := youtopia.OpenDocumentWithOptions(string(src), youtopia.Options{DataDir: *dataDir, Shards: *shards})
 	if err != nil {
 		fail(err)
 	}
 	defer repo.Close()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		repo.SetTracer(tracer)
+		defer func() {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "youtopia: writing trace:", err)
+			}
+		}()
+	}
 	ops := doc.Ops
 	fmt.Printf("loaded %d relation(s), %d mapping(s), %d operation(s), %d quer(ies)\n",
 		repo.Schema().Len(), repo.Mappings().Len(), len(ops), len(doc.Queries))

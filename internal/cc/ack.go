@@ -1,10 +1,10 @@
 package cc
 
 import (
-	"slices"
 	"sync"
 	"time"
 
+	"youtopia/internal/obs"
 	"youtopia/internal/storage"
 )
 
@@ -16,20 +16,42 @@ import (
 // ticket. A run is only reported successful after every ack resolved —
 // that wait is the run-level "acknowledged implies on disk" point —
 // and the per-batch decision-to-durable latencies feed the
-// CommitAckP50/P99 metrics.
+// CommitAckP50/P99 metrics through a fixed-bucket histogram, so a
+// long run's memory footprint stays constant no matter how many
+// batches commit.
 type ackTracker struct {
 	wg sync.WaitGroup
 
-	mu   sync.Mutex
-	lats []time.Duration
-	err  error
+	// hist is the run's own latency histogram (percentiles reported in
+	// Metrics); every sample is mirrored into the process-wide
+	// cc_commit_ack_seconds histogram for the debug endpoint.
+	hist  *obs.Histogram
+	trace *obs.Tracer
+
+	mu  sync.Mutex
+	err error
+}
+
+// init arms the tracker for one run. Called before the first track;
+// an un-inited tracker still works (nil-safe histogram, no tracing)
+// and reports zero percentiles.
+func (a *ackTracker) init(trace *obs.Tracer) {
+	a.hist = obs.NewLatencyHistogram()
+	a.trace = trace
 }
 
 // track registers one commit batch: with a nil ack (in-memory store,
-// or a no-sync log) the batch needs no follow-up; otherwise a
-// goroutine waits for durability and records the latency since start.
-func (a *ackTracker) track(start time.Time, ack storage.CommitAck) {
+// or a no-sync log) the batch is durable the moment it commits — the
+// ack trace event fires immediately; otherwise a goroutine waits for
+// durability and records the latency since start. writers are the
+// update numbers the batch committed, for trace attribution.
+func (a *ackTracker) track(start time.Time, ack storage.CommitAck, writers []int) {
 	if ack == nil {
+		if a.trace.Enabled() {
+			for _, w := range writers {
+				a.trace.Note(w, "ack")
+			}
+		}
 		return
 	}
 	a.wg.Add(1)
@@ -37,12 +59,20 @@ func (a *ackTracker) track(start time.Time, ack storage.CommitAck) {
 		defer a.wg.Done()
 		err := ack()
 		lat := time.Since(start)
-		a.mu.Lock()
-		a.lats = append(a.lats, lat)
-		if err != nil && a.err == nil {
-			a.err = err
+		a.hist.ObserveDuration(lat)
+		obsCommitAck.ObserveDuration(lat)
+		if a.trace.Enabled() {
+			for _, w := range writers {
+				a.trace.Note(w, "ack")
+			}
 		}
-		a.mu.Unlock()
+		if err != nil {
+			a.mu.Lock()
+			if a.err == nil {
+				a.err = err
+			}
+			a.mu.Unlock()
+		}
 	}()
 }
 
@@ -55,24 +85,9 @@ func (a *ackTracker) wait() error {
 	return a.err
 }
 
-// percentiles reports the nearest-rank p50 and p99 of the recorded
-// ack latencies (zero when nothing was tracked). Call after wait.
+// percentiles reports the histogram-estimated p50 and p99 of the
+// recorded ack latencies (zero when nothing was tracked). Call after
+// wait.
 func (a *ackTracker) percentiles() (p50, p99 time.Duration) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if len(a.lats) == 0 {
-		return 0, 0
-	}
-	slices.Sort(a.lats)
-	rank := func(p float64) time.Duration {
-		i := int(p*float64(len(a.lats))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(a.lats) {
-			i = len(a.lats) - 1
-		}
-		return a.lats[i]
-	}
-	return rank(0.50), rank(0.99)
+	return a.hist.QuantileDuration(0.50), a.hist.QuantileDuration(0.99)
 }

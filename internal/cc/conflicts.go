@@ -95,8 +95,10 @@ func directConflicts(store storage.Backend, cfg *Config, cands []conflictCandida
 			for _, q := range c.prefix.Reads {
 				if q.AffectedBy(store, w) {
 					m.DirectAbortRequests++
+					obsConflictDirect.Inc()
 					if cfg.Mode == ModeFlag {
 						m.Flagged++
+						obsConflictFlagged.Inc()
 						continue scan // count at most once per write
 					}
 					hit = true
@@ -175,6 +177,7 @@ func abortConflicts(store storage.Backend, cands []removalCandidate, removed []s
 		for _, vq := range c.reads {
 			if vq.AffectedByRemoval(store, removed) {
 				m.RemovalAbortRequests++
+				obsConflictRemoval.Inc()
 				out = append(out, c.t)
 				break
 			}
@@ -223,6 +226,7 @@ func executeAbortWave(store storage.Backend, cfg *Config, txns []*Txn, direct []
 		// wave (cascaded victims enqueue and cascade in turn).
 		for _, v := range cfg.Tracker.Cascade(store, t, txns) {
 			m.CascadingAbortRequests++
+			obsConflictCascading.Inc()
 			enqueue(v)
 		}
 		// The victim's log is only worth snapshotting (a store-wide
@@ -316,6 +320,10 @@ func rollbackTxn(store storage.Backend, cfg *Config, t *Txn, m *Metrics) error {
 		return fmt.Errorf("cc: attempt to abort committed update %d", t.Number)
 	}
 	m.Aborts++
+	obsAborts.Inc()
+	if cfg.Trace.Enabled() {
+		cfg.Trace.NoteDetail(t.Number, "abort", fmt.Sprintf("attempt=%d", t.Upd.Attempt))
+	}
 	t.aborts++
 	if cfg.MaxAbortsPerUpdate > 0 && t.aborts > cfg.MaxAbortsPerUpdate {
 		return fmt.Errorf("cc: update %d aborted %d times (limit %d)",

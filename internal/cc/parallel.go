@@ -280,10 +280,12 @@ func (s *ParallelScheduler) Run(ops []chase.Op) (Metrics, error) {
 	s.status = make([]txnStatus, len(ops))
 	s.claimed = make([]bool, len(ops))
 	s.ready = make(readyQueue, 0, len(ops))
+	s.acks.init(s.cfg.Trace)
 	for i, op := range ops {
 		u := chase.NewUpdate(i+1, op)
 		s.txns[i] = &Txn{Upd: u, Number: i + 1, deps: make(map[int]bool)}
 		s.ready.push(i)
+		s.cfg.Trace.Note(i+1, "submit")
 	}
 	s.m.Submitted = len(ops)
 	n := len(ops)
@@ -460,6 +462,10 @@ func (s *ParallelScheduler) finish(kind workKind, t *Txn, progressed bool, err e
 // phases are abandoned — the storage rollback already happened and
 // the dispatcher will rerun the fresh attempt.
 func (s *ParallelScheduler) execStep(t *Txn, scratch *stepScratch) (bool, error) {
+	var stepStart time.Time
+	if s.cfg.Trace.Enabled() {
+		stepStart = time.Now()
+	}
 	s.gmu.Lock()
 	if st := t.Upd.State(); st != chase.StateReady {
 		s.mu.Lock()
@@ -489,6 +495,9 @@ func (s *ParallelScheduler) execStep(t *Txn, scratch *stepScratch) (bool, error)
 		return true, err
 	}
 	s.bump(func(m *Metrics) { m.Steps++; m.Writes += len(res.Writes) })
+	obsSteps.Inc()
+	obsWrites.Add(int64(len(res.Writes)))
+	s.cfg.Trace.Span(t.Number, "step", stepStart)
 
 	if len(cands) > 0 {
 		if err := s.processWritesDeferred(t, attempt, res.Writes, cands, relSeqs, scratch); err != nil {
@@ -711,6 +720,7 @@ func (s *ParallelScheduler) execPoll(t *Txn) (bool, error) {
 			s.userMu.Lock()
 			defer s.userMu.Unlock()
 			s.bump(func(m *Metrics) { m.UserPolls++ })
+			obsUserPolls.Inc()
 			return s.cfg.User.Decide(t.Upd, g, opts, ctx)
 		})
 	if ok {
@@ -755,6 +765,7 @@ func (s *ParallelScheduler) execInboxPoll(t *Txn) (bool, error) {
 				s.userMu.Lock()
 				defer s.userMu.Unlock()
 				s.bump(func(m *Metrics) { m.UserPolls++ })
+				obsUserPolls.Inc()
 				return s.cfg.User.Decide(t.Upd, g, opts, ctx)
 			})
 		if err != nil {
@@ -774,6 +785,10 @@ func (s *ParallelScheduler) execInboxPoll(t *Txn) (bool, error) {
 		id, ok := parkEntry(s.engine, s.cfg.Inbox, t.Upd, s.cfg.InboxPolicy)
 		if !ok {
 			return false, nil
+		}
+		obsParked.Inc()
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.NoteDetail(t.Number, "park", fmt.Sprintf("entry=%d", id))
 		}
 		s.mu.Lock()
 		s.parkID[i] = id
@@ -807,6 +822,11 @@ func (s *ParallelScheduler) execInboxPoll(t *Txn) (bool, error) {
 		return false, fmt.Errorf("cc: update %d inbox answer: %w", t.Number, err)
 	}
 	if applied {
+		obsResumed.Inc()
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.NoteDetail(t.Number, "answer", fmt.Sprintf("entry=%d", pid))
+			s.cfg.Trace.Note(t.Number, "resume")
+		}
 		s.mu.Lock()
 		s.m.FrontierOps++
 		s.setStatusLocked(i, statusReady)
@@ -841,6 +861,8 @@ func (s *ParallelScheduler) cancelTxn(t *Txn) error {
 	s.dropEntryLocked(i)
 	s.setStatusLocked(i, statusTerminated)
 	s.m.Cancelled++
+	obsCancelled.Inc()
+	s.cfg.Trace.Note(t.Number, "cancel")
 	s.mu.Unlock()
 	return nil
 }
@@ -882,7 +904,12 @@ func (s *ParallelScheduler) execCommit() (bool, error) {
 		return false, fmt.Errorf("cc: commit of updates %d..%d: %w",
 			numbers[0], numbers[len(numbers)-1], err)
 	}
-	s.acks.track(ackStart, ack)
+	if s.cfg.Trace.Enabled() {
+		for _, n := range numbers {
+			s.cfg.Trace.NoteDetail(n, "commit", fmt.Sprintf("batch_size=%d", len(numbers)))
+		}
+	}
+	s.acks.track(ackStart, ack, numbers)
 	fr := 0
 	for _, t := range batch {
 		t.committed = true
@@ -891,6 +918,9 @@ func (s *ParallelScheduler) execCommit() (bool, error) {
 		t.Upd.ReleaseReads()
 	}
 	forgetCommitted(s.cfg.User, batch)
+	obsCommitBatches.Inc()
+	obsUpdatesCommitted.Add(int64(len(batch)))
+	obsCommitBatchSize.Observe(int64(len(batch)))
 	s.mu.Lock()
 	s.m.FrontierRequests += fr
 	s.m.CommitBatches++

@@ -6,6 +6,7 @@ import (
 
 	"youtopia/internal/chase"
 	"youtopia/internal/inbox"
+	"youtopia/internal/obs"
 	"youtopia/internal/query"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
@@ -132,6 +133,11 @@ type Config struct {
 	Inbox *inbox.Box
 	// InboxPolicy is stamped on every entry parked in inbox mode.
 	InboxPolicy inbox.Policy
+	// Trace, when non-nil, records every update's lifecycle — submit,
+	// chase steps, conflict checks, park/answer/resume, commit, ack —
+	// as timestamped events (the -trace CLI flag). Nil disables
+	// tracing at the cost of one branch per site.
+	Trace *obs.Tracer
 	// Shards is the relation-partition count of the storage backend
 	// the workload should run against (0 or 1 = one store). The
 	// schedulers themselves are backend-agnostic — they drive whatever
@@ -198,10 +204,13 @@ type Metrics struct {
 	// Zero on in-memory stores and under a no-sync log policy (the
 	// appends happen but the fsyncs are the OS's).
 	WALSyncs int
-	// CommitAckP50 and CommitAckP99 are the nearest-rank percentiles
-	// of commit-acknowledgment latency: the time from a commit batch's
-	// frontier drain to its covering log sync landing. Zero when no
-	// batch needed a sync (in-memory stores, no-sync logs).
+	// CommitAckP50 and CommitAckP99 are fixed-bucket-histogram
+	// percentiles of commit-acknowledgment latency: the time from a
+	// commit batch's frontier drain to its covering log sync landing.
+	// The estimate is the upper bound of the bucket holding the
+	// nearest-rank sample (at most 2x the true sample with the
+	// doubling bounds). Zero when no batch needed a sync (in-memory
+	// stores, no-sync logs).
 	CommitAckP50 time.Duration
 	CommitAckP99 time.Duration
 	// WallTime is the total run time.
@@ -298,10 +307,12 @@ func (s *Scheduler) Run(ops []chase.Op) (Metrics, error) {
 	defer func() { s.m.WallTime = time.Since(start) }()
 	syncs0 := s.store.SyncCount()
 
+	s.acks.init(s.cfg.Trace)
 	s.txns = make([]*Txn, len(ops))
 	for i, op := range ops {
 		u := chase.NewUpdate(i+1, op)
 		s.txns[i] = &Txn{Upd: u, Number: i + 1, deps: make(map[int]bool)}
+		s.cfg.Trace.Note(i+1, "submit")
 	}
 	s.m.Submitted = len(ops)
 	s.parkID = make([]int64, len(ops))
@@ -396,7 +407,12 @@ func (s *Scheduler) commitReady() (bool, error) {
 			return false, fmt.Errorf("cc: commit of updates %d..%d: %w",
 				numbers[0], numbers[len(numbers)-1], err)
 		}
-		s.acks.track(ackStart, ack)
+		if s.cfg.Trace.Enabled() {
+			for _, n := range numbers {
+				s.cfg.Trace.NoteDetail(n, "commit", fmt.Sprintf("batch_size=%d", len(numbers)))
+			}
+		}
+		s.acks.track(ackStart, ack, numbers)
 		for _, t := range batch {
 			t.committed = true
 			s.m.FrontierRequests += t.Upd.Stats.FrontierRequests
@@ -409,6 +425,9 @@ func (s *Scheduler) commitReady() (bool, error) {
 		}
 		forgetCommitted(s.cfg.User, batch)
 		s.m.CommitBatches++
+		obsCommitBatches.Inc()
+		obsUpdatesCommitted.Add(int64(len(batch)))
+		obsCommitBatchSize.Observe(int64(len(batch)))
 		if len(batch) > s.m.MaxCommitBatch {
 			s.m.MaxCommitBatch = len(batch)
 		}
@@ -457,12 +476,19 @@ func (s *Scheduler) schedule(t *Txn) (bool, error) {
 // Algorithm 4's conflict processing to the writes performed.
 func (s *Scheduler) runSteps(t *Txn) error {
 	for {
+		var stepStart time.Time
+		if s.cfg.Trace.Enabled() {
+			stepStart = time.Now()
+		}
 		res, err := s.engine.Step(t.Upd)
 		if err != nil {
 			return fmt.Errorf("cc: update %d: %w", t.Number, err)
 		}
 		s.m.Steps++
 		s.m.Writes += len(res.Writes)
+		obsSteps.Inc()
+		obsWrites.Add(int64(len(res.Writes)))
+		s.cfg.Trace.Span(t.Number, "step", stepStart)
 		// Conflicts only ever abort higher-numbered txns than the
 		// writer, so t itself is never caught in the wave it causes.
 		if err := s.processWrites(res.Writes); err != nil {
@@ -490,6 +516,7 @@ func (s *Scheduler) pollUser(t *Txn) (bool, error) {
 	ok, err := pollFrontier(s.engine, t.Upd,
 		func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
 			s.m.UserPolls++
+			obsUserPolls.Inc()
 			return s.cfg.User.Decide(t.Upd, g, opts, ctx)
 		})
 	if ok {
@@ -510,6 +537,10 @@ func (s *Scheduler) inboxPoll(t *Txn) (bool, error) {
 		}
 		s.parkID[i] = id
 		s.applied[i] = 0
+		obsParked.Inc()
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.NoteDetail(t.Number, "park", fmt.Sprintf("entry=%d", id))
+		}
 		return true, nil
 	}
 	e, ok := s.cfg.Inbox.Get(s.parkID[i])
@@ -523,6 +554,11 @@ func (s *Scheduler) inboxPoll(t *Txn) (bool, error) {
 	}
 	if applied {
 		s.m.FrontierOps++
+		obsResumed.Inc()
+		if s.cfg.Trace.Enabled() {
+			s.cfg.Trace.NoteDetail(t.Number, "answer", fmt.Sprintf("entry=%d", e.ID))
+			s.cfg.Trace.Note(t.Number, "resume")
+		}
 		return true, nil
 	}
 	if t.Upd.State() == chase.StateAwaitingUser {
@@ -562,6 +598,7 @@ func (s *Scheduler) inboxIdle() (bool, error) {
 			ok, err := pollFrontier(s.engine, t.Upd,
 				func(g *chase.FrontierGroup, opts []chase.Decision, ctx string) (chase.Decision, bool) {
 					s.m.UserPolls++
+					obsUserPolls.Inc()
 					return s.cfg.User.Decide(t.Upd, g, opts, ctx)
 				})
 			if err != nil {
@@ -611,6 +648,8 @@ func (s *Scheduler) cancelTxn(t *Txn) error {
 		s.parkID[t.Number-1] = 0
 	}
 	s.m.Cancelled++
+	obsCancelled.Inc()
+	s.cfg.Trace.Note(t.Number, "cancel")
 	return nil
 }
 
@@ -618,7 +657,14 @@ func (s *Scheduler) cancelTxn(t *Txn) error {
 // writes: direct detection (collectDirect) followed by the abort wave
 // — dependency cascade, rollbacks, and abort-side drift rechecks.
 func (s *Scheduler) processWrites(writes []storage.WriteRec) error {
+	var checkStart time.Time
+	if s.cfg.Trace.Enabled() && len(writes) > 0 {
+		checkStart = time.Now()
+	}
 	direct := collectDirect(s.store, &s.cfg, s.txns, writes, &s.m, &s.scratch)
+	if s.cfg.Trace.Enabled() && len(writes) > 0 {
+		s.cfg.Trace.Span(writes[0].Writer, "conflict_check", checkStart)
+	}
 	return executeAbortWave(s.store, &s.cfg, s.txns, direct, &s.m, func(t *Txn) error {
 		// A parked victim's question is void — its attempt restarts from
 		// scratch — so the inbox entry goes with the rollback.

@@ -108,12 +108,14 @@ func (e *Engine) StepWrites(u *Update) (StepResult, error) {
 		return StepResult{State: u.state}, ErrStepLimit
 	}
 	u.Stats.Steps++
+	obsSteps.Inc()
 
 	writes, err := e.performWrites(u)
 	if err != nil {
 		return StepResult{Writes: writes, State: u.state}, err
 	}
 	u.Stats.Writes += len(writes)
+	obsWrites.Add(int64(len(writes)))
 	return StepResult{Writes: writes, State: u.state}, nil
 }
 
@@ -267,6 +269,7 @@ func (e *Engine) enqueue(u *Update, v query.Violation, isLHS bool) {
 	}
 	sig := e.engineFor(u).WitnessSig(&v)
 	u.queue = append(u.queue, &queuedViolation{v: v, isLHS: isLHS, sig: sig})
+	obsViolations.Inc()
 }
 
 // recheckQueue removes queue entries whose violation no longer holds —
@@ -402,6 +405,7 @@ func (e *Engine) planForward(u *Update, qv *queuedViolation) error {
 	qv.state = ViolAwaitingUser
 	qv.group = g
 	u.Stats.FrontierRequests++
+	obsFrontierRequests.Inc()
 	return nil
 }
 
@@ -437,5 +441,6 @@ func (e *Engine) planBackward(u *Update, qv *queuedViolation) error {
 	qv.state = ViolAwaitingUser
 	qv.group = g
 	u.Stats.FrontierRequests++
+	obsFrontierRequests.Inc()
 	return nil
 }

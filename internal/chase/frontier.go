@@ -208,6 +208,7 @@ func (e *Engine) Apply(u *Update, groupID int, d Decision) error {
 		return err
 	}
 	u.Stats.FrontierOps++
+	obsFrontierOps.Inc()
 	u.state = StateReady
 	return nil
 }

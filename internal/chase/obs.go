@@ -1,0 +1,16 @@
+package chase
+
+import "youtopia/internal/obs"
+
+// Process-wide chase counters on the shared registry, resolved once
+// at package init so the step loop pays one atomic add per event.
+// They aggregate across every engine in the process (both schedulers,
+// the repository, replays), which is the view the debug endpoint
+// wants; per-run figures stay in Update.Stats / cc.Metrics.
+var (
+	obsSteps            = obs.Default.Counter("chase_steps_total")
+	obsWrites           = obs.Default.Counter("chase_writes_total")
+	obsViolations       = obs.Default.Counter("chase_violations_total")
+	obsFrontierRequests = obs.Default.Counter("chase_frontier_requests_total")
+	obsFrontierOps      = obs.Default.Counter("chase_frontier_ops_total")
+)

@@ -146,6 +146,16 @@ func (r *Repository) resumeLocked(id int64, user chase.User) (bool, error) {
 	}
 	number := r.nextUpdate
 	r.nextUpdate++
+	if r.trace.Enabled() {
+		if e.Update > 0 {
+			// Fold the replay's fresh update number into the original
+			// submission's timeline (recovered entries have no recorded
+			// original number; their events stand alone).
+			r.trace.Alias(number, e.Update)
+		}
+		r.trace.NoteDetail(number, "resume", fmt.Sprintf("entry=%d", id))
+	}
+	obsResumes.Inc()
 	var mark int64
 	rew, canRewind := r.store.(nullRewinder)
 	if canRewind {
@@ -166,6 +176,10 @@ func (r *Repository) resumeLocked(id int64, user chase.User) (bool, error) {
 		if err := r.box.Requeue(id, question, options, kinds, ctx, positive, u.Stats.FrontierOps); err != nil {
 			return false, err
 		}
+		if r.trace.Enabled() {
+			r.trace.NoteDetail(number, "park", fmt.Sprintf("entry=%d requeued", id))
+		}
+		obsParked.Inc()
 		return false, nil
 	}
 	fail := func(err error) (bool, error) {
@@ -189,6 +203,7 @@ func (r *Repository) resumeLocked(id int64, user chase.User) (bool, error) {
 		}
 		switch res.State {
 		case chase.StateTerminated:
+			r.trace.Note(number, "commit")
 			ack, err := r.store.CommitBatchAsync([]int{number})
 			if err != nil {
 				r.store.Abort(number)
@@ -204,6 +219,8 @@ func (r *Repository) resumeLocked(id int64, user chase.User) (bool, error) {
 					return false, err
 				}
 			}
+			r.trace.Note(number, "ack")
+			obsApplied.Inc()
 			r.box.Resolve(id)
 			if f, ok := user.(chase.Forgetter); ok {
 				f.Forget(number)
@@ -354,6 +371,9 @@ func (r *Repository) AnswerInbox(id int64, option int) (bool, error) {
 	}
 	if err := r.box.Answer(id, inbox.Answer{Context: e.Context, Option: option}); err != nil {
 		return false, err
+	}
+	if r.trace.Enabled() && e.Update > 0 {
+		r.trace.NoteDetail(e.Update, "answer", fmt.Sprintf("entry=%d option=%d", id, option))
 	}
 	return r.resumeLocked(id, nil)
 }

@@ -1,0 +1,13 @@
+package core
+
+import "youtopia/internal/obs"
+
+// Repository-level lifecycle counters on the shared registry: the
+// synchronous Apply path and the park/resume machinery. Scheduler
+// workloads (RunConcurrent) report through the cc package's own
+// handles instead.
+var (
+	obsApplied = obs.Default.Counter("core_updates_applied_total")
+	obsParked  = obs.Default.Counter("core_updates_parked_total")
+	obsResumes = obs.Default.Counter("core_update_resumes_total")
+)

@@ -16,6 +16,7 @@ import (
 	"youtopia/internal/chase"
 	"youtopia/internal/inbox"
 	"youtopia/internal/model"
+	"youtopia/internal/obs"
 	"youtopia/internal/parse"
 	"youtopia/internal/query"
 	"youtopia/internal/storage"
@@ -93,6 +94,20 @@ type Repository struct {
 	box         *inbox.Box
 	inboxPolicy inbox.Policy
 	fallback    chase.User
+
+	// trace, when set, records update-lifecycle events (submit, park,
+	// answer, resume, commit, ack). Nil — the default — disables
+	// recording at the cost of one branch per event.
+	trace *obs.Tracer
+}
+
+// SetTracer installs an update-lifecycle tracer. Events recorded on a
+// resumed update's fresh number are folded into the original update's
+// timeline. Pass nil to disable.
+func (r *Repository) SetTracer(t *obs.Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = t
 }
 
 // New creates an in-memory repository over a schema and mapping set.
@@ -324,6 +339,7 @@ func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []c
 	defer r.mu.Unlock()
 	number := r.nextUpdate
 	r.nextUpdate++
+	r.trace.Note(number, "submit")
 	var mark int64
 	rew, canRewind := r.store.(nullRewinder)
 	if canRewind {
@@ -343,12 +359,17 @@ func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []c
 		if perr != nil {
 			return stats, u.Trace, perr
 		}
+		if r.trace.Enabled() {
+			r.trace.NoteDetail(number, "park", fmt.Sprintf("entry=%d", id))
+		}
+		obsParked.Inc()
 		return stats, u.Trace, &ParkedError{ID: id}
 	}
 	if err != nil {
 		r.store.Abort(number)
 		return stats, u.Trace, err
 	}
+	r.trace.Note(number, "commit")
 	ack, err := r.store.CommitBatchAsync([]int{number})
 	if err != nil {
 		// The log vetoed the append: nothing was committed anywhere;
@@ -368,6 +389,8 @@ func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []c
 			return stats, u.Trace, fmt.Errorf("core: durable commit of update %d: %w", number, err)
 		}
 	}
+	r.trace.Note(number, "ack")
+	obsApplied.Inc()
 	return stats, u.Trace, nil
 }
 
@@ -443,6 +466,9 @@ func (r *Repository) RunConcurrent(ops []chase.Op, cfg cc.Config) (cc.Metrics, e
 	// upward; enforce it.
 	if r.nextUpdate != 1 {
 		return cc.Metrics{}, fmt.Errorf("core: RunConcurrent requires a repository without prior updates (have %d); use a fresh repository or run the workload first", r.nextUpdate-1)
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = r.trace
 	}
 	var m cc.Metrics
 	var err error

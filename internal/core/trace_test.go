@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"youtopia/internal/obs"
+)
+
+// firstIndex returns the index of the first event named name, or -1.
+func firstIndex(events []obs.TraceEvent, name string) int {
+	for i, ev := range events {
+		if ev.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestParkedUpdateTraceChain drives one update through the full
+// park/resume lifecycle and asserts the tracer stitched the whole
+// story onto the original update's timeline: submit → park → answer →
+// resume → commit → ack, in order, with monotonic timestamps — even
+// though the resumed replay ran under a fresh update number.
+func TestParkedUpdateTraceChain(t *testing.T) {
+	r, _, err := Open(durableDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	tr := obs.NewTracer()
+	r.SetTracer(tr)
+
+	id := mustPark(t, r)
+	answerLikeUnifyFirst(t, r, id)
+
+	timelines := tr.Timelines()
+	if len(timelines) != 1 {
+		t.Fatalf("got %d timelines, want 1 (resume events not folded into the root update): %+v", len(timelines), timelines)
+	}
+	events := timelines[0].Events
+	chain := []string{"submit", "park", "answer", "resume", "commit", "ack"}
+	prev := -1
+	for _, name := range chain {
+		i := firstIndex(events, name)
+		if i < 0 {
+			t.Fatalf("no %q event in timeline: %+v", name, events)
+		}
+		if i <= prev {
+			t.Fatalf("%q out of order (index %d after %d): %+v", name, i, prev, events)
+		}
+		prev = i
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At.Before(events[i-1].At) {
+			t.Fatalf("timestamps not monotonic at %d: %+v", i, events)
+		}
+	}
+	// The commit must belong to the resumed replay, not the parked
+	// attempt: no commit event may precede the first resume.
+	if ci, ri := firstIndex(events, "commit"), firstIndex(events, "resume"); ci < ri {
+		t.Fatalf("commit (index %d) before resume (index %d): %+v", ci, ri, events)
+	}
+}

@@ -6,12 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"time"
 
 	"youtopia/internal/cc"
 	"youtopia/internal/inbox"
+	"youtopia/internal/obs"
 	"youtopia/internal/simuser"
 	"youtopia/internal/storage"
 	"youtopia/internal/wal"
@@ -100,7 +100,7 @@ func measureInboxPoint(u *workload.Universe, base workload.Config, p *InboxPoint
 	p.NumCPU = runtime.NumCPU()
 	p.GoMaxProcs = runtime.GOMAXPROCS(0)
 	var updates float64
-	var resumes []time.Duration
+	resumes := obs.NewLatencyHistogram()
 	for r := 0; r < runs; r++ {
 		var st storage.Backend
 		var backing workload.DurableBacking
@@ -149,7 +149,7 @@ func measureInboxPoint(u *workload.Universe, base workload.Config, p *InboxPoint
 			parked, answered, _, _, _ := cfg.Inbox.Counters()
 			p.Parked += float64(parked)
 			p.Answered += float64(answered)
-			resumes = append(resumes, cfg.Inbox.ResumeLatencies()...)
+			resumes.Merge(cfg.Inbox.ResumeHistogram())
 		}
 		if secs := elapsed.Seconds(); secs > 0 {
 			updates += float64(m.Submitted) / secs
@@ -162,30 +162,9 @@ func measureInboxPoint(u *workload.Universe, base workload.Config, p *InboxPoint
 	p.Parked /= n
 	p.Answered /= n
 	p.UpdatesPerSec = updates / n
-	p50, p99 := durationPercentiles(resumes)
-	p.ResumeP50Millis = float64(p50) / float64(time.Millisecond)
-	p.ResumeP99Millis = float64(p99) / float64(time.Millisecond)
+	p.ResumeP50Millis = float64(resumes.QuantileDuration(0.50)) / float64(time.Millisecond)
+	p.ResumeP99Millis = float64(resumes.QuantileDuration(0.99)) / float64(time.Millisecond)
 	return nil
-}
-
-// durationPercentiles returns the nearest-rank p50 and p99 of a sample.
-func durationPercentiles(ds []time.Duration) (p50, p99 time.Duration) {
-	if len(ds) == 0 {
-		return 0, 0
-	}
-	sorted := append([]time.Duration(nil), ds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := func(pct float64) time.Duration {
-		i := int(pct*float64(len(sorted))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
-	}
-	return rank(0.50), rank(0.99)
 }
 
 // InboxJSON renders the study as indented JSON — the BENCH_inbox.json

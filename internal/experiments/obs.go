@@ -1,0 +1,12 @@
+package experiments
+
+import "youtopia/internal/obs"
+
+// studyTrace, when set, is stamped on every RunMode scheduler
+// configuration that does not carry its own tracer — how the bench's
+// -trace-out flag reaches the cc.Config the studies build internally.
+var studyTrace *obs.Tracer
+
+// SetTrace installs (or, with nil, removes) the tracer RunMode stamps
+// on study runs. Not safe to call while a study is in flight.
+func SetTrace(t *obs.Tracer) { studyTrace = t }

@@ -39,6 +39,9 @@ func ModeLabel(workers int) string {
 // The benches and examples share it so the serial-vs-parallel
 // comparison stays on one convention.
 func RunMode(st storage.Backend, set *tgd.Set, cfg cc.Config, ops []chase.Op) (cc.Metrics, time.Duration, error) {
+	if cfg.Trace == nil {
+		cfg.Trace = studyTrace
+	}
 	start := time.Now()
 	var m cc.Metrics
 	var err error

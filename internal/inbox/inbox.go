@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"youtopia/internal/chase"
+	"youtopia/internal/obs"
 )
 
 // Status is an entry's lifecycle state.
@@ -164,12 +165,16 @@ type Box struct {
 	resolved  int64
 	aborted   int64
 	escalated int64
-	latencies []time.Duration
+	resume    *obs.Histogram
 }
 
 // NewBox returns an empty inbox.
 func NewBox() *Box {
-	return &Box{entries: make(map[int64]*Entry), nextID: 1}
+	return &Box{
+		entries: make(map[int64]*Entry),
+		nextID:  1,
+		resume:  obs.NewLatencyHistogram(),
+	}
 }
 
 // SetOnAnswer installs the answer hook. It must be set before the box
@@ -198,6 +203,7 @@ func (b *Box) Park(e Entry) int64 {
 	stored := e
 	b.entries[e.ID] = &stored
 	b.parked++
+	obsParked.Inc()
 	return e.ID
 }
 
@@ -271,6 +277,7 @@ func (b *Box) Answer(id int64, a Answer) error {
 	e.Status = Answered
 	e.Answers = append(e.Answers, a)
 	b.answered++
+	obsAnswered.Inc()
 	hook := b.onAnswer
 	b.mu.Unlock()
 	if hook != nil {
@@ -309,8 +316,11 @@ func (b *Box) Resolve(id int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if e, ok := b.entries[id]; ok {
-		b.latencies = append(b.latencies, time.Since(e.ParkedWall))
+		d := time.Since(e.ParkedWall)
+		b.resume.ObserveDuration(d)
+		obsResume.ObserveDuration(d)
 		b.resolved++
+		obsResolved.Inc()
 		delete(b.entries, id)
 	}
 }
@@ -321,6 +331,7 @@ func (b *Box) Abort(id int64) {
 	defer b.mu.Unlock()
 	if _, ok := b.entries[id]; ok {
 		b.aborted++
+		obsAborted.Inc()
 		delete(b.entries, id)
 	}
 }
@@ -349,6 +360,7 @@ func (b *Box) Tick(n int64) []Due {
 				e.lastEscalate += ev
 				e.Priority++
 				b.escalated++
+				obsEscalated.Inc()
 				due = append(due, Due{ID: id, Kind: DueEscalate})
 			}
 		}
@@ -381,11 +393,14 @@ func (b *Box) Counters() (parked, answered, resolved, aborted, escalated int64) 
 	return b.parked, b.answered, b.resolved, b.aborted, b.escalated
 }
 
-// ResumeLatencies returns the wall-clock park-to-resolve durations of
-// every resolved entry, in resolution order (the bench's
-// time-to-resume distribution).
-func (b *Box) ResumeLatencies() []time.Duration {
+// ResumeHistogram returns the box's wall-clock park-to-resolve latency
+// histogram (the bench's time-to-resume distribution). The returned
+// histogram is live — it keeps absorbing resolutions — and bounded:
+// unlike the raw-sample slice it replaced, memory does not grow with
+// the number of resolved entries. Aggregate across boxes with
+// obs.Histogram.Merge.
+func (b *Box) ResumeHistogram() *obs.Histogram {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return append([]time.Duration(nil), b.latencies...)
+	return b.resume
 }

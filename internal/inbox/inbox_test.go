@@ -69,8 +69,8 @@ func TestLifecycle(t *testing.T) {
 	if parked != 2 || answered != 1 || resolved != 1 || aborted != 1 {
 		t.Fatalf("counters = %d %d %d %d", parked, answered, resolved, aborted)
 	}
-	if len(b.ResumeLatencies()) != 1 {
-		t.Fatalf("latencies = %v", b.ResumeLatencies())
+	if got := b.ResumeHistogram().Count(); got != 1 {
+		t.Fatalf("resume histogram count = %d, want 1", got)
 	}
 
 	// Explicit (durable) IDs are kept and advance the minting floor.

@@ -1,0 +1,16 @@
+package inbox
+
+import "youtopia/internal/obs"
+
+// Process-wide inbox lifecycle counters on the shared registry. Every
+// Box mirrors its per-box counters here so the debug endpoint sees
+// the aggregate across runs; per-box figures stay on Box.Counters and
+// Box.ResumeHistogram.
+var (
+	obsParked    = obs.Default.Counter("inbox_parked_total")
+	obsAnswered  = obs.Default.Counter("inbox_answered_total")
+	obsResolved  = obs.Default.Counter("inbox_resolved_total")
+	obsAborted   = obs.Default.Counter("inbox_aborted_total")
+	obsEscalated = obs.Default.Counter("inbox_escalated_total")
+	obsResume    = obs.Default.LatencyHistogram("inbox_resume_seconds")
+)

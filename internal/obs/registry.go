@@ -1,0 +1,465 @@
+// Package obs is the engine's observability layer: a lock-cheap
+// metrics registry (atomic counters, gauges, and fixed-bucket latency
+// histograms), a per-update lifecycle tracer, and an opt-in debug
+// HTTP server exposing Prometheus text, expvar, and pprof.
+//
+// The design constraint is the scheduler hot path: metric handles are
+// resolved once (at package init or component construction) and every
+// update is a plain atomic add — no map lookups, no locks, and no
+// heap allocations per operation (pinned by TestInstrumentationAllocFree
+// in internal/cc). All metric methods are nil-receiver safe so
+// optional wiring costs one predictable branch.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (callers keep counters monotonic; deltas are not checked).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram over int64 samples. Bucket
+// upper bounds are set at construction and never change, so Observe
+// is a hand-rolled binary search plus three atomic adds — no locks,
+// no allocation, safe for any number of concurrent writers. Reads
+// (Quantile, Count, Sum) are approximate under concurrent writes,
+// which is the usual monitoring trade.
+//
+// Latency histograms store nanoseconds and render as seconds in the
+// Prometheus exposition (scale 1e-9).
+type Histogram struct {
+	bounds []int64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	scale  float64 // multiplier applied when rendering (1 = unitless)
+}
+
+// DefaultLatencyBounds doubles from 1µs to ~16.8s: 25 buckets plus
+// the implicit overflow. Doubling bounds a quantile estimate to at
+// most 2x the true sample, which the oracle test pins.
+func DefaultLatencyBounds() []int64 {
+	bounds := make([]int64, 25)
+	b := int64(time.Microsecond)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// NewHistogram builds a unitless histogram with the given ascending
+// upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	return newHistogram(bounds, 1)
+}
+
+// NewLatencyHistogram builds a nanosecond-sample histogram with the
+// default doubling bounds, rendered as seconds.
+func NewLatencyHistogram() *Histogram {
+	return newHistogram(DefaultLatencyBounds(), 1e-9)
+}
+
+func newHistogram(bounds []int64, scale float64) *Histogram {
+	cp := append([]int64(nil), bounds...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return &Histogram{
+		bounds: cp,
+		counts: make([]atomic.Int64, len(cp)+1),
+		scale:  scale,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v (le semantics). Hand
+	// rolled so the hot path carries no closure.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a latency sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d))
+}
+
+// ObserveSince records the latency from start to now.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound
+// of the bucket holding the nearest-rank sample — so the estimate is
+// always >= the true sample and, with doubling bounds, < 2x it.
+// Samples past the last bound report the maximum observed value.
+// Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}
+
+// QuantileDuration is Quantile for latency histograms.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// Merge adds src's samples into h. Both histograms must share bucket
+// bounds (they do when built by the same constructor); mismatched
+// shapes merge through the overflow bucket.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	if len(src.bounds) == len(h.bounds) {
+		for i := range src.counts {
+			if n := src.counts[i].Load(); n != 0 {
+				h.counts[i].Add(n)
+			}
+		}
+		h.count.Add(src.count.Load())
+		h.sum.Add(src.sum.Load())
+		for {
+			cur := h.max.Load()
+			m := src.max.Load()
+			if m <= cur || h.max.CompareAndSwap(cur, m) {
+				break
+			}
+		}
+		return
+	}
+	// Shape mismatch: fold count/sum through the overflow bucket so
+	// totals stay truthful even if the distribution detail is lost.
+	n := src.count.Load()
+	h.counts[len(h.counts)-1].Add(n)
+	h.count.Add(n)
+	h.sum.Add(src.sum.Load())
+}
+
+// Metric is one point of a registry snapshot.
+type Metric struct {
+	Name string
+	Kind string // "counter", "gauge", or "histogram"
+	// Value carries counters and gauges.
+	Value int64
+	// Count/Sum/P50/P95/P99 carry histograms (in the histogram's raw
+	// unit — nanoseconds for latency histograms).
+	Count int64
+	Sum   int64
+	P50   int64
+	P95   int64
+	P99   int64
+	// Seconds is true when the histogram renders as seconds.
+	Seconds bool
+}
+
+// Registry is a named collection of metrics. Get-or-create lookups
+// take a mutex; they are meant to run once at wiring time, after
+// which callers hold the returned handle and never touch the registry
+// on the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the engine packages wire their
+// instrumentation to and the debug server exposes.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// LatencyHistogram returns the named latency histogram (nanosecond
+// samples, default doubling bounds), creating it on first use.
+func (r *Registry) LatencyHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewLatencyHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramWith returns the named unitless histogram with the given
+// bounds, creating it on first use. Bounds are only applied on
+// creation.
+func (r *Registry) HistogramWith(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric, sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]Metric, 0, len(counters)+len(gauges)+len(hists))
+	for name, c := range counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range hists {
+		out = append(out, Metric{
+			Name: name, Kind: "histogram",
+			Count: h.Count(), Sum: h.Sum(),
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			Seconds: h.scale != 1,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format. Latency histograms render in seconds per the
+// Prometheus convention.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	counters := r.counters
+	gauges := r.gauges
+	hists := r.hists
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		if c, ok := counters[name]; ok {
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value())
+			continue
+		}
+		if g, ok := gauges[name]; ok {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, g.Value())
+			continue
+		}
+		h := hists[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n",
+				name, strconv.FormatFloat(float64(bound)*h.scale, 'g', 12, 64), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(&b, "%s_sum %s\n", name,
+			strconv.FormatFloat(float64(h.Sum())*h.scale, 'g', 12, 64))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderTable renders the snapshot as an aligned human-readable table
+// — the `-metrics` output of cmd/youtopia-bench. Histogram quantiles
+// print in milliseconds for latency histograms and raw units
+// otherwise.
+func RenderTable(snap []Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %-10s %14s %14s %14s %14s\n",
+		"metric", "kind", "value/count", "p50", "p95", "p99")
+	for _, m := range snap {
+		switch m.Kind {
+		case "histogram":
+			format := func(v int64) string {
+				if m.Seconds {
+					return fmt.Sprintf("%.3fms", float64(v)/float64(time.Millisecond))
+				}
+				return strconv.FormatInt(v, 10)
+			}
+			fmt.Fprintf(&b, "%-44s %-10s %14d %14s %14s %14s\n",
+				m.Name, m.Kind, m.Count, format(m.P50), format(m.P95), format(m.P99))
+		default:
+			fmt.Fprintf(&b, "%-44s %-10s %14d\n", m.Name, m.Kind, m.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The histogram's quantile estimate is the upper bound of the bucket
+// holding the nearest-rank sample. With doubling bounds that pins the
+// estimate to [oracle, 2*oracle] for in-range samples — checked here
+// against a sorted-slice nearest-rank oracle across seeds and
+// distributions.
+func TestHistogramQuantileVsOracle(t *testing.T) {
+	quantiles := []float64{0.50, 0.95, 0.99}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewLatencyHistogram()
+		samples := make([]int64, 0, 10000)
+		for i := 0; i < 10000; i++ {
+			// Log-uniform over ~1µs..1s, the range real ack/resume
+			// latencies live in.
+			exp := 3 + rng.Float64()*6 // 10^3 .. 10^9 ns
+			v := int64(pow10(exp))
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range quantiles {
+			rank := int(q*float64(len(sorted))+0.999999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			oracle := sorted[rank]
+			got := h.Quantile(q)
+			if got < oracle {
+				t.Errorf("seed %d q%.2f: estimate %d below oracle %d", seed, q, got, oracle)
+			}
+			if got > 2*oracle {
+				t.Errorf("seed %d q%.2f: estimate %d above 2x oracle %d", seed, q, got, oracle)
+			}
+		}
+		if h.Count() != int64(len(samples)) {
+			t.Fatalf("count = %d, want %d", h.Count(), len(samples))
+		}
+	}
+}
+
+func pow10(exp float64) float64 {
+	v := 1.0
+	for exp >= 1 {
+		v *= 10
+		exp--
+	}
+	// Fractional remainder via repeated square root of 10 would be
+	// overkill; linear interpolation is fine for test sample spread.
+	return v * (1 + 9*exp/10)
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", h.Quantile(0.5))
+	}
+	h.Observe(int64(5 * time.Millisecond))
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 != p99 {
+		t.Fatalf("single sample: p50 %d != p99 %d", p50, p99)
+	}
+	if p50 < int64(5*time.Millisecond) || p50 > int64(10*time.Millisecond) {
+		t.Fatalf("single 5ms sample estimated at %v", time.Duration(p50))
+	}
+	// Overflow bucket reports the observed max, not a bucket bound.
+	huge := int64(90 * time.Second)
+	h2 := NewLatencyHistogram()
+	h2.Observe(huge)
+	if got := h2.Quantile(0.99); got != huge {
+		t.Fatalf("overflow quantile = %d, want max %d", got, huge)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(int64(i) * int64(time.Millisecond))
+		b.Observe(int64(i) * int64(time.Microsecond))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	wantSum := b.Sum() + 5050*int64(time.Millisecond)
+	if a.Sum() != wantSum {
+		t.Fatalf("merged sum = %d, want %d", a.Sum(), wantSum)
+	}
+	if a.Max() != 100*int64(time.Millisecond) {
+		t.Fatalf("merged max = %v", time.Duration(a.Max()))
+	}
+}
+
+// Concurrent writers and readers on every metric kind, meant to run
+// under -race: lookups race against updates, snapshots and renders
+// race against everything.
+func TestRegistryConcurrentWritersReaders(t *testing.T) {
+	reg := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("test_ops_total")
+			g := reg.Gauge("test_inflight")
+			h := reg.LatencyHistogram("test_latency_seconds")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i+1) * int64(time.Microsecond))
+				g.Add(-1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			if got := reg.Counter("test_ops_total").Value(); got != writers*perWriter {
+				t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+			}
+			if got := reg.Gauge("test_inflight").Value(); got != 0 {
+				t.Fatalf("gauge = %d, want 0", got)
+			}
+			if got := reg.LatencyHistogram("test_latency_seconds").Count(); got != writers*perWriter {
+				t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+			}
+			return
+		default:
+			// Concurrent reads while the writers hammer.
+			_ = reg.Snapshot()
+			var sb strings.Builder
+			_ = reg.WritePrometheus(&sb)
+		}
+	}
+}
+
+func TestNilMetricHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metric handles must read as zero")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fmt_ops_total").Add(3)
+	reg.Gauge("fmt_depth").Set(-2)
+	reg.LatencyHistogram("fmt_wait_seconds").Observe(int64(3 * time.Microsecond))
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE fmt_ops_total counter\nfmt_ops_total 3\n",
+		"# TYPE fmt_depth gauge\nfmt_depth -2\n",
+		"# TYPE fmt_wait_seconds histogram\n",
+		"fmt_wait_seconds_bucket{le=\"+Inf\"} 1\n",
+		"fmt_wait_seconds_count 1\n",
+		"fmt_wait_seconds_sum 3e-06\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// A 3µs sample is ≤ the 4µs bucket but > the 2µs one.
+	if !strings.Contains(out, "fmt_wait_seconds_bucket{le=\"4e-06\"} 1") {
+		t.Errorf("expected 3µs sample in the 4µs bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "fmt_wait_seconds_bucket{le=\"2e-06\"} 0") {
+		t.Errorf("expected empty 2µs bucket:\n%s", out)
+	}
+}
+
+func TestSnapshotAndRenderTable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total").Inc()
+	reg.Counter("a_total").Inc()
+	reg.LatencyHistogram("c_seconds").Observe(int64(time.Millisecond))
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	if snap[0].Name != "a_total" || snap[1].Name != "b_total" || snap[2].Name != "c_seconds" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	table := RenderTable(snap)
+	if !strings.Contains(table, "a_total") || !strings.Contains(table, "c_seconds") {
+		t.Fatalf("table missing metrics:\n%s", table)
+	}
+}
+
+// Metric updates must be allocation-free: the handles sit on the
+// scheduler hot path. (internal/cc pins the same property through its
+// real instrumentation probe.)
+func TestMetricUpdatesAllocFree(t *testing.T) {
+	c := NewRegistry().Counter("alloc_total")
+	g := NewRegistry().Gauge("alloc_gauge")
+	h := NewLatencyHistogram()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(int64(time.Millisecond))
+	}); allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// The debug server is opt-in (the -debug-addr flag on the CLIs): a
+// plain net/http server exposing
+//
+//	/metrics      Prometheus text exposition of a Registry
+//	/healthz      liveness probe ("ok")
+//	/debug/vars   expvar JSON (includes the registry snapshot)
+//	/debug/pprof  the standard pprof handlers
+//
+// Everything is stdlib; nothing here runs unless Serve is called.
+
+var publishOnce sync.Once
+
+// Handler builds the debug mux for reg (Default when nil).
+func Handler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	// expvar.Publish panics on duplicate names, so the registry is
+	// published process-wide once, bound to the first handler's
+	// registry (in practice the Default).
+	publishOnce.Do(func() {
+		expvar.Publish("youtopia_metrics", expvar.Func(func() any {
+			return reg.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug server.
+type Server struct {
+	// Addr is the bound listen address (resolves ":0" requests).
+	Addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Serve starts the debug server on addr (e.g. "127.0.0.1:9180" or
+// ":0" for an ephemeral port) serving reg (Default when nil). It
+// returns once the listener is bound; requests are served in the
+// background until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(lis) }()
+	return &Server{Addr: lis.Addr().String(), srv: srv, lis: lis}, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The tracer records the lifecycle of individual updates as ordered
+// events: submit, chase steps, conflict check and abort waves, park →
+// answer → resume, commit append, coalesced fsync, ack. Tracing is
+// opt-in — a nil *Tracer is the disabled state and every method is a
+// single branch there, so instrumented code passes the tracer through
+// unconditionally.
+//
+// A parked update resumes under a fresh update number (replay
+// allocates a new transaction). Alias links the new number back to
+// the original so the timeline reads as one update's life.
+
+// TraceEvent is one recorded point or span in an update's life.
+type TraceEvent struct {
+	// Update is the root update number the event belongs to (aliases
+	// resolved at record time).
+	Update int `json:"update"`
+	// Name is the lifecycle stage: submit, step, conflict_check,
+	// abort, park, answer, resume, commit, fsync, ack, ...
+	Name string `json:"name"`
+	// At is the event time (end time for spans).
+	At time.Time `json:"at"`
+	// DurNanos is the span length; 0 for instant events.
+	DurNanos int64 `json:"dur_ns,omitempty"`
+	// Detail is optional free-form context (entry ids, batch numbers).
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceTimeline is one update's events, ordered by time — the unit of
+// the JSON dump written by the -trace flag.
+type TraceTimeline struct {
+	Update int          `json:"update"`
+	Events []TraceEvent `json:"events"`
+}
+
+// Tracer accumulates per-update lifecycle events. All methods are
+// safe on a nil receiver (disabled) and for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	alias  map[int]int // update number -> root update number
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer {
+	return &Tracer{alias: make(map[int]int)}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) rootLocked(update int) int {
+	for {
+		r, ok := t.alias[update]
+		if !ok {
+			return update
+		}
+		update = r
+	}
+}
+
+// Alias links a freshly allocated update number to the root update it
+// continues (the replay number of a parked update). Later events
+// recorded under either number land on the root timeline.
+func (t *Tracer) Alias(update, root int) {
+	if t == nil || update == root {
+		return
+	}
+	t.mu.Lock()
+	t.alias[update] = t.rootLocked(root)
+	t.mu.Unlock()
+}
+
+// Note records an instant event.
+func (t *Tracer) Note(update int, name string) {
+	if t == nil {
+		return
+	}
+	t.record(update, name, time.Now(), 0, "")
+}
+
+// NoteDetail records an instant event with free-form context.
+func (t *Tracer) NoteDetail(update int, name, detail string) {
+	if t == nil {
+		return
+	}
+	t.record(update, name, time.Now(), 0, detail)
+}
+
+// Span records an event covering start..now.
+func (t *Tracer) Span(update int, name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.record(update, name, now, int64(now.Sub(start)), "")
+}
+
+func (t *Tracer) record(update int, name string, at time.Time, dur int64, detail string) {
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Update: t.rootLocked(update), Name: name, At: at, DurNanos: dur, Detail: detail,
+	})
+	t.mu.Unlock()
+}
+
+// Events returns the named update's timeline ordered by time,
+// resolving aliases.
+func (t *Tracer) Events(update int) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	root := t.rootLocked(update)
+	var out []TraceEvent
+	for _, e := range t.events {
+		if e.Update == root {
+			out = append(out, e)
+		}
+	}
+	t.mu.Unlock()
+	sortEvents(out)
+	return out
+}
+
+// Timelines returns every update's ordered timeline, sorted by update
+// number.
+func (t *Tracer) Timelines() []TraceTimeline {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	byUpdate := make(map[int][]TraceEvent)
+	for _, e := range t.events {
+		byUpdate[e.Update] = append(byUpdate[e.Update], e)
+	}
+	t.mu.Unlock()
+	out := make([]TraceTimeline, 0, len(byUpdate))
+	for u, evs := range byUpdate {
+		sortEvents(evs)
+		out = append(out, TraceTimeline{Update: u, Events: evs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Update < out[j].Update })
+	return out
+}
+
+func sortEvents(evs []TraceEvent) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+}
+
+// JSON renders every timeline as indented JSON — the -trace out.json
+// artifact.
+func (t *Tracer) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.Timelines(), "", "  ")
+}
+
+// WriteFile dumps the trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	data, err := t.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

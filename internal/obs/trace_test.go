@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	tr.Note(1, "submit")
+	tr.NoteDetail(1, "park", "entry=2")
+	tr.Span(1, "step", time.Now())
+	tr.Alias(2, 1)
+	if tr.Events(1) != nil || tr.Timelines() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+}
+
+func TestTracerAliasMergesTimelines(t *testing.T) {
+	tr := NewTracer()
+	tr.Note(1, "submit")
+	tr.Note(1, "park")
+	// The resumed replay runs under a fresh update number.
+	tr.Alias(7, 1)
+	tr.Note(7, "resume")
+	tr.Note(7, "commit")
+	// Transitive aliases resolve to the root.
+	tr.Alias(9, 7)
+	tr.Note(9, "ack")
+
+	evs := tr.Events(1)
+	if len(evs) != 5 {
+		t.Fatalf("merged timeline has %d events, want 5: %+v", len(evs), evs)
+	}
+	want := []string{"submit", "park", "resume", "commit", "ack"}
+	for i, e := range evs {
+		if e.Name != want[i] {
+			t.Fatalf("event %d = %s, want %s", i, e.Name, want[i])
+		}
+		if e.Update != 1 {
+			t.Fatalf("event %d recorded under update %d, want root 1", i, e.Update)
+		}
+		if i > 0 && e.At.Before(evs[i-1].At) {
+			t.Fatalf("timestamps not monotonic at event %d", i)
+		}
+	}
+	// Looking the timeline up through an alias works too.
+	if got := tr.Events(9); len(got) != 5 {
+		t.Fatalf("alias lookup returned %d events, want 5", len(got))
+	}
+	timelines := tr.Timelines()
+	if len(timelines) != 1 || timelines[0].Update != 1 {
+		t.Fatalf("timelines = %+v, want one root timeline", timelines)
+	}
+}
+
+func TestTracerSpanDuration(t *testing.T) {
+	tr := NewTracer()
+	start := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	tr.Span(3, "fsync", start)
+	evs := tr.Events(3)
+	if len(evs) != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].DurNanos < int64(time.Millisecond) {
+		t.Fatalf("span duration %d too short", evs[0].DurNanos)
+	}
+}
+
+func TestTracerConcurrentRecording(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for u := 1; u <= 8; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Note(u, "step")
+			}
+		}(u)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			for u := 1; u <= 8; u++ {
+				if got := len(tr.Events(u)); got != 200 {
+					t.Fatalf("update %d recorded %d events, want 200", u, got)
+				}
+			}
+			return
+		default:
+			_ = tr.Timelines()
+		}
+	}
+}
+
+func TestTracerWriteFile(t *testing.T) {
+	tr := NewTracer()
+	tr.Note(1, "submit")
+	tr.NoteDetail(1, "commit", "batch=4")
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timelines []TraceTimeline
+	if err := json.Unmarshal(data, &timelines); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(timelines) != 1 || len(timelines[0].Events) != 2 {
+		t.Fatalf("round-tripped timelines = %+v", timelines)
+	}
+	if timelines[0].Events[1].Detail != "batch=4" {
+		t.Fatalf("detail lost in round trip: %+v", timelines[0].Events[1])
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"youtopia/internal/model"
 )
@@ -229,14 +230,18 @@ func (st *Store) initEpoch() {
 func (st *Store) publishEpochLocked() {
 	old := st.epoch.Load()
 	rels := make([]*relEpoch, len(st.byIdx))
+	rebuilt := int64(0)
 	for i, s := range st.byIdx {
 		if e := old.rels[i]; e.mut == s.commitMut.Load() {
 			rels[i] = e
 			continue
 		}
 		rels[i] = st.buildRelEpoch(s)
+		rebuilt++
 	}
 	st.epoch.Store(&CommittedEpoch{store: st, commits: old.commits + 1, rels: rels})
+	obsEpochPublish.Inc()
+	obsEpochRebuilds.Add(rebuilt)
 }
 
 // Epoch returns the store's current committed epoch. When every
@@ -267,11 +272,13 @@ func (st *Store) Epoch() *CommittedEpoch {
 			s.rlock()
 			fresh.rels[i] = st.buildRelEpoch(s)
 			s.runlock()
+			obsEpochRebuilds.Inc()
 		}
 		if fresh == nil {
 			return ep
 		}
 		if st.epoch.CompareAndSwap(ep, fresh) {
+			obsEpochRefresh.Inc()
 			return fresh
 		}
 	}
@@ -333,8 +340,31 @@ func lockProbeNote() {
 
 // lock / rlock are the stripe's probed mutex entry points; every
 // acquisition in the package goes through them so the probe's count
-// is sound.
-func (s *stripe) lock()    { lockProbeNote(); s.mu.Lock() }
-func (s *stripe) unlock()  { s.mu.Unlock() }
-func (s *stripe) rlock()   { lockProbeNote(); s.mu.RLock() }
+// is sound. An immediately available mutex is taken with the
+// try-acquire (same cost class as the plain acquire); only when that
+// fails does the wait get timed into the contention histogram.
+func (s *stripe) lock() {
+	lockProbeNote()
+	if s.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	obsLockContended.Inc()
+	obsLockWait.ObserveSince(start)
+}
+
+func (s *stripe) unlock() { s.mu.Unlock() }
+
+func (s *stripe) rlock() {
+	lockProbeNote()
+	if s.mu.TryRLock() {
+		return
+	}
+	start := time.Now()
+	s.mu.RLock()
+	obsRLockContended.Inc()
+	obsLockWait.ObserveSince(start)
+}
+
 func (s *stripe) runlock() { s.mu.RUnlock() }

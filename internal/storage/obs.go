@@ -1,0 +1,22 @@
+package storage
+
+import "youtopia/internal/obs"
+
+// Stripe-lock and epoch instrumentation on the shared registry. The
+// uncontended lock path stays one try-acquire (a CAS, same cost class
+// as the plain acquire it replaces) plus the probe load — timing only
+// starts once a lock actually blocks, so the zero-alloc and lock-free
+// gates are unaffected. The sharded store's shards are plain Stores,
+// so their stripes report through the same handles.
+var (
+	obsLockContended  = obs.Default.Counter("storage_stripe_lock_contended_total")
+	obsRLockContended = obs.Default.Counter("storage_stripe_rlock_contended_total")
+	obsLockWait       = obs.Default.LatencyHistogram("storage_stripe_lock_wait_seconds")
+	// Epoch economics: how often commits publish fresh epochs, how
+	// often readers repair writer-0-dirtied stripes via CAS refresh,
+	// and how many stripe records those events actually rebuilt (the
+	// rest are reused pointers).
+	obsEpochPublish  = obs.Default.Counter("storage_epoch_publish_total")
+	obsEpochRefresh  = obs.Default.Counter("storage_epoch_refresh_total")
+	obsEpochRebuilds = obs.Default.Counter("storage_epoch_stripe_rebuilds_total")
+)

@@ -51,6 +51,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"youtopia/internal/model"
 	"youtopia/internal/storage"
@@ -385,6 +386,8 @@ func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) (storage.C
 	m.batches++
 	m.size += int64(len(frame))
 	m.sinceCkpt += int64(len(frame))
+	obsAppends.Inc()
+	obsAppendBytes.Add(int64(len(frame)))
 	if obs := m.opts.Observer; obs != nil {
 		obs(m.batches, writers, recs)
 	}
@@ -454,6 +457,7 @@ func (m *Manager) syncPending() {
 	f := m.f
 	m.syncing = true
 	m.mu.Unlock()
+	syncStart := time.Now()
 	err := f.Sync()
 	m.mu.Lock()
 	m.syncing = false
@@ -464,6 +468,8 @@ func (m *Manager) syncPending() {
 			m.syncedBatch = target
 		}
 		m.syncs++
+		obsFsyncs.Inc()
+		obsSyncWait.ObserveSince(syncStart)
 	}
 	m.syncCond.Broadcast()
 	m.mu.Unlock()
@@ -500,6 +506,7 @@ func (m *Manager) ensureSegmentLocked(frameLen int64) error {
 		if m.syncedBatch < m.batches {
 			m.syncedBatch = m.batches
 			m.syncs++
+			obsFsyncs.Inc()
 			m.syncCond.Broadcast()
 		}
 		if err := m.f.Close(); err != nil {
@@ -569,6 +576,7 @@ var testCkptSerialize func()
 func (m *Manager) Checkpoint() error {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
+	ckptStart := time.Now()
 
 	var ep *storage.CommittedEpoch
 	var k, ctrlAt, nextParkID int64
@@ -634,7 +642,12 @@ func (m *Manager) Checkpoint() error {
 		active = m.f.Name()
 	}
 	m.mu.Unlock()
-	return m.retire(k, ctrlAt, final, active)
+	if err := m.retire(k, ctrlAt, final, active); err != nil {
+		return err
+	}
+	obsCkpts.Inc()
+	obsCkptWait.ObserveSince(ckptStart)
+	return nil
 }
 
 // retire deletes checkpoints older than the one just installed and
@@ -724,6 +737,7 @@ func (m *Manager) Close() error {
 			// acknowledgment, and stays uncounted.
 			m.syncedBatch = m.batches
 			m.syncs++
+			obsFsyncs.Inc()
 		}
 		if cerr := m.f.Close(); cerr != nil && err == nil && !poisoned {
 			err = cerr
