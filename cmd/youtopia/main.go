@@ -26,8 +26,16 @@
 //	-dump          print the full repository contents at the end
 //	-skip-ops      load the repository but do not run its operations
 //	-debug-addr a  serve the observability endpoints (/metrics in
-//	               Prometheus text format, /healthz, /debug/vars,
-//	               /debug/pprof) on address a
+//	               Prometheus text format, /healthz — 503 + state name
+//	               while the repository is degraded or poisoned —
+//	               /debug/vars, /debug/pprof) on address a
+//	-resume        re-arm a repository that degraded to read-only
+//	               after a persistent I/O failure (run it once the
+//	               fault — disk full, bad mount — is cleared)
+//	-fault-rate p  inject transient write/sync faults into the log
+//	               with probability p per operation (testing aid;
+//	               exercises the retry and degradation machinery)
+//	-fault-seed n  seed for -fault-rate's fault schedule
 //	-trace-out f   record each update's lifecycle spans (submit, park,
 //	               answer, resume, commit, ack) and write the
 //	               timelines to f as JSON on exit
@@ -63,6 +71,7 @@ import (
 	"youtopia/internal/chase"
 	"youtopia/internal/obs"
 	"youtopia/internal/parse"
+	"youtopia/internal/vfs"
 )
 
 func main() {
@@ -75,6 +84,9 @@ func main() {
 	trace := flag.Bool("trace", false, "print each update's write provenance")
 	traceOut := flag.String("trace-out", "", "write per-update lifecycle span timelines (submit/park/answer/resume/commit/ack) to this JSON file")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty = disabled)")
+	resume := flag.Bool("resume", false, "re-arm a repository that degraded to read-only after a persistent I/O failure")
+	faultRate := flag.Float64("fault-rate", 0, "inject transient write/sync faults into the log with this per-operation probability (testing aid)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for -fault-rate's fault schedule")
 	park := flag.Bool("park", false, "park blocked updates in the decision inbox instead of prompting")
 	listInbox := flag.Bool("inbox", false, "list the parked decisions")
 	claim := flag.String("claim", "", "claim an inbox entry: id:curator-name")
@@ -99,11 +111,34 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("debug server on http://%s (/metrics, /healthz, /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
-	repo, doc, err := youtopia.OpenDocumentWithOptions(string(src), youtopia.Options{DataDir: *dataDir, Shards: *shards})
+	ropts := youtopia.Options{DataDir: *dataDir, Shards: *shards}
+	if *faultRate > 0 {
+		ffs := vfs.NewFaultFS(vfs.OS, *faultSeed)
+		ffs.Probability(vfs.OpWrite, *faultRate, vfs.TransientIO)
+		ffs.Probability(vfs.OpSync, *faultRate, vfs.TransientIO)
+		ropts.FS = ffs
+		fmt.Printf("fault injection armed: transient write/sync faults at %.3g per op (seed %d)\n", *faultRate, *faultSeed)
+	}
+	repo, doc, err := youtopia.OpenDocumentWithOptions(string(src), ropts)
 	if err != nil {
 		fail(err)
 	}
 	defer repo.Close()
+	obs.SetHealthProbe(func() (string, bool) {
+		h := repo.Health()
+		return h.State.String(), h.State == youtopia.StateHealthy
+	})
+	if *resume {
+		if err := repo.Resume(); err != nil {
+			fail(fmt.Errorf("-resume: %w", err))
+		}
+		fmt.Println("repository resumed: accepting updates again")
+	}
+	defer func() {
+		if h := repo.Health(); h.State != youtopia.StateHealthy {
+			fmt.Fprintf(os.Stderr, "youtopia: warning: repository is %s: %s\n", h.State, h.Reason)
+		}
+	}()
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer()

@@ -21,6 +21,7 @@ import (
 	"youtopia/internal/query"
 	"youtopia/internal/storage"
 	"youtopia/internal/tgd"
+	"youtopia/internal/vfs"
 	"youtopia/internal/wal"
 )
 
@@ -50,6 +51,11 @@ type Options struct {
 	// count: reopening with a different Shards value is refused, since
 	// the relation assignment would change.
 	Shards int
+	// FS overrides the filesystem the write-ahead log runs on (nil =
+	// the real one). Fault-injection harnesses pass a vfs.FaultFS here
+	// to exercise the log's retry and degradation machinery. Ignored
+	// when DataDir is empty.
+	FS vfs.FS
 }
 
 // durableBacking is the slice of the write-ahead-log surface the
@@ -61,6 +67,8 @@ type durableBacking interface {
 	Checkpoint() error
 	Fresh() bool
 	Recovery() wal.RecoveryInfo
+	Health() wal.Health
+	Resume() error
 	AppendPark(op chase.Op) (int64, error)
 	AppendAnswer(id int64, ctx string, option int) error
 	AppendResume(id int64, aborted bool) error
@@ -134,6 +142,7 @@ func NewWithOptions(schema *model.Schema, mappings *tgd.Set, opts Options) (*Rep
 		Sync:            opts.Durability,
 		CheckpointBytes: opts.CheckpointBytes,
 		SegmentBytes:    opts.SegmentBytes,
+		FS:              opts.FS,
 	}
 	switch {
 	case opts.DataDir == "" && opts.Shards > 1:
@@ -270,6 +279,31 @@ func (r *Repository) Checkpoint() error {
 // log.
 func (r *Repository) Durable() bool { return r.wal != nil }
 
+// Health reports the durable backing's failure state. In-memory
+// repositories are always healthy (the zero Health). With shards, one
+// degraded or poisoned shard dominates: the whole repository rejects
+// updates, since a commit batch may span shards and partial durability
+// would break batch atomicity.
+func (r *Repository) Health() wal.Health {
+	if r.wal == nil {
+		return wal.Health{}
+	}
+	return r.wal.Health()
+}
+
+// Resume attempts to bring a degraded (read-only) repository back to
+// accepting updates by proving a full write-path round trip with a
+// checkpoint. It is the operator-facing re-arm: call it after clearing
+// the fault the log degraded on (freeing disk space, remounting). It
+// fails if the underlying condition persists, and cannot revive a
+// poisoned log. In-memory repositories resume trivially.
+func (r *Repository) Resume() error {
+	if r.wal == nil {
+		return nil
+	}
+	return r.wal.Resume()
+}
+
 // Recovery reports what opening the repository recovered from its
 // data directory (the zero value for in-memory repositories).
 func (r *Repository) Recovery() wal.RecoveryInfo {
@@ -337,6 +371,14 @@ func (r *Repository) Apply(op chase.Op, user chase.User) (chase.Stats, error) {
 func (r *Repository) ApplyTraced(op chase.Op, user chase.User) (chase.Stats, []chase.TraceEntry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Fast-reject before minting an update number: a degraded or
+	// poisoned log would veto the commit anyway, but failing here keeps
+	// the rejected update out of the numbering sequence and the trace.
+	if r.wal != nil {
+		if h := r.wal.Health(); h.State != wal.StateHealthy {
+			return chase.Stats{}, nil, fmt.Errorf("core: update rejected: %w", h.Err())
+		}
+	}
 	number := r.nextUpdate
 	r.nextUpdate++
 	r.trace.Note(number, "submit")
@@ -466,6 +508,11 @@ func (r *Repository) RunConcurrent(ops []chase.Op, cfg cc.Config) (cc.Metrics, e
 	// upward; enforce it.
 	if r.nextUpdate != 1 {
 		return cc.Metrics{}, fmt.Errorf("core: RunConcurrent requires a repository without prior updates (have %d); use a fresh repository or run the workload first", r.nextUpdate-1)
+	}
+	if r.wal != nil {
+		if h := r.wal.Health(); h.State != wal.StateHealthy {
+			return cc.Metrics{}, fmt.Errorf("core: workload rejected: %w", h.Err())
+		}
 	}
 	if cfg.Trace == nil {
 		cfg.Trace = r.trace

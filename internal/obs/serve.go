@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,13 +15,32 @@ import (
 // plain net/http server exposing
 //
 //	/metrics      Prometheus text exposition of a Registry
-//	/healthz      liveness probe ("ok")
+//	/healthz      liveness probe ("ok", or 503 + state via SetHealthProbe)
 //	/debug/vars   expvar JSON (includes the registry snapshot)
 //	/debug/pprof  the standard pprof handlers
 //
 // Everything is stdlib; nothing here runs unless Serve is called.
 
 var publishOnce sync.Once
+
+// healthProbe, when set, decides what /healthz reports. It is
+// process-wide (like the expvar publication) so the CLIs can wire the
+// repository's failure state in after the server is already up.
+var healthProbe atomic.Pointer[func() (state string, healthy bool)]
+
+// SetHealthProbe wires a liveness callback into /healthz: while the
+// probe reports healthy (or no probe is set) the endpoint answers 200
+// "ok"; when it reports unhealthy the endpoint answers 503 with the
+// probe's state name — how a supervisor notices a repository that has
+// degraded to read-only or poisoned its log. Pass nil to restore the
+// unconditional "ok".
+func SetHealthProbe(f func() (state string, healthy bool)) {
+	if f == nil {
+		healthProbe.Store(nil)
+		return
+	}
+	healthProbe.Store(&f)
+}
 
 // Handler builds the debug mux for reg (Default when nil).
 func Handler(reg *Registry) http.Handler {
@@ -42,6 +62,13 @@ func Handler(reg *Registry) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if probe := healthProbe.Load(); probe != nil {
+			if state, healthy := (*probe)(); !healthy {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, state)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/debug/vars", expvar.Handler())

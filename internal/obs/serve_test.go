@@ -88,3 +88,29 @@ func TestServeBindsAndCloses(t *testing.T) {
 		t.Fatal("server still reachable after Close")
 	}
 }
+
+// TestHealthProbeDegrades pins the /healthz contract of the failure
+// model: with a probe reporting unhealthy the endpoint answers 503
+// with the state name, healthy probes and a cleared probe answer 200
+// "ok".
+func TestHealthProbeDegrades(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	defer SetHealthProbe(nil)
+
+	SetHealthProbe(func() (string, bool) { return "degraded", false })
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || strings.TrimSpace(body) != "degraded" {
+		t.Fatalf("/healthz under unhealthy probe = %d %q, want 503 %q", code, body, "degraded")
+	}
+
+	SetHealthProbe(func() (string, bool) { return "healthy", true })
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz under healthy probe = %d %q", code, body)
+	}
+
+	SetHealthProbe(nil)
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz after probe cleared = %d %q", code, body)
+	}
+}

@@ -44,6 +44,19 @@ type CommitHook func(writers []int, recs []WriteRec) (CommitAck, error)
 // the commit path).
 func (st *Store) SetCommitHook(h CommitHook) { st.commitHook = h }
 
+// CommitGuard is a fast pre-commit admission check: a non-nil return
+// rejects the commit before any stripe lock is taken, with the store
+// unchanged. Durability backends install one so a log that degraded
+// to read-only rejects new submissions cheaply while epoch-snapshot
+// reads keep serving. The guard runs outside every store lock and
+// must not call back into the store; it is advisory — the commit hook
+// remains the authoritative veto.
+type CommitGuard func() error
+
+// SetCommitGuard installs the admission guard. Like SetCommitHook it
+// must be called before the store sees concurrent use.
+func (st *Store) SetCommitGuard(g CommitGuard) { st.commitGuard = g }
+
 // Persistent reports whether a durability hook is installed, which is
 // how the schedulers know each commit batch costs a log append.
 func (st *Store) Persistent() bool { return st.commitHook != nil }

@@ -333,6 +333,15 @@ func (ss *ShardedStore) SetCommitHook(h CommitHook) {
 	}
 }
 
+// SetCommitGuard installs the admission guard on every shard, so a
+// sharded commit is rejected by whichever shard's backend degraded.
+// Per-shard durability installs distinct guards directly on Shards().
+func (ss *ShardedStore) SetCommitGuard(g CommitGuard) {
+	for _, sh := range ss.shards {
+		sh.SetCommitGuard(g)
+	}
+}
+
 // Persistent implements Backend.
 func (ss *ShardedStore) Persistent() bool {
 	for _, sh := range ss.shards {

@@ -236,6 +236,7 @@ type Store struct {
 	// merged-record buffer batchWrites fills; it is only touched while
 	// every stripe lock is held.
 	commitHook    CommitHook
+	commitGuard   CommitGuard
 	syncCounter   func() int64
 	commitScratch []WriteRec
 
@@ -786,6 +787,16 @@ func (st *Store) CommitBatch(writers []int) error {
 func (st *Store) CommitBatchAsync(writers []int) (CommitAck, error) {
 	if len(writers) == 0 {
 		return nil, nil
+	}
+	if st.commitGuard != nil {
+		// Fast rejection before any stripe lock is taken: a durability
+		// backend that cannot accept writes (degraded to read-only,
+		// poisoned) says so here, so doomed commits never contend with
+		// the readers the store is still serving. The hook re-checks
+		// under its own lock; the guard is advisory.
+		if err := st.commitGuard(); err != nil {
+			return nil, err
+		}
 	}
 	st.lockAll()
 	defer st.unlockAll()

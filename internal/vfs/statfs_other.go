@@ -1,0 +1,8 @@
+//go:build !linux && !darwin
+
+package vfs
+
+// osFreeBytes reports "unknown" on platforms without Statfs; the
+// degraded-mode space recheck treats unknown as permission to attempt
+// a resume.
+func osFreeBytes(string) (int64, error) { return -1, nil }

@@ -1,0 +1,13 @@
+//go:build linux || darwin
+
+package vfs
+
+import "syscall"
+
+func osFreeBytes(dir string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return -1, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}

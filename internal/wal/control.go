@@ -8,6 +8,7 @@ import (
 	"youtopia/internal/chase"
 	"youtopia/internal/model"
 	"youtopia/internal/storage"
+	"youtopia/internal/vfs"
 )
 
 // This file adds the decision-inbox control records to the log: a
@@ -336,43 +337,72 @@ func (m *Manager) Parked() []ParkedUpdate {
 
 // appendControlLocked appends one control frame and (under SyncAlways)
 // fsyncs it synchronously before returning. Callers hold m.mu; the
-// fsync waits out an in-flight pipeline sync exactly as segment
-// rotation does, and — being a covering sync of the active segment —
-// advances the synced frontier over every batch appended so far.
+// fsync — being a covering sync of the active segment — advances the
+// synced frontier over every batch appended so far.
+//
+// An in-flight pipeline sync is waited out *before* the frame is
+// written, and m.mu is then held through the inline fsync, so the
+// control frame is the last bytes in the segment when its sync runs:
+// a sync failure can truncate exactly the frame back off, keeping the
+// durable log free of control records their callers were told failed
+// (no ghost parks on recovery). While the syncer is mid-retry or
+// mid-rescue the append bounces with ErrRetrying instead of
+// interleaving with that sequence. The in-memory bookkeeping
+// (ctrlSeq, per-segment control watermarks, checkpoint pressure) only
+// advances once the frame is durable.
 func (m *Manager) appendControlLocked(payload []byte) error {
+	for m.syncing {
+		m.syncCond.Wait()
+	}
+	// The wait released m.mu; (re-)check everything.
 	if m.closed {
 		return fmt.Errorf("wal: append to closed log")
 	}
-	if m.ioErr != nil {
+	switch m.state {
+	case StatePoisoned:
 		return fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
+	case StateDegraded:
+		return fmt.Errorf("wal: control append rejected while read-only (%s): %w", m.reason, ErrReadOnly)
+	}
+	if m.syncRetrying || m.rescuing {
+		return fmt.Errorf("wal: the syncer is retrying a transient failure; retry the control append shortly: %w", ErrRetrying)
 	}
 	frame := appendFrame(nil, payload)
 	if err := m.ensureSegmentLocked(int64(len(frame))); err != nil {
 		return err
 	}
-	if _, err := m.f.Write(frame); err != nil {
-		return m.poisonLocked(fmt.Errorf("wal: control append: %w", err))
+	base := m.size
+	if err := m.writeFrameLocked(frame, "control"); err != nil {
+		return err
 	}
 	m.size += int64(len(frame))
+	if m.opts.Sync != SyncAlways {
+		m.sinceCkpt += int64(len(frame))
+		m.ctrlSeq++
+		m.segCtrl[m.f.Name()] = m.ctrlSeq
+		return nil
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = m.f.Sync(); err == nil || !vfs.IsTransient(err) || attempt >= m.opts.RetryAttempts {
+			break
+		}
+		m.noteRetryLocked(attempt)
+	}
+	if err != nil {
+		// The frame is not durable and must not become replayable:
+		// cut it back off. The segment's earlier unsynced region is
+		// suspect now (the failed fsync may have dropped its pages).
+		if terr := m.f.Truncate(base); terr != nil {
+			return m.poisonLocked(fmt.Errorf("wal: control sync failed (%v) and the frame could not be cut back off (%v)", err, terr))
+		}
+		m.size = base
+		m.suspect = true
+		return m.degradeLocked("control sync failed", vfs.IsNoSpace(err), err)
+	}
 	m.sinceCkpt += int64(len(frame))
 	m.ctrlSeq++
 	m.segCtrl[m.f.Name()] = m.ctrlSeq
-	if m.opts.Sync != SyncAlways {
-		return nil
-	}
-	for m.syncing {
-		m.syncCond.Wait()
-	}
-	// The wait released m.mu; re-check before touching the handle.
-	if m.closed || m.f == nil {
-		return fmt.Errorf("wal: append to closed log")
-	}
-	if m.ioErr != nil {
-		return fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
-	}
-	if err := m.f.Sync(); err != nil {
-		return m.poisonLocked(fmt.Errorf("wal: control sync: %w", err))
-	}
 	m.syncs++
 	if m.syncedBatch < m.batches {
 		m.syncedBatch = m.batches

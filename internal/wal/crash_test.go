@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"youtopia/internal/storage"
+	"youtopia/internal/vfs"
 )
 
 // These table tests pin down the crash points of the ISSUE: a process
@@ -315,7 +316,7 @@ func TestCrashPoints(t *testing.T) {
 			if got := st3.Dump(allSeeing); got != e.dumps[wantBatch] {
 				t.Fatalf("Open recovered a different instance than Recover")
 			}
-			if fileExists(filepath.Join(e.dir, tmpCkptName)) {
+			if fileExists(vfs.OS, filepath.Join(e.dir, tmpCkptName)) {
 				t.Fatal("Open left the temp checkpoint behind")
 			}
 			mustInsert(t, st3, 1, tup("C", c("after-crash")))

@@ -9,11 +9,20 @@ import "youtopia/internal/obs"
 // lock — rotation, close, and checkpoint syncs are counted but not
 // timed, since they hold m.mu and their latency is not the commit
 // path the histogram exists to explain.
+// The health-machine metrics are process-wide: sharded deployments
+// run one manager per shard against the same gauges, so repo_health
+// reads as "the worst recent transition" rather than a per-shard
+// vector — the per-shard truth is ShardGroup.Health.
 var (
-	obsAppends     = obs.Default.Counter("wal_appends_total")
-	obsAppendBytes = obs.Default.Counter("wal_append_bytes_total")
-	obsFsyncs      = obs.Default.Counter("wal_fsyncs_total")
-	obsSyncWait    = obs.Default.LatencyHistogram("wal_sync_seconds")
-	obsCkpts       = obs.Default.Counter("wal_checkpoints_total")
-	obsCkptWait    = obs.Default.LatencyHistogram("wal_checkpoint_seconds")
+	obsAppends      = obs.Default.Counter("wal_appends_total")
+	obsAppendBytes  = obs.Default.Counter("wal_append_bytes_total")
+	obsFsyncs       = obs.Default.Counter("wal_fsyncs_total")
+	obsSyncWait     = obs.Default.LatencyHistogram("wal_sync_seconds")
+	obsCkpts        = obs.Default.Counter("wal_checkpoints_total")
+	obsCkptWait     = obs.Default.LatencyHistogram("wal_checkpoint_seconds")
+	obsRetries      = obs.Default.Counter("wal_retries_total")
+	obsDegrades     = obs.Default.Counter("wal_degrades_total")
+	obsRetireSkips  = obs.Default.Counter("wal_retire_skipped_total")
+	obsDegradedSecs = obs.Default.Gauge("wal_degraded_seconds")
+	obsHealth       = obs.Default.Gauge("repo_health")
 )

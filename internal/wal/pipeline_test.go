@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"youtopia/internal/storage"
+	"youtopia/internal/vfs"
 )
 
 // These tests pin the sync pipeline of ISSUE 4: appends happen under
@@ -245,5 +246,81 @@ func TestSyncNeverNeedsNoAck(t *testing.T) {
 	}
 	if got, want := st2.Dump(allSeeing), st.Dump(allSeeing); got != want {
 		t.Fatalf("recovered instance differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTransientSyncRetryReleasesAcksOnce pins the transient-failure
+// contract of the pipeline: a sync that fails transiently holds the
+// ack waiters parked — it does not fail them — and the successful
+// retry releases every waiter exactly once, with exactly one counted
+// fsync and the log still healthy.
+func TestTransientSyncRetryReleasesAcksOnce(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	ffs := vfs.NewFaultFS(vfs.OS, 1)
+	// The first two fsyncs of the segment fail transiently; the third
+	// attempt is the real one.
+	ffs.Script(vfs.Rule{Op: vfs.OpSync, Path: "wal-", Count: 2})
+	m, st, err := Open(dir, schema, Options{
+		CheckpointBytes: -1,
+		FS:              ffs,
+		RetryBase:       time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustInsert(t, st, 1, tup("C", c("held")))
+	ack, err := st.CommitBatchAsync([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack == nil {
+		t.Fatal("durable commit returned no ack")
+	}
+	// Several waiters park on the same ticket — the schedulers do
+	// exactly this through their ack tracker.
+	const waiters = 4
+	results := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { results <- ack() }()
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatalf("waiter %d failed: %v (transient retries must hold, not fail)", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("ack waiter never released after the retried sync")
+		}
+	}
+	// Exactly once: no duplicate release means no extra buffered
+	// results beyond the one per waiter drained above.
+	select {
+	case err := <-results:
+		t.Fatalf("extra ack release: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := m.Syncs(); got != 1 {
+		t.Fatalf("Syncs = %d, want exactly 1 (failed attempts must not count)", got)
+	}
+	h := m.Health()
+	if h.State != StateHealthy {
+		t.Fatalf("state = %v after transient sync retries, want healthy", h.State)
+	}
+	if h.Retries < 2 {
+		t.Fatalf("Retries = %d, want >= 2", h.Retries)
+	}
+	want := st.Dump(allSeeing)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := Recover(dir, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Dump(allSeeing); got != want {
+		t.Fatalf("recovered %q, want %q", got, want)
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"youtopia/internal/model"
 	"youtopia/internal/storage"
+	"youtopia/internal/vfs"
 )
 
 // RecoveryInfo summarizes what a recovery reconstructed.
@@ -68,8 +69,8 @@ type segFile struct {
 
 // scanDir lists the directory's checkpoints (ascending by batch) and
 // segments (ascending by first batch).
-func scanDir(dir string) ([]ckptFile, []segFile, error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fsys vfs.FS, dir string) ([]ckptFile, []segFile, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
@@ -106,23 +107,23 @@ func Recover(dir string, schema *model.Schema) (*storage.Store, RecoveryInfo, er
 	// A sharded deployment must be inspected shard-aware: with no
 	// top-level segments this scan would otherwise report an empty
 	// fresh instance beside the committed shard data.
-	if existing, _, err := scanShardDirs(dir); err != nil {
+	if existing, _, err := scanShardDirs(vfs.OS, dir); err != nil {
 		return nil, RecoveryInfo{}, err
 	} else if len(existing) > 0 {
 		return nil, RecoveryInfo{}, fmt.Errorf("wal: %s holds a sharded log (%d shard subdirectories); use RecoverSharded with the matching shard count",
 			dir, len(existing))
 	}
-	rec, err := recoverDir(dir, schema)
+	rec, err := recoverDir(vfs.OS, dir, schema)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
 	return rec.st, rec.info, nil
 }
 
-func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
+func recoverDir(fsys vfs.FS, dir string, schema *model.Schema) (*recovery, error) {
 	cdc := newCodec(schema)
 	rec := &recovery{st: storage.NewStore(schema), parked: newParkedSet()}
-	ckpts, segs, err := scanDir(dir)
+	ckpts, segs, err := scanDir(fsys, dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			rec.info.Fresh = true
@@ -138,7 +139,7 @@ func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
 	ckptBatch := int64(0)
 	haveCkpt := false
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		ck, err := readCheckpoint(ckpts[i].path, cdc)
+		ck, err := readCheckpoint(fsys, ckpts[i].path, cdc)
 		if err != nil {
 			continue
 		}
@@ -178,7 +179,7 @@ func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
 			rec.orphans = append(rec.orphans, sf.path)
 			continue
 		}
-		data, err := os.ReadFile(sf.path)
+		data, err := fsys.ReadFile(sf.path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -196,12 +197,19 @@ func recoverDir(dir string, schema *model.Schema) (*recovery, error) {
 			continue
 		}
 		if prev >= 0 && first != prev+1 {
-			// Gap between segments: the tail beyond the gap is
-			// unreachable without the missing batches.
-			rec.info.Repaired = true
-			rec.orphans = append(rec.orphans, sf.path)
-			stopped = true
-			continue
+			if first > ckptBatch+1 {
+				// Gap between segments: the tail beyond the gap is
+				// unreachable without the missing batches.
+				rec.info.Repaired = true
+				rec.orphans = append(rec.orphans, sf.path)
+				stopped = true
+				continue
+			}
+			// The gap is wholly covered by the checkpoint — a retired
+			// segment whose removal was skipped, or a suspect segment
+			// dropped when a degraded log resumed. The missing batches
+			// are in the checkpoint; resync the expectation.
+			prev = first - 1
 		}
 		expected := first - 1
 		if prev < 0 {
@@ -283,8 +291,8 @@ func segPaths(segs []segFile) []string {
 }
 
 // readCheckpoint reads and fully validates one checkpoint file.
-func readCheckpoint(path string, cdc *codec) (checkpointRecord, error) {
-	data, err := os.ReadFile(path)
+func readCheckpoint(fsys vfs.FS, path string, cdc *codec) (checkpointRecord, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return checkpointRecord{}, fmt.Errorf("wal: %w", err)
 	}
@@ -311,7 +319,7 @@ func ClonePrefix(src, dst string, upTo int64) error {
 	if err := os.Mkdir(dst, 0o755); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	ckpts, segs, err := scanDir(src)
+	ckpts, segs, err := scanDir(vfs.OS, src)
 	if err != nil {
 		return err
 	}

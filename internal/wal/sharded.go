@@ -9,6 +9,7 @@ import (
 
 	"youtopia/internal/model"
 	"youtopia/internal/storage"
+	"youtopia/internal/vfs"
 )
 
 // This file layers the write-ahead log under a relation-partitioned
@@ -49,8 +50,8 @@ type ShardGroup struct {
 // empty layout is accepted; the stale empty directories are returned
 // for the caller to prune, which keeps a later open at yet another
 // count from mistaking them for a pinned layout.
-func checkShardLayout(dir string, shards int) (prune []string, err error) {
-	existing, single, err := scanShardDirs(dir)
+func checkShardLayout(fsys vfs.FS, dir string, shards int) (prune []string, err error) {
+	existing, single, err := scanShardDirs(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +74,7 @@ func checkShardLayout(dir string, shards int) (prune []string, err error) {
 	}
 	for _, k := range existing {
 		path := filepath.Join(dir, shardDirName(k))
-		ckpts, segs, err := scanDir(path)
+		ckpts, segs, err := scanDir(fsys, path)
 		if err != nil {
 			return nil, err
 		}
@@ -91,8 +92,8 @@ func checkShardLayout(dir string, shards int) (prune []string, err error) {
 // scanShardDirs returns the shard subdirectories a sharded WAL
 // directory holds, and whether the directory instead carries a
 // single-store log (top-level segments or checkpoints).
-func scanShardDirs(dir string) (shards []int, single bool, err error) {
-	entries, err := os.ReadDir(dir)
+func scanShardDirs(fsys vfs.FS, dir string) (shards []int, single bool, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, false, nil
@@ -135,7 +136,8 @@ func OpenShardedWith(dir string, schema *model.Schema, shards int, optsFor func(
 	if shards < 1 {
 		shards = 1
 	}
-	prune, err := checkShardLayout(dir, shards)
+	layoutFS := optsFor(0).withDefaults().FS
+	prune, err := checkShardLayout(layoutFS, dir, shards)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -250,6 +252,38 @@ func (g *ShardGroup) Syncs() int64 {
 	return n
 }
 
+// Health reports the group's aggregate health: the worst shard's
+// state (with its reason and timing) and the retry count summed
+// across shards. One degraded shard makes the whole repository
+// read-only for writes — a commit touching it would fail while
+// commits elsewhere succeeded, tearing the update's atomicity.
+func (g *ShardGroup) Health() Health {
+	var out Health
+	for _, m := range g.mgrs {
+		h := m.Health()
+		out.Retries += h.Retries
+		if h.State > out.State {
+			out.State = h.State
+			out.Reason = h.Reason
+			out.Since = h.Since
+			out.NoSpace = h.NoSpace
+		}
+	}
+	return out
+}
+
+// Resume re-arms every degraded shard (healthy shards are no-ops) and
+// returns the first failure.
+func (g *ShardGroup) Resume() error {
+	var first error
+	for _, m := range g.mgrs {
+		if err := m.Resume(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // absorb folds one shard's recovery report into an aggregate: counts
 // sum (LastBatch and CheckpointBatch included, so they read as
 // per-shard log totals, not one log's indexes), Repaired is true if
@@ -292,7 +326,7 @@ func RecoverSharded(dir string, schema *model.Schema, shards int) (*storage.Shar
 	if shards < 1 {
 		shards = 1
 	}
-	if _, err := checkShardLayout(dir, shards); err != nil {
+	if _, err := checkShardLayout(vfs.OS, dir, shards); err != nil {
 		return nil, RecoveryInfo{}, err
 	}
 	stores := make([]*storage.Store, 0, shards)

@@ -46,6 +46,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -55,6 +56,7 @@ import (
 
 	"youtopia/internal/model"
 	"youtopia/internal/storage"
+	"youtopia/internal/vfs"
 )
 
 // SyncPolicy selects when the log is fsynced.
@@ -99,6 +101,20 @@ type Options struct {
 	// call back into either or retain the record slice; tests and
 	// metrics collectors use it.
 	Observer func(batch int64, writers []int, recs []storage.WriteRec)
+	// FS is the filesystem the log runs on (nil = the real one).
+	// Tests and the chaos harness inject a vfs.FaultFS here.
+	FS vfs.FS
+	// RetryAttempts bounds how many times a transient I/O failure is
+	// retried before the log degrades to read-only (0 = 6; negative
+	// disables retries).
+	RetryAttempts int
+	// RetryBase is the first retry's backoff; successive attempts
+	// double it (capped at 64x) with ±50% jitter (0 = 500µs).
+	RetryBase time.Duration
+	// RecheckInterval paces the degraded-mode health loop: the
+	// wal_degraded_seconds gauge update and, for ENOSPC degrades, the
+	// free-space poll that re-arms writes automatically (0 = 500ms).
+	RecheckInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +123,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointBytes == 0 {
 		o.CheckpointBytes = 8 << 20
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS
+	}
+	if o.RetryAttempts == 0 {
+		o.RetryAttempts = 6
+	} else if o.RetryAttempts < 0 {
+		o.RetryAttempts = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 500 * time.Microsecond
+	}
+	if o.RecheckInterval <= 0 {
+		o.RecheckInterval = 500 * time.Millisecond
 	}
 	return o
 }
@@ -118,6 +148,7 @@ type Manager struct {
 	dir  string
 	cdc  *codec
 	opts Options
+	fs   vfs.FS
 	st   *storage.Store
 	info RecoveryInfo
 
@@ -128,7 +159,7 @@ type Manager struct {
 
 	// mu guards everything below.
 	mu        sync.Mutex
-	f         *os.File // active segment (nil until the first append)
+	f         vfs.File // active segment (nil until the first append)
 	size      int64    // bytes written to the active segment
 	batches   int64    // index of the last appended commit batch
 	batchBase int64    // batches value at Open; the store's epoch Commits counter starts at 0 there
@@ -136,8 +167,25 @@ type Manager struct {
 	sinceCkpt int64    // log bytes since the last durable checkpoint
 	syncs     int64    // fsyncs that covered appended batches
 	closed    bool
-	ioErr     error // sticky append-path I/O failure; see appendBatch
+	ioErr     error // sticky poison cause (wraps ErrPoisoned); see poisonLocked
 	bgErr     error // first background-checkpoint failure
+
+	// Health machine (see health.go): transient failures retry in
+	// place and leave state alone; ENOSPC and exhausted retries
+	// degrade to read-only; unknowable-tail failures poison. suspect
+	// marks the active segment as unsafe to keep after a failed fsync
+	// over it; syncRetrying and rescuing bounce operations that must
+	// not interleave with the syncer's retry/rescue sequence.
+	state         State
+	reason        string
+	since         time.Time
+	noSpace       bool
+	retries       int64
+	degradedAccum time.Duration
+	suspect       bool
+	syncRetrying  bool
+	rescuing      bool
+	healthCh      chan struct{}
 
 	// Decision-inbox control state (see control.go): the live parked
 	// updates, a monotone control-append counter, and the last control
@@ -180,14 +228,29 @@ func (m *Manager) stopBackground() {
 	})
 }
 
-// poisonLocked records the first append-path I/O failure and wakes
-// every parked ack waiter — they must observe the poison and surface
-// the error rather than sleep forever waiting for a covering sync
-// that will never come. Callers hold m.mu; the sticky error is
-// returned for convenience.
+// poisonLocked records the terminal failure — the durable prefix can
+// no longer be tracked — and wakes every parked ack waiter, which
+// must observe the poison and surface the error rather than sleep
+// forever waiting for a covering sync that will never come. The
+// sticky cause wraps ErrPoisoned so every error derived from it
+// satisfies errors.Is(err, ErrPoisoned). Callers hold m.mu; the
+// sticky error is returned for convenience.
 func (m *Manager) poisonLocked(err error) error {
+	if m.state != StatePoisoned {
+		if m.state == StateDegraded {
+			m.degradedAccum += time.Since(m.since)
+			obsDegradedSecs.Set(int64(m.degradedAccum / time.Second))
+		}
+		m.state = StatePoisoned
+		m.since = time.Now()
+		obsHealth.Set(int64(StatePoisoned))
+	}
 	if m.ioErr == nil {
+		if !errors.Is(err, ErrPoisoned) {
+			err = fmt.Errorf("%w: %w", ErrPoisoned, err)
+		}
 		m.ioErr = err
+		m.reason = err.Error()
 	}
 	m.syncCond.Broadcast()
 	return m.ioErr
@@ -206,26 +269,28 @@ func ckptName(batch int64) string {
 // The directory is created if absent. The returned store is ready for
 // use; Close releases the log.
 func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.Store, error) {
+	o := opts.withDefaults()
 	// A directory holding shard subdirectories is a sharded deployment
 	// (OpenSharded); opening it as a single store would silently boot
 	// an empty repository beside the committed shard data.
-	if existing, _, err := scanShardDirs(dir); err != nil {
+	if existing, _, err := scanShardDirs(o.FS, dir); err != nil {
 		return nil, nil, err
 	} else if len(existing) > 0 {
 		return nil, nil, fmt.Errorf("wal: %s holds a sharded log (%d shard subdirectories); open it with the matching shard count",
 			dir, len(existing))
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	rec, err := recoverDir(dir, schema)
+	rec, err := recoverDir(o.FS, dir, schema)
 	if err != nil {
 		return nil, nil, err
 	}
 	m := &Manager{
 		dir:       dir,
 		cdc:       newCodec(schema),
-		opts:      opts.withDefaults(),
+		opts:      o,
+		fs:        o.FS,
 		st:        rec.st,
 		info:      rec.info,
 		batches:   rec.info.LastBatch,
@@ -241,8 +306,12 @@ func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.St
 		return nil, nil, err
 	}
 	rec.st.SetCommitHook(m.appendBatch)
+	rec.st.SetCommitGuard(m.writeGate)
 	rec.st.SetSyncCounter(m.Syncs)
 	m.done = make(chan struct{})
+	m.healthCh = make(chan struct{}, 1)
+	m.wg.Add(1)
+	go m.healthLoop()
 	if m.opts.CheckpointBytes > 0 {
 		m.ckptCh = make(chan struct{}, 1)
 		m.wg.Add(1)
@@ -261,22 +330,22 @@ func Open(dir string, schema *model.Schema, opts Options) (*Manager, *storage.St
 // reopen the last live segment for appending.
 func (m *Manager) repair(rec *recovery) error {
 	for _, orphan := range rec.orphans {
-		if err := os.Remove(orphan); err != nil {
+		if err := m.fs.Remove(orphan); err != nil {
 			return fmt.Errorf("wal: dropping orphaned %s: %w", filepath.Base(orphan), err)
 		}
 	}
-	if tmp := filepath.Join(m.dir, tmpCkptName); fileExists(tmp) {
-		if err := os.Remove(tmp); err != nil {
+	if tmp := filepath.Join(m.dir, tmpCkptName); fileExists(m.fs, tmp) {
+		if err := m.fs.Remove(tmp); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
 	if rec.truncFile != "" {
-		if err := os.Truncate(rec.truncFile, rec.truncAt); err != nil {
+		if err := m.fs.Truncate(rec.truncFile, rec.truncAt); err != nil {
 			return fmt.Errorf("wal: repairing torn tail of %s: %w", filepath.Base(rec.truncFile), err)
 		}
 	}
 	if rec.lastSeg != "" {
-		f, err := os.OpenFile(rec.lastSeg, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := m.fs.OpenFile(rec.lastSeg, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return fmt.Errorf("wal: reopening %s: %w", filepath.Base(rec.lastSeg), err)
 		}
@@ -290,7 +359,7 @@ func (m *Manager) repair(rec *recovery) error {
 		m.size = rec.lastSegSize
 	}
 	if rec.truncFile != "" || len(rec.orphans) > 0 {
-		if err := syncDir(m.dir); err != nil {
+		if err := syncDir(m.fs, m.dir); err != nil {
 			return err
 		}
 	}
@@ -352,25 +421,36 @@ func (m *Manager) LastCheckpoint() int64 {
 // supersedes it), so the expensive disk wait happens after the stripe
 // locks are released and concurrent batches share syncs.
 //
-// Any I/O failure on the append path poisons the manager: the commit
-// it vetoed may have left a torn frame (or pages in an unknown sync
-// state) at the tail, and a later successful append landing after
-// those bytes would be silently truncated away by the next recovery —
-// an acknowledged commit lost. Refusing every subsequent append keeps
-// the acknowledged prefix exactly equal to the durable one; the
-// operator reopens the directory (which repairs the torn tail) to
-// resume. A *sync* failure poisons the same way, but the batches it
-// stranded were already committed in memory — their acks report the
-// error, and the acknowledged-to-anyone prefix still ends at the last
-// successful sync.
+// I/O failures on the append path are classified, not fatal:
+// transient write errors retry in place with backoff (the torn tail
+// is truncated back to the frame boundary before every retry, so the
+// commit order never admits a gap), ENOSPC and exhausted retries veto
+// the commit and degrade the log to read-only (the store is
+// unchanged; the scheduler aborts the batch's updates), and only a
+// tail that cannot be restored — the truncate after a failed write
+// itself failing — poisons, because a later append past torn bytes
+// would be silently cut by the next recovery, losing an acknowledged
+// commit. Sync failures are the syncer's business (see syncPending):
+// bounded retries, then a rescue checkpoint that acknowledges the
+// stranded batches before the log degrades.
 func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) (storage.CommitAck, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, fmt.Errorf("wal: append to closed log")
 	}
-	if m.ioErr != nil {
+	switch m.state {
+	case StatePoisoned:
 		return nil, fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
+	case StateDegraded:
+		return nil, fmt.Errorf("wal: commit rejected while read-only (%s): %w", m.reason, ErrReadOnly)
+	}
+	if m.rescuing {
+		// The syncer is mid-rescue: a checkpoint is acknowledging the
+		// stranded batches and the active segment is about to be
+		// dropped. Admitting an append now would put frames into a
+		// file that is going away.
+		return nil, fmt.Errorf("wal: sync-failure rescue in progress: %w", ErrRetrying)
 	}
 	payload, err := m.cdc.encodeBatch(m.batches+1, writers, recs)
 	if err != nil {
@@ -380,8 +460,8 @@ func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) (storage.C
 	if err := m.ensureSegmentLocked(int64(len(frame))); err != nil {
 		return nil, err
 	}
-	if _, err := m.f.Write(frame); err != nil {
-		return nil, m.poisonLocked(fmt.Errorf("wal: append: %w", err))
+	if err := m.writeFrameLocked(frame, "commit"); err != nil {
+		return nil, err
 	}
 	m.batches++
 	m.size += int64(len(frame))
@@ -411,18 +491,24 @@ func (m *Manager) appendBatch(writers []int, recs []storage.WriteRec) (storage.C
 }
 
 // waitSynced blocks until the given batch index is covered by a
-// durable sync or checkpoint.
+// durable sync or checkpoint. Transient sync failures hold the waiter
+// parked — the syncer is retrying and will either land a covering
+// sync (waking it with success, exactly once) or transition the
+// state, waking it with the error.
 func (m *Manager) waitSynced(batch int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for m.syncedBatch < batch && m.ioErr == nil && !m.closed {
+	for m.syncedBatch < batch && m.state == StateHealthy && !m.closed {
 		m.syncCond.Wait()
 	}
 	if m.syncedBatch >= batch {
 		return nil
 	}
-	if m.ioErr != nil {
+	switch m.state {
+	case StatePoisoned:
 		return fmt.Errorf("wal: commit batch %d not durable: %w", batch, m.ioErr)
+	case StateDegraded:
+		return fmt.Errorf("wal: commit batch %d not durable: log degraded before its covering sync (%s): %w", batch, m.reason, ErrReadOnly)
 	}
 	return fmt.Errorf("wal: closed before commit batch %d was synced", batch)
 }
@@ -447,61 +533,141 @@ func (m *Manager) syncLoop(ch <-chan struct{}) {
 // syncPending performs one covering fsync if any appended batch awaits
 // one. Close drains the tail itself, so a closed manager is left
 // alone.
+//
+// A transient sync failure holds the ack waiters parked and retries
+// with backoff — commits keep landing meanwhile and are swept into
+// the retried sync's fresh target. Once the retry budget is exhausted
+// (or the failure is persistent), the stranded batches are rescued:
+// a checkpoint serializes the committed instance — which includes
+// them — through an untainted file path, acknowledging them without
+// the broken fsync, and the log degrades to read-only with the active
+// segment marked suspect (after a failed fsync the kernel may have
+// dropped its dirty pages; see dropSuspectSegmentLocked). Only a
+// rescue that itself fails poisons.
 func (m *Manager) syncPending() {
 	m.mu.Lock()
-	if m.closed || m.ioErr != nil || m.f == nil || m.syncedBatch >= m.batches {
+	if m.closed || m.state != StateHealthy || m.f == nil || m.syncedBatch >= m.batches {
 		m.mu.Unlock()
 		return
 	}
-	target := m.batches
-	f := m.f
-	m.syncing = true
-	m.mu.Unlock()
 	syncStart := time.Now()
-	err := f.Sync()
-	m.mu.Lock()
-	m.syncing = false
-	if err != nil {
-		m.poisonLocked(fmt.Errorf("wal: sync: %w", err))
-	} else {
-		if target > m.syncedBatch {
-			m.syncedBatch = target
+	for attempt := 0; ; attempt++ {
+		target := m.batches
+		f := m.f
+		m.syncing = true
+		m.mu.Unlock()
+		err := f.Sync()
+		m.mu.Lock()
+		m.syncing = false
+		if err == nil {
+			if target > m.syncedBatch {
+				m.syncedBatch = target
+			}
+			m.syncs++
+			obsFsyncs.Inc()
+			obsSyncWait.ObserveSince(syncStart)
+			m.syncRetrying = false
+			m.syncCond.Broadcast()
+			m.mu.Unlock()
+			return
 		}
-		m.syncs++
-		obsFsyncs.Inc()
-		obsSyncWait.ObserveSince(syncStart)
+		if !m.closed && vfs.IsTransient(err) && attempt < m.opts.RetryAttempts {
+			// Hold the ack waiters parked and retry; control appends
+			// (which sync inline and must not interleave with the
+			// retry sequence) bounce with ErrRetrying meanwhile.
+			m.syncRetrying = true
+			m.retries++
+			obsRetries.Inc()
+			delay := backoff(m.opts.RetryBase, attempt)
+			m.mu.Unlock()
+			time.Sleep(delay)
+			m.mu.Lock()
+			if m.closed || m.state != StateHealthy || m.f == nil {
+				m.syncRetrying = false
+				m.syncCond.Broadcast()
+				m.mu.Unlock()
+				return
+			}
+			continue
+		}
+		m.syncRetrying = false
+		if m.closed {
+			// Close owns the drain now; leave the failure to it.
+			m.syncCond.Broadcast()
+			m.mu.Unlock()
+			return
+		}
+		// Rescue: rescuing bounces new appends (the active segment is
+		// about to be dropped), the checkpoint runs outside m.mu.
+		m.rescuing = true
+		m.suspect = true
+		m.mu.Unlock()
+		rescueErr := m.Checkpoint()
+		m.mu.Lock()
+		m.rescuing = false
+		switch {
+		case m.closed:
+			// Close raced the rescue and already woke the waiters.
+		case rescueErr == nil && m.syncedBatch >= target:
+			m.dropSuspectSegmentLocked()
+			m.degradeLocked(fmt.Sprintf("sync failed after %d attempts; pending batches rescued by checkpoint", attempt+1), vfs.IsNoSpace(err), err)
+		default:
+			cause := rescueErr
+			if cause == nil {
+				cause = fmt.Errorf("checkpoint landed below the stranded batches")
+			}
+			m.poisonLocked(fmt.Errorf("wal: sync failed (%v) and the rescue checkpoint failed (%v)", err, cause))
+		}
+		m.syncCond.Broadcast()
+		m.mu.Unlock()
+		return
 	}
-	m.syncCond.Broadcast()
-	m.mu.Unlock()
 }
 
 // ensureSegmentLocked rotates a full segment and lazily creates the
-// next one. Callers hold m.mu. Failures that may have left bytes in
-// an unknown state poison the manager (see appendBatch); a failure to
-// create the next segment leaves nothing written and stays retryable.
+// next one. Callers hold m.mu.
 //
 // Rotation is a natural sync point: the outgoing segment is fsynced
 // before it is closed, which covers every batch appended so far (the
 // pipeline never leaves unsynced batches behind in a rotated-away
 // segment — the syncer only ever needs the active one). An in-flight
 // pipeline fsync is waited out first so the handle is not closed
-// under it.
+// under it. A rotation sync that fails past the transient-retry
+// budget marks the segment suspect and degrades; a failure anywhere
+// in creating the next segment leaves nothing referenced — the
+// partial file is removed and, for persistent failures, the log
+// degrades with everything already appended still intact.
 func (m *Manager) ensureSegmentLocked(frameLen int64) error {
 	if m.f != nil && m.size > headerLen && m.size+frameLen > m.opts.SegmentBytes {
 		for m.syncing {
 			m.syncCond.Wait()
 		}
 		// The wait released m.mu: a concurrent Close may have drained
-		// and released the handle in the interim — re-check before
-		// touching it (a nil-file Sync would spuriously poison the log).
+		// and released the handle in the interim — and the syncer may
+		// have changed the state — re-check before touching the file.
 		if m.closed || m.f == nil {
 			return fmt.Errorf("wal: append to closed log")
 		}
-		if m.ioErr != nil {
+		switch m.state {
+		case StatePoisoned:
 			return fmt.Errorf("wal: log poisoned by earlier failure: %w", m.ioErr)
+		case StateDegraded:
+			return fmt.Errorf("wal: commit rejected while read-only (%s): %w", m.reason, ErrReadOnly)
 		}
-		if err := m.f.Sync(); err != nil {
-			return m.poisonLocked(fmt.Errorf("wal: sync on rotation: %w", err))
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = m.f.Sync(); err == nil {
+				break
+			}
+			if !vfs.IsTransient(err) || attempt >= m.opts.RetryAttempts {
+				// The outgoing segment's unsynced region is suspect
+				// after a failed fsync; everything in it is already
+				// committed in memory, so the rescue on Resume is the
+				// covering checkpoint.
+				m.suspect = true
+				return m.degradeLocked("sync on rotation failed", vfs.IsNoSpace(err), err)
+			}
+			m.noteRetryLocked(attempt)
 		}
 		if m.syncedBatch < m.batches {
 			m.syncedBatch = m.batches
@@ -510,7 +676,10 @@ func (m *Manager) ensureSegmentLocked(frameLen int64) error {
 			m.syncCond.Broadcast()
 		}
 		if err := m.f.Close(); err != nil {
-			return m.poisonLocked(fmt.Errorf("wal: close on rotation: %w", err))
+			// Everything in the segment is synced; only the handle
+			// leaked. Stop appending, keep serving reads.
+			m.f = nil
+			return m.degradeLocked("close on rotation failed", false, err)
 		}
 		m.f = nil
 	}
@@ -518,21 +687,55 @@ func (m *Manager) ensureSegmentLocked(frameLen int64) error {
 		return nil
 	}
 	path := filepath.Join(m.dir, segName(m.batches+1))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: new segment: %w", err)
+	// Creation is a composite of three fault points — create, header
+	// write, directory sync — and each gets its own transient-retry
+	// budget: a burst of transients on one step must not eat the
+	// attempts another step still needs.
+	var lastErr error
+	var tries [3]int
+	retryStep := func(step int, err error) bool {
+		lastErr = err
+		if !vfs.IsTransient(err) || vfs.IsNoSpace(err) || tries[step] >= m.opts.RetryAttempts {
+			return false
+		}
+		m.noteRetryLocked(tries[step])
+		tries[step]++
+		return true
 	}
-	if _, err := f.Write(segmentHeader(m.cdc.hash, m.batches+1)); err != nil {
-		f.Close()
-		return m.poisonLocked(fmt.Errorf("wal: segment header: %w", err))
+	for {
+		// A previous attempt may have left the file behind; the
+		// create below insists on O_EXCL.
+		if lastErr != nil {
+			m.fs.Remove(path)
+		}
+		f, err := m.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			if retryStep(0, err) {
+				continue
+			}
+			break
+		}
+		if _, err := f.Write(segmentHeader(m.cdc.hash, m.batches+1)); err != nil {
+			f.Close()
+			m.fs.Remove(path)
+			if retryStep(1, err) {
+				continue
+			}
+			break
+		}
+		if err := syncDir(m.fs, m.dir); err != nil {
+			f.Close()
+			m.fs.Remove(path)
+			if retryStep(2, err) {
+				continue
+			}
+			break
+		}
+		m.f = f
+		m.size = headerLen
+		return nil
 	}
-	if err := syncDir(m.dir); err != nil {
-		f.Close()
-		return m.poisonLocked(err)
-	}
-	m.f = f
-	m.size = headerLen
-	return nil
+	return m.degradeLocked("creating the next segment failed", vfs.IsNoSpace(lastErr), lastErr)
 }
 
 // checkpointLoop is the background checkpointer.
@@ -612,15 +815,19 @@ func (m *Manager) Checkpoint() error {
 	buf = binary.LittleEndian.AppendUint64(buf, m.cdc.hash)
 	buf = appendFrame(buf, payload)
 
+	// Each step retries transient failures with backoff; a failure
+	// here leaves the old checkpoint lineage authoritative (the temp
+	// file is never read by recovery and the rename is atomic), so
+	// the error is reported without any state transition.
 	tmp := filepath.Join(m.dir, tmpCkptName)
-	if err := writeFileSync(tmp, buf); err != nil {
+	if err := m.retryTransient(3, func() error { return writeFileSync(m.fs, tmp, buf) }); err != nil {
 		return err
 	}
 	final := filepath.Join(m.dir, ckptName(k))
-	if err := os.Rename(tmp, final); err != nil {
+	if err := m.retryTransient(1, func() error { return m.fs.Rename(tmp, final) }); err != nil {
 		return fmt.Errorf("wal: installing checkpoint: %w", err)
 	}
-	if err := syncDir(m.dir); err != nil {
+	if err := m.retryTransient(1, func() error { return syncDir(m.fs, m.dir) }); err != nil {
 		return err
 	}
 
@@ -642,9 +849,7 @@ func (m *Manager) Checkpoint() error {
 		active = m.f.Name()
 	}
 	m.mu.Unlock()
-	if err := m.retire(k, ctrlAt, final, active); err != nil {
-		return err
-	}
+	m.retire(k, ctrlAt, final, active)
 	obsCkpts.Inc()
 	obsCkptWait.ObserveSince(ckptStart)
 	return nil
@@ -656,10 +861,18 @@ func (m *Manager) Checkpoint() error {
 // (ctrlAt) is kept regardless — the checkpoint's parked section does
 // not reflect that frame yet, so deleting the segment would lose a
 // durable park or answer.
-func (m *Manager) retire(k, ctrlAt int64, keepCkpt, activeSeg string) error {
-	ckpts, segs, err := scanDir(m.dir)
+//
+// Retirement is garbage collection, not correctness: a file that
+// fails to delete is counted (wal_retire_skipped_total) and skipped —
+// never an error that fails the checkpoint — because recovery skips
+// covered segments and older checkpoints anyway, and the next
+// checkpoint's retire pass rescans the directory and retries the
+// orphans.
+func (m *Manager) retire(k, ctrlAt int64, keepCkpt, activeSeg string) {
+	ckpts, segs, err := scanDir(m.fs, m.dir)
 	if err != nil {
-		return err
+		obsRetireSkips.Inc()
+		return
 	}
 	m.mu.Lock()
 	ctrlIn := make(map[string]int64, len(m.segCtrl))
@@ -671,8 +884,9 @@ func (m *Manager) retire(k, ctrlAt int64, keepCkpt, activeSeg string) error {
 	var removedSegs []string
 	for _, c := range ckpts {
 		if c.path != keepCkpt && c.idx <= k {
-			if err := os.Remove(c.path); err != nil {
-				return fmt.Errorf("wal: retiring checkpoint: %w", err)
+			if err := m.fs.Remove(c.path); err != nil {
+				obsRetireSkips.Inc()
+				continue
 			}
 			removed = true
 		}
@@ -681,8 +895,9 @@ func (m *Manager) retire(k, ctrlAt int64, keepCkpt, activeSeg string) error {
 		// Segment i holds batches [first_i, first_{i+1}); all covered
 		// by the checkpoint iff first_{i+1} <= k+1.
 		if segs[i].path != activeSeg && segs[i+1].first <= k+1 && ctrlIn[segs[i].path] <= ctrlAt {
-			if err := os.Remove(segs[i].path); err != nil {
-				return fmt.Errorf("wal: retiring segment: %w", err)
+			if err := m.fs.Remove(segs[i].path); err != nil {
+				obsRetireSkips.Inc()
+				continue
 			}
 			removed = true
 			removedSegs = append(removedSegs, segs[i].path)
@@ -696,9 +911,13 @@ func (m *Manager) retire(k, ctrlAt int64, keepCkpt, activeSeg string) error {
 		m.mu.Unlock()
 	}
 	if removed {
-		return syncDir(m.dir)
+		// Directory durability for the unlinks; if this fails the
+		// files may resurrect after a crash, which recovery tolerates
+		// the same way it tolerates a skipped removal.
+		if err := syncDir(m.fs, m.dir); err != nil {
+			obsRetireSkips.Inc()
+		}
 	}
-	return nil
 }
 
 // Close drains the sync pipeline (a final covering fsync for any
@@ -719,27 +938,31 @@ func (m *Manager) Close() error {
 	}
 	var err error
 	if m.f != nil {
-		poisoned := m.ioErr != nil
-		serr := m.f.Sync()
-		switch {
-		case serr != nil:
-			m.poisonLocked(fmt.Errorf("wal: sync on close: %w", serr))
-			if !poisoned {
-				err = serr
+		if m.state == StateHealthy {
+			var serr error
+			for attempt := 0; ; attempt++ {
+				if serr = m.f.Sync(); serr == nil || !vfs.IsTransient(serr) || attempt >= m.opts.RetryAttempts {
+					break
+				}
+				m.noteRetryLocked(attempt)
 			}
-		case poisoned:
-			// A failed fsync may have dropped dirty pages; a later
-			// successful one proves nothing about them. The stranded
-			// batches stay unacknowledged.
-		case m.opts.Sync == SyncAlways && m.syncedBatch < m.batches:
-			// The drain covered pending batches; under SyncNever the
-			// same close-time sync is just tidiness, not an
-			// acknowledgment, and stays uncounted.
-			m.syncedBatch = m.batches
-			m.syncs++
-			obsFsyncs.Inc()
+			switch {
+			case serr != nil:
+				m.poisonLocked(fmt.Errorf("wal: sync on close: %w", serr))
+				err = serr
+			case m.opts.Sync == SyncAlways && m.syncedBatch < m.batches:
+				// The drain covered pending batches; under SyncNever
+				// the same close-time sync is just tidiness, not an
+				// acknowledgment, and stays uncounted.
+				m.syncedBatch = m.batches
+				m.syncs++
+				obsFsyncs.Inc()
+			}
 		}
-		if cerr := m.f.Close(); cerr != nil && err == nil && !poisoned {
+		// Degraded or poisoned: a failed fsync may have dropped dirty
+		// pages, and a close-time sync would prove nothing about
+		// them — the stranded batches stay unacknowledged.
+		if cerr := m.f.Close(); cerr != nil && err == nil && m.state == StateHealthy {
 			err = cerr
 		}
 		m.f = nil
@@ -755,14 +978,15 @@ func (m *Manager) Close() error {
 	return err
 }
 
-func fileExists(path string) bool {
-	_, err := os.Stat(path)
+func fileExists(fsys vfs.FS, path string) bool {
+	_, err := fsys.Stat(path)
 	return err == nil
 }
 
-// writeFileSync writes data to path and fsyncs it.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+// writeFileSync writes data to path and fsyncs it. O_TRUNC makes a
+// retry after a partial write start from a clean slate.
+func writeFileSync(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -782,17 +1006,9 @@ func writeFileSync(path string, data []byte) error {
 
 // syncDir fsyncs a directory so renames and unlinks within it are
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	serr := d.Sync()
-	if cerr := d.Close(); serr == nil {
-		serr = cerr
-	}
-	if serr != nil {
-		return fmt.Errorf("wal: sync %s: %w", dir, serr)
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", dir, err)
 	}
 	return nil
 }

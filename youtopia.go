@@ -184,6 +184,45 @@ const (
 	SyncNever = wal.SyncNever
 )
 
+// Failure surface. A transient I/O failure on the log is retried with
+// capped exponential backoff and never surfaces to callers; a failure
+// that persists (or ENOSPC) degrades the repository to read-only —
+// reads and inbox listing keep serving, new updates are rejected with
+// ErrReadOnly until Repository.Resume proves the write path works
+// again (disk-full degradations also re-arm automatically once space
+// returns). Only failures that leave the log in an unknowable state
+// poison it, which is terminal until the directory is reopened.
+type (
+	// Health is a snapshot of the durable backing's failure state
+	// (Repository.Health; the zero value is healthy).
+	Health = wal.Health
+	// State is the repository health state: StateHealthy,
+	// StateDegraded (read-only), or StatePoisoned.
+	State = wal.State
+)
+
+const (
+	// StateHealthy accepts updates; the log is at full function.
+	StateHealthy = wal.StateHealthy
+	// StateDegraded is read-only after a persistent I/O failure;
+	// Resume re-arms it.
+	StateDegraded = wal.StateDegraded
+	// StatePoisoned is terminal: reopen the data directory to recover
+	// the durable prefix.
+	StatePoisoned = wal.StatePoisoned
+)
+
+// Failure sentinels, matched with errors.Is against rejected updates.
+var (
+	// ErrReadOnly marks updates rejected while the log is degraded.
+	ErrReadOnly = wal.ErrReadOnly
+	// ErrPoisoned marks updates rejected after the log poisoned.
+	ErrPoisoned = wal.ErrPoisoned
+	// ErrRetrying marks operations bounced while a transient-failure
+	// retry is in flight (callers may simply retry).
+	ErrRetrying = wal.ErrRetrying
+)
+
 // New creates an in-memory repository from a schema and mappings.
 func New(schema *Schema, mappings *MappingSet) (*Repository, error) {
 	return core.New(schema, mappings)
