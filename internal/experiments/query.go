@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"youtopia/internal/model"
+	"youtopia/internal/query"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// QueryStudy measures the compiled slot runtime against the
+// interpreted reference engine on the chase's hottest operation: the
+// §4.2 seeded violation query. It reuses the ParallelPoint shape so
+// the existing CheckRegression gate applies unchanged:
+//
+//   - Workers == 0 is the interpreted engine (the serial reference),
+//     Workers == 1 the compiled engine, and UpdatesPerSec the seeded
+//     violation queries completed per second — the gate's
+//     speedup-vs-serial normalization then checks exactly the
+//     compiled/interpreted speedup ratio, which is machine-independent
+//     the same way the scheduler study's speedups are.
+//   - SnapshotAllocsPerOp carries the steady-state allocations of a
+//     compiled seeded query that finds no violation, and
+//     CommitMergeAllocsPerOp the allocations of re-rendering an
+//     existing violation's key; both are expected to be zero and are
+//     gated by the same alloc check the scheduler studies use.
+//
+// The world is the standard two-relation join battery (A(x,y) ⋈
+// T(y,z) → ∃ R(x,z) with partial R coverage), sized by rows; each
+// measurement issues ops seeded queries sweeping the loaded A tuples,
+// repeated runs times, and reports the mean.
+func QueryStudy(rows, ops, runs int) ([]ParallelPoint, error) {
+	if rows <= 0 || ops <= 0 || runs <= 0 {
+		return nil, fmt.Errorf("experiments: query study needs positive rows, ops, runs")
+	}
+	s := model.NewSchema()
+	s.MustAddRelation("A", "x", "y")
+	s.MustAddRelation("T", "y", "z")
+	s.MustAddRelation("R", "x", "z")
+	m := tgd.New("qs",
+		[]tgd.Atom{tgd.NewAtom("A", tgd.V("x"), tgd.V("y")),
+			tgd.NewAtom("T", tgd.V("y"), tgd.V("z"))},
+		[]tgd.Atom{tgd.NewAtom("R", tgd.V("x"), tgd.V("z"))})
+	st := storage.NewStore(s)
+	joinVals := 40
+	if joinVals > rows {
+		joinVals = rows
+	}
+	seeds := make([][]model.Value, rows)
+	for i := 0; i < rows; i++ {
+		x := model.Const(fmt.Sprintf("a%d", i))
+		y := model.Const(fmt.Sprintf("j%d", i%joinVals))
+		z := model.Const(fmt.Sprintf("z%d", i))
+		st.Load(model.NewTuple("A", x, y))
+		st.Load(model.NewTuple("T", y, z))
+		if i%2 == 0 {
+			st.Load(model.NewTuple("R", x, z))
+		}
+		seeds[i] = []model.Value{x, y}
+	}
+	snap := st.Snap(1)
+
+	measure := func(e *query.Engine) (float64, time.Duration) {
+		var total time.Duration
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			for q := 0; q < ops; q++ {
+				e.ViolationsSeeded(m, "A", seeds[q%rows], query.SeedLHS)
+			}
+			total += time.Since(start)
+		}
+		mean := total / time.Duration(runs)
+		return float64(ops) / mean.Seconds(), mean
+	}
+	// Interpreted first, compiled second; both warmed by a full sweep.
+	ie := query.NewInterpretedEngine(snap)
+	ce := query.NewEngine(snap)
+	for _, e := range []*query.Engine{ie, ce} {
+		for q := 0; q < rows; q++ {
+			e.ViolationsSeeded(m, "A", seeds[q], query.SeedLHS)
+		}
+	}
+	interpQPS, interpWall := measure(ie)
+	compiledQPS, compiledWall := measure(ce)
+
+	// Allocation probes on the compiled engine: a seeded query on a
+	// satisfied region of the database, and re-rendering a violation's
+	// identity (key + witness signature) — all expected alloc-free.
+	joinAllocs := testing.AllocsPerRun(200, func() {
+		ce.RHSSatisfied(m, query.Binding{"x": seeds[0][0], "z": model.Const("z0")})
+	})
+	vs := ce.ViolationsSeeded(m, "A", seeds[1], query.SeedLHS)
+	var keyAllocs float64
+	if len(vs) > 0 {
+		v := &vs[0]
+		ce.WitnessSig(v)
+		buf := v.AppendKey(nil)
+		keyAllocs = testing.AllocsPerRun(200, func() {
+			buf = v.AppendKey(buf[:0])
+			ce.AppendWitnessSig(buf[:0], v)
+		})
+	}
+
+	mk := func(workers int, qps float64, wall time.Duration) ParallelPoint {
+		return ParallelPoint{
+			Workers:                workers,
+			Runs:                   runs,
+			WallMillis:             float64(wall.Microseconds()) / 1000,
+			UpdatesPerSec:          qps,
+			SnapshotAllocsPerOp:    joinAllocs,
+			CommitMergeAllocsPerOp: keyAllocs,
+			NumCPU:                 runtime.NumCPU(),
+			GoMaxProcs:             runtime.GOMAXPROCS(0),
+		}
+	}
+	return []ParallelPoint{mk(0, interpQPS, interpWall), mk(1, compiledQPS, compiledWall)}, nil
+}

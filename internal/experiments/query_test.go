@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestQueryStudyShape: the study must emit the serial (interpreted)
+// reference at Workers 0 and the compiled point at Workers 1, with
+// positive throughput on both and the alloc probes at zero — the same
+// invariants the CI gate enforces against the committed baseline.
+func TestQueryStudyShape(t *testing.T) {
+	points, err := QueryStudy(200, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Workers != 0 || points[1].Workers != 1 {
+		t.Fatalf("points = %+v, want workers 0 then 1", points)
+	}
+	for _, p := range points {
+		if p.UpdatesPerSec <= 0 {
+			t.Fatalf("%s: no throughput recorded", p.Label())
+		}
+		if p.SnapshotAllocsPerOp != 0 || p.CommitMergeAllocsPerOp != 0 {
+			t.Fatalf("%s: alloc probes = %.1f/%.1f, want 0/0",
+				p.Label(), p.SnapshotAllocsPerOp, p.CommitMergeAllocsPerOp)
+		}
+	}
+	if err := CheckRegression(points, points, 20); err != nil {
+		t.Fatalf("self-comparison regressed: %v", err)
+	}
+}
+
+func TestQueryStudyRejectsBadParams(t *testing.T) {
+	if _, err := QueryStudy(0, 10, 1); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package model
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the constant symbol table: every constant Value is an
+// index into a process-wide append-only string table, so a Value packs
+// into two machine words, equality is integer comparison, and the
+// storage layer's value-index map probes hash sixteen fixed bytes
+// instead of an arbitrary string. The table is insert-only (constants
+// are never forgotten; the repository's constant domain is what the
+// database and its mappings mention, which grows with the data, not
+// with query traffic) and built for read-mostly traffic: lookups are
+// wait-free — an atomic load of the current probe table plus open
+// addressing, no mutex, no allocation — while inserts serialize on one
+// mutex and republish.
+//
+// Publication order is the correctness backbone: an insert first
+// publishes the grown id→string slice, then the slot holding the new
+// id. A reader that observes the slot therefore observes the string —
+// and a reader holding a stale string slice re-loads it once when a
+// slot's id is beyond the slice it has (the only way that happens is a
+// concurrent insert that already published the longer slice).
+
+// internSlot holds a symbol id biased by one; zero means empty. Slots
+// transition empty→filled exactly once and are never mutated again,
+// which is what makes lock-free probing sound.
+type internSlot = atomic.Int64
+
+// internState is one generation of the probe table. Growth allocates
+// a fresh generation and republishes; readers on the old generation
+// miss only symbols inserted after they loaded it, and a miss falls
+// through to the locked slow path which re-checks.
+type internState struct {
+	mask  uint64
+	slots []internSlot
+}
+
+var internSeed = maphash.MakeSeed()
+
+var interner = struct {
+	mu    sync.Mutex
+	state atomic.Pointer[internState]
+	strs  atomic.Pointer[[]string] // id -> string, append-only
+	count atomic.Int64             // published symbol count
+}{}
+
+func init() {
+	st := &internState{mask: 255, slots: make([]internSlot, 256)}
+	interner.state.Store(st)
+	// Symbol 0 is the empty string, so the zero Value is Const("").
+	strs := make([]string, 1, 64)
+	strs[0] = ""
+	interner.strs.Store(&strs)
+	interner.count.Store(1)
+	st.slots[maphash.String(internSeed, "")&st.mask].Store(1)
+}
+
+// intern returns the symbol id of s, inserting it on first sight. The
+// hit path takes no lock and performs no allocation.
+func intern(s string) int64 {
+	st := interner.state.Load()
+	strs := *interner.strs.Load()
+	h := maphash.String(internSeed, s)
+	for i := h & st.mask; ; i = (i + 1) & st.mask {
+		biased := st.slots[i].Load()
+		if biased == 0 {
+			return internSlow(s)
+		}
+		id := biased - 1
+		if id >= int64(len(strs)) {
+			// The slot was published after our string-slice load;
+			// the longer slice was published before the slot.
+			strs = *interner.strs.Load()
+		}
+		if strs[id] == s {
+			return id
+		}
+	}
+}
+
+// internSlow inserts s under the table mutex, growing the probe table
+// at 50% load so reader probe chains stay short.
+func internSlow(s string) int64 {
+	interner.mu.Lock()
+	defer interner.mu.Unlock()
+	st := interner.state.Load()
+	strs := *interner.strs.Load()
+	h := maphash.String(internSeed, s)
+	i := h & st.mask
+	for {
+		biased := st.slots[i].Load()
+		if biased == 0 {
+			break
+		}
+		if strs[biased-1] == s { // lost a race to another inserter
+			return biased - 1
+		}
+		i = (i + 1) & st.mask
+	}
+	id := int64(len(strs))
+	grown := append(strs, s)
+	interner.strs.Store(&grown)
+	interner.count.Store(id + 1)
+	if (id+1)*2 > int64(st.mask) {
+		next := &internState{mask: st.mask*2 + 1, slots: make([]internSlot, (st.mask+1)*2)}
+		for sym, str := range grown {
+			j := maphash.String(internSeed, str) & next.mask
+			for next.slots[j].Load() != 0 {
+				j = (j + 1) & next.mask
+			}
+			next.slots[j].Store(int64(sym) + 1)
+		}
+		interner.state.Store(next)
+		return id
+	}
+	st.slots[i].Store(id + 1)
+	return id
+}
+
+// symString resolves a symbol id back to its string, wait-free.
+func symString(id int64) string {
+	return (*interner.strs.Load())[id]
+}
+
+// InternedConstants reports how many distinct constant strings the
+// process has interned — a diagnostics hook for tests and metrics.
+func InternedConstants() int64 { return interner.count.Load() }

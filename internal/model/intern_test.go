@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	if got := Const("Ithaca").ConstValue(); got != "Ithaca" {
+		t.Fatalf("round trip: %q", got)
+	}
+	if Const("a") == Const("b") {
+		t.Fatal("distinct constants compare equal")
+	}
+	if Const("dup") != Const("dup") {
+		t.Fatal("re-interned constant changed identity")
+	}
+	var zero Value
+	if zero != Const("") {
+		t.Fatal("zero Value is not Const(\"\")")
+	}
+	if !zero.IsConst() || zero.ConstValue() != "" {
+		t.Fatal("zero Value does not behave as the empty constant")
+	}
+}
+
+// TestInternGrowth pushes the symbol table through several probe-table
+// regrowths and verifies every symbol survives with its identity.
+func TestInternGrowth(t *testing.T) {
+	vals := make([]Value, 3000)
+	for i := range vals {
+		vals[i] = Const(fmt.Sprintf("growth-key-%d", i))
+	}
+	for i, v := range vals {
+		want := fmt.Sprintf("growth-key-%d", i)
+		if v.ConstValue() != want {
+			t.Fatalf("symbol %d resolved to %q, want %q", i, v.ConstValue(), want)
+		}
+		if again := Const(want); again != v {
+			t.Fatalf("re-interning %q changed identity", want)
+		}
+	}
+}
+
+// TestInternConcurrent hammers the table from many goroutines with
+// overlapping key sets (run under -race): lock-free readers racing
+// inserters and regrowth must always agree on symbol identity.
+func TestInternConcurrent(t *testing.T) {
+	const goroutines = 8
+	const keys = 500
+	var wg sync.WaitGroup
+	results := make([][]Value, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Value, keys)
+			for i := 0; i < keys; i++ {
+				out[i] = Const(fmt.Sprintf("conc-%d", i))
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < keys; i++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d interned conc-%d differently", g, i)
+			}
+		}
+	}
+	for i := 0; i < keys; i++ {
+		want := fmt.Sprintf("conc-%d", i)
+		if got := results[0][i].ConstValue(); got != want {
+			t.Fatalf("conc-%d resolved to %q", i, got)
+		}
+	}
+}
+
+// TestInternHitPathAllocFree pins the wait-free read paths: interning
+// an already-known constant and resolving a symbol back to its string
+// must not allocate — Const and ConstValue sit under every value-index
+// probe and canonical rendering in the system.
+func TestInternHitPathAllocFree(t *testing.T) {
+	warm := Const("alloc-free-probe")
+	if got := testing.AllocsPerRun(200, func() {
+		if Const("alloc-free-probe") != warm {
+			t.Fatal("identity changed")
+		}
+	}); got != 0 {
+		t.Fatalf("interning a known constant allocates %.1f times per op", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if warm.ConstValue() != "alloc-free-probe" {
+			t.Fatal("payload changed")
+		}
+	}); got != 0 {
+		t.Fatalf("resolving a symbol allocates %.1f times per op", got)
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	Const("bench-hit")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Const("bench-hit")
+	}
+}

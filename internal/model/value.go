@@ -29,14 +29,23 @@ const (
 
 // Value is a single attribute value: either a constant or a labeled
 // null. Value is comparable and can be used as a map key.
+//
+// Constants are interned: the payload is a symbol id into the
+// process-wide string table (intern.go), so a Value is two words,
+// equality is integer comparison, and hashing a Value — the storage
+// layer's value indexes and the query engine's binding comparisons
+// both live on it — never touches string bytes. The zero Value is
+// Const("") because symbol 0 is pre-seeded as the empty string.
 type Value struct {
 	kind ValueKind
-	str  string // constant payload; empty for nulls
-	id   int64  // null identifier; zero for constants
+	id   int64 // constant symbol id, or null identifier
 }
 
-// Const returns a constant value.
-func Const(s string) Value { return Value{kind: KindConst, str: s} }
+// Const returns a constant value, interning the payload on first
+// sight. Hot paths that reuse a constant should intern once and keep
+// the Value (the query planner bakes mapping constants into compiled
+// plans for exactly this reason).
+func Const(s string) Value { return Value{kind: KindConst, id: intern(s)} }
 
 // Null returns the labeled null with the given identifier.
 func Null(id int64) Value { return Value{kind: KindNull, id: id} }
@@ -55,7 +64,7 @@ func (v Value) ConstValue() string {
 	if v.kind != KindConst {
 		panic("model: ConstValue called on labeled null " + v.String())
 	}
-	return v.str
+	return symString(v.id)
 }
 
 // NullID returns the identifier of a labeled null. It panics if v is a
@@ -73,7 +82,7 @@ func (v Value) String() string {
 	if v.kind == KindNull {
 		return "x" + strconv.FormatInt(v.id, 10)
 	}
-	return v.str
+	return symString(v.id)
 }
 
 // GoString renders the value unambiguously for debugging.
@@ -81,7 +90,7 @@ func (v Value) GoString() string {
 	if v.kind == KindNull {
 		return fmt.Sprintf("Null(%d)", v.id)
 	}
-	return fmt.Sprintf("Const(%q)", v.str)
+	return fmt.Sprintf("Const(%q)", symString(v.id))
 }
 
 // encode writes a collision-free encoding of v used in tuple keys.
@@ -89,7 +98,7 @@ func (v Value) encode() string {
 	if v.kind == KindNull {
 		return "n" + strconv.FormatInt(v.id, 10)
 	}
-	return "c" + v.str
+	return "c" + symString(v.id)
 }
 
 // NullFactory mints fresh labeled nulls. It is safe for concurrent

@@ -70,19 +70,15 @@ func BenchmarkRHSSatisfied(b *testing.B) {
 	}
 }
 
-// BenchmarkJoinBindingChurn pins the binding-allocation behaviour of
-// the match hot loop (run with -benchmem): an early-stopping join on a
-// warm engine costs 3 allocs/op — the recursion closure plus the one
-// escaping result binding — because the working binding and the
-// per-join frame come from the engine's pools and clones are sized to
-// the mapping's variable count. Production engines are constructed
-// per evaluation, not reused across them, so the first join of an
-// evaluation pays the cold cost the pre-pool code always paid; the
-// pools earn their keep within an evaluation — every violation query
-// runs one LHS join plus one RHS-satisfaction join per match on the
-// same engine, and all joins after the first hit the warm pools this
-// benchmark measures. The companion regression test
-// TestJoinBindingAllocBound turns the number into a gate.
+// BenchmarkJoinBindingChurn pins the allocation behaviour of the
+// match hot loop (run with -benchmem): on the compiled slot runtime a
+// steady-state early-stopping join costs 0 allocs/op — the register
+// file and witness scratch come from the engine's run pool, the bound
+// set is a stack bitmask, and the match callback is a package-level
+// function, so nothing escapes. The companion regression test
+// TestJoinBindingAllocBound turns the number into a gate; the
+// interpreted fallback engine keeps its historical 3 allocs/op bound
+// (recursion closure plus the escaping result binding).
 func BenchmarkJoinBindingChurn(b *testing.B) {
 	st, m := benchWorld(b, 1000)
 	e := NewEngine(st.Snap(1))
@@ -100,10 +96,11 @@ func BenchmarkJoinBindingChurn(b *testing.B) {
 }
 
 // TestJoinBindingAllocBound is the -benchmem guard in test form: the
-// steady-state early-stopping join must stay within 3 heap
-// allocations (closure + result binding header and buckets). A
-// regression here means binding or frame churn crept back into the
-// hottest loop of the system.
+// steady-state early-stopping join on the compiled slot runtime must
+// not allocate at all. A regression here means binding, frame, or
+// closure churn crept back into the hottest loop of the system. The
+// interpreted fallback keeps its historical bound of 3 heap
+// allocations (closure + result binding header and buckets).
 func TestJoinBindingAllocBound(t *testing.T) {
 	st, m := benchWorld(&testing.B{}, 1000)
 	e := NewEngine(st.Snap(1))
@@ -114,8 +111,56 @@ func TestJoinBindingAllocBound(t *testing.T) {
 	got := testing.AllocsPerRun(200, func() {
 		e.RHSSatisfied(m, bnd)
 	})
+	if got != 0 {
+		t.Fatalf("steady-state compiled join allocates %.1f times per op, want 0", got)
+	}
+
+	ie := NewInterpretedEngine(st.Snap(1))
+	if !ie.RHSSatisfied(m, bnd) {
+		t.Fatal("must be satisfied")
+	}
+	got = testing.AllocsPerRun(200, func() {
+		ie.RHSSatisfied(m, bnd)
+	})
 	if got > 3 {
-		t.Fatalf("steady-state join allocates %.1f times per op, want <= 3", got)
+		t.Fatalf("steady-state interpreted join allocates %.1f times per op, want <= 3", got)
+	}
+}
+
+// TestSeededQueryAllocFree pins the full §4.2 seeded violation query:
+// when the write creates no violation — the overwhelmingly common
+// steady state of a satisfied database — the whole evaluation (seed
+// unification, LHS join, RHS probes, dedup) performs zero heap
+// allocations on a warm engine.
+func TestSeededQueryAllocFree(t *testing.T) {
+	s := model.NewSchema()
+	s.MustAddRelation("A", "x", "y")
+	s.MustAddRelation("T", "y", "z")
+	s.MustAddRelation("R", "x", "z")
+	m := tgd.New("sat",
+		[]tgd.Atom{tgd.NewAtom("A", tgd.V("x"), tgd.V("y")),
+			tgd.NewAtom("T", tgd.V("y"), tgd.V("z"))},
+		[]tgd.Atom{tgd.NewAtom("R", tgd.V("x"), tgd.V("z"))})
+	st := storage.NewStore(s)
+	// Each join value j_k has exactly one T row, and every A row's
+	// single join pair is covered by R: the database is satisfied.
+	for k := 0; k < 5; k++ {
+		st.Load(model.NewTuple("T", c(fmt.Sprintf("j%d", k)), c(fmt.Sprintf("z%d", k))))
+	}
+	for i := 0; i < 200; i++ {
+		st.Load(model.NewTuple("A", c(fmt.Sprintf("a%d", i)), c(fmt.Sprintf("j%d", i%5))))
+		st.Load(model.NewTuple("R", c(fmt.Sprintf("a%d", i)), c(fmt.Sprintf("z%d", i%5))))
+	}
+	e := NewEngine(st.Snap(1))
+	vals := []model.Value{c("a0"), c("j0")}
+	if vs := e.ViolationsSeeded(m, "A", vals, SeedLHS); len(vs) != 0 {
+		t.Fatalf("satisfied world reports %d violations", len(vs))
+	}
+	got := testing.AllocsPerRun(200, func() {
+		e.ViolationsSeeded(m, "A", vals, SeedLHS)
+	})
+	if got != 0 {
+		t.Fatalf("steady-state seeded violation query allocates %.1f times per op, want 0", got)
 	}
 }
 

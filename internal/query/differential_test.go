@@ -1,0 +1,248 @@
+// Differential oracle for the compiled slot runtime: the interpreted
+// engine (which predates compilation and remains the fallback) is the
+// reference semantics; the compiled engine must agree with it on every
+// query surface — LHS match sets, RHS satisfaction, violation sets,
+// and §4.2 seeded violation queries — over randomized schemas,
+// mappings, duplicate-heavy data, and shared labeled nulls. CI runs
+// this under -race -shuffle=on, and the fuzz lane extends the same
+// property beyond the fixed seeds.
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"youtopia/internal/model"
+	"youtopia/internal/storage"
+	"youtopia/internal/tgd"
+)
+
+// diffWorld is one randomized instance: a store, its mappings, and the
+// raw tuples (kept for seeding the §4.2 queries).
+type diffWorld struct {
+	st     *storage.Store
+	tgds   []*tgd.TGD
+	tuples []model.Tuple
+}
+
+var diffVars = []string{"x", "y", "z", "w", "u"}
+
+// genWorld builds a random world. Constants come from a small pool so
+// joins hit and duplicates are common; a few shared labeled nulls run
+// through the data to exercise null equality in joins and keys.
+func genWorld(r *rand.Rand) *diffWorld {
+	s := model.NewSchema()
+	nRels := 2 + r.Intn(3)
+	arity := make([]int, nRels)
+	names := make([]string, nRels)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+		arity[i] = 1 + r.Intn(3)
+		fields := make([]string, arity[i])
+		for j := range fields {
+			fields[j] = fmt.Sprintf("f%d", j)
+		}
+		s.MustAddRelation(names[i], fields...)
+	}
+
+	randVal := func() model.Value {
+		if r.Intn(8) == 0 {
+			return model.Null(int64(1 + r.Intn(3))) // shared nulls
+		}
+		return model.Const(fmt.Sprintf("c%d", r.Intn(6)))
+	}
+	st := storage.NewStore(s)
+	var tuples []model.Tuple
+	for i, n := 0, 8+r.Intn(25); i < n; i++ {
+		ri := r.Intn(nRels)
+		vals := make([]model.Value, arity[ri])
+		for j := range vals {
+			vals[j] = randVal()
+		}
+		tp := model.NewTuple(names[ri], vals...)
+		st.Load(tp)
+		tuples = append(tuples, tp)
+	}
+
+	randTerm := func() tgd.Term {
+		if r.Intn(5) == 0 {
+			return tgd.C(fmt.Sprintf("c%d", r.Intn(6)))
+		}
+		return tgd.V(diffVars[r.Intn(len(diffVars))])
+	}
+	randAtoms := func(n int) []tgd.Atom {
+		out := make([]tgd.Atom, n)
+		for i := range out {
+			ri := r.Intn(nRels)
+			terms := make([]tgd.Term, arity[ri])
+			for j := range terms {
+				terms[j] = randTerm()
+			}
+			out[i] = tgd.NewAtom(names[ri], terms...)
+		}
+		return out
+	}
+	w := &diffWorld{st: st, tuples: tuples}
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		w.tgds = append(w.tgds,
+			tgd.New(fmt.Sprintf("m%d", i), randAtoms(1+r.Intn(3)), randAtoms(1+r.Intn(2))))
+	}
+	return w
+}
+
+// canonMatches renders a match set order-independently.
+func canonMatches(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i := range ms {
+		out[i] = fmt.Sprintf("%s @ %v", ms[i].Binding.String(), ms[i].Witness)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// canonViols renders a violation set order-independently, by the same
+// Key the chase dedups with (mapping, witness IDs, binding).
+func canonViols(vs []Violation) []string {
+	out := make([]string, len(vs))
+	for i := range vs {
+		out[i] = vs[i].Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffFatal(t *testing.T, what string, a, b []string) {
+	t.Helper()
+	t.Fatalf("%s diverged:\ncompiled:    %s\ninterpreted: %s",
+		what, strings.Join(a, " ; "), strings.Join(b, " ; "))
+}
+
+// checkWorld runs every query surface through both engines and demands
+// identical results. The engines are parameters so the parallel
+// variant can hand each goroutine its own pair.
+func checkWorld(t *testing.T, r *rand.Rand, w *diffWorld, ce, ie *Engine) {
+	t.Helper()
+	randSeed := func(m *tgd.TGD) Binding {
+		b := Binding{}
+		vars := append(m.FrontierVars(), m.ExistentialVars()...)
+		for _, v := range vars {
+			if r.Intn(3) == 0 {
+				b[v] = model.Const(fmt.Sprintf("c%d", r.Intn(6)))
+			}
+		}
+		if r.Intn(6) == 0 {
+			b["foreign"] = model.Const("c0") // forces the fallback path
+		}
+		return b
+	}
+	for _, m := range w.tgds {
+		if cv, iv := canonViols(ce.Violations(m, Binding{})), canonViols(ie.Violations(m, Binding{})); !equalStrs(cv, iv) {
+			diffFatal(t, "Violations("+m.Name+")", cv, iv)
+		}
+		for round := 0; round < 3; round++ {
+			seed := randSeed(m)
+			if cm, im := canonMatches(ce.LHSMatches(m, seed)), canonMatches(ie.LHSMatches(m, seed)); !equalStrs(cm, im) {
+				diffFatal(t, fmt.Sprintf("LHSMatches(%s, %v)", m.Name, seed), cm, im)
+			}
+			if cs, is := ce.RHSSatisfied(m, seed), ie.RHSSatisfied(m, seed); cs != is {
+				t.Fatalf("RHSSatisfied(%s, %v): compiled %v, interpreted %v", m.Name, seed, cs, is)
+			}
+			if cv, iv := canonViols(ce.Violations(m, seed)), canonViols(ie.Violations(m, seed)); !equalStrs(cv, iv) {
+				diffFatal(t, fmt.Sprintf("Violations(%s, %v)", m.Name, seed), cv, iv)
+			}
+		}
+		for _, side := range []Side{SeedLHS, SeedRHS, SeedBoth} {
+			for round := 0; round < 4; round++ {
+				tp := w.tuples[r.Intn(len(w.tuples))]
+				cv := canonViols(ce.ViolationsSeeded(m, tp.Rel, tp.Vals, side))
+				iv := canonViols(ie.ViolationsSeeded(m, tp.Rel, tp.Vals, side))
+				if !equalStrs(cv, iv) {
+					diffFatal(t, fmt.Sprintf("ViolationsSeeded(%s, %s, side %d)", m.Name, tp.Rel, side), cv, iv)
+				}
+			}
+		}
+		// Signatures must agree too: both engines assign the same
+		// canonical identity to corresponding violations.
+		cv, iv := ce.Violations(m, Binding{}), ie.Violations(m, Binding{})
+		cs := make([]string, len(cv))
+		is := make([]string, len(iv))
+		for i := range cv {
+			cs[i] = ce.WitnessSig(&cv[i])
+		}
+		for i := range iv {
+			is[i] = ie.WitnessSig(&iv[i])
+		}
+		sort.Strings(cs)
+		sort.Strings(is)
+		if !equalStrs(cs, is) {
+			diffFatal(t, "WitnessSig("+m.Name+")", cs, is)
+		}
+	}
+}
+
+func equalStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledVsInterpreted is the differential oracle: 100 seeded
+// rounds of randomized worlds, each checked on both snapshot flavors.
+func TestCompiledVsInterpreted(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			w := genWorld(r)
+			snap := w.st.Snap(1)
+			checkWorld(t, r, w, NewEngine(snap), NewInterpretedEngine(snap))
+			ep := w.st.EpochSnap()
+			checkWorld(t, r, w, NewEngine(ep), NewInterpretedEngine(ep))
+		})
+	}
+}
+
+// TestCompiledVsInterpretedParallel runs the oracle from concurrent
+// workers sharing one world: all goroutines race on the process-wide
+// intern table and the per-TGD plan and join-order caches, which is
+// exactly how chase workers share plans in production. Run under
+// -race in CI.
+func TestCompiledVsInterpretedParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(424242))
+	w := genWorld(r)
+	snap := w.st.Snap(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(gseed int64) {
+			defer wg.Done()
+			gr := rand.New(rand.NewSource(gseed))
+			checkWorld(t, gr, w, NewEngine(snap), NewInterpretedEngine(snap))
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// FuzzCompiledVsInterpreted extends the oracle beyond the fixed seeds:
+// the fuzzer picks the world seed.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		w := genWorld(r)
+		snap := w.st.Snap(1)
+		checkWorld(t, r, w, NewEngine(snap), NewInterpretedEngine(snap))
+	})
+}

@@ -13,6 +13,7 @@ package query
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 
 	"youtopia/internal/model"
@@ -54,6 +55,10 @@ func (b Binding) Restrict(vars []string) Binding {
 }
 
 // String renders the binding deterministically, e.g. {c->Ithaca, n->x3}.
+// With no mapping in hand it must sort the variable names; everything
+// on a hot path (Violation.Key, Violation.String, the seeded-query
+// dedup) renders through the compiled plan's canonical slot order
+// instead and never sorts — keep this for plan-less diagnostics only.
 func (b Binding) String() string {
 	keys := make([]string, 0, len(b))
 	for k := range b {
@@ -65,6 +70,55 @@ func (b Binding) String() string {
 		parts[i] = k + "->" + b[k].String()
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// appendValue renders a value exactly as model.Value.String does,
+// into dst.
+func appendValue(dst []byte, v model.Value) []byte {
+	if v.IsNull() {
+		dst = append(dst, 'x')
+		return strconv.AppendInt(dst, v.NullID(), 10)
+	}
+	return append(dst, v.ConstValue()...)
+}
+
+// appendBindingOrdered renders a binding map in the plan's canonical
+// slot order, byte-identical to appendBindingSlots over the register
+// file. Variables outside the slot table — foreign seed variables a
+// caller carried through the interpreted path — follow in sorted
+// order, so keys stay total without ever sorting in the common case.
+func appendBindingOrdered(dst []byte, p *Plan, b Binding) []byte {
+	dst = append(dst, '{')
+	first := true
+	emit := func(name string, val model.Value) {
+		if !first {
+			dst = append(dst, ", "...)
+		}
+		first = false
+		dst = append(dst, name...)
+		dst = append(dst, "->"...)
+		dst = appendValue(dst, val)
+	}
+	n := 0
+	for _, name := range p.slots {
+		if val, ok := b[name]; ok {
+			emit(name, val)
+			n++
+		}
+	}
+	if n < len(b) {
+		extra := make([]string, 0, len(b)-n)
+		for name := range b {
+			if _, inPlan := p.slotOf[name]; !inPlan {
+				extra = append(extra, name)
+			}
+		}
+		sort.Strings(extra)
+		for _, name := range extra {
+			emit(name, b[name])
+		}
+	}
+	return append(dst, '}')
 }
 
 // Match is one homomorphism of a mapping's LHS into the database: the
@@ -85,39 +139,46 @@ type Violation struct {
 }
 
 // Key identifies the violation within a run: mapping name, witness
-// tuple IDs in atom order, and the full binding. Keys are comparable
-// only within one store instance (tuple IDs are store-scoped).
+// tuple IDs in atom order, and the full binding rendered in the
+// compiled plan's canonical slot order (no per-call sorting). Keys are
+// comparable only within one store instance (tuple IDs are
+// store-scoped).
 func (v *Violation) Key() string {
-	var b strings.Builder
-	b.WriteString(v.TGD.Name)
-	b.WriteByte('|')
-	for _, id := range v.Witness {
-		b.WriteString(storageIDString(id))
-		b.WriteByte(',')
-	}
-	b.WriteByte('|')
-	b.WriteString(v.Binding.String())
-	return b.String()
+	return string(v.appendKey(nil))
 }
 
-func storageIDString(id storage.TupleID) string {
-	const digits = "0123456789"
-	if id == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for id > 0 {
-		i--
-		buf[i] = digits[id%10]
-		id /= 10
-	}
-	return string(buf[i:])
+// appendKey renders the key into dst; the seeded-query dedup calls it
+// with the engine's reusable buffer so steady-state evaluations never
+// allocate for keys.
+func (v *Violation) appendKey(dst []byte) []byte {
+	p := PlanFor(v.TGD)
+	return appendKeyParts(dst, p, v.Witness, func(dst []byte) []byte {
+		return appendBindingOrdered(dst, p, v.Binding)
+	})
 }
 
-// String renders the violation for diagnostics.
+// AppendKey renders the key into a caller-owned buffer, allocation-
+// free once the buffer has capacity; for callers (benches, the chase's
+// own dedup) that re-render keys in a loop.
+func (v *Violation) AppendKey(dst []byte) []byte { return v.appendKey(dst) }
+
+// appendKeyParts is the shared key layout: name | witness IDs | binding.
+func appendKeyParts(dst []byte, p *Plan, witness []storage.TupleID, binding func([]byte) []byte) []byte {
+	dst = append(dst, p.t.Name...)
+	dst = append(dst, '|')
+	for _, id := range witness {
+		dst = strconv.AppendUint(dst, uint64(id), 10)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, '|')
+	return binding(dst)
+}
+
+// String renders the violation for diagnostics, binding in canonical
+// slot order.
 func (v *Violation) String() string {
-	return "violation of " + v.TGD.Name + " at " + v.Binding.String()
+	out := []byte("violation of " + v.TGD.Name + " at ")
+	return string(appendBindingOrdered(out, PlanFor(v.TGD), v.Binding))
 }
 
 // WitnessSig renders a violation's identity canonically: the mapping
@@ -133,34 +194,54 @@ func (v *Violation) String() string {
 // otherwise leak the interleaving into repair order and, through it,
 // into the final instance.
 func (e *Engine) WitnessSig(v *Violation) string {
-	var b strings.Builder
-	b.WriteString(v.TGD.Name)
-	ren := make(map[model.Value]int)
+	e.sigBuf = e.appendWitnessSig(e.sigBuf[:0], v)
+	return string(e.sigBuf)
+}
+
+// AppendWitnessSig renders the signature into a caller-owned buffer,
+// allocation-free once buffer and renaming scratch are warm.
+func (e *Engine) AppendWitnessSig(dst []byte, v *Violation) []byte {
+	return e.appendWitnessSig(dst, v)
+}
+
+// appendWitnessSig renders the signature into dst with the engine's
+// pooled null-renaming scratch: building a signature allocates nothing
+// beyond the final string the caller keeps.
+func (e *Engine) appendWitnessSig(dst []byte, v *Violation) []byte {
+	dst = append(dst, v.TGD.Name...)
+	ren := e.renBuf[:0]
 	for _, id := range v.Witness {
-		b.WriteByte('|')
+		dst = append(dst, '|')
 		t, ok := e.snap.GetTuple(id)
 		if !ok {
-			b.WriteByte('?')
+			dst = append(dst, '?')
 			continue
 		}
-		b.WriteString(t.Rel)
+		dst = append(dst, t.Rel...)
 		for _, val := range t.Vals {
-			b.WriteByte(0x1f)
+			dst = append(dst, 0x1f)
 			if val.IsNull() {
-				n, seen := ren[val]
-				if !seen {
-					n = len(ren) + 1
-					ren[val] = n
+				n := 0
+				for i := range ren {
+					if ren[i] == val {
+						n = i + 1
+						break
+					}
 				}
-				b.WriteString("?")
-				b.WriteString(storageIDString(storage.TupleID(n)))
+				if n == 0 {
+					ren = append(ren, val)
+					n = len(ren)
+				}
+				dst = append(dst, '?')
+				dst = strconv.AppendInt(dst, int64(n), 10)
 			} else {
-				b.WriteString("c")
-				b.WriteString(val.ConstValue())
+				dst = append(dst, 'c')
+				dst = append(dst, val.ConstValue()...)
 			}
 		}
 	}
-	return b.String()
+	e.renBuf = ren
+	return dst
 }
 
 // Engine evaluates queries against one snapshot. It is not safe for
@@ -172,13 +253,40 @@ func (e *Engine) WitnessSig(v *Violation) string {
 type Engine struct {
 	snap *storage.Snapshot
 
+	// forceInterpreted routes every evaluation through the interpreted
+	// join path even when a compiled plan fits; the differential oracle
+	// uses it to pit the two runtimes against each other.
+	forceInterpreted bool
+
 	// bindingPool holds cleared scratch maps; joins pop one for their
 	// working binding and push it back when the enumeration finishes.
 	// Nested joins (Satisfied's RHS probe inside an LHS enumeration)
 	// simply pop a second one. framePool does the same for the
-	// per-join bookkeeping slices.
+	// per-join bookkeeping slices, runPool for compiled slot runs.
 	bindingPool []Binding
 	framePool   []*joinFrame
+	runPool     []*slotRun
+
+	// Reusable buffers for violation keys, witness signatures and the
+	// signatures' null-renaming scratch; seen is the seeded-query dedup
+	// set, allocated on first violation and cleared per query.
+	keyBuf []byte
+	sigBuf []byte
+	renBuf []model.Value
+	seen   map[string]bool
+
+	// vout is the compiled violation-collection target. Collecting
+	// through an engine field instead of a stack variable keeps the
+	// no-violation steady state allocation-free: a local slice whose
+	// address reaches the run would be heap-moved even when it stays
+	// nil. Ownership of the backing array transfers to the caller at
+	// the end of each evaluation (the field is reset to nil).
+	vout []Violation
+
+	// Locally accumulated join counters, flushed to the obs registry
+	// once per top-level evaluation (flushObs).
+	pendProbes int64
+	pendSteps  int64
 }
 
 // joinFrame is the per-join bookkeeping: the witness under
@@ -239,6 +347,14 @@ func (e *Engine) putScratch(b Binding) {
 // NewEngine returns an engine reading through the given snapshot.
 func NewEngine(snap *storage.Snapshot) *Engine {
 	return &Engine{snap: snap}
+}
+
+// NewInterpretedEngine returns an engine that bypasses compiled plans
+// and evaluates every query through the interpreted join path — the
+// reference implementation the differential oracle compares the slot
+// runtime against.
+func NewInterpretedEngine(snap *storage.Snapshot) *Engine {
+	return &Engine{snap: snap, forceInterpreted: true}
 }
 
 // Snapshot returns the snapshot the engine reads through.
@@ -311,6 +427,7 @@ func (e *Engine) candidates(a tgd.Atom, b Binding) []storage.TupleID {
 			val = bound
 		}
 		ids := e.snap.CandidatesByValue(a.Rel, i, val)
+		e.pendProbes++
 		if bestCol == -1 || len(ids) < len(bestIDs) {
 			bestCol, bestIDs = i, ids
 		}
@@ -412,7 +529,9 @@ func (e *Engine) joinAtoms(atoms []tgd.Atom, b Binding, fn func(Binding, []stora
 		done[best] = true
 		defer func() { done[best] = false }()
 		level := &undo[n-remaining]
-		for _, id := range e.candidates(a, scratch) {
+		cands := e.candidates(a, scratch)
+		e.pendSteps += int64(len(cands))
+		for _, id := range cands {
 			vals, ok := e.snap.Get(id)
 			if !ok {
 				continue
@@ -435,7 +554,20 @@ func (e *Engine) joinAtoms(atoms []tgd.Atom, b Binding, fn func(Binding, []stora
 // LHSMatches returns every homomorphism of the mapping's LHS into the
 // snapshot that extends the seed binding, in deterministic order.
 func (e *Engine) LHSMatches(t *tgd.TGD, seed Binding) []Match {
+	defer e.flushObs()
 	var out []Match
+	if p := PlanFor(t); e.useCompiled(p) {
+		r := e.getRun(p)
+		if mask, ok := p.seedMask(seed, r.regs); ok {
+			r.side(false, mask)
+			r.fn = srCollectMatch
+			r.mout = &out
+			r.rec(0, mask)
+			e.putRun(r)
+			return out
+		}
+		e.putRun(r)
+	}
 	if seed == nil {
 		seed = Binding{}
 	}
@@ -446,10 +578,45 @@ func (e *Engine) LHSMatches(t *tgd.TGD, seed Binding) []Match {
 	return out
 }
 
+// useCompiled reports whether evaluation should run on the slot
+// runtime.
+func (e *Engine) useCompiled(p *Plan) bool {
+	return p.ok && !e.forceInterpreted
+}
+
 // RHSSatisfied reports whether the mapping's RHS has a complete match
 // extending the binding (the existentially quantified variables bind
 // freely).
 func (e *Engine) RHSSatisfied(t *tgd.TGD, b Binding) bool {
+	defer e.flushObs()
+	if p := PlanFor(t); e.useCompiled(p) {
+		r := e.getRun(p)
+		mask := uint64(0)
+		ok := true
+		for _, v := range t.FrontierVars() {
+			val, bound := b[v]
+			if !bound {
+				continue
+			}
+			sl, known := p.slotOf[v]
+			if !known {
+				ok = false
+				break
+			}
+			r.regs[sl] = val
+			mask |= uint64(1) << uint(sl)
+		}
+		if ok {
+			r.side(true, mask)
+			r.fn = srExists
+			r.found = false
+			r.rec(0, mask)
+			found := r.found
+			e.putRun(r)
+			return found
+		}
+		e.putRun(r)
+	}
 	found := false
 	e.joinAtoms(t.RHS, b.Restrict(t.FrontierVars()), func(Binding, []storage.TupleID) bool {
 		found = true
@@ -461,6 +628,20 @@ func (e *Engine) RHSSatisfied(t *tgd.TGD, b Binding) bool {
 // Violations returns every violation of the mapping extending the seed
 // binding (Definition 2.1), in deterministic order.
 func (e *Engine) Violations(t *tgd.TGD, seed Binding) []Violation {
+	defer e.flushObs()
+	if p := PlanFor(t); e.useCompiled(p) {
+		lr, rr := e.getRun(p), e.getRun(p)
+		if mask, ok := p.seedMask(seed, lr.regs); ok {
+			e.violationJoin(p, lr, rr, mask, false)
+			e.putRun(rr)
+			e.putRun(lr)
+			out := e.vout
+			e.vout = nil
+			return out
+		}
+		e.putRun(rr)
+		e.putRun(lr)
+	}
 	var out []Violation
 	for _, m := range e.LHSMatches(t, seed) {
 		if !e.RHSSatisfied(t, m.Binding) {
@@ -468,6 +649,22 @@ func (e *Engine) Violations(t *tgd.TGD, seed Binding) []Violation {
 		}
 	}
 	return out
+}
+
+// violationJoin wires the LHS enumeration run lr and the nested RHS
+// probe run rr (sharing lr's register file) and collects violations
+// extending the seed shape into e.vout (see the field comment for why
+// collection goes through the engine rather than a caller local).
+func (e *Engine) violationJoin(p *Plan, lr, rr *slotRun, mask uint64, dedup bool) {
+	lr.side(false, mask)
+	lr.fn = srViolation
+	lr.dedup = dedup
+	lr.vout = &e.vout
+	rr.regs = lr.regs
+	rr.side(true, p.frontierMask)
+	rr.fn = srExists
+	lr.rhsRun = rr
+	lr.rec(0, mask)
 }
 
 // Side selects which atoms of a mapping a seeded violation query
@@ -506,6 +703,9 @@ func (s Side) String() string {
 // through an RHS atom over rel (SeedRHS). The result is deduplicated
 // and deterministic.
 func (e *Engine) ViolationsSeeded(t *tgd.TGD, rel string, vals []model.Value, side Side) []Violation {
+	if p := PlanFor(t); e.useCompiled(p) {
+		return e.violationsSeededCompiled(p, rel, vals, side)
+	}
 	seen := make(map[string]bool)
 	var out []Violation
 	add := func(vs []Violation) {
@@ -540,6 +740,48 @@ func (e *Engine) ViolationsSeeded(t *tgd.TGD, rel string, vals []model.Value, si
 	return out
 }
 
+// violationsSeededCompiled is the slot-runtime seeded violation query:
+// the written tuple's values unify straight into the register file,
+// each seed shape runs its static order, and duplicates across seed
+// atoms are rejected through the engine's reusable key buffer — a
+// steady-state call that finds no violation allocates nothing.
+func (e *Engine) violationsSeededCompiled(p *Plan, rel string, vals []model.Value, side Side) []Violation {
+	defer e.flushObs()
+	clear(e.seen)
+	lr, rr := e.getRun(p), e.getRun(p)
+	if side == SeedLHS || side == SeedBoth {
+		for i := range p.lhs {
+			a := &p.lhs[i]
+			if a.rel != rel {
+				continue
+			}
+			mask, ok := unifyRegs(vals, a, lr.regs)
+			if !ok {
+				continue
+			}
+			e.violationJoin(p, lr, rr, mask, true)
+		}
+	}
+	if side == SeedRHS || side == SeedBoth {
+		for i := range p.rhs {
+			a := &p.rhs[i]
+			if a.rel != rel {
+				continue
+			}
+			mask, ok := unifyRegs(vals, a, lr.regs)
+			if !ok {
+				continue
+			}
+			e.violationJoin(p, lr, rr, mask&p.frontierMask, true)
+		}
+	}
+	e.putRun(rr)
+	e.putRun(lr)
+	out := e.vout
+	e.vout = nil
+	return out
+}
+
 // UnifyValsAtom extends binding b by matching concrete values against
 // an atom's terms; see unifyValsAtom. Exported for the chase engine's
 // violation rechecks.
@@ -560,15 +802,31 @@ func (e *Engine) AllViolations(set *tgd.Set) []Violation {
 
 // Satisfied reports whether the snapshot satisfies every mapping.
 func (e *Engine) Satisfied(set *tgd.Set) bool {
+	defer e.flushObs()
 	for _, t := range set.All() {
 		violated := false
-		e.joinAtoms(t.LHS, Binding{}, func(b Binding, _ []storage.TupleID) bool {
-			if !e.RHSSatisfied(t, b) {
-				violated = true
-				return false
-			}
-			return true
-		})
+		if p := PlanFor(t); e.useCompiled(p) {
+			lr, rr := e.getRun(p), e.getRun(p)
+			lr.side(false, 0)
+			lr.fn = srFirstViolation
+			lr.found = false
+			rr.regs = lr.regs
+			rr.side(true, p.frontierMask)
+			rr.fn = srExists
+			lr.rhsRun = rr
+			lr.rec(0, 0)
+			violated = lr.found
+			e.putRun(rr)
+			e.putRun(lr)
+		} else {
+			e.joinAtoms(t.LHS, Binding{}, func(b Binding, _ []storage.TupleID) bool {
+				if !e.RHSSatisfied(t, b) {
+					violated = true
+					return false
+				}
+				return true
+			})
+		}
 		if violated {
 			return false
 		}

@@ -140,6 +140,22 @@ func (e *relEpoch) valIndex() []map[model.Value][]TupleID {
 	return *e.valIdx.Load()
 }
 
+// stats summarizes the record for the query planner: the committed
+// live count plus each column's distinct-value fanout, read off the
+// lazy value index. Like every other epoch read it takes no stripe
+// lock (concurrent index builds race benignly behind the CAS).
+func (e *relEpoch) stats() RelStats {
+	st := RelStats{Live: e.live}
+	if e.arity > 0 && e.live > 0 {
+		idx := e.valIndex()
+		st.Distinct = make([]int, e.arity)
+		for c := range idx {
+			st.Distinct[c] = len(idx[c])
+		}
+	}
+	return st
+}
+
 // CommittedEpoch is a store-wide consistent committed snapshot: one
 // relEpoch per stripe plus the commit-batch count it reflects. It is
 // immutable; the store publishes successive epochs through one atomic

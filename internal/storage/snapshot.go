@@ -415,6 +415,41 @@ func (sn *Snapshot) CountRel(rel string) int {
 	return n
 }
 
+// RelStats summarizes a relation for the query planner: an estimated
+// row count plus, per column, the distinct-value fanout of the
+// committed contents. Live / Distinct[c] estimates the candidate list
+// an equality probe on column c returns.
+type RelStats struct {
+	// Live is the committed non-tombstone tuple count.
+	Live int
+	// Distinct[c] is the number of distinct committed values in column
+	// c; nil for empty or zero-arity relations.
+	Distinct []int
+}
+
+// RelStats returns cardinality statistics for the relation. Epoch
+// snapshots answer from their own immutable records; live snapshots
+// answer from the owning store's current committed epoch. Either way
+// the read never touches a stripe RWMutex in steady state (an epoch
+// refresh after writer-0 mutations briefly takes read locks), because
+// planning sits on the doorstep of the hottest query path and must
+// not contend with writers. The numbers describe committed state, not
+// the snapshot's exact visibility — they feed ordering heuristics,
+// never correctness.
+func (sn *Snapshot) RelStats(rel string) RelStats {
+	if sn.epoch != nil {
+		if e := sn.epochFor(rel); e != nil {
+			return e.stats()
+		}
+		return RelStats{}
+	}
+	st, s := sn.stripeFor(rel)
+	if s == nil {
+		return RelStats{}
+	}
+	return st.Epoch().rels[s.idx].stats()
+}
+
 // CandidatesByValue returns, in ascending order, the IDs of tuples
 // that have some version with value v in column col of rel. Callers
 // must verify candidates against the snapshot via Get; the index

@@ -1,0 +1,49 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"youtopia/internal/model"
+)
+
+// TestRelStats checks the planner statistics on both snapshot
+// flavors: live counts and per-column distinct fanout must reflect
+// committed state, and the epoch-snapshot read must take no stripe
+// lock (the probe that guards every other epoch read guards this one).
+func TestRelStats(t *testing.T) {
+	s := model.NewSchema()
+	s.MustAddRelation("A", "x", "y")
+	s.MustAddRelation("Empty", "z")
+	st := NewStore(s)
+	for i := 0; i < 12; i++ {
+		st.Load(model.NewTuple("A",
+			model.Const(fmt.Sprintf("k%d", i)), model.Const(fmt.Sprintf("g%d", i%3))))
+	}
+
+	check := func(name string, sn *Snapshot) {
+		t.Helper()
+		got := sn.RelStats("A")
+		if got.Live != 12 {
+			t.Fatalf("%s: Live = %d, want 12", name, got.Live)
+		}
+		if len(got.Distinct) != 2 || got.Distinct[0] != 12 || got.Distinct[1] != 3 {
+			t.Fatalf("%s: Distinct = %v, want [12 3]", name, got.Distinct)
+		}
+		if e := sn.RelStats("Empty"); e.Live != 0 || e.Distinct != nil {
+			t.Fatalf("%s: empty relation stats = %+v", name, e)
+		}
+		if u := sn.RelStats("NoSuchRel"); u.Live != 0 {
+			t.Fatalf("%s: unknown relation stats = %+v", name, u)
+		}
+	}
+	check("live", st.Snap(0))
+
+	ep := st.EpochSnap()
+	ep.RelStats("A") // build the lazy value index outside the probe
+	LockProbeArm()
+	check("epoch", ep)
+	if n := LockProbeDisarm(); n != 0 {
+		t.Fatalf("epoch RelStats acquired %d stripe locks, want 0", n)
+	}
+}

@@ -19,6 +19,7 @@ package tgd
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"youtopia/internal/model"
 )
@@ -92,6 +93,31 @@ type TGD struct {
 	existVars []string        // z̄: RHS-only variables, in order
 	lhsRels   map[string]bool
 	rhsRels   map[string]bool
+
+	// compiled caches the query layer's compiled plan for this mapping
+	// (an opaque pointer so tgd stays independent of internal/query).
+	// Riding on the TGD itself makes the cache lookup one atomic load —
+	// no map, no lock — and shares the plan across every engine and
+	// worker evaluating the mapping. Mappings are immutable after New,
+	// so the first published plan is valid for the TGD's lifetime.
+	compiled atomic.Pointer[any]
+}
+
+// CachedPlan returns the compiled plan published for this mapping, or
+// nil when none has been compiled yet.
+func (t *TGD) CachedPlan() any {
+	if p := t.compiled.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// PublishPlan publishes p as the mapping's compiled plan unless one is
+// already cached, and returns whichever plan won — callers racing to
+// compile all converge on one shared plan.
+func (t *TGD) PublishPlan(p any) any {
+	t.compiled.CompareAndSwap(nil, &p)
+	return *t.compiled.Load()
 }
 
 // New builds a TGD and computes its derived variable sets. It does not
